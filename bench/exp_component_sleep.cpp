@@ -1,0 +1,89 @@
+// Ablation (paper §4.3): component-level sleep beyond the CPU — memory
+// banks and disk spindles.
+//
+//   "Banks of memory can be turned off when not being used. Large sections
+//    of storage can be turned off under appropriate file system and caching
+//    scheme."
+//
+// One storage-heavy server over a diurnal day: the working set shrinks
+// overnight (memory banks power down) and disk idle gaps stretch (spindles
+// spin down). Reports the per-component daily energy with each mechanism
+// toggled, plus the spin-down timeout trade-off curve.
+#include <iostream>
+
+#include "core/table.h"
+#include "core/units.h"
+#include "power/component_power.h"
+#include "workload/diurnal.h"
+
+using namespace epm;
+
+namespace {
+
+/// Working set in GB at demand level `level` (caches shrink off-peak).
+double working_set_gb(double level) { return 16.0 + 40.0 * level; }
+
+/// Mean disk idle gap at demand level `level`: busy afternoons mean short
+/// gaps, quiet nights mean minute-scale gaps.
+double mean_idle_gap_s(double level) { return 2.0 + 118.0 * (1.0 - level); }
+
+}  // namespace
+
+int main() {
+  std::cout << banner(
+      "Ablation (sec. 4.3): memory-bank and disk-spindle sleep, one server-day");
+
+  const power::MemoryPowerModel memory{power::MemoryConfig{}};  // 8 x 8 GB
+  const power::DiskPowerModel disk{power::DiskConfig{}};        // 4 spindles
+  const workload::DiurnalModel diurnal{workload::DiurnalConfig{}};
+  const double spindles = static_cast<double>(disk.config().spindles);
+
+  double mem_always = 0.0;
+  double mem_banked = 0.0;
+  double disk_always = 0.0;
+  double disk_timeout = 0.0;
+  const double timeout = disk.competitive_timeout_s();
+  for (int m = 0; m < 24 * 60; ++m) {
+    const double level = diurnal.demand_at(m * minutes(1.0));
+    mem_always += memory.power_w(memory.config().banks) / 60.0;
+    mem_banked += memory.power_for_working_set_w(working_set_gb(level)) / 60.0;
+    const double gap = mean_idle_gap_s(level);
+    disk_always += spindles * disk.config().spinning_w / 60.0;
+    disk_timeout += spindles * disk.expected_idle_power_w(gap, timeout) / 60.0;
+  }
+
+  Table table({"component / policy", "daily energy (Wh)", "saved"});
+  table.add_row({"memory, all banks on", fmt(mem_always, 1), "0%"});
+  table.add_row({"memory, working-set banking", fmt(mem_banked, 1),
+                 fmt_percent(1.0 - mem_banked / mem_always, 0)});
+  table.add_row({"disks, always spinning", fmt(disk_always, 1), "0%"});
+  table.add_row({"disks, break-even timeout spin-down", fmt(disk_timeout, 1),
+                 fmt_percent(1.0 - disk_timeout / disk_always, 0)});
+  table.add_row({"both mechanisms", fmt(mem_banked + disk_timeout, 1),
+                 fmt_percent(1.0 - (mem_banked + disk_timeout) /
+                                       (mem_always + disk_always),
+                             0)});
+  std::cout << table.render();
+
+  // Timeout sweep at the overnight operating point.
+  std::cout << "\n  Spin-down timeout sweep at a quiet-hours gap profile "
+               "(mean idle 90 s; break-even "
+            << fmt(disk.breakeven_idle_s(), 1) << " s):\n";
+  Table sweep({"timeout (s)", "idle power/spindle (W)", "vs always spinning"});
+  for (double t : {0.0, 2.0, disk.breakeven_idle_s(), 30.0, 120.0, 1.0e9}) {
+    const double p = disk.expected_idle_power_w(90.0, t);
+    sweep.add_row({t > 1.0e8 ? "never" : fmt(t, 1), fmt(p, 2),
+                   fmt_percent(1.0 - p / disk.config().spinning_w, 0)});
+  }
+  std::cout << sweep.render();
+
+  std::cout << "\n  Paper: turning off unused memory banks and storage sections "
+               "removes their idle power. Measured:\n"
+               "  working-set banking recovers about a fifth of memory energy "
+               "over the diurnal day; break-even\n"
+               "  timeout spin-down recovers most disk idle energy overnight "
+               "while the 2-competitive guarantee bounds\n"
+               "  the worst case; shorter timeouts win for these exponential "
+               "gaps, longer ones protect bursty traffic.\n";
+  return 0;
+}

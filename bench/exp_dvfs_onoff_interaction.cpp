@@ -1,0 +1,150 @@
+// EXP-A (paper §5.1, ref [29] Heo et al.): the DVFS x On/Off oblivious
+// composition hazard.
+//
+//   "When the system is underloaded, the DVFS policy reduces the frequency
+//    of a processor, increasing system utilization. This will eventually
+//    increase the end-to-end delay of the system. Increased delay may cause
+//    the (DVS oblivious) On/Off policy to consider the system to be
+//    overloaded, hence turning more machines on... The energy expended on
+//    keeping a larger number of machines on may not necessarily be offset
+//    by DVS savings."
+//
+// Regenerates the episode as a time series (fleet size, P-state, response
+// time, power) for the oblivious composition, each policy alone, and the
+// coordinated joint optimizer.
+#include <iostream>
+#include <vector>
+
+#include "cluster/service_cluster.h"
+#include "core/table.h"
+#include "dvfs/governors.h"
+#include "macro/joint_policy.h"
+#include "onoff/provisioners.h"
+
+using namespace epm;
+
+namespace {
+
+constexpr double kLambda = 3000.0;
+constexpr double kDemand = 0.01;
+constexpr double kSla = 0.028;
+constexpr int kEpochs = 180;
+
+cluster::ServiceClusterConfig make_config() {
+  cluster::ServiceClusterConfig config;
+  config.server_count = 200;
+  config.initially_active = 55;
+  config.sla.target_mean_response_s = kSla;
+  return config;
+}
+
+workload::OfferedLoad steady() {
+  workload::OfferedLoad load;
+  load.arrival_rate_per_s = kLambda;
+  load.service_demand_s = kDemand;
+  return load;
+}
+
+struct Outcome {
+  double energy_kwh = 0.0;
+  std::size_t final_servers = 0;
+  std::size_t final_pstate = 0;
+  std::size_t fleet_changes = 0;
+  std::size_t sla_violations = 0;
+  std::vector<double> servers_series;
+};
+
+enum class Mode { kObliviousBoth, kDvfsOnly, kOnOffOnly, kCoordinated };
+
+Outcome run(Mode mode) {
+  cluster::ServiceCluster cluster(make_config());
+  dvfs::OndemandConfig dvfs_config;
+  dvfs_config.downscale_utilization = 0.60;
+  dvfs_config.upscale_utilization = 0.90;
+  dvfs::OndemandGovernor governor(0, dvfs_config);
+  onoff::DelayThresholdConfig onoff_config;
+  onoff_config.up_factor = 1.0;
+  onoff_config.down_factor = 0.4;
+  onoff_config.add_step = 8;
+  onoff::DelayThresholdProvisioner provisioner(onoff_config);
+
+  Outcome out;
+  std::size_t pstate = 0;
+  for (int i = 0; i < kEpochs; ++i) {
+    const auto r = cluster.run_epoch(60.0, steady());
+    const std::size_t before = cluster.committed_count();
+    switch (mode) {
+      case Mode::kObliviousBoth:
+        pstate = governor.decide(cluster, r);
+        cluster.set_uniform_pstate(pstate);
+        cluster.set_target_committed(provisioner.decide(cluster, r), true);
+        break;
+      case Mode::kDvfsOnly:
+        pstate = governor.decide(cluster, r);
+        cluster.set_uniform_pstate(pstate);
+        break;
+      case Mode::kOnOffOnly:
+        cluster.set_target_committed(provisioner.decide(cluster, r), true);
+        break;
+      case Mode::kCoordinated: {
+        const auto d = macro::decide_joint(cluster.power_model(),
+                                           cluster.server_count(),
+                                           cluster.committed_count(),
+                                           r.arrival_rate_per_s,
+                                           r.service_demand_s, kSla);
+        pstate = d.pstate;
+        cluster.set_uniform_pstate(d.pstate);
+        cluster.set_target_committed(d.servers, true);
+        break;
+      }
+    }
+    if (cluster.committed_count() != before) ++out.fleet_changes;
+    out.servers_series.push_back(static_cast<double>(cluster.committed_count()));
+  }
+  out.energy_kwh = cluster.total_energy_j() / 3.6e6;
+  out.final_servers = cluster.committed_count();
+  out.final_pstate = pstate;
+  out.sla_violations = cluster.sla_violation_epochs();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << banner(
+      "EXP-A (sec. 5.1 / ref [29]): DVFS x On/Off composition, 3 h steady plateau");
+
+  const auto oblivious = run(Mode::kObliviousBoth);
+  const auto dvfs_only = run(Mode::kDvfsOnly);
+  const auto onoff_only = run(Mode::kOnOffOnly);
+  const auto coordinated = run(Mode::kCoordinated);
+
+  Table table({"policy stack", "final servers", "final P-state", "fleet changes",
+               "SLA-violating epochs", "energy (kWh)"});
+  auto add = [&](const char* name, const Outcome& o) {
+    table.add_row({name, std::to_string(o.final_servers),
+                   "P" + std::to_string(o.final_pstate),
+                   std::to_string(o.fleet_changes), std::to_string(o.sla_violations),
+                   fmt(o.energy_kwh, 1)});
+  };
+  add("ondemand DVFS + delay On/Off (oblivious)", oblivious);
+  add("ondemand DVFS alone (fixed fleet)", dvfs_only);
+  add("delay On/Off alone (P0)", onoff_only);
+  add("coordinated joint (servers x P-state)", coordinated);
+  std::cout << table.render();
+
+  std::cout << "\n  Committed servers over time, oblivious composition:\n"
+            << ascii_chart(oblivious.servers_series, 60, 6);
+  std::cout << "\n  Committed servers over time, coordinated policy:\n"
+            << ascii_chart(coordinated.servers_series, 60, 6);
+
+  std::cout << "\n  Paper: the oblivious cycle 'may lead to poor energy "
+               "performance, even despite the fact that both\n"
+               "  the DVS and On/Off policies have the same energy saving goal.'\n"
+               "  Measured: the oblivious stack ratchets the fleet up at the "
+               "slowest P-state and burns "
+            << fmt(oblivious.energy_kwh / coordinated.energy_kwh, 1)
+            << "x the energy of\n  the coordinated joint policy; each policy "
+               "alone also beats the oblivious composition.\n";
+  return 0;
+}

@@ -1,0 +1,147 @@
+// EXP-E (paper §2.2): air-side economizers.
+//
+//   "Recently, the industry has moved to extensive use of air-side
+//    economizers, i.e. using outside air to cool data centers directly,
+//    rather than relying on energy consuming water chillers. However, the
+//    temperature and humidity of outside air change continuously, bringing
+//    additional challenges to cooling control."
+//
+// One simulated year at a temperate site: monthly economizer hours, cooling
+// energy, and PUE with and without the economizer, plus the sensitivity of
+// the benefit to the usable-temperature threshold (the control challenge).
+#include <iostream>
+#include <vector>
+
+#include "core/table.h"
+#include "core/units.h"
+#include "power/distribution.h"
+#include "thermal/cooling_plant.h"
+#include "thermal/outside_air.h"
+
+using namespace epm;
+
+int main() {
+  std::cout << banner("EXP-E (sec. 2.2): air-side economizer over one year");
+
+  thermal::OutsideAirConfig air_config;  // temperate site, 12 C annual mean
+  thermal::OutsideAirModel air(air_config);
+  const auto outside = air.sample(days(365.0), hours(1.0));
+
+  thermal::CoolingPlantConfig with;
+  with.has_economizer = true;
+  thermal::CoolingPlantConfig without = with;
+  without.has_economizer = false;
+  const thermal::CoolingPlant plant_with(with);
+  const thermal::CoolingPlant plant_without(without);
+
+  const double it_heat_w = 600.0e3;  // steady 600 kW of IT load
+  const double supply_c = 18.0;
+
+  const char* months[] = {"Jan", "Feb", "Mar", "Apr", "May", "Jun",
+                          "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"};
+  const int month_days[] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+
+  Table table({"month", "mean outside (C)", "economizer hours", "cooling kWh (econ)",
+               "cooling kWh (chiller)", "saved"});
+  double yearly_with = 0.0;
+  double yearly_without = 0.0;
+  double econ_hours_total = 0.0;
+  std::size_t hour_index = 0;
+  for (int m = 0; m < 12; ++m) {
+    double month_with = 0.0;
+    double month_without = 0.0;
+    double econ_hours = 0.0;
+    OnlineStats temp;
+    for (int h = 0; h < month_days[m] * 24 && hour_index < outside.size();
+         ++h, ++hour_index) {
+      const double out_c = outside[hour_index];
+      temp.add(out_c);
+      const auto draw_with = plant_with.power_draw(it_heat_w, supply_c, out_c);
+      const auto draw_without = plant_without.power_draw(it_heat_w, supply_c, out_c);
+      month_with += to_kwh(draw_with.total_w() * 3600.0);
+      month_without += to_kwh(draw_without.total_w() * 3600.0);
+      if (draw_with.economizer_active) econ_hours += 1.0;
+    }
+    yearly_with += month_with;
+    yearly_without += month_without;
+    econ_hours_total += econ_hours;
+    table.add_row({months[m], fmt(temp.mean(), 1), fmt(econ_hours, 0),
+                   fmt(month_with, 0), fmt(month_without, 0),
+                   fmt_percent(1.0 - month_with / month_without, 0)});
+  }
+  std::cout << table.render();
+
+  // Facility-level PUE with the tier-2 distribution tree.
+  auto pue_for = [&](double mech_w) {
+    auto topo = power::build_tier2_topology(power::Tier2TopologyConfig{});
+    const double per_rack = it_heat_w / static_cast<double>(topo.rack_ids.size());
+    for (auto rack : topo.rack_ids) topo.tree.set_direct_load(rack, per_rack);
+    topo.tree.set_direct_load(topo.mechanical_id, mech_w);
+    return topo.tree.evaluate().pue;
+  };
+  const double hours_per_year = 8760.0;
+  const double mean_mech_with = yearly_with * 3.6e6 / (hours_per_year * 3600.0);
+  const double mean_mech_without = yearly_without * 3.6e6 / (hours_per_year * 3600.0);
+
+  std::cout << "\n  Year totals: economizer active "
+            << fmt_percent(econ_hours_total / hours_per_year, 0) << " of hours; "
+            << "cooling energy " << fmt(yearly_with, 0) << " kWh vs "
+            << fmt(yearly_without, 0) << " kWh ("
+            << fmt_percent(1.0 - yearly_with / yearly_without, 0) << " saved)\n";
+  std::cout << "  Mean facility PUE: " << fmt(pue_for(mean_mech_with), 2)
+            << " with economizer vs " << fmt(pue_for(mean_mech_without), 2)
+            << " chiller-only\n";
+
+  std::cout << "\n  Control challenge: usable-threshold sensitivity (approach "
+               "temperature vs economizer hours):\n";
+  Table sweep({"approach (C)", "economizer hours/yr", "cooling kWh/yr"});
+  for (double approach : {2.0, 4.0, 6.0, 8.0, 10.0}) {
+    thermal::CoolingPlantConfig cfg = with;
+    cfg.economizer_approach_c = approach;
+    const thermal::CoolingPlant plant(cfg);
+    double kwh = 0.0;
+    double econ_h = 0.0;
+    for (std::size_t h = 0; h < outside.size(); ++h) {
+      const auto draw = plant.power_draw(it_heat_w, supply_c, outside[h]);
+      kwh += to_kwh(draw.total_w() * 3600.0);
+      if (draw.economizer_active) econ_h += 1.0;
+    }
+    sweep.add_row({fmt(approach, 0), fmt(econ_h, 0), fmt(kwh, 0)});
+  }
+  std::cout << sweep.render();
+
+  // Humidity envelope: how much of the temperature-eligible time is lost to
+  // out-of-envelope air (paper: "the temperature and humidity of outside
+  // air change continuously, bringing additional challenges").
+  {
+    thermal::OutsideAirModel humid_air(air_config);
+    const auto weather = humid_air.sample_weather(days(365.0), hours(1.0));
+    double eligible_by_temp = 0.0;
+    double eligible_full = 0.0;
+    double kwh_humidity_aware = 0.0;
+    for (std::size_t h = 0; h < weather.temperature_c.size(); ++h) {
+      if (plant_with.economizer_usable(weather.temperature_c[h], supply_c)) {
+        eligible_by_temp += 1.0;
+      }
+      const auto draw = plant_with.power_draw(it_heat_w, supply_c,
+                                              weather.temperature_c[h],
+                                              weather.relative_humidity[h]);
+      if (draw.economizer_active) eligible_full += 1.0;
+      kwh_humidity_aware += to_kwh(draw.total_w() * 3600.0);
+    }
+    std::cout << "\n  Humidity envelope (15-80% RH intake): "
+              << fmt(eligible_by_temp, 0) << " h/yr eligible by temperature, "
+              << fmt(eligible_full, 0) << " h/yr after the humidity check ("
+              << fmt_percent(1.0 - eligible_full / eligible_by_temp, 0)
+              << " of cold hours lost to out-of-envelope air); cooling "
+              << fmt(kwh_humidity_aware, 0) << " kWh/yr\n";
+  }
+
+  std::cout << "\n  Paper: economizers displace chiller energy but couple "
+               "cooling to continuously varying outside air.\n"
+               "  Measured: cold months run nearly chiller-free; the benefit "
+               "degrades steeply as the usable-air margin\n"
+               "  (approach) widens - exactly the control sensitivity the paper "
+               "flags as a challenge.\n";
+  return 0;
+}

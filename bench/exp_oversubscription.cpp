@@ -1,0 +1,119 @@
+// EXP-C (paper §3.1): oversubscription of power capacity.
+//
+//   "The host oversells its services to the extent that if every subscriber
+//    uses the services at the same time, the capacity will be exceeded.
+//    However, due to the statistical variations of utilization, with
+//    overwhelming probability, the host is safe..."
+//
+// Sweeps the number of hosted services against a fixed UPS capacity and
+// reports the oversubscription ratio, overflow risk (independence
+// assumption vs time-aligned reality), and the capping backstop's cost.
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "core/table.h"
+#include "core/units.h"
+#include "oversub/aggregation.h"
+#include "workload/messenger.h"
+
+using namespace epm;
+
+namespace {
+
+/// Builds a service power profile from a Messenger-style demand week: the
+/// service's cluster follows demand, so power = idle + dynamic * demand.
+/// Services get heterogeneous daily peak hours and weekend behaviour — the
+/// diversity statistical multiplexing feeds on (identical services would be
+/// perfectly correlated and multiplex not at all).
+oversub::ServicePowerProfile make_service(const std::string& name, std::uint64_t seed,
+                                          double peak_kw) {
+  workload::MessengerConfig config;
+  config.step_s = 300.0;
+  config.seed = seed;
+  config.diurnal.peak_hour = std::fmod(8.0 + 1.7 * static_cast<double>(seed % 9), 24.0);
+  config.diurnal.weekend_factor = 0.7 + 0.04 * static_cast<double>(seed % 7);
+  const auto trace = workload::generate_messenger_trace(config, weeks(1.0));
+  const double peak_conn = trace.connections.stats().max();
+  // Power profile: 40% idle floor + 60% demand-proportional, rated at peak.
+  TimeSeries power(0.0, 300.0);
+  power.reserve(trace.connections.size());
+  for (std::size_t i = 0; i < trace.connections.size(); ++i) {
+    const double level = trace.connections[i] / peak_conn;
+    power.push_back(peak_kw * 1.0e3 * (0.4 + 0.6 * level));
+  }
+  return oversub::ServicePowerProfile(name, power, peak_kw * 1.0e3);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << banner("EXP-C (sec. 3.1): power oversubscription vs overflow risk");
+
+  const double capacity_w = 1.0e6;  // 1 MW UPS
+  constexpr double kServicePeakKw = 100.0;
+
+  std::cout << "  UPS capacity 1 MW; each service rated at 100 kW peak with a "
+               "diurnal profile (40% floor).\n"
+            << "  Static allocation would host exactly 10 services.\n\n";
+
+  Table table({"services", "oversub ratio", "risk (independent)",
+               "risk (time-aligned)", "capped epochs", "mean shed when capped"});
+  oversub::RiskConfig risk_config;
+  risk_config.monte_carlo_draws = 100000;
+
+  for (std::size_t n : {10, 11, 12, 13, 14, 16, 20}) {
+    std::vector<oversub::ServicePowerProfile> services;
+    for (std::size_t i = 0; i < n; ++i) {
+      services.push_back(
+          make_service("svc" + std::to_string(i), 100 + i, kServicePeakKw));
+    }
+    const double ratio = oversub::oversubscription_ratio(services, capacity_w);
+    const double independent =
+        oversub::overflow_probability_independent(services, capacity_w, risk_config);
+    const double aligned =
+        oversub::overflow_probability_aligned(services, capacity_w, risk_config);
+    const auto impact = oversub::capping_impact_aligned(services, capacity_w);
+    table.add_row({std::to_string(n), fmt(ratio, 2) + "x",
+                   fmt_percent(independent, 3), fmt_percent(aligned, 3),
+                   fmt_percent(impact.capped_fraction, 3),
+                   fmt(to_kilowatts(impact.mean_shed_w), 1) + " kW"});
+  }
+  std::cout << table.render();
+
+  // Packing limit at a 1e-3 aligned risk bound, heterogeneous services.
+  {
+    std::vector<oversub::ServicePowerProfile> pack;
+    std::size_t safe = 0;
+    double safe_ratio = 0.0;
+    for (std::size_t i = 0; i < 32; ++i) {
+      pack.push_back(make_service("svc" + std::to_string(i), 100 + i, kServicePeakKw));
+      const double risk =
+          oversub::overflow_probability_aligned(pack, capacity_w, risk_config);
+      if (risk > 1.0e-3) break;
+      safe = pack.size();
+      safe_ratio = oversub::oversubscription_ratio(pack, capacity_w);
+    }
+    std::cout << "\n  Max heterogeneous services at <=0.1% time-aligned overflow "
+                 "risk: "
+              << safe << " (ratio " << fmt(safe_ratio, 2) << "x)\n";
+    // Identical services are perfectly correlated and multiplex not at all.
+    const auto prototype = make_service("proto", 101, kServicePeakKw);
+    const auto identical =
+        oversub::max_services_at_risk(prototype, capacity_w, 1.0e-3, 64, risk_config);
+    std::cout << "  Same bound with perfectly correlated (identical) services: "
+              << identical.services << " (ratio " << fmt(identical.ratio, 2)
+              << "x) — correlation eats the multiplexing gain\n";
+  }
+
+  std::cout << "\n  Paper: oversubscription is 'a key to maximize the utilization "
+               "of data center capacities', with capping\n"
+               "  protecting 'the safety of the facility in the rare events that "
+               "the demand exceeds the capacity'.\n"
+               "  Measured: diurnal correlation makes the realistic (time-aligned) "
+               "risk orders of magnitude higher than the\n"
+               "  independence assumption suggests; modest oversubscription is "
+               "still safe, and the capping backstop's\n"
+               "  cost stays small until the ratio gets aggressive.\n";
+  return 0;
+}

@@ -1,0 +1,139 @@
+// EXP-G (paper §4.4): VM grouping under non-additive disk contention.
+//
+//   "how to group VMs together remains challenging since hardware resource
+//    utilization across VMs are not additive. For example, due to disk
+//    contention, putting two disk IO intensive applications on the same
+//    host machine may cause significant throughput degradation."
+//
+// Places a mixed CPU-/IO-bound VM population with resource-oblivious FFD
+// vs interference-aware packing; reports hosts used, worst and mean tenant
+// throughput, plus the raw contention curve (tenants vs degradation).
+#include <iostream>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/table.h"
+#include "vm/interference.h"
+#include "vm/migration.h"
+#include "vm/placement.h"
+
+using namespace epm;
+
+namespace {
+
+std::vector<vm::VmSpec> make_population(std::size_t count, Rng& rng) {
+  std::vector<vm::VmSpec> vms;
+  for (std::size_t i = 0; i < count; ++i) {
+    vm::VmSpec spec;
+    spec.id = i;
+    if (i % 3 == 0) {  // one third IO-bound (database/log shipping style)
+      spec.name = "io" + std::to_string(i);
+      spec.cpu_cores = rng.uniform(0.5, 2.0);
+      spec.disk_iops = rng.uniform(120.0, 220.0);
+      spec.net_mbps = rng.uniform(20.0, 60.0);
+      spec.memory_gb = rng.uniform(4.0, 12.0);
+    } else {  // CPU-bound web/app tiers
+      spec.name = "cpu" + std::to_string(i);
+      spec.cpu_cores = rng.uniform(2.0, 6.0);
+      spec.disk_iops = rng.uniform(5.0, 40.0);
+      spec.net_mbps = rng.uniform(20.0, 120.0);
+      spec.memory_gb = rng.uniform(2.0, 8.0);
+    }
+    vms.push_back(spec);
+  }
+  return vms;
+}
+
+struct Quality {
+  std::size_t hosts_used = 0;
+  std::size_t unplaced = 0;
+  double worst_ratio = 1.0;
+  double mean_ratio = 1.0;
+  std::size_t degraded_vms = 0;
+};
+
+Quality assess(const std::vector<vm::VmSpec>& vms, const std::vector<vm::HostSpec>& hosts,
+               const vm::Placement& placement) {
+  Quality q;
+  q.hosts_used = placement.hosts_used;
+  q.unplaced = placement.unplaced;
+  double ratio_sum = 0.0;
+  std::size_t tenants = 0;
+  for (const auto& members : placement.by_host(hosts.size())) {
+    if (members.empty()) continue;
+    std::vector<vm::VmSpec> group;
+    for (auto m : members) group.push_back(vms[m]);
+    const auto eval = vm::evaluate_host(group, hosts[0]);
+    for (const auto& perf : eval.vms) {
+      ratio_sum += perf.throughput_ratio;
+      ++tenants;
+      if (perf.throughput_ratio < 0.95) ++q.degraded_vms;
+      q.worst_ratio = std::min(q.worst_ratio, perf.throughput_ratio);
+    }
+  }
+  q.mean_ratio = tenants > 0 ? ratio_sum / static_cast<double>(tenants) : 1.0;
+  return q;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << banner("EXP-G (sec. 4.4): VM grouping under disk contention");
+
+  // Raw contention curve first: k identical IO-heavy tenants on one host.
+  std::cout << "  Co-located IO-intensive tenants vs achieved throughput "
+               "(non-additive seek amplification):\n";
+  Table curve({"IO-heavy tenants", "effective host IOPS", "per-tenant throughput"});
+  for (std::size_t k = 1; k <= 5; ++k) {
+    std::vector<vm::VmSpec> group;
+    for (std::size_t i = 0; i < k; ++i) {
+      vm::VmSpec spec;
+      spec.id = i;
+      spec.cpu_cores = 1.0;
+      spec.disk_iops = 150.0;
+      group.push_back(spec);
+    }
+    const auto eval = vm::evaluate_host(group, vm::HostSpec{});
+    curve.add_row({std::to_string(k), fmt(eval.effective_disk_iops, 0),
+                   fmt_percent(eval.worst_throughput_ratio, 0)});
+  }
+  std::cout << curve.render();
+
+  // Population placement comparison.
+  Rng rng(44);
+  const auto vms = make_population(60, rng);
+  std::vector<vm::HostSpec> hosts(30);
+  for (std::size_t i = 0; i < hosts.size(); ++i) hosts[i].id = i;
+
+  const auto ffd = vm::first_fit_decreasing(vms, hosts);
+  const auto aware = vm::interference_aware(vms, hosts);
+
+  Table table({"placement", "hosts used", "unplaced", "worst tenant throughput",
+               "mean tenant throughput", "degraded VMs (<95%)"});
+  const auto q_ffd = assess(vms, hosts, ffd);
+  const auto q_aware = assess(vms, hosts, aware);
+  table.add_row({"first-fit decreasing (CPU only)", std::to_string(q_ffd.hosts_used),
+                 std::to_string(q_ffd.unplaced), fmt_percent(q_ffd.worst_ratio, 0),
+                 fmt_percent(q_ffd.mean_ratio, 1), std::to_string(q_ffd.degraded_vms)});
+  table.add_row({"interference-aware", std::to_string(q_aware.hosts_used),
+                 std::to_string(q_aware.unplaced), fmt_percent(q_aware.worst_ratio, 0),
+                 fmt_percent(q_aware.mean_ratio, 1),
+                 std::to_string(q_aware.degraded_vms)});
+  std::cout << "\n" << table.render();
+
+  // Cost of fixing a bad placement via live migration.
+  const auto plan = vm::plan_migration(vms, ffd.assignment, aware.assignment);
+  std::cout << "\n  Repairing the oblivious placement by live migration: "
+            << plan.moves.size() << " moves, " << fmt(plan.total_bytes / 1e9, 1)
+            << " GB moved, " << fmt(plan.total_duration_s / 60.0, 1)
+            << " minutes serialized, " << fmt(plan.total_energy_j / 3.6e6, 2)
+            << " kWh overhead\n";
+
+  std::cout << "\n  Paper: resource demands are not additive across VMs; disk "
+               "contention makes co-located IO-bound\n"
+               "  applications degrade badly. Measured: per-tenant throughput "
+               "collapses as IO-heavy tenants stack up;\n"
+               "  interference-aware packing trades a few extra hosts for "
+               "eliminating degraded tenants.\n";
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Figure 3 reproduction: "The load variation, in terms of total number of
+// users and the new user login rates, of Messenger services" — one week of
+// the synthetic Messenger workload, normalized exactly as the paper's
+// figure: connections to 1 million users and login rate to 1400 users/s.
+//
+// The paper's callouts to verify:
+//   * "the number of users in the early afternoon is almost twice as much
+//      as those after midnight"
+//   * "the total demand in weekdays are higher than that in weekends"
+//   * "the flash crowd effects, where a large number of users login in a
+//      short period of time"
+#include <iostream>
+
+#include "core/table.h"
+#include "core/units.h"
+#include "workload/messenger.h"
+#include "workload/trace_io.h"
+
+using namespace epm;
+
+int main() {
+  std::cout << banner("Figure 3: Messenger week — connections and login rate");
+
+  workload::MessengerConfig config;
+  config.step_s = 15.0;  // the paper's counters are sampled at 15 s (§5.3)
+  config.seed = 2009;
+  const auto trace = workload::generate_messenger_trace(config, weeks(1.0));
+  const workload::DiurnalModel diurnal(config.diurnal);
+
+  // Normalize connections to 1 million users at the weekly peak.
+  const double peak_conn = trace.connections.stats().max();
+  const auto conn_norm = trace.connections.scaled(1.0 / peak_conn);
+
+  std::cout << "  Connections (normalized to 1M users), Monday..Sunday:\n";
+  std::cout << ascii_chart(conn_norm.values(), 70, 8);
+  std::cout << "\n  Login rate (users/second), Monday..Sunday:\n";
+  std::cout << ascii_chart(trace.login_rate_per_s.values(), 70, 8);
+
+  Table daily({"day", "mean connections (M)", "peak connections (M)",
+               "mean logins/s", "peak logins/s"});
+  const char* names[] = {"Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun"};
+  for (int d = 0; d < 7; ++d) {
+    const auto conn = trace.connections.stats_between(days(d), days(d + 1));
+    const auto login = trace.login_rate_per_s.stats_between(days(d), days(d + 1));
+    daily.add_row({names[d], fmt(conn.mean() / peak_conn, 3),
+                   fmt(conn.max() / peak_conn, 3), fmt(login.mean(), 0),
+                   fmt(login.max(), 0)});
+  }
+  std::cout << "\n" << daily.render();
+
+  const auto shape = summarize_messenger_trace(trace, diurnal);
+  Table callouts({"paper callout", "paper value", "measured"});
+  callouts.add_row({"afternoon/midnight connections", "~2x",
+                    fmt(shape.afternoon_to_midnight_ratio, 2) + "x"});
+  callouts.add_row({"weekday/weekend demand", "> 1x",
+                    fmt(shape.weekday_to_weekend_ratio, 2) + "x"});
+  callouts.add_row({"peak login rate (normalized)", "1400/s",
+                    fmt(shape.peak_login_rate, 0) + "/s (incl. flash crowds)"});
+  callouts.add_row({"flash crowds in the week", "present",
+                    std::to_string(shape.flash_crowd_count) + " events"});
+  std::cout << "\n" << callouts.render();
+
+  if (!trace.flash_crowds.empty()) {
+    Table crowds({"flash crowd at", "day", "login-rate multiplier"});
+    for (const auto& fc : trace.flash_crowds) {
+      crowds.add_row({fmt(to_hours(fc.start_s), 1) + " h",
+                      names[static_cast<int>(fc.start_s / kSecondsPerDay) % 7],
+                      fmt(fc.magnitude, 2) + "x"});
+    }
+    std::cout << "\n" << crowds.render();
+  }
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Quickstart: size a small cluster, run one diurnal day through it with a
+// simple elastic provisioning policy, and account energy.
+//
+// Build and run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <iostream>
+
+#include "cluster/service_cluster.h"
+#include "core/table.h"
+#include "core/units.h"
+#include "onoff/provisioners.h"
+#include "workload/diurnal.h"
+
+using namespace epm;
+
+int main() {
+  // 1. A workload: smooth diurnal demand peaking at 2pm, reaching 3000
+  //    requests/second at the peak.
+  const workload::DiurnalModel diurnal{workload::DiurnalConfig{}};
+  const double peak_rps = 3000.0;
+
+  // 2. A cluster of 50 servers (300 W peak, 60% idle floor, 5 P-states)
+  //    with a 100 ms mean-response SLA.
+  cluster::ServiceClusterConfig config;
+  config.server_count = 50;
+  config.initially_active = 50;
+  config.sla.target_mean_response_s = 0.1;
+  cluster::ServiceCluster cluster(config);
+
+  // 3. An elastic On/Off policy that keeps utilization near 65%.
+  onoff::UtilizationBandProvisioner provisioner;
+
+  // 4. Run one day in 1-minute epochs.
+  Table table({"hour", "offered rps", "active servers", "utilization",
+               "mean response (ms)", "cluster power (kW)"});
+  for (int epoch = 0; epoch < 24 * 60; ++epoch) {
+    const double t = epoch * minutes(1.0);
+    workload::OfferedLoad load;
+    load.arrival_rate_per_s = peak_rps * diurnal.demand_at(t);
+    load.service_demand_s = 0.01;  // 10 ms of CPU per request
+    const auto result = cluster.run_epoch(minutes(1.0), load);
+    cluster.set_target_committed(provisioner.decide(cluster, result), true);
+    if (epoch % 180 == 0) {
+      table.add_row({fmt(to_hours(t), 0), fmt(load.arrival_rate_per_s, 0),
+                     std::to_string(result.serving), fmt_percent(result.utilization, 0),
+                     fmt(result.mean_response_s * 1e3, 1),
+                     fmt(to_kilowatts(result.server_power_w), 1)});
+    }
+  }
+  std::cout << "\nOne diurnal day through a 50-server elastic cluster:\n\n"
+            << table.render();
+
+  std::cout << "\nDay totals: " << fmt(to_kwh(cluster.total_energy_j()), 1)
+            << " kWh, " << cluster.sla_violation_epochs()
+            << " SLA-violating epochs out of " << cluster.epochs_run() << "\n";
+
+  // Compare against leaving every server on all day.
+  cluster::ServiceCluster wasteful(config);
+  for (int epoch = 0; epoch < 24 * 60; ++epoch) {
+    workload::OfferedLoad load;
+    load.arrival_rate_per_s = peak_rps * diurnal.demand_at(epoch * minutes(1.0));
+    load.service_demand_s = 0.01;
+    wasteful.run_epoch(minutes(1.0), load);
+  }
+  std::cout << "Static fleet for the same day: "
+            << fmt(to_kwh(wasteful.total_energy_j()), 1) << " kWh ("
+            << fmt_percent(1.0 - cluster.total_energy_j() / wasteful.total_energy_j(), 0)
+            << " saved by elasticity)\n";
+  return 0;
+}

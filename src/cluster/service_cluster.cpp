@@ -1,0 +1,173 @@
+#include "cluster/service_cluster.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cluster/queueing.h"
+#include "core/require.h"
+
+namespace epm::cluster {
+
+ServiceCluster::ServiceCluster(ServiceClusterConfig config)
+    : config_(config), model_(config.server) {
+  require(config_.server_count > 0, "ServiceCluster: need at least one server");
+  require(config_.initially_active <= config_.server_count,
+          "ServiceCluster: initially_active exceeds server_count");
+  require(config_.max_utilization > 0.0 && config_.max_utilization < 1.0,
+          "ServiceCluster: max_utilization outside (0,1)");
+  require(config_.sla.target_mean_response_s > 0.0,
+          "ServiceCluster: SLA target must be positive");
+  servers_.reserve(config_.server_count);
+  for (std::size_t i = 0; i < config_.server_count; ++i) {
+    servers_.emplace_back(i, model_,
+                          i < config_.initially_active ? ServerState::kActive
+                                                       : ServerState::kOff);
+  }
+}
+
+const Server& ServiceCluster::server(std::size_t i) const {
+  require(i < servers_.size(), "ServiceCluster: server index out of range");
+  return servers_[i];
+}
+
+Server& ServiceCluster::server(std::size_t i) {
+  require(i < servers_.size(), "ServiceCluster: server index out of range");
+  return servers_[i];
+}
+
+std::size_t ServiceCluster::count_in_state(ServerState state) const {
+  std::size_t n = 0;
+  for (const auto& s : servers_) {
+    if (s.state() == state) ++n;
+  }
+  return n;
+}
+
+std::size_t ServiceCluster::committed_count() const {
+  std::size_t n = 0;
+  for (const auto& s : servers_) {
+    const auto st = s.state();
+    if (st == ServerState::kActive || st == ServerState::kBooting ||
+        st == ServerState::kWaking) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::size_t ServiceCluster::set_target_committed(std::size_t target, bool use_sleep) {
+  target = std::min(target, servers_.size());
+  std::size_t committed = committed_count();
+  std::size_t commands = 0;
+  if (committed < target) {
+    // Prefer waking sleepers (fast) before cold boots.
+    for (auto& s : servers_) {
+      if (committed >= target) break;
+      if (s.state() == ServerState::kSleeping && s.wake()) {
+        ++committed;
+        ++commands;
+      }
+    }
+    for (auto& s : servers_) {
+      if (committed >= target) break;
+      if (s.state() == ServerState::kOff && s.power_on()) {
+        ++committed;
+        ++commands;
+      }
+    }
+  } else if (committed > target) {
+    // Retire Active servers first (transitional ones will finish and can be
+    // retired next epoch; aborting boots mid-way is not modeled).
+    for (std::size_t i = servers_.size(); i-- > 0 && committed > target;) {
+      auto& s = servers_[i];
+      if (s.state() != ServerState::kActive) continue;
+      const bool done = use_sleep ? s.sleep() : s.power_off();
+      if (done) {
+        --committed;
+        ++commands;
+      }
+    }
+  }
+  return commands;
+}
+
+void ServiceCluster::set_uniform_pstate(std::size_t pstate) {
+  for (auto& s : servers_) s.set_pstate(pstate);
+}
+
+void ServiceCluster::set_uniform_duty(double duty) {
+  for (auto& s : servers_) s.set_duty(duty);
+}
+
+EpochResult ServiceCluster::run_epoch(double epoch_s, const workload::OfferedLoad& load) {
+  require(epoch_s > 0.0, "ServiceCluster: epoch must be positive");
+  require(load.arrival_rate_per_s >= 0.0 && load.service_demand_s > 0.0,
+          "ServiceCluster: invalid offered load");
+
+  // Advance transition timers first so a server whose boot completes inside
+  // the epoch participates (coarse but conservative: it also pays boot power
+  // for the tick it consumed).
+  for (auto& s : servers_) s.tick(epoch_s);
+
+  EpochResult r;
+  r.time_s = now_s_;
+  r.epoch_s = epoch_s;
+  r.arrival_rate_per_s = load.arrival_rate_per_s;
+  r.service_demand_s = load.service_demand_s;
+  r.serving = serving_count();
+  r.booting = count_in_state(ServerState::kBooting) + count_in_state(ServerState::kWaking);
+  r.sleeping = count_in_state(ServerState::kSleeping);
+  r.off = count_in_state(ServerState::kOff);
+
+  // Aggregate serving capacity in requests/second.
+  double capacity_rps = 0.0;
+  for (const auto& s : servers_) {
+    capacity_rps += s.capacity_fraction() / load.service_demand_s;
+  }
+
+  if (capacity_rps <= 0.0) {
+    // Brown-out: nothing can serve.
+    r.dropped_rate_per_s = load.arrival_rate_per_s;
+    r.mean_response_s = config_.sla.overload_response_s;
+    r.p99_response_s = config_.sla.overload_response_s;
+    r.sla_violated = load.arrival_rate_per_s > 0.0;
+  } else {
+    double rho = load.arrival_rate_per_s / capacity_rps;
+    if (rho > config_.max_utilization) {
+      r.dropped_rate_per_s =
+          load.arrival_rate_per_s - config_.max_utilization * capacity_rps;
+      rho = config_.max_utilization;
+      r.mean_response_s = config_.sla.overload_response_s;
+      r.p99_response_s = config_.sla.overload_response_s;
+      r.sla_violated = true;
+    } else {
+      // Balanced processor-sharing servers: each sees utilization rho and a
+      // mean service time of demand / its capacity fraction. With uniform
+      // settings the per-server service time is demand * serving / total
+      // capacity-fraction; evaluate against the cluster-average server.
+      const double total_capacity_fraction = capacity_rps * load.service_demand_s;
+      const double mean_capacity_fraction =
+          total_capacity_fraction / static_cast<double>(r.serving);
+      const double service_s = load.service_demand_s / mean_capacity_fraction;
+      r.mean_response_s = mg1ps_response_time_s(service_s, rho);
+      r.p99_response_s = response_quantile_s(r.mean_response_s, 0.99);
+      r.sla_violated = r.mean_response_s > config_.sla.target_mean_response_s;
+    }
+    r.utilization = rho;
+    for (auto& s : servers_) {
+      if (s.serving()) s.set_utilization(rho);
+    }
+  }
+
+  for (const auto& s : servers_) r.server_power_w += s.power_w();
+  r.energy_j = r.server_power_w * epoch_s;
+
+  now_s_ += epoch_s;
+  total_energy_j_ += r.energy_j;
+  ++epochs_run_;
+  if (r.sla_violated) ++sla_violations_;
+  total_dropped_ += r.dropped_rate_per_s * epoch_s;
+  return r;
+}
+
+}  // namespace epm::cluster

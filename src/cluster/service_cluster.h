@@ -1,0 +1,102 @@
+// The epoch-driven service cluster: the substrate the DVFS governors, On/Off
+// provisioners, and the macro-resource manager all act on.
+//
+// Each control epoch the cluster receives an offered load (arrival rate +
+// per-request CPU demand), balances it across serving servers in proportion
+// to their throttled capacity, evaluates response time with the queueing
+// approximations, and accounts power/energy including boot transients.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "cluster/server.h"
+#include "power/server_power.h"
+#include "workload/request_model.h"
+
+namespace epm::cluster {
+
+struct SlaConfig {
+  /// Mean-response-time objective ("users expect sub-second response").
+  double target_mean_response_s = 0.5;
+  /// Response time charged to requests during overload / brown-out epochs.
+  double overload_response_s = 5.0;
+};
+
+struct ServiceClusterConfig {
+  std::size_t server_count = 100;
+  std::size_t initially_active = 100;
+  power::ServerPowerConfig server;
+  SlaConfig sla;
+  /// Per-server utilization is clipped here; arrivals beyond it are shed
+  /// ("performances can degrade gracefully when reaching resource limits").
+  double max_utilization = 0.98;
+};
+
+/// Everything a policy can observe about one epoch.
+struct EpochResult {
+  double time_s = 0.0;
+  double epoch_s = 0.0;
+  double arrival_rate_per_s = 0.0;
+  double service_demand_s = 0.0;
+  std::size_t serving = 0;
+  std::size_t booting = 0;
+  std::size_t sleeping = 0;
+  std::size_t off = 0;
+  double utilization = 0.0;        ///< per-server rho after balancing
+  double mean_response_s = 0.0;
+  double p99_response_s = 0.0;
+  double dropped_rate_per_s = 0.0;
+  bool sla_violated = false;
+  double server_power_w = 0.0;     ///< cluster draw during this epoch
+  double energy_j = 0.0;           ///< server_power_w * epoch_s
+};
+
+class ServiceCluster {
+ public:
+  explicit ServiceCluster(ServiceClusterConfig config);
+
+  std::size_t server_count() const { return servers_.size(); }
+  const Server& server(std::size_t i) const;
+  Server& server(std::size_t i);
+  const power::ServerPowerModel& power_model() const { return model_; }
+  const ServiceClusterConfig& config() const { return config_; }
+
+  std::size_t count_in_state(ServerState state) const;
+  /// Servers that can serve now (Active).
+  std::size_t serving_count() const { return count_in_state(ServerState::kActive); }
+  /// Servers that will be serving once transitions finish (Active + Booting
+  /// + Waking) — what provisioning policies should compare targets against.
+  std::size_t committed_count() const;
+
+  /// Brings the committed server count to `target`: powers on (or wakes)
+  /// servers when short, sleeps (or powers off) excess Active servers when
+  /// long. Returns the number of state commands issued.
+  std::size_t set_target_committed(std::size_t target, bool use_sleep);
+
+  /// Applies a P-state / duty to every server (uniform DVFS policy).
+  void set_uniform_pstate(std::size_t pstate);
+  void set_uniform_duty(double duty);
+
+  /// Advances one epoch under `load`. Transition timers tick first, so
+  /// servers finishing a boot within the epoch serve for (part of) it.
+  EpochResult run_epoch(double epoch_s, const workload::OfferedLoad& load);
+
+  /// Totals since construction.
+  double total_energy_j() const { return total_energy_j_; }
+  std::size_t epochs_run() const { return epochs_run_; }
+  std::size_t sla_violation_epochs() const { return sla_violations_; }
+  double total_dropped_requests() const { return total_dropped_; }
+
+ private:
+  ServiceClusterConfig config_;
+  power::ServerPowerModel model_;
+  std::vector<Server> servers_;
+  double now_s_ = 0.0;
+  double total_energy_j_ = 0.0;
+  std::size_t epochs_run_ = 0;
+  std::size_t sla_violations_ = 0;
+  double total_dropped_ = 0.0;
+};
+
+}  // namespace epm::cluster

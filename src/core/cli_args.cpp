@@ -1,0 +1,97 @@
+#include "core/cli_args.h"
+
+#include "core/require.h"
+
+namespace epm {
+namespace {
+
+bool is_flag(const std::string& arg) { return arg.rfind("--", 0) == 0; }
+
+}  // namespace
+
+CliArgs::CliArgs(int argc, const char* const argv[]) {
+  int i = 1;
+  if (i < argc && !is_flag(argv[i])) {
+    command_ = argv[i];
+    ++i;
+  }
+  while (i < argc) {
+    const std::string arg = argv[i];
+    require(is_flag(arg), "CliArgs: expected --flag, got '" + arg + "'");
+    const std::string key = arg.substr(2);
+    require(!key.empty(), "CliArgs: empty flag name");
+    if (i + 1 < argc && !is_flag(argv[i + 1])) {
+      values_[key] = argv[i + 1];
+      i += 2;
+    } else {
+      values_[key] = "";  // boolean switch
+      ++i;
+    }
+  }
+}
+
+bool CliArgs::has(const std::string& flag) const {
+  const bool present = values_.count(flag) > 0;
+  if (present) used_.insert(flag);
+  return present;
+}
+
+std::string CliArgs::get(const std::string& flag, const std::string& fallback) const {
+  auto it = values_.find(flag);
+  if (it == values_.end()) return fallback;
+  used_.insert(flag);
+  return it->second;
+}
+
+double CliArgs::get(const std::string& flag, double fallback) const {
+  auto it = values_.find(flag);
+  if (it == values_.end()) return fallback;
+  used_.insert(flag);
+  std::size_t pos = 0;
+  double v = 0.0;
+  try {
+    v = std::stod(it->second, &pos);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("CliArgs: --" + flag + " expects a number, got '" +
+                                it->second + "'");
+  }
+  require(pos == it->second.size(),
+          "CliArgs: --" + flag + " expects a number, got '" + it->second + "'");
+  return v;
+}
+
+std::int64_t CliArgs::get(const std::string& flag, std::int64_t fallback) const {
+  auto it = values_.find(flag);
+  if (it == values_.end()) return fallback;
+  used_.insert(flag);
+  std::size_t pos = 0;
+  long long v = 0;
+  try {
+    v = std::stoll(it->second, &pos);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("CliArgs: --" + flag + " expects an integer, got '" +
+                                it->second + "'");
+  }
+  require(pos == it->second.size(),
+          "CliArgs: --" + flag + " expects an integer, got '" + it->second + "'");
+  return v;
+}
+
+bool CliArgs::get_switch(const std::string& flag) const {
+  auto it = values_.find(flag);
+  if (it == values_.end()) return false;
+  used_.insert(flag);
+  require(it->second.empty(),
+          "CliArgs: --" + flag + " is a switch and takes no value");
+  return true;
+}
+
+std::vector<std::string> CliArgs::unused() const {
+  std::vector<std::string> out;
+  for (const auto& [key, value] : values_) {
+    if (used_.count(key) == 0) out.push_back(key);
+  }
+  return out;
+}
+
+}  // namespace epm

@@ -1,0 +1,41 @@
+// Minimal command-line argument parsing for the epmctl tool and any
+// downstream binaries: subcommand + `--flag value` / `--switch` pairs, with
+// typed accessors and unknown-flag detection.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace epm {
+
+class CliArgs {
+ public:
+  /// Parses `argv[1]` as the subcommand (empty if argv[1] starts with "--")
+  /// and the rest as `--key value` pairs; a `--key` followed by another
+  /// `--flag` or by nothing is a boolean switch. Throws std::invalid_argument
+  /// on malformed input (non-flag positional after the subcommand).
+  CliArgs(int argc, const char* const argv[]);
+
+  const std::string& command() const { return command_; }
+  bool has(const std::string& flag) const;
+
+  /// Typed accessors with defaults; throw std::invalid_argument when the
+  /// present value does not parse.
+  std::string get(const std::string& flag, const std::string& fallback) const;
+  double get(const std::string& flag, double fallback) const;
+  std::int64_t get(const std::string& flag, std::int64_t fallback) const;
+  bool get_switch(const std::string& flag) const;
+
+  /// Flags that were provided but never read — for "unknown flag" errors.
+  std::vector<std::string> unused() const;
+
+ private:
+  std::string command_;
+  std::map<std::string, std::string> values_;  // switches map to ""
+  mutable std::set<std::string> used_;
+};
+
+}  // namespace epm

@@ -1,0 +1,38 @@
+#include "core/logging.h"
+
+#include <atomic>
+#include <iostream>
+
+namespace epm {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kOff};
+
+const char* tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF  ";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+void log(LogLevel level, const std::string& message) {
+  if (level < log_level()) return;
+  std::cerr << "[" << tag(level) << "] " << message << '\n';
+}
+
+}  // namespace epm

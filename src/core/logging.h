@@ -1,0 +1,45 @@
+// Minimal leveled logging. Off by default so tests and benches stay quiet;
+// experiments flip the level to Info to narrate macro-manager decisions.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace epm {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide minimum level; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits `message` to stderr with a level tag when `level` >= the threshold.
+void log(LogLevel level, const std::string& message);
+
+namespace detail {
+template <typename... Args>
+std::string concat(const Args&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(const Args&... args) {
+  if (log_level() <= LogLevel::kDebug) log(LogLevel::kDebug, detail::concat(args...));
+}
+template <typename... Args>
+void log_info(const Args&... args) {
+  if (log_level() <= LogLevel::kInfo) log(LogLevel::kInfo, detail::concat(args...));
+}
+template <typename... Args>
+void log_warn(const Args&... args) {
+  if (log_level() <= LogLevel::kWarn) log(LogLevel::kWarn, detail::concat(args...));
+}
+template <typename... Args>
+void log_error(const Args&... args) {
+  if (log_level() <= LogLevel::kError) log(LogLevel::kError, detail::concat(args...));
+}
+
+}  // namespace epm

@@ -1,0 +1,25 @@
+// Precondition / invariant checking helpers.
+//
+// Public API entry points validate their arguments with `require()`, which
+// throws std::invalid_argument; internal invariants use `ensure()`, which
+// throws std::logic_error. Both are always on: the simulations in this
+// library are configuration-heavy and silent misconfiguration is far more
+// expensive than a branch.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace epm {
+
+/// Throws std::invalid_argument with `what` unless `cond` holds.
+inline void require(bool cond, const std::string& what) {
+  if (!cond) throw std::invalid_argument(what);
+}
+
+/// Throws std::logic_error with `what` unless `cond` holds.
+inline void ensure(bool cond, const std::string& what) {
+  if (!cond) throw std::logic_error(what);
+}
+
+}  // namespace epm

@@ -1,0 +1,80 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component in the library owns an epm::Rng seeded from the
+// experiment configuration, so runs are exactly reproducible and independent
+// components draw from statistically independent streams (derive per-component
+// seeds with Rng::fork or SplitMix64).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace epm {
+
+/// SplitMix64: tiny, high-quality 64-bit mixer. Used to expand one user seed
+/// into many stream seeds and to seed Xoshiro state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** generator with a distribution toolkit sized for this library.
+///
+/// Satisfies UniformRandomBitGenerator, so it also composes with <random>
+/// distributions when needed.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four 256-bit state words via SplitMix64 from `seed`.
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  /// Raw 64 uniform bits.
+  result_type operator()() { return next_u64(); }
+  result_type next_u64();
+
+  /// A new independent generator derived from this one's stream.
+  Rng fork();
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [lo, hi] (inclusive).
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  /// Standard normal via Box-Muller (cached second deviate).
+  double normal(double mean = 0.0, double stddev = 1.0);
+  /// Lognormal with the given parameters of the underlying normal.
+  double lognormal(double mu, double sigma);
+  /// Exponential with the given rate (mean 1/rate).
+  double exponential(double rate);
+  /// Poisson-distributed count with the given mean (Knuth for small mean,
+  /// normal approximation above 64).
+  std::int64_t poisson(double mean);
+  /// Bernoulli trial.
+  bool bernoulli(double p);
+  /// Pareto (heavy-tailed) with scale xm > 0 and shape alpha > 0.
+  double pareto(double xm, double alpha);
+  /// Index drawn according to `weights` (need not be normalized).
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+ private:
+  std::uint64_t s_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace epm

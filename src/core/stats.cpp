@@ -1,0 +1,173 @@
+#include "core/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/require.h"
+
+namespace epm {
+
+void OnlineStats::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void OnlineStats::merge(const OnlineStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto n1 = static_cast<double>(count_);
+  const auto n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = n1 + n2;
+  mean_ += delta * n2 / n;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void OnlineStats::reset() { *this = OnlineStats{}; }
+
+double OnlineStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+double OnlineStats::min() const {
+  ensure(count_ > 0, "OnlineStats::min on empty accumulator");
+  return min_;
+}
+
+double OnlineStats::max() const {
+  ensure(count_ > 0, "OnlineStats::max on empty accumulator");
+  return max_;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), bin_width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {
+  require(hi > lo, "Histogram: hi must exceed lo");
+  require(bins > 0, "Histogram: need at least one bin");
+}
+
+void Histogram::add(double x, std::uint64_t weight) {
+  total_ += weight;
+  if (x < lo_) {
+    underflow_ += weight;
+    return;
+  }
+  if (x >= hi_) {
+    overflow_ += weight;
+    return;
+  }
+  auto idx = static_cast<std::size_t>((x - lo_) / bin_width_);
+  if (idx >= counts_.size()) idx = counts_.size() - 1;  // float edge guard
+  counts_[idx] += weight;
+}
+
+void Histogram::reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  underflow_ = overflow_ = total_ = 0;
+}
+
+double Histogram::quantile(double q) const {
+  require(q >= 0.0 && q <= 1.0, "Histogram::quantile: q outside [0,1]");
+  if (total_ == 0) return lo_;
+  const double target = q * static_cast<double>(total_);
+  double cum = static_cast<double>(underflow_);
+  if (target <= cum) return lo_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double next = cum + static_cast<double>(counts_[i]);
+    if (target <= next && counts_[i] > 0) {
+      const double frac = (target - cum) / static_cast<double>(counts_[i]);
+      return lo_ + (static_cast<double>(i) + frac) * bin_width_;
+    }
+    cum = next;
+  }
+  return hi_;
+}
+
+double Histogram::fraction_above(double x) const {
+  if (total_ == 0) return 0.0;
+  if (x < lo_) return 1.0 - static_cast<double>(underflow_) / static_cast<double>(total_);
+  std::uint64_t above = overflow_;
+  if (x < hi_) {
+    const auto first = static_cast<std::size_t>((x - lo_) / bin_width_);
+    for (std::size_t i = first + 1; i < counts_.size(); ++i) above += counts_[i];
+    // Interpolate within the straddled bin.
+    if (first < counts_.size()) {
+      const double bin_hi = lo_ + static_cast<double>(first + 1) * bin_width_;
+      const double frac = (bin_hi - x) / bin_width_;
+      above += static_cast<std::uint64_t>(frac * static_cast<double>(counts_[first]));
+    }
+  }
+  return static_cast<double>(above) / static_cast<double>(total_);
+}
+
+Ewma::Ewma(double alpha) : alpha_(alpha) {
+  require(alpha > 0.0 && alpha <= 1.0, "Ewma: alpha must be in (0,1]");
+}
+
+void Ewma::add(double x) {
+  if (count_ == 0) {
+    value_ = x;
+  } else {
+    value_ += alpha_ * (x - value_);
+  }
+  ++count_;
+}
+
+void Ewma::reset() {
+  value_ = 0.0;
+  count_ = 0;
+}
+
+double pearson_correlation(const std::vector<double>& a, const std::vector<double>& b) {
+  require(a.size() == b.size(), "pearson_correlation: length mismatch");
+  const std::size_t n = a.size();
+  if (n < 2) return 0.0;
+  double ma = 0.0;
+  double mb = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    ma += a[i];
+    mb += b[i];
+  }
+  ma /= static_cast<double>(n);
+  mb /= static_cast<double>(n);
+  double cov = 0.0;
+  double va = 0.0;
+  double vb = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double da = a[i] - ma;
+    const double db = b[i] - mb;
+    cov += da * db;
+    va += da * da;
+    vb += db * db;
+  }
+  if (va <= 0.0 || vb <= 0.0) return 0.0;
+  return cov / std::sqrt(va * vb);
+}
+
+double sample_quantile(std::vector<double> values, double q) {
+  require(!values.empty(), "sample_quantile: empty sample");
+  require(q >= 0.0 && q <= 1.0, "sample_quantile: q outside [0,1]");
+  const auto idx =
+      static_cast<std::size_t>(q * static_cast<double>(values.size() - 1) + 0.5);
+  std::nth_element(values.begin(), values.begin() + static_cast<std::ptrdiff_t>(idx),
+                   values.end());
+  return values[idx];
+}
+
+}  // namespace epm

@@ -1,0 +1,96 @@
+// Streaming statistics used throughout the simulators and experiments.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace epm {
+
+/// Welford online mean/variance plus min/max.
+class OnlineStats {
+ public:
+  void add(double x);
+  /// Merges another accumulator into this one (parallel-safe combination).
+  void merge(const OnlineStats& other);
+  void reset();
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return count_ ? mean_ * static_cast<double>(count_) : 0.0; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-bin histogram over [lo, hi) with overflow/underflow bins and
+/// interpolated quantile queries. Used for response-time and power
+/// distributions where exact order statistics over millions of samples would
+/// be wasteful.
+class Histogram {
+ public:
+  /// `bins` uniform bins across [lo, hi); values outside land in under/over.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x, std::uint64_t weight = 1);
+  void reset();
+
+  std::uint64_t total_count() const { return total_; }
+  std::uint64_t underflow() const { return underflow_; }
+  std::uint64_t overflow() const { return overflow_; }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  std::size_t bin_count() const { return counts_.size(); }
+  std::uint64_t bin(std::size_t i) const { return counts_[i]; }
+
+  /// Interpolated quantile, q in [0,1]. Underflow maps to lo(), overflow to
+  /// hi(). Returns lo() for an empty histogram.
+  double quantile(double q) const;
+  /// Fraction of samples strictly above `x` (bin-resolution approximation).
+  double fraction_above(double x) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double bin_width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+/// Exponentially weighted moving average with optional bias-corrected warmup.
+class Ewma {
+ public:
+  /// `alpha` in (0, 1]: weight of the newest observation.
+  explicit Ewma(double alpha);
+
+  void add(double x);
+  bool empty() const { return count_ == 0; }
+  /// Current estimate; 0 when empty.
+  double value() const { return value_; }
+  std::size_t count() const { return count_; }
+  void reset();
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  std::size_t count_ = 0;
+};
+
+/// Pearson correlation of two equal-length samples; 0 if degenerate.
+double pearson_correlation(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Exact quantile of a sample (copies and partially sorts). q in [0,1].
+double sample_quantile(std::vector<double> values, double q);
+
+}  // namespace epm

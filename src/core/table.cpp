@@ -1,0 +1,109 @@
+#include "core/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "core/require.h"
+
+namespace epm {
+
+std::string fmt(double v, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << v;
+  return os.str();
+}
+
+std::string fmt_percent(double fraction, int precision) {
+  return fmt(fraction * 100.0, precision) + "%";
+}
+
+std::string fmt_si(double v, int precision) {
+  const double a = std::fabs(v);
+  if (a >= 1e9) return fmt(v / 1e9, precision) + " G";
+  if (a >= 1e6) return fmt(v / 1e6, precision) + " M";
+  if (a >= 1e3) return fmt(v / 1e3, precision) + " k";
+  return fmt(v, precision);
+}
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  require(!header_.empty(), "Table: empty header");
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  require(row.size() == header_.size(), "Table::add_row: column count mismatch");
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::render(int indent) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    os << pad;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) os << "  ";
+      // Left-align the first column (labels), right-align numeric columns.
+      if (c == 0) {
+        os << row[c] << std::string(widths[c] - row[c].size(), ' ');
+      } else {
+        os << std::string(widths[c] - row[c].size(), ' ') << row[c];
+      }
+    }
+    os << '\n';
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) total += widths[c] + (c ? 2 : 0);
+  os << pad << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+std::string ascii_chart(const std::vector<double>& values, std::size_t width,
+                        std::size_t height) {
+  if (values.empty() || width == 0 || height == 0) return "";
+  // Downsample (mean) to `width` columns.
+  std::vector<double> cols(std::min(width, values.size()), 0.0);
+  const std::size_t w = cols.size();
+  for (std::size_t c = 0; c < w; ++c) {
+    const std::size_t b = c * values.size() / w;
+    const std::size_t e = std::max(b + 1, (c + 1) * values.size() / w);
+    double s = 0.0;
+    for (std::size_t i = b; i < e; ++i) s += values[i];
+    cols[c] = s / static_cast<double>(e - b);
+  }
+  const double lo = *std::min_element(cols.begin(), cols.end());
+  const double hi = *std::max_element(cols.begin(), cols.end());
+  const double span = (hi - lo) > 0.0 ? (hi - lo) : 1.0;
+  std::ostringstream os;
+  for (std::size_t r = 0; r < height; ++r) {
+    const double level = 1.0 - static_cast<double>(r) / static_cast<double>(height);
+    os << "  ";
+    if (r == 0) {
+      os << fmt(hi, 2) << " |";
+    } else if (r + 1 == height) {
+      os << fmt(lo, 2) << " |";
+    } else {
+      os << std::string(fmt(hi, 2).size(), ' ') << " |";
+    }
+    for (std::size_t c = 0; c < w; ++c) {
+      const double frac = (cols[c] - lo) / span;
+      os << (frac >= level - 1e-12 ? '#' : ' ');
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string banner(const std::string& title) {
+  return "\n==== " + title + " ====\n";
+}
+
+}  // namespace epm

@@ -1,0 +1,40 @@
+// Console table / series rendering for the experiment harnesses: every bench
+// binary prints paper-style rows through this, so output formats stay uniform
+// across experiments.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace epm {
+
+/// Right-aligned fixed-precision formatting helpers.
+std::string fmt(double v, int precision = 2);
+std::string fmt_percent(double fraction, int precision = 2);
+std::string fmt_si(double v, int precision = 2);  // 1.2 k, 3.4 M, ...
+
+/// A simple console table with a header row; column widths auto-fit.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+  /// Renders with aligned columns, a rule under the header, and `indent`
+  /// leading spaces on every line.
+  std::string render(int indent = 2) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Renders an ASCII sparkline chart of `values` (one row of block glyphs per
+/// `height` level), with min/max labels. Used by benches to show series shape.
+std::string ascii_chart(const std::vector<double>& values, std::size_t width = 72,
+                        std::size_t height = 8);
+
+/// Prints a section banner, e.g. "==== Figure 3: ... ====".
+std::string banner(const std::string& title);
+
+}  // namespace epm

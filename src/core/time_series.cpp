@@ -1,0 +1,100 @@
+#include "core/time_series.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/require.h"
+
+namespace epm {
+
+TimeSeries::TimeSeries(double start_s, double step_s) : start_s_(start_s), step_s_(step_s) {
+  require(step_s > 0.0, "TimeSeries: step must be positive");
+}
+
+TimeSeries::TimeSeries(double start_s, double step_s, std::vector<double> values)
+    : start_s_(start_s), step_s_(step_s), values_(std::move(values)) {
+  require(step_s > 0.0, "TimeSeries: step must be positive");
+}
+
+double TimeSeries::end_s() const {
+  return start_s_ + step_s_ * static_cast<double>(values_.size());
+}
+
+double TimeSeries::time_at(std::size_t i) const {
+  return start_s_ + step_s_ * static_cast<double>(i);
+}
+
+double TimeSeries::value_at(double t_s) const {
+  require(!values_.empty(), "TimeSeries::value_at on empty series");
+  if (t_s <= start_s_) return values_.front();
+  const auto idx = static_cast<std::size_t>((t_s - start_s_) / step_s_);
+  if (idx >= values_.size()) return values_.back();
+  return values_[idx];
+}
+
+OnlineStats TimeSeries::stats() const {
+  OnlineStats s;
+  for (double v : values_) s.add(v);
+  return s;
+}
+
+OnlineStats TimeSeries::stats_between(double t0_s, double t1_s) const {
+  OnlineStats s;
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    const double t = time_at(i);
+    if (t >= t0_s && t < t1_s) s.add(values_[i]);
+  }
+  return s;
+}
+
+TimeSeries TimeSeries::downsample(
+    std::size_t factor, const std::function<double(const double*, std::size_t)>& agg) const {
+  require(factor > 0, "TimeSeries::downsample: factor must be positive");
+  TimeSeries out(start_s_, step_s_ * static_cast<double>(factor));
+  out.reserve((values_.size() + factor - 1) / factor);
+  for (std::size_t i = 0; i < values_.size(); i += factor) {
+    const std::size_t n = std::min(factor, values_.size() - i);
+    out.push_back(agg(values_.data() + i, n));
+  }
+  return out;
+}
+
+TimeSeries TimeSeries::downsample_mean(std::size_t factor) const {
+  return downsample(factor, mean_of);
+}
+
+TimeSeries TimeSeries::map(const std::function<double(double)>& f) const {
+  TimeSeries out(start_s_, step_s_);
+  out.reserve(values_.size());
+  for (double v : values_) out.push_back(f(v));
+  return out;
+}
+
+TimeSeries TimeSeries::operator+(const TimeSeries& other) const {
+  require(size() == other.size(), "TimeSeries::operator+: length mismatch");
+  require(std::abs(start_s_ - other.start_s_) < 1e-9 &&
+              std::abs(step_s_ - other.step_s_) < 1e-9,
+          "TimeSeries::operator+: timing mismatch");
+  TimeSeries out(start_s_, step_s_);
+  out.reserve(size());
+  for (std::size_t i = 0; i < size(); ++i) out.push_back(values_[i] + other.values_[i]);
+  return out;
+}
+
+TimeSeries TimeSeries::scaled(double factor) const {
+  return map([factor](double v) { return v * factor; });
+}
+
+double mean_of(const double* data, std::size_t n) {
+  ensure(n > 0, "mean_of: empty group");
+  double s = 0.0;
+  for (std::size_t i = 0; i < n; ++i) s += data[i];
+  return s / static_cast<double>(n);
+}
+
+double max_of(const double* data, std::size_t n) {
+  ensure(n > 0, "max_of: empty group");
+  return *std::max_element(data, data + n);
+}
+
+}  // namespace epm

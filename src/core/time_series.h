@@ -1,0 +1,71 @@
+// A regularly sampled time series: the exchange format between the workload
+// generators, the simulators, the telemetry pipeline, and the experiment
+// harnesses.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/stats.h"
+
+namespace epm {
+
+/// Values sampled every `step_s` seconds starting at `start_s`.
+class TimeSeries {
+ public:
+  TimeSeries() = default;
+  /// An empty series with the given timing; samples are appended later.
+  TimeSeries(double start_s, double step_s);
+  TimeSeries(double start_s, double step_s, std::vector<double> values);
+
+  double start_s() const { return start_s_; }
+  double step_s() const { return step_s_; }
+  std::size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+  /// End of the covered interval: start + size * step.
+  double end_s() const;
+
+  double operator[](std::size_t i) const { return values_[i]; }
+  const std::vector<double>& values() const { return values_; }
+
+  void push_back(double v) { values_.push_back(v); }
+  void reserve(std::size_t n) { values_.reserve(n); }
+
+  /// Timestamp of sample i (its interval start).
+  double time_at(std::size_t i) const;
+  /// Value at an arbitrary time via zero-order hold; clamps at the ends.
+  /// Requires a non-empty series.
+  double value_at(double t_s) const;
+
+  OnlineStats stats() const;
+  /// Statistics restricted to [t0_s, t1_s).
+  OnlineStats stats_between(double t0_s, double t1_s) const;
+
+  /// Downsamples by an integer factor, aggregating each group with `agg`
+  /// (e.g. mean of each group). A trailing partial group is aggregated too.
+  TimeSeries downsample(std::size_t factor,
+                        const std::function<double(const double*, std::size_t)>& agg) const;
+  /// Convenience mean-downsampling.
+  TimeSeries downsample_mean(std::size_t factor) const;
+
+  /// Element-wise map into a new series with the same timing.
+  TimeSeries map(const std::function<double(double)>& f) const;
+  /// Element-wise sum; series must have identical timing and length.
+  TimeSeries operator+(const TimeSeries& other) const;
+  /// Scales every value.
+  TimeSeries scaled(double factor) const;
+
+ private:
+  double start_s_ = 0.0;
+  double step_s_ = 1.0;
+  std::vector<double> values_;
+};
+
+/// Mean over each group of `n` values, as a plain helper for downsample().
+double mean_of(const double* data, std::size_t n);
+/// Max over each group of `n` values.
+double max_of(const double* data, std::size_t n);
+
+}  // namespace epm

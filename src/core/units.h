@@ -1,0 +1,47 @@
+// Unit conventions and conversion helpers.
+//
+// The library uses plain `double` with SI base units everywhere and a strict
+// suffix naming convention instead of wrapper types:
+//
+//   *_s       time in seconds            *_w    power in watts
+//   *_j       energy in joules           *_c    temperature in Celsius
+//   *_hz      frequency in hertz         *_frac dimensionless fraction [0,1]
+//
+// Conversion helpers below keep magic constants out of call sites.
+#pragma once
+
+namespace epm {
+
+// ---- time ------------------------------------------------------------
+inline constexpr double kSecondsPerMinute = 60.0;
+inline constexpr double kSecondsPerHour = 3600.0;
+inline constexpr double kSecondsPerDay = 86400.0;
+inline constexpr double kSecondsPerWeek = 7.0 * kSecondsPerDay;
+
+constexpr double minutes(double m) { return m * kSecondsPerMinute; }
+constexpr double hours(double h) { return h * kSecondsPerHour; }
+constexpr double days(double d) { return d * kSecondsPerDay; }
+constexpr double weeks(double w) { return w * kSecondsPerWeek; }
+
+constexpr double to_minutes(double s) { return s / kSecondsPerMinute; }
+constexpr double to_hours(double s) { return s / kSecondsPerHour; }
+constexpr double to_days(double s) { return s / kSecondsPerDay; }
+
+// ---- power / energy ---------------------------------------------------
+constexpr double kilowatts(double kw) { return kw * 1e3; }
+constexpr double megawatts(double mw) { return mw * 1e6; }
+constexpr double to_kilowatts(double w) { return w / 1e3; }
+constexpr double to_megawatts(double w) { return w / 1e6; }
+
+/// Joules for a given number of kilowatt-hours.
+constexpr double kwh(double k) { return k * 3.6e6; }
+/// Kilowatt-hours for a given number of joules.
+constexpr double to_kwh(double j) { return j / 3.6e6; }
+/// Megawatt-hours for a given number of joules.
+constexpr double to_mwh(double j) { return j / 3.6e9; }
+
+// ---- frequency --------------------------------------------------------
+constexpr double gigahertz(double g) { return g * 1e9; }
+constexpr double to_gigahertz(double hz) { return hz / 1e9; }
+
+}  // namespace epm

@@ -1,0 +1,209 @@
+#include "macro/coordinator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "core/require.h"
+#include "core/table.h"
+#include "macro/risk.h"
+#include "power/capping.h"
+
+namespace epm::macro {
+
+MacroResourceManager::MacroResourceManager(Facility& facility, MacroManagerConfig config)
+    : facility_(facility), config_(config) {
+  require(config_.coordinate_every_epochs >= 1,
+          "MacroResourceManager: coordination cadence must be >= 1 epoch");
+  require(config_.zone_margin_c >= 0.0, "MacroResourceManager: negative zone margin");
+  require(config_.placement_trigger_margin_c >= 0.0 &&
+              config_.placement_trigger_margin_c <= config_.zone_margin_c,
+          "MacroResourceManager: placement trigger must be within the zone margin");
+  for (std::size_t i = 0; i < facility_.service_count(); ++i) {
+    predictors_.emplace_back(config_.predictor);
+    last_arrival_rate_.push_back(0.0);
+    // Until the first epoch reports a real service demand, assume the
+    // RequestModel default (10 ms per request).
+    last_service_demand_s_.push_back(0.01);
+    chosen_pstate_.push_back(0);
+  }
+}
+
+FacilityStep MacroResourceManager::step(const std::vector<double>& demand_per_service,
+                                        double outside_c) {
+  if (epoch_count_ % config_.coordinate_every_epochs == 0) coordinate();
+  ++epoch_count_;
+
+  FacilityStep result = facility_.step(demand_per_service, outside_c);
+  for (std::size_t i = 0; i < result.services.size(); ++i) {
+    const auto& r = result.services[i];
+    predictors_[i].observe(r.time_s, r.arrival_rate_per_s);
+    last_arrival_rate_[i] = r.arrival_rate_per_s;
+    last_service_demand_s_[i] = r.service_demand_s;
+  }
+  return result;
+}
+
+void MacroResourceManager::coordinate() {
+  const double now = facility_.now_s();
+
+  // --- 1+2: joint fleet sizing + DVFS per service, from predicted demand.
+  double predicted_it_power = 0.0;
+  std::vector<double> per_service_power(facility_.service_count(), 0.0);
+  for (std::size_t i = 0; i < facility_.service_count(); ++i) {
+    auto& svc = facility_.service(i);
+    const auto& model = svc.power_model();
+    if (predictors_[i].observations() == 0) {
+      // Cold start: no demand seen yet. Keep the operator-provisioned fleet
+      // rather than shrinking to the minimum on a zero prediction.
+      const double current = svc.power_model().idle_power_w() *
+                             static_cast<double>(svc.committed_count());
+      per_service_power[i] = current;
+      predicted_it_power += current;
+      continue;
+    }
+    const double lead_s = model.config().boot_time_s + facility_.epoch_s();
+    double predicted = predictors_[i].predict(now + lead_s) +
+                       config_.demand_margin_sigmas * predictors_[i].residual_stddev();
+    predicted = std::max(predicted, 0.0);
+
+    const auto decision = decide_joint(
+        model, svc.server_count(), svc.committed_count(), predicted,
+        last_service_demand_s_[i], svc.config().sla.target_mean_response_s,
+        config_.joint);
+    svc.set_target_committed(decision.servers, config_.use_sleep_states);
+    svc.set_uniform_pstate(decision.pstate);
+    chosen_pstate_[i] = decision.pstate;
+    per_service_power[i] = decision.predicted_power_w;
+    predicted_it_power += decision.predicted_power_w;
+
+    std::ostringstream detail;
+    detail << "servers=" << decision.servers << " pstate=P" << decision.pstate
+           << " predicted_lambda=" << fmt(predicted, 1)
+           << "/s predicted_power=" << fmt(decision.predicted_power_w / 1e3, 1) << "kW";
+    log_.record({now, DecisionKind::kServerAllocation, facility_.service_name(i),
+                 detail.str()});
+    log_.record({now, DecisionKind::kDvfs, facility_.service_name(i),
+                 "P" + std::to_string(decision.pstate)});
+    if (!decision.feasible) {
+      log_.record({now, DecisionKind::kRiskAlert, facility_.service_name(i),
+                   "SLA unreachable even at full fleet/P0"});
+    }
+  }
+
+  // --- 3: power provisioning: enforce the critical (UPS) budget.
+  const double budget =
+      config_.power_budget_w > 0.0
+          ? config_.power_budget_w
+          : facility_.power_topology().tree.spec(facility_.power_topology().ups_id)
+                .capacity_w;
+  if (predicted_it_power > budget) {
+    ++capping_epochs_;
+    // Scale every service's dynamic power down uniformly by stepping its
+    // P-state until the prediction fits (coarse-grained facility cap).
+    for (std::size_t i = 0; i < facility_.service_count(); ++i) {
+      auto& svc = facility_.service(i);
+      const auto& model = svc.power_model();
+      std::size_t p = chosen_pstate_[i];
+      while (p + 1 < model.pstate_count() && predicted_it_power > budget) {
+        const double before = per_service_power[i];
+        ++p;
+        const double after = before * model.busy_power_w(p) / model.busy_power_w(p - 1);
+        predicted_it_power -= before - after;
+        per_service_power[i] = after;
+      }
+      svc.set_uniform_pstate(p);
+      chosen_pstate_[i] = p;
+    }
+    std::ostringstream detail;
+    detail << "budget=" << fmt(budget / 1e3, 0)
+           << "kW capped_to=" << fmt(predicted_it_power / 1e3, 0) << "kW";
+    log_.record({now, DecisionKind::kPowerCapping, "", detail.str()});
+  }
+
+  // --- 4: cooling control from server-side heat knowledge.
+  auto& room = facility_.room();
+  std::vector<double> zone_heat(room.zone_count(), 0.0);
+  for (std::size_t i = 0; i < facility_.service_count(); ++i) {
+    const auto& share = facility_.zone_share(i);
+    for (std::size_t z = 0; z < zone_heat.size(); ++z) {
+      zone_heat[z] += per_service_power[i] * share[z];
+    }
+  }
+  for (std::size_t k = 0; k < room.crac_count(); ++k) {
+    auto& crac = room.crac(k);
+    // Supply temperature that keeps every zone's *steady state* below the
+    // alarm threshold minus the margin — using real per-zone heat, not the
+    // CRAC's biased return sensor.
+    double required_supply = crac.config().max_supply_c;
+    for (std::size_t z = 0; z < room.zone_count(); ++z) {
+      const auto& zone = room.zone(z);
+      const double limit_c = zone.config().alarm_temp_c - config_.zone_margin_c;
+      const double supply_c = limit_c - zone_heat[z] / zone.config().conductance_w_per_c;
+      required_supply = std::min(required_supply, supply_c);
+    }
+    required_supply =
+        std::clamp(required_supply, crac.config().min_supply_c, crac.config().max_supply_c);
+    room.set_crac_auto(k, false);
+    crac.set_supply_temp_c(required_supply);
+    log_.record({now, DecisionKind::kCoolingControl, crac.config().name,
+                 "supply=" + fmt(required_supply, 1) + "C"});
+  }
+
+  // --- 4b: what-if risk assessment of the committed plan (Fig. 4: "predict
+  // performance impacts and risks on resource allocation decisions").
+  {
+    std::vector<ServicePlan> plans;
+    for (std::size_t i = 0; i < facility_.service_count(); ++i) {
+      auto& svc = facility_.service(i);
+      ServicePlan plan;
+      plan.name = facility_.service_name(i);
+      plan.model = &svc.power_model();
+      plan.servers = std::max<std::size_t>(svc.committed_count(), 1);
+      plan.pstate = chosen_pstate_[i];
+      plan.predicted_arrival_rate = last_arrival_rate_[i];
+      plan.service_demand_s = last_service_demand_s_[i];
+      plan.sla_target_s = svc.config().sla.target_mean_response_s;
+      plan.zone_share = facility_.zone_share(i);
+      plans.push_back(std::move(plan));
+    }
+    FacilityEnvelope envelope;
+    envelope.power_budget_w = budget;
+    envelope.zone_margin_c = 0.0;  // alert only on actual alarm exposure
+    for (std::size_t z = 0; z < room.zone_count(); ++z) {
+      const auto& zone = room.zone(z);
+      envelope.zone_conductance_w_per_c.push_back(zone.config().conductance_w_per_c);
+      envelope.zone_alarm_c.push_back(zone.config().alarm_temp_c);
+      envelope.zone_supply_c.push_back(room.zone_supply_c(z));
+    }
+    const auto assessment = assess_plan(plans, envelope);
+    for (const auto& finding : assessment.diagnostics) {
+      log_.record({now, DecisionKind::kRiskAlert, "", finding});
+    }
+  }
+
+  // --- 5: placement: shift heat away from zones already near their limit.
+  for (std::size_t z = 0; z < room.zone_count(); ++z) {
+    const auto& zone = room.zone(z);
+    if (zone.temperature_c() <=
+        zone.config().alarm_temp_c - config_.placement_trigger_margin_c) {
+      continue;
+    }
+    // Move 20% of every service's share out of the hot zone, spread evenly.
+    for (std::size_t i = 0; i < facility_.service_count(); ++i) {
+      auto share = facility_.zone_share(i);
+      if (share[z] <= 0.0 || share.size() < 2) continue;
+      const double moved = share[z] * 0.2;
+      share[z] -= moved;
+      const double per_other = moved / static_cast<double>(share.size() - 1);
+      for (std::size_t other = 0; other < share.size(); ++other) {
+        if (other != z) share[other] += per_other;
+      }
+      facility_.set_zone_share(i, share);
+      log_.record({now, DecisionKind::kPlacement, facility_.service_name(i),
+                   "shifted 20% of heat out of hot zone " + std::to_string(z)});
+    }
+  }
+}
+
+}  // namespace epm::macro

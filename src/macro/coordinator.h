@@ -1,0 +1,78 @@
+// The macro-resource management layer (paper §3.2, Fig. 4).
+//
+// "It takes information such as service-level agreement (SLA), application
+//  structures, and environmental conditions... monitors the operation status
+//  from application, system, and physical data... and makes decisions that
+//  affect power provisioning, cooling control, server allocation, service
+//  placement, load balancing, and job priorities."
+//
+// Concretely, every coordination period the manager:
+//   1. updates per-service seasonal demand predictors,
+//   2. jointly sizes each cluster's fleet and P-state (decide_joint),
+//   3. checks the UPS power budget against the predicted draw and plans
+//      caps when oversubscription would overflow (power provisioning),
+//   4. steers CRAC supply temperatures from *server-side* knowledge of
+//      per-zone heat, instead of letting the CRACs chase their own biased
+//      return-air sensors (cooling control), and
+//   5. shifts service zone shares away from zones at thermal risk
+//      (service placement).
+// Every decision lands in the DecisionLog.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "macro/decision_log.h"
+#include "macro/facility.h"
+#include "macro/joint_policy.h"
+#include "onoff/predictor.h"
+
+namespace epm::macro {
+
+struct MacroManagerConfig {
+  JointPolicyConfig joint;
+  onoff::SeasonalPredictorConfig predictor;
+  /// Coordination cadence in epochs (decisions are slower than epochs, as
+  /// Fig. 4's "time scale of demand variations" suggests).
+  std::size_t coordinate_every_epochs = 5;
+  /// Safety margin in residual sigmas added to demand predictions.
+  double demand_margin_sigmas = 1.5;
+  /// Keep predicted zone steady-state this far below the alarm threshold.
+  double zone_margin_c = 3.0;
+  /// Shift load out of a zone only when it gets this close to its alarm
+  /// threshold. Must be smaller than zone_margin_c, otherwise placement
+  /// churns against the cooling controller's own (efficient) operating
+  /// point at exactly alarm - zone_margin_c.
+  double placement_trigger_margin_c = 1.0;
+  /// Facility power budget; 0 = the UPS capacity from the topology.
+  double power_budget_w = 0.0;
+  /// Estimated mechanical fraction used when budgeting (before the plant
+  /// reacts); the critical budget is what the UPS actually limits.
+  bool use_sleep_states = true;
+};
+
+class MacroResourceManager {
+ public:
+  MacroResourceManager(Facility& facility, MacroManagerConfig config = {});
+
+  /// One epoch: coordinate if due, then advance the facility.
+  FacilityStep step(const std::vector<double>& demand_per_service, double outside_c);
+
+  const DecisionLog& log() const { return log_; }
+  std::size_t capping_epochs() const { return capping_epochs_; }
+
+ private:
+  void coordinate();
+
+  Facility& facility_;
+  MacroManagerConfig config_;
+  DecisionLog log_;
+  std::vector<onoff::SeasonalPredictor> predictors_;
+  std::vector<double> last_arrival_rate_;
+  std::vector<double> last_service_demand_s_;
+  std::vector<std::size_t> chosen_pstate_;
+  std::size_t epoch_count_ = 0;
+  std::size_t capping_epochs_ = 0;
+};
+
+}  // namespace epm::macro

@@ -1,0 +1,77 @@
+// Structured decision log of the macro-resource management layer (Fig. 4:
+// the layer "makes decisions that affect power provisioning, cooling
+// control, server allocation, service placement, load balancing, and job
+// priorities"). Experiments print excerpts and tally categories.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace epm::macro {
+
+enum class DecisionKind {
+  kServerAllocation,  ///< On/Off fleet sizing
+  kDvfs,              ///< P-state selection
+  kCoolingControl,    ///< CRAC setpoint override
+  kPlacement,         ///< zone/service load shares
+  kPowerCapping,      ///< budget enforcement
+  kLoadBalancing,
+  kRiskAlert,
+};
+
+std::string to_string(DecisionKind kind);
+
+struct Decision {
+  double time_s = 0.0;
+  DecisionKind kind = DecisionKind::kServerAllocation;
+  std::string service;  ///< empty for facility-wide actions
+  std::string detail;
+};
+
+class DecisionLog {
+ public:
+  void record(Decision decision) { decisions_.push_back(std::move(decision)); }
+  const std::vector<Decision>& all() const { return decisions_; }
+  std::size_t size() const { return decisions_.size(); }
+
+  std::size_t count(DecisionKind kind) const {
+    std::size_t n = 0;
+    for (const auto& d : decisions_) {
+      if (d.kind == kind) ++n;
+    }
+    return n;
+  }
+
+  std::map<std::string, std::size_t> counts_by_kind() const {
+    std::map<std::string, std::size_t> out;
+    for (const auto& d : decisions_) ++out[to_string(d.kind)];
+    return out;
+  }
+
+ private:
+  std::vector<Decision> decisions_;
+};
+
+inline std::string to_string(DecisionKind kind) {
+  switch (kind) {
+    case DecisionKind::kServerAllocation:
+      return "server-allocation";
+    case DecisionKind::kDvfs:
+      return "dvfs";
+    case DecisionKind::kCoolingControl:
+      return "cooling-control";
+    case DecisionKind::kPlacement:
+      return "placement";
+    case DecisionKind::kPowerCapping:
+      return "power-capping";
+    case DecisionKind::kLoadBalancing:
+      return "load-balancing";
+    case DecisionKind::kRiskAlert:
+      return "risk-alert";
+  }
+  return "?";
+}
+
+}  // namespace epm::macro

@@ -1,0 +1,102 @@
+// Geo-distributed coordination across federated data centers (paper §3.2):
+//
+//   "Where to migrate power consuming operations to best utilize cooling
+//    and power conversion efficiency across data centers without
+//    sacrificing user experience?"
+//
+// Sites differ in climate (economizer availability follows local outside
+// air), electricity price, conversion overhead, and network distance from
+// the user population. The coordinator splits a global request stream
+// across sites to minimize operating cost subject to per-site capacity and
+// an end-to-end latency SLA (network + queueing response).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "power/server_power.h"
+#include "thermal/cooling_plant.h"
+
+namespace epm::macro {
+
+struct SiteConfig {
+  std::string name;
+  std::size_t servers = 1000;
+  power::ServerPowerConfig server;
+  thermal::CoolingPlantConfig plant;
+  /// Electrical distribution overhead multiplier on IT power (UPS, PDU,
+  /// transformer losses), ~1.10-1.18 for a tier-2 site.
+  double distribution_overhead = 1.12;
+  double electricity_price_per_kwh = 0.10;
+  /// One-way network latency from the user population to this site.
+  double network_latency_s = 0.02;
+};
+
+struct GeoPolicyConfig {
+  /// End-to-end mean latency objective: 2x network + queueing response.
+  double sla_latency_s = 0.25;
+  double target_utilization = 0.70;
+  /// Mean CPU demand per request (reference frequency).
+  double service_demand_s = 0.01;
+};
+
+/// What one site is asked to carry, and what it costs.
+struct SiteAllocation {
+  std::size_t site = 0;
+  double arrival_rate_per_s = 0.0;
+  std::size_t servers_on = 0;
+  double it_power_w = 0.0;
+  double cooling_power_w = 0.0;
+  bool economizer_active = false;
+  double cost_per_hour = 0.0;       ///< electricity cost of this allocation
+  double end_to_end_latency_s = 0.0;
+};
+
+struct GeoDecision {
+  std::vector<SiteAllocation> allocations;  ///< one per site (may be empty)
+  double total_cost_per_hour = 0.0;
+  double total_power_w = 0.0;
+  double served_rate_per_s = 0.0;
+  double dropped_rate_per_s = 0.0;  ///< demand no latency-feasible site could take
+  /// Request-weighted mean end-to-end latency.
+  double mean_latency_s = 0.0;
+};
+
+class GeoCoordinator {
+ public:
+  GeoCoordinator(std::vector<SiteConfig> sites, GeoPolicyConfig policy = {});
+
+  std::size_t site_count() const { return sites_.size(); }
+  const SiteConfig& site(std::size_t i) const;
+
+  /// Marginal cost ($/h) per request/s at a site given its current outside
+  /// conditions — the greedy routing key ("follow the moon": cold sites
+  /// with free cooling and cheap power fill first).
+  double unit_cost_per_rps(std::size_t site, double outside_c, double outside_rh) const;
+
+  /// True when the site can meet the latency SLA at the target utilization.
+  bool latency_feasible(std::size_t site) const;
+
+  /// Splits `global_rate` across sites by ascending unit cost, respecting
+  /// capacity (at the target utilization) and the latency SLA.
+  GeoDecision route(double global_rate_per_s, const std::vector<double>& outside_c,
+                    const std::vector<double>& outside_rh) const;
+
+  /// Baseline: everything to one site (overflow to others by index).
+  GeoDecision route_single_home(double global_rate_per_s, std::size_t home,
+                                const std::vector<double>& outside_c,
+                                const std::vector<double>& outside_rh) const;
+
+ private:
+  SiteAllocation load_site(std::size_t site, double rate, double outside_c,
+                           double outside_rh) const;
+  double site_capacity_rps(std::size_t site) const;
+
+  std::vector<SiteConfig> sites_;
+  std::vector<power::ServerPowerModel> models_;
+  std::vector<thermal::CoolingPlant> plants_;
+  GeoPolicyConfig policy_;
+};
+
+}  // namespace epm::macro

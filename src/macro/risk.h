@@ -1,0 +1,77 @@
+// What-if risk assessment for macro-level plans (paper §3.2 / Fig. 4):
+//
+//   "An important role for macro-resource management is to build and refine
+//    models to predict performance impacts and risks on resource allocation
+//    decisions and to diagnose possible failures."
+//
+// A plan (per-service fleet/P-state against predicted demand, plus the
+// cooling posture) is evaluated *before* actuation: predicted response
+// times against SLAs, predicted aggregate power against the critical
+// budget, and predicted steady-state zone temperatures against alarm
+// thresholds. Each finding carries a human-readable diagnostic.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "power/server_power.h"
+
+namespace epm::macro {
+
+/// One service's piece of the plan.
+struct ServicePlan {
+  std::string name;
+  const power::ServerPowerModel* model = nullptr;  ///< must outlive the call
+  std::size_t servers = 1;
+  std::size_t pstate = 0;
+  double predicted_arrival_rate = 0.0;  ///< requests/s
+  double service_demand_s = 0.01;
+  double sla_target_s = 0.5;
+  /// Fraction of this service's heat landing in each zone (normalized by
+  /// the caller; see Facility::zone_share).
+  std::vector<double> zone_share;
+};
+
+/// The physical envelope the plan must fit in.
+struct FacilityEnvelope {
+  double power_budget_w = 0.0;  ///< critical (UPS) budget; 0 = unbudgeted
+  /// Per-zone thermal parameters.
+  std::vector<double> zone_conductance_w_per_c;
+  std::vector<double> zone_alarm_c;
+  /// Effective supply temperature each zone will receive.
+  std::vector<double> zone_supply_c;
+  double zone_margin_c = 2.0;  ///< keep steady state this far below alarm
+};
+
+struct ServiceRisk {
+  double predicted_utilization = 0.0;
+  double predicted_response_s = 0.0;
+  bool sla_at_risk = false;
+  bool saturated = false;  ///< predicted utilization >= 1
+};
+
+struct RiskAssessment {
+  std::vector<ServiceRisk> services;
+  double predicted_it_power_w = 0.0;
+  bool power_at_risk = false;
+  std::vector<double> predicted_zone_temp_c;
+  bool thermal_at_risk = false;
+  /// Human-readable findings, one per risk (empty when clean).
+  std::vector<std::string> diagnostics;
+
+  bool any_risk() const { return power_at_risk || thermal_at_risk || sla_risk(); }
+  bool sla_risk() const {
+    for (const auto& s : services) {
+      if (s.sla_at_risk || s.saturated) return true;
+    }
+    return false;
+  }
+};
+
+/// Evaluates the plan against the envelope. Pure function of its inputs;
+/// never actuates anything.
+RiskAssessment assess_plan(const std::vector<ServicePlan>& plans,
+                           const FacilityEnvelope& envelope);
+
+}  // namespace epm::macro

@@ -1,0 +1,45 @@
+#include "oversub/power_profile.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/require.h"
+#include "core/stats.h"
+
+namespace epm::oversub {
+
+ServicePowerProfile::ServicePowerProfile(std::string name, const TimeSeries& power_trace_w,
+                                         double rated_peak_w)
+    : name_(std::move(name)) {
+  require(!power_trace_w.empty(), "ServicePowerProfile: empty trace");
+  samples_ = power_trace_w.values();
+  for (double v : samples_) {
+    require(v >= 0.0, "ServicePowerProfile: negative power sample");
+  }
+  sorted_samples_ = samples_;
+  std::sort(sorted_samples_.begin(), sorted_samples_.end());
+  const auto stats = power_trace_w.stats();
+  mean_w_ = stats.mean();
+  stddev_w_ = stats.stddev();
+  rated_peak_w_ = rated_peak_w > 0.0 ? rated_peak_w : stats.max();
+  require(rated_peak_w_ > 0.0, "ServicePowerProfile: rated peak must be positive");
+}
+
+double ServicePowerProfile::quantile(double q) const {
+  require(q >= 0.0 && q <= 1.0, "ServicePowerProfile: q outside [0,1]");
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(sorted_samples_.size() - 1) + 0.5);
+  return sorted_samples_[idx];
+}
+
+double ServicePowerProfile::sample(Rng& rng) const {
+  const auto idx = static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(samples_.size()) - 1));
+  return samples_[idx];
+}
+
+double ServicePowerProfile::sample_at(std::size_t index) const {
+  return samples_[index % samples_.size()];
+}
+
+}  // namespace epm::oversub

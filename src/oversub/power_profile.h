@@ -1,0 +1,50 @@
+// Statistical power profiles of hosted services (paper §3.1).
+//
+// "Oversubscription is a key to maximize the utilization of data center
+//  capacities": providers host more rated peak power than the UPS can carry
+//  because services rarely peak together. A ServicePowerProfile captures one
+//  service's power draw as an empirical distribution (with its rated peak),
+//  so aggregation can quantify the overflow risk of any co-hosted set.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/time_series.h"
+
+namespace epm::oversub {
+
+class ServicePowerProfile {
+ public:
+  /// Builds the empirical distribution from a measured/simulated power trace
+  /// (watts). `rated_peak_w` defaults to the trace maximum.
+  ServicePowerProfile(std::string name, const TimeSeries& power_trace_w,
+                      double rated_peak_w = 0.0);
+
+  const std::string& name() const { return name_; }
+  double mean_w() const { return mean_w_; }
+  double stddev_w() const { return stddev_w_; }
+  double rated_peak_w() const { return rated_peak_w_; }
+  std::size_t sample_count() const { return samples_.size(); }
+  const std::vector<double>& samples() const { return samples_; }
+
+  /// Empirical quantile of the service's draw.
+  double quantile(double q) const;
+  /// Draws one sample from the empirical distribution.
+  double sample(Rng& rng) const;
+  /// Draws the value at a specific trace position (preserves time alignment
+  /// across services built from co-indexed traces, keeping correlations).
+  double sample_at(std::size_t index) const;
+
+ private:
+  std::string name_;
+  std::vector<double> samples_;         ///< trace order (for aligned sampling)
+  std::vector<double> sorted_samples_;  ///< for quantiles
+  double mean_w_ = 0.0;
+  double stddev_w_ = 0.0;
+  double rated_peak_w_ = 0.0;
+};
+
+}  // namespace epm::oversub

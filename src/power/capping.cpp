@@ -1,0 +1,69 @@
+#include "power/capping.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/require.h"
+
+namespace epm::power {
+
+CapDecision plan_caps(const std::vector<double>& draws_w, double idle_floor_w,
+                      double budget_w) {
+  require(idle_floor_w >= 0.0, "plan_caps: negative idle floor");
+  require(budget_w >= 0.0, "plan_caps: negative budget");
+  for (double d : draws_w) {
+    require(d >= idle_floor_w, "plan_caps: draw below idle floor");
+  }
+
+  CapDecision decision;
+  decision.caps_w = draws_w;
+  const double total = std::accumulate(draws_w.begin(), draws_w.end(), 0.0);
+  if (total <= budget_w || draws_w.empty()) return decision;
+
+  decision.capped = true;
+  const double n = static_cast<double>(draws_w.size());
+  const double idle_total = idle_floor_w * n;
+  const double dynamic_total = total - idle_total;
+  if (budget_w <= idle_total || dynamic_total <= 0.0) {
+    // Even all-idle busts the budget: clamp to idle and flag infeasibility.
+    std::fill(decision.caps_w.begin(), decision.caps_w.end(), idle_floor_w);
+    decision.infeasible = budget_w < idle_total;
+    decision.shed_w = total - idle_total;
+    return decision;
+  }
+  const double scale = (budget_w - idle_total) / dynamic_total;
+  for (std::size_t i = 0; i < draws_w.size(); ++i) {
+    decision.caps_w[i] = idle_floor_w + (draws_w[i] - idle_floor_w) * scale;
+  }
+  decision.shed_w = total - budget_w;
+  return decision;
+}
+
+ThrottleSetting throttle_for_cap(const ServerPowerModel& model, double utilization,
+                                 double cap_w) {
+  require(utilization >= 0.0 && utilization <= 1.0,
+          "throttle_for_cap: utilization outside [0,1]");
+  require(cap_w >= 0.0, "throttle_for_cap: negative cap");
+
+  // Prefer the fastest plain P-state that fits (no duty throttling).
+  for (std::size_t p = 0; p < model.pstate_count(); ++p) {
+    if (model.active_power_w(p, utilization) <= cap_w) {
+      return ThrottleSetting{p, 1.0, model.relative_capacity(p)};
+    }
+  }
+  // No P-state fits: T-state throttle the slowest one. Power is linear in
+  // duty at fixed utilization, so solve directly.
+  const std::size_t slowest = model.pstate_count() - 1;
+  const double idle_w = model.idle_power_w();
+  const double full = model.active_power_w(slowest, utilization, 1.0);
+  if (full <= idle_w || utilization <= 0.0) {
+    return ThrottleSetting{slowest, 1.0, model.relative_capacity(slowest)};
+  }
+  // active(duty) = idle + (busy(slowest)-idle)*duty*utilization.
+  const double span = (model.busy_power_w(slowest) - idle_w) * utilization;
+  double duty = span > 0.0 ? (cap_w - idle_w) / span : 1.0;
+  duty = std::clamp(duty, 0.05, 1.0);  // keep a minimum duty so work drains
+  return ThrottleSetting{slowest, duty, model.relative_capacity(slowest, duty)};
+}
+
+}  // namespace epm::power

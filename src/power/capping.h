@@ -1,0 +1,50 @@
+// Power capping (paper §3.2: "power capping policies" are among the knobs
+// macro-resource management coordinates; §5.2: anti-correlated co-location
+// "will reduce the probability of power capping").
+//
+// The capper is the safety backstop for oversubscription: when the aggregate
+// draw under a budgeted node (PDU or UPS) would exceed its budget, each
+// server's dynamic power is scaled back uniformly above its idle floor —
+// which a ServerPowerModel then realizes as a P-state / duty-cycle choice.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "power/server_power.h"
+
+namespace epm::power {
+
+struct CapDecision {
+  /// Per-server power caps (watts); same order as the input draws.
+  std::vector<double> caps_w;
+  /// True when the budget forced caps below the uncapped draws.
+  bool capped = false;
+  /// Total power shed (uncapped sum - budgeted sum), 0 when not capped.
+  double shed_w = 0.0;
+  /// True when even capping every server to idle cannot meet the budget
+  /// (the "rare events that the demand exceeds the capacity", §3.2 —
+  /// the caller must shut servers off or accept the overload).
+  bool infeasible = false;
+};
+
+/// Computes per-server caps for `draws_w` (current uncapped power of each
+/// active server) against `budget_w`. Dynamic power above each server's
+/// idle floor is scaled by a common factor; idle floors are never violated.
+CapDecision plan_caps(const std::vector<double>& draws_w, double idle_floor_w,
+                      double budget_w);
+
+/// Translates a power cap into the fastest (P-state, duty) setting whose
+/// busy power fits under `cap_w` at the given utilization. Falls back to the
+/// slowest P-state with a reduced duty cycle when no plain P-state fits.
+struct ThrottleSetting {
+  std::size_t pstate = 0;
+  double duty = 1.0;
+  /// Capacity relative to (P0, duty 1) after throttling.
+  double relative_capacity = 1.0;
+};
+
+ThrottleSetting throttle_for_cap(const ServerPowerModel& model, double utilization,
+                                 double cap_w);
+
+}  // namespace epm::power

@@ -1,0 +1,47 @@
+#include "power/ups.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/require.h"
+
+namespace epm::power {
+
+UpsBattery::UpsBattery(UpsBatteryConfig config)
+    : config_(config), stored_j_(config.energy_capacity_j * config.initial_soc) {
+  require(config_.energy_capacity_j > 0.0, "UpsBattery: capacity must be positive");
+  require(config_.max_discharge_w > 0.0, "UpsBattery: discharge limit must be positive");
+  require(config_.max_charge_w > 0.0, "UpsBattery: charge limit must be positive");
+  require(config_.charge_efficiency > 0.0 && config_.charge_efficiency <= 1.0,
+          "UpsBattery: charge efficiency outside (0,1]");
+  require(config_.initial_soc >= 0.0 && config_.initial_soc <= 1.0,
+          "UpsBattery: initial SoC outside [0,1]");
+}
+
+double UpsBattery::discharge(double load_w, double dt_s) {
+  require(load_w >= 0.0, "UpsBattery: negative load");
+  require(dt_s >= 0.0, "UpsBattery: negative interval");
+  const double rate = std::min(load_w, config_.max_discharge_w);
+  const double delivered = std::min(rate * dt_s, stored_j_);
+  stored_j_ -= delivered;
+  return delivered;
+}
+
+double UpsBattery::charge(double supply_w, double dt_s) {
+  require(supply_w >= 0.0, "UpsBattery: negative supply");
+  require(dt_s >= 0.0, "UpsBattery: negative interval");
+  const double rate = std::min(supply_w, config_.max_charge_w);
+  const double headroom_j = config_.energy_capacity_j - stored_j_;
+  const double stored = std::min(rate * dt_s * config_.charge_efficiency, headroom_j);
+  stored_j_ += stored;
+  return stored / config_.charge_efficiency;
+}
+
+double UpsBattery::ride_through_s(double load_w) const {
+  require(load_w >= 0.0, "UpsBattery: negative load");
+  if (load_w == 0.0) return std::numeric_limits<double>::infinity();
+  if (load_w > config_.max_discharge_w) return 0.0;
+  return stored_j_ / load_w;
+}
+
+}  // namespace epm::power

@@ -1,0 +1,51 @@
+// UPS energy-storage model (paper §2.1).
+//
+// "The power capacity of a data center is primarily defined by the
+//  capability of the UPS system, both in terms of steady load handling and
+//  surge withstand."
+//
+// The battery (or flywheel) model tracks stored energy through charge and
+// discharge and answers the two questions capacity planning asks: how long
+// can the present load ride through a utility outage, and how much surge
+// headroom exists above the steady rating.
+#pragma once
+
+namespace epm::power {
+
+struct UpsBatteryConfig {
+  double energy_capacity_j = 540.0e6;  ///< ~150 kWh of stored energy
+  double max_discharge_w = 1.2e6;      ///< peak discharge (surge withstand)
+  double max_charge_w = 100.0e3;       ///< recharge rate limit
+  double charge_efficiency = 0.9;      ///< energy stored per energy drawn
+  double initial_soc = 1.0;            ///< state of charge in [0,1]
+};
+
+class UpsBattery {
+ public:
+  explicit UpsBattery(UpsBatteryConfig config);
+
+  const UpsBatteryConfig& config() const { return config_; }
+
+  double stored_energy_j() const { return stored_j_; }
+  double state_of_charge() const { return stored_j_ / config_.energy_capacity_j; }
+  bool depleted() const { return stored_j_ <= 0.0; }
+
+  /// Discharges at `load_w` for `dt_s`. Returns the energy actually
+  /// delivered (may be less than requested if the battery empties or the
+  /// load exceeds the discharge limit).
+  double discharge(double load_w, double dt_s);
+
+  /// Charges from a `supply_w` feed for `dt_s` (rate- and capacity-limited).
+  /// Returns the energy drawn from the feed (including conversion loss).
+  double charge(double supply_w, double dt_s);
+
+  /// Ride-through time at a constant load from the current state of charge;
+  /// infinity for zero load, 0 if the load exceeds the discharge limit.
+  double ride_through_s(double load_w) const;
+
+ private:
+  UpsBatteryConfig config_;
+  double stored_j_;
+};
+
+}  // namespace epm::power

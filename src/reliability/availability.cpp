@@ -1,0 +1,185 @@
+#include "reliability/availability.h"
+
+#include <cmath>
+
+#include "core/require.h"
+
+namespace epm::reliability {
+
+namespace {
+constexpr double kHoursPerYear = 8760.0;
+}
+
+double ComponentSpec::availability() const {
+  return mtbf_h / (mtbf_h + mttr_h);
+}
+
+double ComponentSpec::availability_with_maintenance() const {
+  const double maint_unavail = maintenance_h_per_year / kHoursPerYear;
+  return availability() * (1.0 - maint_unavail);
+}
+
+Block Block::component(ComponentSpec spec) {
+  require(spec.mtbf_h > 0.0, "Block: MTBF must be positive");
+  require(spec.mttr_h >= 0.0, "Block: negative MTTR");
+  require(spec.maintenance_h_per_year >= 0.0 &&
+              spec.maintenance_h_per_year < kHoursPerYear,
+          "Block: invalid maintenance hours");
+  Block b;
+  b.name_ = spec.name;
+  b.spec_ = std::move(spec);
+  return b;
+}
+
+Block Block::series(std::string name, std::vector<Block> children) {
+  require(!children.empty(), "Block::series: no children");
+  Block b;
+  b.name_ = std::move(name);
+  b.children_ = std::move(children);
+  b.required_ = 0;
+  return b;
+}
+
+Block Block::parallel(std::string name, std::size_t required,
+                      std::vector<Block> children) {
+  require(!children.empty(), "Block::parallel: no children");
+  require(required >= 1 && required <= children.size(),
+          "Block::parallel: required outside [1, n]");
+  Block b;
+  b.name_ = std::move(name);
+  b.children_ = std::move(children);
+  b.required_ = required;
+  return b;
+}
+
+double Block::availability(bool include_maintenance) const {
+  if (is_leaf()) {
+    return include_maintenance ? spec_.availability_with_maintenance()
+                               : spec_.availability();
+  }
+  if (required_ == 0) {
+    double a = 1.0;
+    for (const auto& c : children_) a *= c.availability(include_maintenance);
+    return a;
+  }
+  // k-of-n over possibly heterogeneous children: enumerate up/down subsets.
+  // Redundancy groups are small (n <= ~4), so 2^n enumeration is fine.
+  const std::size_t n = children_.size();
+  require(n <= 20, "Block::parallel: too many children for exact evaluation");
+  double total = 0.0;
+  for (std::size_t mask = 0; mask < (std::size_t{1} << n); ++mask) {
+    std::size_t up = 0;
+    double p = 1.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double a = children_[i].availability(include_maintenance);
+      if (mask & (std::size_t{1} << i)) {
+        p *= a;
+        ++up;
+      } else {
+        p *= 1.0 - a;
+      }
+    }
+    if (up >= required_) total += p;
+  }
+  return total;
+}
+
+void Block::collect_leaves(std::vector<const Block*>& out) const {
+  if (is_leaf()) {
+    out.push_back(this);
+    return;
+  }
+  for (const auto& c : children_) c.collect_leaves(out);
+}
+
+namespace {
+
+ComponentSpec utility() { return {"utility", 2000.0, 2.0, 0.0}; }
+ComponentSpec generator() { return {"generator", 300.0, 10.0, 0.0}; }
+ComponentSpec ups_module() { return {"ups-module", 20000.0, 8.0, 0.0}; }
+ComponentSpec crac_unit() { return {"crac", 15000.0, 12.0, 0.0}; }
+ComponentSpec pdu() { return {"pdu", 100000.0, 6.0, 0.0}; }
+ComponentSpec switchgear() { return {"switchgear", 150000.0, 24.0, 0.0}; }
+ComponentSpec maintenance(double hours_per_year) {
+  // A pure planned-outage pseudo-component: practically no unplanned
+  // failures, only the scheduled shutdown window.
+  return {"planned-maintenance", 1.0e9, 0.0, hours_per_year};
+}
+
+/// One complete power+cooling path with optional N+1 module redundancy.
+Block make_path(const std::string& tag, bool redundant_modules) {
+  std::vector<Block> chain;
+  chain.push_back(Block::parallel(
+      tag + ".feed", 1, {Block::component(utility()), Block::component(generator())}));
+  if (redundant_modules) {
+    chain.push_back(Block::parallel(
+        tag + ".ups", 1,
+        {Block::component(ups_module()), Block::component(ups_module())}));
+    chain.push_back(Block::parallel(
+        tag + ".cooling", 1,
+        {Block::component(crac_unit()), Block::component(crac_unit())}));
+  } else {
+    chain.push_back(Block::component(ups_module()));
+    chain.push_back(Block::component(crac_unit()));
+  }
+  chain.push_back(Block::component(switchgear()));
+  chain.push_back(Block::component(pdu()));
+  return Block::series(tag, std::move(chain));
+}
+
+}  // namespace
+
+Block make_tier_topology(int tier) {
+  switch (tier) {
+    case 1:
+      // Single non-redundant path; annual shutdowns for maintenance.
+      return Block::series(
+          "tier1", {make_path("path", false), Block::component(maintenance(16.0))});
+    case 2:
+      // Single path with N+1 UPS/cooling modules; the path itself must still
+      // be shut down to maintain, and there is more equipment to maintain —
+      // which is why the Uptime numbers put tier II so close to tier I.
+      return Block::series(
+          "tier2", {make_path("path", true), Block::component(maintenance(20.5))});
+    case 3:
+      // Two paths, one active, concurrently maintainable (no planned
+      // downtime); the single active-transfer switchboard remains in series.
+      return Block::series(
+          "tier3",
+          {Block::parallel("paths", 1, {make_path("pathA", true), make_path("pathB", true)}),
+           Block::component({"transfer-switch", 50000.0, 8.5, 0.0})});
+    case 4:
+      // Two active paths, fault tolerant; residual common-cause exposure.
+      return Block::series(
+          "tier4",
+          {Block::parallel("paths", 1, {make_path("pathA", true), make_path("pathB", true)}),
+           Block::component({"common-cause", 200000.0, 9.0, 0.0})});
+    default:
+      require(false, "make_tier_topology: tier must be 1..4");
+      return Block::component(utility());  // unreachable
+  }
+}
+
+double uptime_institute_reference(int tier) {
+  switch (tier) {
+    case 1:
+      return 0.99671;
+    case 2:
+      return 0.99741;
+    case 3:
+      return 0.99982;
+    case 4:
+      return 0.99995;
+    default:
+      require(false, "uptime_institute_reference: tier must be 1..4");
+      return 0.0;  // unreachable
+  }
+}
+
+double downtime_hours_per_year(double availability) {
+  require(availability >= 0.0 && availability <= 1.0,
+          "downtime_hours_per_year: availability outside [0,1]");
+  return (1.0 - availability) * kHoursPerYear;
+}
+
+}  // namespace epm::reliability

@@ -1,0 +1,80 @@
+// Availability modeling of data-center power/cooling paths (paper §2.1:
+// "A tier-2 data center, providing 99.741% availability, is typical for
+// hosting Internet services", citing the Uptime Institute tier white paper
+// [6]).
+//
+// Components carry MTBF/MTTR; blocks compose in series (all required) or
+// k-of-n parallel (redundancy). Analytic steady-state availability assumes
+// independent failures; the Monte Carlo module cross-checks it and adds
+// maintenance windows, which dominate the difference between tiers I/II
+// (maintenance takes the single path down) and III/IV (concurrently
+// maintainable).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace epm::reliability {
+
+struct ComponentSpec {
+  std::string name;
+  double mtbf_h;  ///< mean time between failures, hours
+  double mttr_h;  ///< mean time to repair, hours
+  /// Scheduled maintenance: hours per year the component is deliberately
+  /// taken out of service.
+  double maintenance_h_per_year = 0.0;
+
+  /// Steady-state availability from unplanned failures alone.
+  double availability() const;
+  /// Availability including planned maintenance downtime.
+  double availability_with_maintenance() const;
+};
+
+/// A block in the reliability diagram: a leaf component or a k-of-n
+/// composition of child blocks.
+class Block {
+ public:
+  static Block component(ComponentSpec spec);
+  /// All children required (series path).
+  static Block series(std::string name, std::vector<Block> children);
+  /// At least `required` of the children must be up (N+1 => required = n-1).
+  static Block parallel(std::string name, std::size_t required,
+                        std::vector<Block> children);
+
+  const std::string& name() const { return name_; }
+  bool is_leaf() const { return children_.empty(); }
+  const std::vector<Block>& children() const { return children_; }
+  std::size_t required() const { return required_; }
+  const ComponentSpec& spec() const { return spec_; }
+
+  /// Analytic steady-state availability (independent components).
+  double availability(bool include_maintenance = false) const;
+
+  /// All leaf components in the subtree (preorder), for the Monte Carlo.
+  void collect_leaves(std::vector<const Block*>& out) const;
+
+ private:
+  Block() = default;
+
+  std::string name_;
+  ComponentSpec spec_{};
+  std::vector<Block> children_;
+  std::size_t required_ = 0;  // 0 => series (all)
+};
+
+/// Uptime-Institute-style topologies. Tier I: single path, no redundancy.
+/// Tier II: single path with redundant (N+1) UPS/cooling modules. Tier III:
+/// multiple paths, one active (concurrently maintainable). Tier IV: two
+/// active paths, fault tolerant.
+Block make_tier_topology(int tier);
+
+/// Reference availabilities from the Uptime Institute white paper [6],
+/// indexed by tier 1..4: 99.671, 99.741, 99.982, 99.995 (percent).
+double uptime_institute_reference(int tier);
+
+/// Converts availability to downtime hours per year.
+double downtime_hours_per_year(double availability);
+
+}  // namespace epm::reliability

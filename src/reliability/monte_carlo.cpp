@@ -1,0 +1,146 @@
+#include "reliability/monte_carlo.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "core/require.h"
+#include "core/rng.h"
+#include "core/stats.h"
+
+namespace epm::reliability {
+namespace {
+
+constexpr double kHoursPerYear = 8760.0;
+
+struct LeafState {
+  const ComponentSpec* spec;
+  bool failed = false;
+  bool in_maintenance = false;
+  double next_fail_toggle_h = 0.0;
+  double next_maint_h = std::numeric_limits<double>::infinity();
+  bool maint_is_start = true;
+
+  bool up() const { return !failed && !in_maintenance; }
+};
+
+/// Recursive system evaluation; `cursor` walks leaves in the same preorder
+/// as Block::collect_leaves.
+bool system_up(const Block& block, const std::vector<LeafState>& states,
+               std::size_t& cursor) {
+  if (block.is_leaf()) return states[cursor++].up();
+  if (block.required() == 0) {
+    bool all = true;
+    for (const auto& c : block.children()) {
+      // Evaluate every child so the cursor stays consistent.
+      if (!system_up(c, states, cursor)) all = false;
+    }
+    return all;
+  }
+  std::size_t up = 0;
+  for (const auto& c : block.children()) {
+    if (system_up(c, states, cursor)) ++up;
+  }
+  return up >= block.required();
+}
+
+}  // namespace
+
+MonteCarloResult simulate_availability(const Block& topology,
+                                       const MonteCarloConfig& config) {
+  require(config.years > 0.0, "simulate_availability: years must be positive");
+  require(config.replicas >= 1, "simulate_availability: need at least one replica");
+
+  std::vector<const Block*> leaves;
+  topology.collect_leaves(leaves);
+  require(!leaves.empty(), "simulate_availability: topology has no components");
+
+  Rng master(config.seed);
+  OnlineStats replica_availability;
+  OnlineStats outage_durations;
+  double max_outage = 0.0;
+  std::size_t outage_count = 0;
+
+  for (std::size_t rep = 0; rep < config.replicas; ++rep) {
+    Rng rng = master.fork();
+    const double horizon_h = config.years * kHoursPerYear;
+
+    std::vector<LeafState> states;
+    states.reserve(leaves.size());
+    for (const Block* leaf : leaves) {
+      LeafState s;
+      s.spec = &leaf->spec();
+      s.next_fail_toggle_h = rng.exponential(1.0 / s.spec->mtbf_h);
+      if (s.spec->maintenance_h_per_year > 0.0) {
+        // One planned window per year at a random phase.
+        s.next_maint_h = rng.uniform(0.0, kHoursPerYear);
+        s.maint_is_start = true;
+      }
+      states.push_back(s);
+    }
+
+    double t = 0.0;
+    double downtime_h = 0.0;
+    double outage_started_h = -1.0;
+    std::size_t cursor = 0;
+    bool up = system_up(topology, states, cursor);
+
+    while (t < horizon_h) {
+      // Next event over all components.
+      double t_next = horizon_h;
+      for (const auto& s : states) {
+        t_next = std::min({t_next, s.next_fail_toggle_h, s.next_maint_h});
+      }
+      const double dt = t_next - t;
+      if (!up) downtime_h += dt;
+      t = t_next;
+      if (t >= horizon_h) break;
+
+      for (auto& s : states) {
+        if (s.next_fail_toggle_h <= t + 1e-12) {
+          if (!s.failed && s.spec->mttr_h <= 0.0) {
+            // Instant repair: the failure contributes no downtime.
+            s.next_fail_toggle_h = t + rng.exponential(1.0 / s.spec->mtbf_h);
+          } else {
+            s.failed = !s.failed;
+            const double rate = s.failed ? 1.0 / s.spec->mttr_h : 1.0 / s.spec->mtbf_h;
+            s.next_fail_toggle_h = t + rng.exponential(rate);
+          }
+        }
+        if (s.next_maint_h <= t + 1e-12) {
+          if (s.maint_is_start) {
+            s.in_maintenance = true;
+            s.next_maint_h = t + s.spec->maintenance_h_per_year;
+            s.maint_is_start = false;
+          } else {
+            s.in_maintenance = false;
+            s.next_maint_h = t + (kHoursPerYear - s.spec->maintenance_h_per_year);
+            s.maint_is_start = true;
+          }
+        }
+      }
+      cursor = 0;
+      const bool now_up = system_up(topology, states, cursor);
+      if (up && !now_up) {
+        outage_started_h = t;
+      } else if (!up && now_up && outage_started_h >= 0.0) {
+        const double duration = t - outage_started_h;
+        outage_durations.add(duration);
+        max_outage = std::max(max_outage, duration);
+        ++outage_count;
+      }
+      up = now_up;
+    }
+    replica_availability.add(1.0 - downtime_h / horizon_h);
+  }
+
+  MonteCarloResult result;
+  result.availability = replica_availability.mean();
+  result.availability_stddev = replica_availability.stddev();
+  result.mean_outage_h = outage_durations.count() ? outage_durations.mean() : 0.0;
+  result.max_outage_h = max_outage;
+  result.outage_count = outage_count;
+  return result;
+}
+
+}  // namespace epm::reliability

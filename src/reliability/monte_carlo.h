@@ -1,0 +1,33 @@
+// Event-driven Monte Carlo availability simulation, cross-checking the
+// analytic block model and exposing the distribution of outage durations
+// (which the analytic steady-state number hides).
+#pragma once
+
+#include <cstdint>
+
+#include "reliability/availability.h"
+
+namespace epm::reliability {
+
+struct MonteCarloConfig {
+  double years = 50.0;
+  std::size_t replicas = 8;
+  std::uint64_t seed = 2025;
+};
+
+struct MonteCarloResult {
+  double availability = 0.0;        ///< mean over replicas
+  double availability_stddev = 0.0; ///< across replicas
+  double mean_outage_h = 0.0;       ///< average system-outage duration
+  double max_outage_h = 0.0;
+  std::size_t outage_count = 0;     ///< across all replicas
+};
+
+/// Simulates every leaf component as an alternating exponential
+/// up(MTBF)/down(MTTR) renewal process plus one planned maintenance window
+/// per year, evaluates the block structure at every transition, and
+/// integrates system downtime.
+MonteCarloResult simulate_availability(const Block& topology,
+                                       const MonteCarloConfig& config = {});
+
+}  // namespace epm::reliability

@@ -1,0 +1,81 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+
+#include "core/require.h"
+
+namespace epm::sim {
+
+EventHandle Simulator::push(double when_s, double period_s, EventFn fn) {
+  require(when_s >= now_s_, "Simulator: cannot schedule in the past");
+  require(static_cast<bool>(fn), "Simulator: empty event function");
+  const std::uint64_t id = next_id_++;
+  queue_.push(Event{when_s, next_seq_++, id, period_s, std::move(fn)});
+  return EventHandle{id};
+}
+
+EventHandle Simulator::schedule_at(double when_s, EventFn fn) {
+  return push(when_s, 0.0, std::move(fn));
+}
+
+EventHandle Simulator::schedule_after(double delay_s, EventFn fn) {
+  require(delay_s >= 0.0, "Simulator: negative delay");
+  return push(now_s_ + delay_s, 0.0, std::move(fn));
+}
+
+EventHandle Simulator::schedule_periodic(double first_s, double period_s, EventFn fn) {
+  require(period_s > 0.0, "Simulator: period must be positive");
+  return push(first_s, period_s, std::move(fn));
+}
+
+void Simulator::cancel(EventHandle handle) {
+  if (!handle.valid()) return;
+  if (!is_cancelled(handle.id_)) {
+    cancelled_.push_back(handle.id_);
+    ++cancelled_live_;
+  }
+}
+
+bool Simulator::is_cancelled(std::uint64_t id) const {
+  return std::find(cancelled_.begin(), cancelled_.end(), id) != cancelled_.end();
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (is_cancelled(ev.id)) {
+      // At most one queued instance exists per id (periodic events are
+      // re-queued only after firing), so the id can be forgotten now.
+      cancelled_.erase(std::remove(cancelled_.begin(), cancelled_.end(), ev.id),
+                       cancelled_.end());
+      if (cancelled_live_ > 0) --cancelled_live_;
+      continue;
+    }
+    ensure(ev.when_s >= now_s_, "Simulator: time went backwards");
+    now_s_ = ev.when_s;
+    if (ev.period_s > 0.0) {
+      queue_.push(Event{ev.when_s + ev.period_s, next_seq_++, ev.id, ev.period_s, ev.fn});
+    }
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+std::size_t Simulator::run_until(double until_s) {
+  std::size_t ran = 0;
+  while (!queue_.empty() && queue_.top().when_s <= until_s) {
+    if (step()) ++ran;
+  }
+  if (now_s_ < until_s) now_s_ = until_s;
+  return ran;
+}
+
+std::size_t Simulator::run_all() {
+  std::size_t ran = 0;
+  while (step()) ++ran;
+  return ran;
+}
+
+}  // namespace epm::sim

@@ -1,0 +1,43 @@
+// Band-pass analyses over counter data (paper §5.3): the same CPU-utilization
+// stream serves trend prediction, within-day patterns, load-balancer
+// monitoring via residual correlation, and spike anomaly detection.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/time_series.h"
+
+namespace epm::telemetry {
+
+struct SpikeConfig {
+  /// Trailing window used to estimate the local mean/stddev.
+  std::size_t window = 40;
+  /// Threshold in local standard deviations.
+  double sigmas = 4.0;
+  /// Floor on the stddev estimate so flat series don't alarm on noise.
+  double min_stddev = 1e-9;
+};
+
+struct Spike {
+  std::size_t index;
+  double value;
+  double zscore;
+};
+
+/// Detects "unusually spikes" (§5.3): samples more than `sigmas` local
+/// standard deviations above the trailing-window mean.
+std::vector<Spike> detect_spikes(const TimeSeries& series, const SpikeConfig& config = {});
+
+/// Removes the mean per bucket-of-period (e.g. hourly-of-day with
+/// period=86400, bucket=3600): returns the residual series. This is the
+/// "after removing the hourly trend" step before correlating counters to
+/// "monitor load balancer behavior".
+TimeSeries remove_seasonal(const TimeSeries& series, double period_s, double bucket_s);
+
+/// Correlation of two counters' residuals after seasonal removal; a healthy
+/// load balancer keeps replica residuals strongly correlated.
+double residual_correlation(const TimeSeries& a, const TimeSeries& b, double period_s,
+                            double bucket_s);
+
+}  // namespace epm::telemetry

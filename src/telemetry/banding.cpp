@@ -1,0 +1,102 @@
+#include "telemetry/banding.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/require.h"
+#include "core/stats.h"
+#include "core/units.h"
+
+namespace epm::telemetry {
+namespace {
+
+std::size_t day_of(const TimeSeries& series, std::size_t i) {
+  return static_cast<std::size_t>(series.time_at(i) / kSecondsPerDay);
+}
+
+std::size_t hour_of(const TimeSeries& series, std::size_t i) {
+  return static_cast<std::size_t>(
+             std::fmod(series.time_at(i), kSecondsPerDay) / kSecondsPerHour) %
+         24;
+}
+
+}  // namespace
+
+BandDecomposition band_compress(const TimeSeries& series, double residual_threshold) {
+  require(!series.empty(), "band_compress: empty series");
+  require(residual_threshold >= 0.0, "band_compress: negative threshold");
+  require(series.start_s() >= 0.0, "band_compress: negative start");
+  require(series.size() < (std::size_t{1} << 32), "band_compress: series too long");
+
+  BandDecomposition bands;
+  bands.start_s = series.start_s();
+  bands.step_s = series.step_s();
+  bands.original_samples = series.size();
+  bands.residual_threshold = residual_threshold;
+
+  // Band 1: per-day means.
+  const std::size_t first_day = day_of(series, 0);
+  const std::size_t last_day = day_of(series, series.size() - 1);
+  std::vector<OnlineStats> day_stats(last_day - first_day + 1);
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    day_stats[day_of(series, i) - first_day].add(series[i]);
+  }
+  bands.daily_trend.reserve(day_stats.size());
+  for (const auto& s : day_stats) bands.daily_trend.push_back(s.mean());
+
+  // Band 2: hour-of-day profile of the detrended signal.
+  std::vector<OnlineStats> hour_stats(24);
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    const double detrended = series[i] - bands.daily_trend[day_of(series, i) - first_day];
+    hour_stats[hour_of(series, i)].add(detrended);
+  }
+  bands.hourly_profile.reserve(24);
+  for (const auto& s : hour_stats) bands.hourly_profile.push_back(s.mean());
+
+  // Band 3: sparse residuals above the noise threshold.
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    const double predicted = bands.daily_trend[day_of(series, i) - first_day] +
+                             bands.hourly_profile[hour_of(series, i)];
+    const double residual = series[i] - predicted;
+    if (std::fabs(residual) > residual_threshold) {
+      bands.residual_index.push_back(static_cast<std::uint32_t>(i));
+      bands.residual_value.push_back(residual);
+    }
+  }
+  return bands;
+}
+
+TimeSeries band_reconstruct(const BandDecomposition& bands) {
+  require(bands.original_samples > 0, "band_reconstruct: empty decomposition");
+  require(bands.hourly_profile.size() == 24, "band_reconstruct: malformed profile");
+  std::vector<double> values;
+  values.reserve(bands.original_samples);
+  const auto first_day = static_cast<std::size_t>(bands.start_s / kSecondsPerDay);
+  for (std::size_t i = 0; i < bands.original_samples; ++i) {
+    const double t = bands.start_s + static_cast<double>(i) * bands.step_s;
+    const auto day = static_cast<std::size_t>(t / kSecondsPerDay) - first_day;
+    require(day < bands.daily_trend.size(), "band_reconstruct: day out of range");
+    const auto hour = static_cast<std::size_t>(
+                          std::fmod(t, kSecondsPerDay) / kSecondsPerHour) %
+                      24;
+    values.push_back(bands.daily_trend[day] + bands.hourly_profile[hour]);
+  }
+  // Overlay the exactly-stored residuals (the out-of-band signal).
+  for (std::size_t k = 0; k < bands.residual_index.size(); ++k) {
+    const std::size_t i = bands.residual_index[k];
+    require(i < bands.original_samples, "band_reconstruct: residual out of range");
+    values[i] += bands.residual_value[k];
+  }
+  return TimeSeries(bands.start_s, bands.step_s, std::move(values));
+}
+
+double max_abs_error(const TimeSeries& a, const TimeSeries& b) {
+  require(a.size() == b.size(), "max_abs_error: length mismatch");
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    worst = std::max(worst, std::fabs(a[i] - b[i]));
+  }
+  return worst;
+}
+
+}  // namespace epm::telemetry

@@ -1,0 +1,68 @@
+// Band decomposition and lossy-but-bounded compression (paper §5.3):
+//
+//   "Since these queries essentially focuses on data with certain narrow
+//    band, preprocessing and indexing the data into multiple scales can
+//    speed up the query significantly. At the same time, raw data out of
+//    these bands can be considered as noise and be eliminated, thus
+//    reducing storage requirements."
+//
+// A counter series is decomposed into the bands the paper's queries use:
+// a per-day trend, a mean hour-of-day profile, and a residual. Residual
+// samples within +-threshold are *dropped* (the "noise"); everything above
+// it — the anomalies and genuine excursions — is kept exactly. The
+// reconstruction error is therefore bounded by the threshold, a property
+// the tests assert.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/time_series.h"
+
+namespace epm::telemetry {
+
+struct BandDecomposition {
+  double start_s = 0.0;
+  double step_s = 1.0;
+  std::size_t original_samples = 0;
+  double residual_threshold = 0.0;
+  /// Mean per calendar day (the long-term trend band).
+  std::vector<double> daily_trend;
+  /// Mean detrended value per hour-of-day (the within-day pattern band).
+  std::vector<double> hourly_profile;  // 24 entries
+  /// Residuals exceeding the threshold, stored sparsely and exactly.
+  std::vector<std::uint32_t> residual_index;
+  std::vector<double> residual_value;
+
+  std::size_t stored_values() const {
+    return daily_trend.size() + hourly_profile.size() + residual_value.size();
+  }
+  /// Approximate storage, counting the sparse index overhead.
+  std::size_t memory_bytes() const {
+    return (daily_trend.size() + hourly_profile.size() + residual_value.size()) *
+               sizeof(double) +
+           residual_index.size() * sizeof(std::uint32_t);
+  }
+  /// Raw storage of the original series (values only).
+  std::size_t raw_bytes() const { return original_samples * sizeof(double); }
+  double compression_ratio() const {
+    return memory_bytes() > 0
+               ? static_cast<double>(raw_bytes()) / static_cast<double>(memory_bytes())
+               : 0.0;
+  }
+};
+
+/// Decomposes and compresses `series`. Residuals with |r| <= threshold are
+/// discarded. The series timing must start day-aligned for the daily band
+/// to mean what it says (enforced).
+BandDecomposition band_compress(const TimeSeries& series, double residual_threshold);
+
+/// Reconstructs the series: trend(day) + profile(hour) + stored residuals.
+/// max |reconstruction - original| <= residual_threshold.
+TimeSeries band_reconstruct(const BandDecomposition& bands);
+
+/// Largest absolute reconstruction error between two equal-timing series.
+double max_abs_error(const TimeSeries& a, const TimeSeries& b);
+
+}  // namespace epm::telemetry

@@ -1,0 +1,156 @@
+#include "telemetry/multiscale.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/require.h"
+
+namespace epm::telemetry {
+
+void Aggregate::add(double v) {
+  if (count == 0) {
+    min = max = v;
+  } else {
+    min = std::min(min, v);
+    max = std::max(max, v);
+  }
+  sum += v;
+  ++count;
+}
+
+void Aggregate::merge(const Aggregate& other) {
+  if (other.count == 0) return;
+  if (count == 0) {
+    *this = other;
+    return;
+  }
+  min = std::min(min, other.min);
+  max = std::max(max, other.max);
+  sum += other.sum;
+  count += other.count;
+}
+
+MultiScaleSeries::MultiScaleSeries(MultiScaleConfig config) {
+  require(!config.levels.empty(), "MultiScaleSeries: need at least one level");
+  double prev = 0.0;
+  for (const auto& spec : config.levels) {
+    require(spec.resolution_s > 0.0, "MultiScaleSeries: resolution must be positive");
+    if (prev > 0.0) {
+      const double ratio = spec.resolution_s / prev;
+      require(std::abs(ratio - std::round(ratio)) < 1e-9 && ratio >= 2.0 - 1e-9,
+              "MultiScaleSeries: each level must be an integer (>1) multiple of "
+              "the previous");
+    }
+    prev = spec.resolution_s;
+    levels_.push_back(Level{spec, 0, {}});
+  }
+}
+
+std::int64_t MultiScaleSeries::bin_index(std::size_t level, double time_s) const {
+  return static_cast<std::int64_t>(std::floor(time_s / levels_[level].spec.resolution_s));
+}
+
+void MultiScaleSeries::add_to_level(std::size_t level, std::int64_t bin,
+                                    const Aggregate& agg) {
+  Level& lvl = levels_[level];
+  if (lvl.bins.empty()) {
+    lvl.first_bin = bin;
+    lvl.bins.push_back(agg);
+  } else {
+    const std::int64_t last = lvl.first_bin + static_cast<std::int64_t>(lvl.bins.size()) - 1;
+    ensure(bin >= last, "MultiScaleSeries: time went backwards within a level");
+    // Pad skipped bins with empties so indexing stays dense.
+    for (std::int64_t b = last; b < bin; ++b) lvl.bins.push_back(Aggregate{});
+    lvl.bins.back().merge(agg);
+  }
+  // Evict beyond retention; evicted data survives only in coarser levels.
+  if (lvl.spec.retention_bins > 0) {
+    while (lvl.bins.size() > lvl.spec.retention_bins) {
+      lvl.bins.pop_front();
+      ++lvl.first_bin;
+    }
+  }
+}
+
+void MultiScaleSeries::append(double time_s, double value) {
+  require(time_s >= 0.0, "MultiScaleSeries: negative time");
+  require(time_s >= last_time_s_, "MultiScaleSeries: timestamps must be non-decreasing");
+  last_time_s_ = time_s;
+  ++total_samples_;
+  Aggregate one;
+  one.add(value);
+  // Cascade: every level receives every sample; each keeps its own binning.
+  // (O(levels) per append; levels is a small constant.)
+  for (std::size_t l = 0; l < levels_.size(); ++l) {
+    add_to_level(l, bin_index(l, time_s), one);
+  }
+}
+
+double MultiScaleSeries::level_resolution_s(std::size_t level) const {
+  require(level < levels_.size(), "MultiScaleSeries: level out of range");
+  return levels_[level].spec.resolution_s;
+}
+
+std::size_t MultiScaleSeries::level_bins(std::size_t level) const {
+  require(level < levels_.size(), "MultiScaleSeries: level out of range");
+  return levels_[level].bins.size();
+}
+
+Aggregate MultiScaleSeries::range_at_level(std::size_t level, double t0_s,
+                                           double t1_s) const {
+  require(level < levels_.size(), "MultiScaleSeries: level out of range");
+  require(t1_s >= t0_s, "MultiScaleSeries: inverted range");
+  const Level& lvl = levels_[level];
+  Aggregate out;
+  if (lvl.bins.empty()) return out;
+  const std::int64_t lo = std::max(bin_index(level, t0_s), lvl.first_bin);
+  const std::int64_t hi_bin = bin_index(level, std::nextafter(t1_s, t0_s));
+  const std::int64_t hi =
+      std::min(hi_bin, lvl.first_bin + static_cast<std::int64_t>(lvl.bins.size()) - 1);
+  for (std::int64_t b = lo; b <= hi; ++b) {
+    out.merge(lvl.bins[static_cast<std::size_t>(b - lvl.first_bin)]);
+  }
+  return out;
+}
+
+Aggregate MultiScaleSeries::range(double t0_s, double t1_s) const {
+  // Finest level whose retained window still reaches back to t0_s wins.
+  for (std::size_t l = 0; l < levels_.size(); ++l) {
+    const Level& lvl = levels_[l];
+    if (lvl.bins.empty()) continue;
+    const double retained_start =
+        static_cast<double>(lvl.first_bin) * lvl.spec.resolution_s;
+    if (retained_start <= t0_s + 1e-9) return range_at_level(l, t0_s, t1_s);
+  }
+  // Nothing covers the start: answer from the coarsest level (best effort).
+  return range_at_level(levels_.size() - 1, t0_s, t1_s);
+}
+
+MultiScaleSeries::BinnedMeans MultiScaleSeries::means_at_level(std::size_t level,
+                                                               double t0_s,
+                                                               double t1_s) const {
+  require(level < levels_.size(), "MultiScaleSeries: level out of range");
+  require(t1_s >= t0_s, "MultiScaleSeries: inverted range");
+  const Level& lvl = levels_[level];
+  BinnedMeans out;
+  if (lvl.bins.empty()) return out;
+  const std::int64_t lo = std::max(bin_index(level, t0_s), lvl.first_bin);
+  const std::int64_t hi =
+      std::min(bin_index(level, std::nextafter(t1_s, t0_s)),
+               lvl.first_bin + static_cast<std::int64_t>(lvl.bins.size()) - 1);
+  for (std::int64_t b = lo; b <= hi; ++b) {
+    const Aggregate& agg = lvl.bins[static_cast<std::size_t>(b - lvl.first_bin)];
+    if (agg.count == 0) continue;
+    out.times_s.push_back(static_cast<double>(b) * lvl.spec.resolution_s);
+    out.means.push_back(agg.mean());
+  }
+  return out;
+}
+
+std::size_t MultiScaleSeries::memory_bytes() const {
+  std::size_t bins = 0;
+  for (const auto& lvl : levels_) bins += lvl.bins.size();
+  return bins * sizeof(Aggregate);
+}
+
+}  // namespace epm::telemetry

@@ -1,0 +1,100 @@
+// Multi-scale time-series storage (paper §5.3).
+//
+//   "consider a 10,000 server cloud computing environment, if there are 100
+//    software performance counters of interests, and each of them are
+//    sampled every 15 seconds, we will expect 2.4 million data points per
+//    minutes... Since these queries essentially focuses on data with
+//    certain narrow band, preprocessing and indexing the data into multiple
+//    scales can speed up the query significantly. At the same time, raw
+//    data out of these bands can be considered as noise and be eliminated,
+//    thus reducing storage requirements."
+//
+// Each counter keeps a pyramid of aggregate levels (e.g. 15 s -> 1 min ->
+// 15 min -> 1 h -> 1 d). Appends cascade upward in O(1) amortized; range
+// queries are answered from the coarsest level that still resolves the
+// request; old fine-grained bins are evicted per level-specific retention.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace epm::telemetry {
+
+/// min/max/sum/count aggregate; the only thing levels store.
+struct Aggregate {
+  double min = 0.0;
+  double max = 0.0;
+  double sum = 0.0;
+  std::uint64_t count = 0;
+
+  void add(double v);
+  void merge(const Aggregate& other);
+  double mean() const { return count ? sum / static_cast<double>(count) : 0.0; }
+};
+
+struct LevelSpec {
+  double resolution_s;
+  /// Bins retained before eviction (0 = unlimited).
+  std::size_t retention_bins;
+};
+
+struct MultiScaleConfig {
+  /// Finest-to-coarsest. Each resolution must be an integer multiple of the
+  /// previous one. Default: 15 s (4 h), 1 min (1 day), 15 min (1 week),
+  /// 1 h (6 weeks), 1 day (unlimited).
+  std::vector<LevelSpec> levels{
+      {15.0, 960},  {60.0, 1440}, {900.0, 672}, {3600.0, 1008}, {86400.0, 0}};
+};
+
+/// One counter's multi-resolution history. Samples must arrive with
+/// non-decreasing timestamps.
+class MultiScaleSeries {
+ public:
+  explicit MultiScaleSeries(MultiScaleConfig config = {});
+
+  void append(double time_s, double value);
+  std::uint64_t total_samples() const { return total_samples_; }
+  std::size_t level_count() const { return levels_.size(); }
+  double level_resolution_s(std::size_t level) const;
+  std::size_t level_bins(std::size_t level) const;
+
+  /// Aggregate over [t0_s, t1_s), served from the finest level whose
+  /// retention still covers t0_s (bin-aligned approximation at the edges).
+  /// Returns an empty aggregate when nothing is retained for the range.
+  Aggregate range(double t0_s, double t1_s) const;
+
+  /// Aggregate over [t0_s, t1_s) from a specific level.
+  Aggregate range_at_level(std::size_t level, double t0_s, double t1_s) const;
+
+  /// Per-bin means from `level` covering [t0_s, t1_s); bins without data are
+  /// skipped. Times are bin starts.
+  struct BinnedMeans {
+    std::vector<double> times_s;
+    std::vector<double> means;
+  };
+  BinnedMeans means_at_level(std::size_t level, double t0_s, double t1_s) const;
+
+  /// Approximate resident memory (bins x aggregate size), for the paper's
+  /// storage-reduction argument.
+  std::size_t memory_bytes() const;
+
+ private:
+  struct Level {
+    LevelSpec spec;
+    /// Index of the first retained bin (bin i covers
+    /// [i*res, (i+1)*res)).
+    std::int64_t first_bin = 0;
+    std::deque<Aggregate> bins;
+  };
+
+  std::int64_t bin_index(std::size_t level, double time_s) const;
+  void add_to_level(std::size_t level, std::int64_t bin, const Aggregate& agg);
+
+  std::vector<Level> levels_;
+  double last_time_s_ = -1.0;
+  std::uint64_t total_samples_ = 0;
+};
+
+}  // namespace epm::telemetry

@@ -1,0 +1,91 @@
+#include "telemetry/store.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/require.h"
+
+namespace epm::telemetry {
+
+TelemetryStore::TelemetryStore(MultiScaleConfig per_counter_config)
+    : config_(std::move(per_counter_config)) {
+  require(!config_.levels.empty(), "TelemetryStore: config has no levels");
+  // Locate the levels used by the canned band queries; fall back to the
+  // coarsest when an exact resolution is absent.
+  daily_level_ = hourly_level_ = config_.levels.size() - 1;
+  for (std::size_t l = 0; l < config_.levels.size(); ++l) {
+    if (std::abs(config_.levels[l].resolution_s - 3600.0) < 1e-9) hourly_level_ = l;
+    if (std::abs(config_.levels[l].resolution_s - 86400.0) < 1e-9) daily_level_ = l;
+  }
+}
+
+void TelemetryStore::append(CounterKey key, double time_s, double value) {
+  auto [it, inserted] = series_.try_emplace(key, config_);
+  it->second.append(time_s, value);
+  ++total_samples_;
+}
+
+const MultiScaleSeries& TelemetryStore::series(CounterKey key) const {
+  auto it = series_.find(key);
+  require(it != series_.end(), "TelemetryStore: unknown counter");
+  return it->second;
+}
+
+std::size_t TelemetryStore::memory_bytes() const {
+  std::size_t total = 0;
+  for (const auto& [key, s] : series_) total += s.memory_bytes();
+  return total;
+}
+
+MultiScaleSeries::BinnedMeans TelemetryStore::daily_trend(CounterKey key, double t0_s,
+                                                          double t1_s) const {
+  return series(key).means_at_level(daily_level_, t0_s, t1_s);
+}
+
+MultiScaleSeries::BinnedMeans TelemetryStore::hourly_pattern(CounterKey key, double t0_s,
+                                                             double t1_s) const {
+  return series(key).means_at_level(hourly_level_, t0_s, t1_s);
+}
+
+void RawStore::append(CounterKey key, double time_s, double value) {
+  auto& col = columns_[key];
+  require(col.times_s.empty() || time_s >= col.times_s.back(),
+          "RawStore: timestamps must be non-decreasing");
+  col.times_s.push_back(time_s);
+  col.values.push_back(value);
+  ++total_samples_;
+}
+
+std::size_t RawStore::memory_bytes() const {
+  std::size_t total = 0;
+  for (const auto& [key, col] : columns_) {
+    total += (col.times_s.capacity() + col.values.capacity()) * sizeof(double);
+  }
+  return total;
+}
+
+RawStore::Stats RawStore::range(CounterKey key, double t0_s, double t1_s) const {
+  auto it = columns_.find(key);
+  require(it != columns_.end(), "RawStore: unknown counter");
+  const Column& col = it->second;
+  Stats stats;
+  double sum = 0.0;
+  // Binary-search the window start, then scan (times are sorted).
+  const auto begin =
+      std::lower_bound(col.times_s.begin(), col.times_s.end(), t0_s);
+  for (auto t = begin; t != col.times_s.end() && *t < t1_s; ++t) {
+    const double v = col.values[static_cast<std::size_t>(t - col.times_s.begin())];
+    if (stats.count == 0) {
+      stats.min = stats.max = v;
+    } else {
+      stats.min = std::min(stats.min, v);
+      stats.max = std::max(stats.max, v);
+    }
+    sum += v;
+    ++stats.count;
+  }
+  if (stats.count > 0) stats.mean = sum / static_cast<double>(stats.count);
+  return stats;
+}
+
+}  // namespace epm::telemetry

@@ -1,0 +1,86 @@
+// Fleet-wide telemetry store: (server, counter) -> MultiScaleSeries, plus a
+// raw append-only store used as the query baseline the paper's §5.3
+// argument is made against.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "telemetry/multiscale.h"
+
+namespace epm::telemetry {
+
+/// Dense counter key: server index * counters_per_server + counter index.
+using CounterKey = std::uint64_t;
+
+constexpr CounterKey make_key(std::uint32_t server, std::uint32_t counter) {
+  return (static_cast<CounterKey>(server) << 32) | counter;
+}
+constexpr std::uint32_t server_of(CounterKey key) {
+  return static_cast<std::uint32_t>(key >> 32);
+}
+constexpr std::uint32_t counter_of(CounterKey key) {
+  return static_cast<std::uint32_t>(key & 0xffffffffu);
+}
+
+/// Multi-scale store for a whole fleet.
+class TelemetryStore {
+ public:
+  explicit TelemetryStore(MultiScaleConfig per_counter_config = {});
+
+  /// Appends one sample; creates the series lazily.
+  void append(CounterKey key, double time_s, double value);
+
+  std::size_t series_count() const { return series_.size(); }
+  std::uint64_t total_samples() const { return total_samples_; }
+  /// Series lookup; throws for unknown keys.
+  const MultiScaleSeries& series(CounterKey key) const;
+  bool contains(CounterKey key) const { return series_.count(key) > 0; }
+
+  std::size_t memory_bytes() const;
+
+  /// §5.3 band queries over one counter:
+  /// Long-term trend: daily means over [t0, t1).
+  MultiScaleSeries::BinnedMeans daily_trend(CounterKey key, double t0_s, double t1_s) const;
+  /// Within-day pattern: hourly means.
+  MultiScaleSeries::BinnedMeans hourly_pattern(CounterKey key, double t0_s,
+                                               double t1_s) const;
+
+ private:
+  MultiScaleConfig config_;
+  std::unordered_map<CounterKey, MultiScaleSeries> series_;
+  std::uint64_t total_samples_ = 0;
+  std::size_t daily_level_ = 0;
+  std::size_t hourly_level_ = 0;
+};
+
+/// Plain raw storage (15 s samples kept forever) used as the baseline in
+/// EXP-F: linear-scan queries and un-aggregated memory footprint.
+class RawStore {
+ public:
+  void append(CounterKey key, double time_s, double value);
+  std::uint64_t total_samples() const { return total_samples_; }
+  std::size_t memory_bytes() const;
+
+  struct Stats {
+    double min = 0.0;
+    double max = 0.0;
+    double mean = 0.0;
+    std::uint64_t count = 0;
+  };
+  /// Linear scan over one counter's samples in [t0, t1).
+  Stats range(CounterKey key, double t0_s, double t1_s) const;
+
+ private:
+  struct Column {
+    std::vector<double> times_s;
+    std::vector<double> values;
+  };
+  std::unordered_map<CounterKey, Column> columns_;
+  std::uint64_t total_samples_ = 0;
+};
+
+}  // namespace epm::telemetry

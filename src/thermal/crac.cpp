@@ -1,0 +1,63 @@
+#include "thermal/crac.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/require.h"
+
+namespace epm::thermal {
+
+Crac::Crac(CracConfig config) : config_(config), supply_c_(config.initial_supply_c) {
+  require(config_.control_period_s > 0.0, "Crac: control period must be positive");
+  require(config_.deadband_c >= 0.0, "Crac: negative deadband");
+  require(config_.gain > 0.0, "Crac: gain must be positive");
+  require(config_.min_supply_c < config_.max_supply_c, "Crac: invalid supply range");
+  require(config_.initial_supply_c >= config_.min_supply_c &&
+              config_.initial_supply_c <= config_.max_supply_c,
+          "Crac: initial supply outside range");
+  require(config_.cooling_capacity_w > 0.0, "Crac: capacity must be positive");
+  require(!config_.zone_sensitivity.empty(), "Crac: no zone sensitivities");
+  double total = 0.0;
+  for (double s : config_.zone_sensitivity) {
+    require(s >= 0.0, "Crac: negative sensitivity");
+    total += s;
+  }
+  require(total > 0.0, "Crac: all sensitivities zero");
+}
+
+double Crac::observed_return_c(const std::vector<double>& zone_temps_c) const {
+  require(zone_temps_c.size() >= config_.zone_sensitivity.size(),
+          "Crac: fewer zone temperatures than sensitivities");
+  double weighted = 0.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < config_.zone_sensitivity.size(); ++i) {
+    weighted += config_.zone_sensitivity[i] * zone_temps_c[i];
+    total += config_.zone_sensitivity[i];
+  }
+  return weighted / total;
+}
+
+double Crac::control_step(const std::vector<double>& zone_temps_c) {
+  ++control_actions_;
+  const double observed = observed_return_c(zone_temps_c);
+  const double error = observed - config_.return_setpoint_c;
+  if (error > config_.deadband_c) {
+    // Too warm where we can see: blow colder.
+    supply_c_ -= config_.gain * (error - config_.deadband_c);
+  } else if (error < -config_.deadband_c) {
+    // "The CRAC then believes that there is not much heat generated in its
+    //  effective zone and thus increases the temperature of the cooling
+    //  air." (§5.1)
+    supply_c_ += config_.gain * (-config_.deadband_c - error);
+  }
+  supply_c_ = std::clamp(supply_c_, config_.min_supply_c, config_.max_supply_c);
+  return supply_c_;
+}
+
+void Crac::set_supply_temp_c(double temp_c) {
+  require(temp_c >= config_.min_supply_c && temp_c <= config_.max_supply_c,
+          "Crac: supply override outside range");
+  supply_c_ = temp_c;
+}
+
+}  // namespace epm::thermal

@@ -1,0 +1,59 @@
+// Computer-room air conditioning unit (paper §2.2, §5.1).
+//
+// "CRAC units usually react every 15 minutes" — the unit runs a discrete
+// proportional controller on the *return-air temperature it observes*,
+// which is a sensitivity-weighted mix of zone temperatures (ref [30],
+// Project Genome: "the CRAC can be extremely sensitive to servers at
+// location A, while not sensitive to servers at locations B"). That
+// asymmetric observation is exactly what makes the §5.1 migration hazard
+// reproducible.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace epm::thermal {
+
+struct CracConfig {
+  std::string name;
+  double control_period_s = 900.0;  ///< paper: reacts every 15 minutes
+  double return_setpoint_c = 24.0;  ///< target observed return temperature
+  double deadband_c = 0.5;          ///< no action within setpoint +- deadband
+  double gain = 0.8;                ///< supply-temp change per degree of error
+  double min_supply_c = 12.0;
+  double max_supply_c = 27.0;
+  double initial_supply_c = 18.0;
+  double cooling_capacity_w = 400.0e3;  ///< max heat the coil can remove
+  /// Per-zone sensitivity of this CRAC's return-air sensor. Normalized
+  /// internally; zones absent from the vector contribute nothing.
+  std::vector<double> zone_sensitivity;
+};
+
+class Crac {
+ public:
+  explicit Crac(CracConfig config);
+
+  const CracConfig& config() const { return config_; }
+  double supply_temp_c() const { return supply_c_; }
+  std::size_t control_actions() const { return control_actions_; }
+
+  /// The return temperature this CRAC *observes* for the given zone
+  /// temperatures (sensitivity-weighted mean).
+  double observed_return_c(const std::vector<double>& zone_temps_c) const;
+
+  /// Runs one control decision against the observed zone temperatures;
+  /// call every control_period_s. Returns the new supply temperature.
+  double control_step(const std::vector<double>& zone_temps_c);
+
+  /// Overrides the supply temperature (used by coordinated cooling control
+  /// in the macro layer, and by tests).
+  void set_supply_temp_c(double temp_c);
+
+ private:
+  CracConfig config_;
+  double supply_c_;
+  std::size_t control_actions_ = 0;
+};
+
+}  // namespace epm::thermal

@@ -1,0 +1,45 @@
+#include "thermal/zone.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/require.h"
+
+namespace epm::thermal {
+
+ThermalZone::ThermalZone(ZoneConfig config)
+    : config_(config),
+      temp_c_(config.initial_temp_c),
+      lagged_supply_c_(config.initial_temp_c) {
+  require(config_.heat_capacity_j_per_c > 0.0, "ThermalZone: capacity must be positive");
+  require(config_.conductance_w_per_c > 0.0, "ThermalZone: conductance must be positive");
+  require(config_.supply_lag_s >= 0.0, "ThermalZone: negative supply lag");
+}
+
+void ThermalZone::step(double dt_s, double heat_w, double supply_c) {
+  require(dt_s > 0.0, "ThermalZone: dt must be positive");
+  require(heat_w >= 0.0, "ThermalZone: negative heat");
+  // Propagation lag: first-order tracking of the commanded supply temp.
+  if (config_.supply_lag_s <= 0.0) {
+    lagged_supply_c_ = supply_c;
+  } else {
+    const double a = 1.0 - std::exp(-dt_s / config_.supply_lag_s);
+    lagged_supply_c_ += a * (supply_c - lagged_supply_c_);
+  }
+  // Exact exponential update of the linear ODE over dt (stable for any dt).
+  const double t_inf = steady_state_c(heat_w, lagged_supply_c_);
+  const double tau = config_.heat_capacity_j_per_c / config_.conductance_w_per_c;
+  const double b = std::exp(-dt_s / tau);
+  temp_c_ = t_inf + (temp_c_ - t_inf) * b;
+}
+
+double ThermalZone::steady_state_c(double heat_w, double supply_c) const {
+  return supply_c + heat_w / config_.conductance_w_per_c;
+}
+
+void ThermalZone::reset(double temp_c, double supply_c) {
+  temp_c_ = temp_c;
+  lagged_supply_c_ = supply_c;
+}
+
+}  // namespace epm::thermal

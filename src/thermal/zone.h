@@ -1,0 +1,62 @@
+// Lumped-parameter thermal zone (paper §2.2, Fig. 2).
+//
+// A zone models one cold-aisle region on the raised floor: servers inject
+// heat, cold air arrives from CRAC units through the subfloor with a
+// propagation lag, and some neighbour heat recirculates over the racks. The
+// zone temperature stands for the server *inlet* temperature there, which is
+// what ASHRAE's 20-25 C recommendation and the servers' protective sensors
+// watch.
+//
+//   C dT/dt = Q_it + Q_recirculated - G (T - T_air_effective)
+#pragma once
+
+#include <string>
+
+namespace epm::thermal {
+
+struct ZoneConfig {
+  std::string name;
+  /// Thermal capacitance of the zone's air + nearby mass (J/C). Large values
+  /// give the "slow dynamics" the paper attributes to air cooling.
+  double heat_capacity_j_per_c = 2.0e6;
+  /// Thermal conductance between the zone and the cooling airflow (W/C).
+  double conductance_w_per_c = 3.0e3;
+  /// First-order lag standing in for cold-air propagation delay from the
+  /// subfloor plenum to the racks (s). Paper: CRAC "actions take long
+  /// propagation delays to reach the servers".
+  double supply_lag_s = 300.0;
+  double initial_temp_c = 22.0;
+  /// Server protective-shutdown threshold (paper §2.2): inlet temperatures
+  /// above this raise thermal alarms.
+  double alarm_temp_c = 32.0;
+};
+
+/// Integrates one zone's temperature. The effective supply temperature seen
+/// by the zone lags the commanded CRAC supply temperature.
+class ThermalZone {
+ public:
+  explicit ThermalZone(ZoneConfig config);
+
+  const ZoneConfig& config() const { return config_; }
+  double temperature_c() const { return temp_c_; }
+  double lagged_supply_c() const { return lagged_supply_c_; }
+  bool in_alarm() const { return temp_c_ > config_.alarm_temp_c; }
+
+  /// Advances the zone by dt_s with `heat_w` of injected IT (+ recirculated)
+  /// heat and `supply_c` commanded cooling-air temperature.
+  void step(double dt_s, double heat_w, double supply_c);
+
+  /// Steady-state temperature for constant inputs (used by tests and by the
+  /// macro layer's risk model).
+  double steady_state_c(double heat_w, double supply_c) const;
+
+  /// Resets to a given temperature (and re-seeds the supply lag).
+  void reset(double temp_c, double supply_c);
+
+ private:
+  ZoneConfig config_;
+  double temp_c_;
+  double lagged_supply_c_;
+};
+
+}  // namespace epm::thermal

@@ -1,0 +1,72 @@
+#include "vm/interference.h"
+
+#include <algorithm>
+
+#include "core/require.h"
+
+namespace epm::vm {
+
+HostEvaluation evaluate_host(const std::vector<VmSpec>& vms, const HostSpec& host,
+                             const InterferenceConfig& config) {
+  require(host.cpu_cores > 0.0 && host.disk_iops > 0.0 && host.net_mbps > 0.0,
+          "evaluate_host: invalid host capacities");
+  require(config.io_intensive_fraction > 0.0 && config.io_intensive_fraction <= 1.0,
+          "evaluate_host: io_intensive_fraction outside (0,1]");
+  require(config.contention_penalty >= 0.0, "evaluate_host: negative penalty");
+
+  HostEvaluation eval;
+  double cpu_demand = 0.0;
+  double disk_demand = 0.0;
+  double net_demand = 0.0;
+  for (const auto& v : vms) {
+    cpu_demand += v.cpu_cores;
+    disk_demand += v.disk_iops;
+    net_demand += v.net_mbps;
+    if (v.disk_iops > config.io_intensive_fraction * host.disk_iops) {
+      ++eval.io_intensive_count;
+    }
+  }
+
+  // Seek amplification from multiple IO-intensive tenants (non-additive).
+  const std::size_t k = eval.io_intensive_count;
+  const double amplification =
+      k >= 2 ? 1.0 + config.contention_penalty * static_cast<double>(k - 1) : 1.0;
+  eval.effective_disk_iops = host.disk_iops / amplification;
+
+  // Work-conserving proportional sharing on each resource.
+  const double cpu_ratio = cpu_demand > host.cpu_cores ? host.cpu_cores / cpu_demand : 1.0;
+  const double disk_ratio =
+      disk_demand > eval.effective_disk_iops ? eval.effective_disk_iops / disk_demand : 1.0;
+  const double net_ratio = net_demand > host.net_mbps ? host.net_mbps / net_demand : 1.0;
+
+  eval.cpu_utilization = host.cpu_cores > 0.0 ? std::min(cpu_demand / host.cpu_cores, 1.0) : 0.0;
+  eval.disk_utilization = eval.effective_disk_iops > 0.0
+                              ? std::min(disk_demand / eval.effective_disk_iops, 1.0)
+                              : 0.0;
+
+  eval.vms.reserve(vms.size());
+  for (const auto& v : vms) {
+    VmPerformance perf;
+    perf.vm_id = v.id;
+    perf.throughput_ratio = 1.0;
+    // A VM is slowed by the most-contended resource it actually uses.
+    if (v.cpu_cores > 0.0 && cpu_ratio < perf.throughput_ratio) {
+      perf.throughput_ratio = cpu_ratio;
+      perf.bottleneck = 0;
+    }
+    if (v.disk_iops > 0.0 && disk_ratio < perf.throughput_ratio) {
+      perf.throughput_ratio = disk_ratio;
+      perf.bottleneck = 1;
+    }
+    if (v.net_mbps > 0.0 && net_ratio < perf.throughput_ratio) {
+      perf.throughput_ratio = net_ratio;
+      perf.bottleneck = 2;
+    }
+    eval.worst_throughput_ratio =
+        std::min(eval.worst_throughput_ratio, perf.throughput_ratio);
+    eval.vms.push_back(perf);
+  }
+  return eval;
+}
+
+}  // namespace epm::vm

@@ -1,0 +1,53 @@
+// Non-additive resource interference (paper §4.4):
+//
+//   "how to group VMs together remains challenging since hardware resource
+//    utilization across VMs are not additive. For example, due to disk
+//    contention, putting two disk IO intensive applications on the same
+//    host machine may cause significant throughput degradation."
+//
+// CPU and network are modeled as additive (work-conserving shared
+// resources). Disk is not: every additional IO-intensive tenant adds seek
+// amplification, inflating each tenant's effective IO cost. Achieved
+// throughput is a proportional share of the deflated effective capacity.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "vm/vm.h"
+
+namespace epm::vm {
+
+struct InterferenceConfig {
+  /// A VM counts as IO-intensive when its disk demand exceeds this fraction
+  /// of the host's disk capacity.
+  double io_intensive_fraction = 0.25;
+  /// Seek-amplification per extra IO-intensive co-tenant: the host's
+  /// effective IO capacity becomes capacity / (1 + penalty * (k - 1)).
+  double contention_penalty = 0.35;
+};
+
+/// Per-VM outcome of running a group on one host.
+struct VmPerformance {
+  std::size_t vm_id = 0;
+  /// Achieved / demanded throughput, in (0, 1]. 1 = no degradation.
+  double throughput_ratio = 1.0;
+  /// Which resource bound it (0=cpu, 1=disk, 2=net, -1=unbound).
+  int bottleneck = -1;
+};
+
+struct HostEvaluation {
+  std::vector<VmPerformance> vms;
+  double cpu_utilization = 0.0;
+  double disk_utilization = 0.0;       ///< of *effective* (deflated) capacity
+  double effective_disk_iops = 0.0;    ///< capacity after seek amplification
+  std::size_t io_intensive_count = 0;
+  /// Minimum throughput ratio across tenants (the co-location's worst case).
+  double worst_throughput_ratio = 1.0;
+};
+
+/// Evaluates the performance of `vms` co-located on `host`.
+HostEvaluation evaluate_host(const std::vector<VmSpec>& vms, const HostSpec& host,
+                             const InterferenceConfig& config = {});
+
+}  // namespace epm::vm

@@ -1,0 +1,59 @@
+#include "vm/virtual_power.h"
+
+#include <algorithm>
+
+#include "core/require.h"
+
+namespace epm::vm {
+
+VpmChannel::VpmChannel(const power::ServerPowerModel& host_model, VpmRuleConfig config)
+    : host_model_(&host_model), config_(config) {
+  require(config_.min_duty > 0.0 && config_.min_duty <= 1.0,
+          "VpmChannel: min_duty outside (0,1]");
+}
+
+double VpmChannel::requested_speed_fraction(const SoftPStateRequest& request) {
+  require(request.soft_pstate_count >= 1, "VpmChannel: guest with zero soft states");
+  require(request.soft_pstate < request.soft_pstate_count,
+          "VpmChannel: soft state out of range");
+  if (request.soft_pstate_count == 1) return 1.0;
+  // Linear ladder: state 0 -> 1.0, last state -> 1/count.
+  const double lo = 1.0 / static_cast<double>(request.soft_pstate_count);
+  const double frac = static_cast<double>(request.soft_pstate) /
+                      static_cast<double>(request.soft_pstate_count - 1);
+  return 1.0 - (1.0 - lo) * frac;
+}
+
+VpmDecision VpmChannel::apply(const std::vector<SoftPStateRequest>& requests) const {
+  VpmDecision decision;
+  if (requests.empty()) {
+    // No guests: park the host at its slowest state.
+    decision.host_pstate = host_model_->pstate_count() - 1;
+    return decision;
+  }
+  // The host must be fast enough for the share-weighted *most demanding*
+  // guest: hosting a guest at speed s with share c needs host speed >= s
+  // on the guest's share of the machine, i.e. host relative capacity >=
+  // max_i(s_i) to avoid slowing anyone beyond their own request.
+  double max_speed = 0.0;
+  for (const auto& r : requests) {
+    require(r.cpu_share > 0.0 && r.cpu_share <= 1.0,
+            "VpmChannel: cpu_share outside (0,1]");
+    max_speed = std::max(max_speed, requested_speed_fraction(r));
+  }
+  decision.host_pstate = host_model_->lowest_pstate_with_capacity(max_speed);
+  const double host_speed = host_model_->relative_capacity(decision.host_pstate);
+
+  // Guests that requested less speed than the host delivers get squeezed to
+  // their ask through a scheduler duty factor ("soft" states realized by
+  // scheduling, exactly the VPM mechanism split).
+  decision.vm_duty.reserve(requests.size());
+  for (const auto& r : requests) {
+    const double want = requested_speed_fraction(r);
+    const double duty = std::clamp(want / host_speed, config_.min_duty, 1.0);
+    decision.vm_duty.push_back(duty);
+  }
+  return decision;
+}
+
+}  // namespace epm::vm

@@ -1,0 +1,59 @@
+// VirtualPower-style soft power states (paper §4.4, ref [27], Nathuji &
+// Schwan SOSP'07).
+//
+// Guest VMs apply their own power-management policies to *soft* P-states;
+// the Virtual Power Management (VPM) channel collects those soft requests
+// and a rule maps them onto the host's real P-state and per-VM scheduler
+// shares — preserving the isolation VMs assume while letting the host
+// coordinate globally.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "power/server_power.h"
+
+namespace epm::vm {
+
+/// A guest's requested soft state: 0 = fastest.
+struct SoftPStateRequest {
+  std::size_t vm_id = 0;
+  std::size_t soft_pstate = 0;
+  std::size_t soft_pstate_count = 1;  ///< how many states the guest believes in
+  double cpu_share = 1.0;             ///< guest's share of the host CPU
+};
+
+/// Host-level decision derived from all guests' soft states.
+struct VpmDecision {
+  std::size_t host_pstate = 0;
+  /// Per-VM scheduler duty factor emulating the residual slowdown each
+  /// guest asked for beyond what the host P-state provides; aligned with
+  /// the request order.
+  std::vector<double> vm_duty;
+};
+
+struct VpmRuleConfig {
+  /// Host runs no slower than the *most demanding* guest requires
+  /// (share-weighted); guests that asked for less speed are squeezed via
+  /// their duty factor instead.
+  double min_duty = 0.1;
+};
+
+class VpmChannel {
+ public:
+  explicit VpmChannel(const power::ServerPowerModel& host_model,
+                      VpmRuleConfig config = {});
+
+  /// Maps guest soft states to a host P-state + per-VM duties.
+  VpmDecision apply(const std::vector<SoftPStateRequest>& requests) const;
+
+  /// The speed fraction a soft request represents: linear ladder from 1.0
+  /// (state 0) down to 1/count.
+  static double requested_speed_fraction(const SoftPStateRequest& request);
+
+ private:
+  const power::ServerPowerModel* host_model_;
+  VpmRuleConfig config_;
+};
+
+}  // namespace epm::vm

@@ -1,0 +1,27 @@
+#include "vm/vm.h"
+
+#include "core/require.h"
+
+namespace epm::vm {
+
+bool fits(const VmSpec& vm, const HostSpec& host, const HostUsage& used) {
+  return used.cpu_cores + vm.cpu_cores <= host.cpu_cores + 1e-9 &&
+         used.disk_iops + vm.disk_iops <= host.disk_iops + 1e-9 &&
+         used.net_mbps + vm.net_mbps <= host.net_mbps + 1e-9 &&
+         used.memory_gb + vm.memory_gb <= host.memory_gb + 1e-9;
+}
+
+HostUsage add_usage(const HostUsage& used, const VmSpec& vm) {
+  return HostUsage{used.cpu_cores + vm.cpu_cores, used.disk_iops + vm.disk_iops,
+                   used.net_mbps + vm.net_mbps, used.memory_gb + vm.memory_gb};
+}
+
+bool is_disk_bound(const VmSpec& vm, const HostSpec& reference) {
+  require(reference.cpu_cores > 0.0 && reference.disk_iops > 0.0,
+          "is_disk_bound: invalid reference host");
+  const double cpu_pressure = vm.cpu_cores / reference.cpu_cores;
+  const double disk_pressure = vm.disk_iops / reference.disk_iops;
+  return disk_pressure > cpu_pressure;
+}
+
+}  // namespace epm::vm

@@ -1,0 +1,57 @@
+// Virtual machine and host descriptors (paper §4.4).
+//
+// Resource demands are vectors over CPU, disk IO, and network — "different
+// processes stress physical resources differently - some are CPU bound,
+// some are disk IO bound, and some are network bound" (§5.2). Placement and
+// interference reasoning operates on these vectors plus, for
+// correlation-aware packing, on each VM's load-over-time profile.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/time_series.h"
+
+namespace epm::vm {
+
+struct VmSpec {
+  std::size_t id = 0;
+  std::string name;
+  double cpu_cores = 1.0;       ///< mean demand, in cores
+  double disk_iops = 50.0;      ///< mean demand, IO operations/s
+  double net_mbps = 10.0;       ///< mean demand, Mbit/s
+  double memory_gb = 4.0;
+  /// Optional normalized load-over-time profile (multiplies the mean
+  /// demands); empty means "flat". Used by correlation-aware packing
+  /// ("two processes, or VMs, from different applications are unlikely to
+  /// generate power spikes at the same time", §5.2).
+  TimeSeries load_profile;
+};
+
+struct HostSpec {
+  std::size_t id = 0;
+  std::string name;
+  double cpu_cores = 16.0;
+  double disk_iops = 400.0;    ///< a single spindle-limited disk subsystem
+  double net_mbps = 1000.0;
+  double memory_gb = 64.0;
+};
+
+/// True when the VM's *mean* demands fit in the host's remaining capacity.
+struct HostUsage {
+  double cpu_cores = 0.0;
+  double disk_iops = 0.0;
+  double net_mbps = 0.0;
+  double memory_gb = 0.0;
+};
+
+bool fits(const VmSpec& vm, const HostSpec& host, const HostUsage& used);
+HostUsage add_usage(const HostUsage& used, const VmSpec& vm);
+
+/// Classification helper: a VM is disk-IO-bound when its normalized disk
+/// pressure dominates its CPU pressure (used by interference-aware
+/// placement and by tests).
+bool is_disk_bound(const VmSpec& vm, const HostSpec& reference);
+
+}  // namespace epm::vm

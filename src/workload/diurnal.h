@@ -1,0 +1,54 @@
+// Parametric diurnal / weekly demand shapes (paper §3, Fig. 3).
+//
+// The paper's Messenger figure shows: early-afternoon demand ~2x the
+// post-midnight trough, weekday demand above weekend demand, and occasional
+// flash crowds. DiurnalModel captures the smooth deterministic part; the
+// stochastic parts (noise, flash crowds) are layered on top by the callers.
+#pragma once
+
+#include <vector>
+
+#include "core/time_series.h"
+
+namespace epm::workload {
+
+/// Smooth 24-hour demand profile with a weekly modulation.
+///
+/// The daily curve is a truncated two-harmonic Fourier shape chosen so its
+/// peak sits at `peak_hour` and its trough/peak ratio equals
+/// `trough_to_peak`. Weekend days are scaled by `weekend_factor`.
+struct DiurnalConfig {
+  double peak_hour = 14.0;        ///< local time of the daily maximum
+  double trough_to_peak = 0.5;    ///< paper: midnight ~ half of afternoon
+  double weekend_factor = 0.8;    ///< weekend demand relative to weekdays
+  double second_harmonic = 0.15;  ///< asymmetry: sharper evening shoulder
+  /// Day-of-week of t=0. 0 = Monday ... 6 = Sunday.
+  int start_weekday = 0;
+};
+
+class DiurnalModel {
+ public:
+  explicit DiurnalModel(DiurnalConfig config);
+
+  /// Dimensionless demand multiplier at absolute time `t_s`, in (0, 1]:
+  /// 1.0 at the weekday peak.
+  double demand_at(double t_s) const;
+
+  /// Hour of day in [0, 24) for `t_s`.
+  static double hour_of_day(double t_s);
+  /// Day-of-week index 0..6 at `t_s`, honoring config.start_weekday.
+  int weekday_of(double t_s) const;
+  bool is_weekend(double t_s) const;
+
+  const DiurnalConfig& config() const { return config_; }
+
+ private:
+  double daily_shape(double hour) const;  // in (0,1], peak at peak_hour
+
+  DiurnalConfig config_;
+};
+
+/// Samples `model.demand_at` every `step_s` over [0, horizon_s).
+TimeSeries sample_demand(const DiurnalModel& model, double horizon_s, double step_s);
+
+}  // namespace epm::workload

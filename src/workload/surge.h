@@ -1,0 +1,43 @@
+// Animoto-style demand surges (paper §3, quoting ref [5]):
+//
+//   "When Animoto made its service available via Facebook, it experienced a
+//    demand surge that resulted in growing from 50 servers to 3500 servers
+//    in three days... After the peak subsided, traffic fell to a level that
+//    was well below the peak."
+//
+// The surge is modeled as a logistic ramp from a baseline demand to a peak
+// over `ramp_s`, a plateau, then an exponential recession to a post-surge
+// level above the original baseline but far below the peak.
+#pragma once
+
+#include "core/time_series.h"
+
+namespace epm::workload {
+
+struct SurgeConfig {
+  double baseline = 50.0;        ///< pre-surge demand (paper: 50 servers' worth)
+  double peak = 3500.0;          ///< surge peak (paper: 3500 servers' worth)
+  double post_surge = 400.0;     ///< level traffic recedes to ("well below peak")
+  double surge_start_s = 86400.0;     ///< when the ramp begins
+  double ramp_s = 3.0 * 86400.0;      ///< paper: three days to peak
+  double plateau_s = 1.0 * 86400.0;   ///< time at peak before receding
+  double recede_tau_s = 1.0 * 86400.0;  ///< exponential recession constant
+};
+
+class SurgeModel {
+ public:
+  explicit SurgeModel(SurgeConfig config);
+
+  /// Demand (in arbitrary units, e.g. server-equivalents of load) at t_s.
+  double demand_at(double t_s) const;
+
+  const SurgeConfig& config() const { return config_; }
+
+ private:
+  SurgeConfig config_;
+};
+
+/// Samples the surge every `step_s` over [0, horizon_s).
+TimeSeries sample_surge(const SurgeModel& model, double horizon_s, double step_s);
+
+}  // namespace epm::workload

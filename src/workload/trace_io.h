@@ -1,0 +1,31 @@
+// CSV record/replay for demand traces, so experiments can be re-run against
+// identical inputs and external traces can be substituted for the synthetic
+// generators (DESIGN.md substitution table).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/time_series.h"
+
+namespace epm::workload {
+
+/// A named series bundle, e.g. {"login_rate", "connections"}.
+struct NamedSeries {
+  std::string name;
+  TimeSeries series;
+};
+
+/// Writes columns `time_s,name1,name2,...` with one row per sample. All
+/// series must share timing and length.
+void write_csv(std::ostream& out, const std::vector<NamedSeries>& columns);
+void write_csv_file(const std::string& path, const std::vector<NamedSeries>& columns);
+
+/// Parses a CSV in the write_csv format. Throws std::invalid_argument on
+/// malformed input (ragged rows, non-numeric cells, unsorted/non-uniform
+/// time column).
+std::vector<NamedSeries> read_csv(std::istream& in);
+std::vector<NamedSeries> read_csv_file(const std::string& path);
+
+}  // namespace epm::workload

@@ -1,0 +1,74 @@
+#include "cluster/queueing.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace epm::cluster {
+namespace {
+
+TEST(ErlangC, KnownValues) {
+  // Single server: Erlang-C equals the offered load (M/M/1 wait probability
+  // = rho).
+  EXPECT_NEAR(erlang_c(0.5, 1), 0.5, 1e-12);
+  // 10 erlangs offered to 12 servers: Erlang-B(12,10) = 0.11973 by the
+  // standard recurrence, hence C = B / (1 - (a/n)(1-B)) = 0.44937.
+  EXPECT_NEAR(erlang_c(10.0, 12), 0.44937, 0.0005);
+  EXPECT_DOUBLE_EQ(erlang_c(0.0, 4), 0.0);
+}
+
+TEST(ErlangC, RejectsUnstable) {
+  EXPECT_THROW(erlang_c(2.0, 2), std::invalid_argument);
+  EXPECT_THROW(erlang_c(-0.1, 2), std::invalid_argument);
+  EXPECT_THROW(erlang_c(0.5, 0), std::invalid_argument);
+}
+
+TEST(MmnResponse, MatchesMm1ClosedForm) {
+  // M/M/1: T = 1/(mu - lambda).
+  const double mu = 10.0;
+  const double lambda = 6.0;
+  EXPECT_NEAR(mmn_response_time_s(lambda, mu, 1), 1.0 / (mu - lambda), 1e-9);
+}
+
+TEST(MmnResponse, ZeroLoadIsServiceTime) {
+  EXPECT_DOUBLE_EQ(mmn_response_time_s(0.0, 4.0, 3), 0.25);
+}
+
+TEST(MmnResponse, MonotoneInLambda) {
+  double prev = 0.0;
+  for (double lambda = 1.0; lambda < 29.0; lambda += 1.0) {
+    const double t = mmn_response_time_s(lambda, 10.0, 3);
+    ASSERT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(MmnResponse, MoreServersHelp) {
+  EXPECT_LT(mmn_response_time_s(8.0, 10.0, 4), mmn_response_time_s(8.0, 10.0, 1));
+}
+
+TEST(MmnResponse, RejectsUnstable) {
+  EXPECT_THROW(mmn_response_time_s(30.0, 10.0, 3), std::invalid_argument);
+  EXPECT_THROW(mmn_response_time_s(1.0, 0.0, 3), std::invalid_argument);
+}
+
+TEST(Mg1Ps, ClosedForm) {
+  EXPECT_DOUBLE_EQ(mg1ps_response_time_s(0.1, 0.5), 0.2);
+  EXPECT_DOUBLE_EQ(mg1ps_response_time_s(0.1, 0.0), 0.1);
+}
+
+TEST(Mg1Ps, DivergesNearSaturation) {
+  EXPECT_GT(mg1ps_response_time_s(0.1, 0.99), 9.0);
+  EXPECT_THROW(mg1ps_response_time_s(0.1, 1.0), std::invalid_argument);
+  EXPECT_THROW(mg1ps_response_time_s(0.0, 0.5), std::invalid_argument);
+}
+
+TEST(ResponseQuantile, ExponentialTail) {
+  // p50 = mean * ln 2; p99 = mean * ln 100.
+  EXPECT_NEAR(response_quantile_s(1.0, 0.5), std::log(2.0), 1e-12);
+  EXPECT_NEAR(response_quantile_s(1.0, 0.99), std::log(100.0), 1e-12);
+  EXPECT_THROW(response_quantile_s(1.0, 1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace epm::cluster

@@ -1,0 +1,155 @@
+// Ground-truth validation of the closed-form queueing models: per-request
+// discrete-event simulation vs the formulas the epoch-driven fast path uses.
+#include "cluster/request_des.h"
+
+#include <gtest/gtest.h>
+
+#include "cluster/queueing.h"
+
+namespace epm::cluster {
+namespace {
+
+RequestDesConfig base_config() {
+  RequestDesConfig config;
+  config.arrival_rate_per_s = 70.0;
+  config.mean_service_s = 0.01;  // mu = 100/s -> rho = 0.7
+  config.measured_requests = 40000;
+  return config;
+}
+
+TEST(RequestDes, Mm1FcfsMatchesClosedForm) {
+  auto config = base_config();
+  const auto result = simulate_requests(config);
+  // M/M/1: T = 1/(mu - lambda) = 1/30.
+  EXPECT_NEAR(result.response_s.mean(), 1.0 / 30.0, 0.0025);
+  EXPECT_NEAR(result.utilization, 0.7, 0.02);
+  EXPECT_EQ(result.completed, config.measured_requests);
+}
+
+TEST(RequestDes, MmnFcfsMatchesErlangC) {
+  auto config = base_config();
+  config.servers = 4;
+  config.arrival_rate_per_s = 280.0;  // rho = 0.7 across 4 servers
+  const auto result = simulate_requests(config);
+  const double expected = mmn_response_time_s(280.0, 100.0, 4);
+  EXPECT_NEAR(result.response_s.mean(), expected, expected * 0.05);
+}
+
+TEST(RequestDes, Md1WaitHalvesVsMm1) {
+  // Pollaczek-Khinchine: deterministic service halves the queueing wait.
+  auto exp_config = base_config();
+  auto det_config = base_config();
+  det_config.distribution = ServiceDistribution::kDeterministic;
+  const double exp_wait =
+      simulate_requests(exp_config).response_s.mean() - 0.01;
+  const double det_wait =
+      simulate_requests(det_config).response_s.mean() - 0.01;
+  EXPECT_NEAR(det_wait / exp_wait, 0.5, 0.08);
+}
+
+TEST(RequestDes, Mg1PsInsensitivity) {
+  // M/G/1-PS mean response depends on the service distribution only through
+  // its mean: S / (1 - rho) for exponential, deterministic, and heavy-tailed
+  // lognormal alike. This is what justifies the fast path's use of
+  // mg1ps_response_time_s under varying request mixes.
+  const double expected = mg1ps_response_time_s(0.01, 0.7);
+  for (auto dist : {ServiceDistribution::kExponential,
+                    ServiceDistribution::kDeterministic,
+                    ServiceDistribution::kLognormal}) {
+    auto config = base_config();
+    config.discipline = ServiceDiscipline::kProcessorSharing;
+    config.distribution = dist;
+    config.service_cv = 2.0;  // heavy for the lognormal case
+    if (dist == ServiceDistribution::kLognormal) {
+      // Heavy tails converge slowly: rare huge jobs dominate the mean.
+      config.measured_requests = 250000;
+      config.warmup_requests = 10000;
+    }
+    const auto result = simulate_requests(config);
+    EXPECT_NEAR(result.response_s.mean(), expected, expected * 0.10)
+        << "distribution " << static_cast<int>(dist);
+  }
+}
+
+TEST(RequestDes, JsqPsBeatsIndependentServerApproximation) {
+  // The epoch fast path models n balanced PS servers as each seeing the
+  // cluster utilization: T ~ S / (1 - rho). Join-shortest-queue routing is
+  // strictly better than random splitting, so the measured response must be
+  // bounded by the service time below and the approximation above.
+  auto config = base_config();
+  config.discipline = ServiceDiscipline::kProcessorSharing;
+  config.servers = 4;
+  config.arrival_rate_per_s = 280.0;
+  const auto result = simulate_requests(config);
+  const double approx = mg1ps_response_time_s(0.01, 0.7);
+  EXPECT_GT(result.response_s.mean(), 0.01);
+  EXPECT_LT(result.response_s.mean(), approx * 1.05);
+}
+
+TEST(RequestDes, QueueDepthTracksLittlesLaw) {
+  auto config = base_config();
+  const auto result = simulate_requests(config);
+  // Little: E[N] = lambda * E[T].
+  const double expected_n = 70.0 * result.response_s.mean();
+  EXPECT_NEAR(result.queue_depth.mean(), expected_n, expected_n * 0.08);
+}
+
+TEST(RequestDes, DeterministicPerSeed) {
+  auto config = base_config();
+  config.measured_requests = 5000;
+  const auto a = simulate_requests(config);
+  const auto b = simulate_requests(config);
+  EXPECT_DOUBLE_EQ(a.response_s.mean(), b.response_s.mean());
+  EXPECT_DOUBLE_EQ(a.simulated_time_s, b.simulated_time_s);
+}
+
+TEST(RequestDes, ResponseGrowsWithLoad) {
+  double prev = 0.0;
+  for (double lambda : {30.0, 60.0, 90.0}) {
+    auto config = base_config();
+    config.arrival_rate_per_s = lambda;
+    config.measured_requests = 20000;
+    const double t = simulate_requests(config).response_s.mean();
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(RequestDes, UnstableAndInvalidConfigsThrow) {
+  auto config = base_config();
+  config.arrival_rate_per_s = 100.0;  // rho = 1
+  EXPECT_THROW(simulate_requests(config), std::invalid_argument);
+  config = base_config();
+  config.servers = 0;
+  EXPECT_THROW(simulate_requests(config), std::invalid_argument);
+  config = base_config();
+  config.measured_requests = 0;
+  EXPECT_THROW(simulate_requests(config), std::invalid_argument);
+}
+
+// Property sweep: FCFS M/M/n matches Erlang-C across fleet sizes and loads.
+class MmnAgreement
+    : public ::testing::TestWithParam<std::tuple<std::size_t, double>> {};
+
+TEST_P(MmnAgreement, DesMatchesFormula) {
+  const auto [servers, rho] = GetParam();
+  RequestDesConfig config;
+  config.servers = servers;
+  config.mean_service_s = 0.01;
+  config.arrival_rate_per_s = rho * static_cast<double>(servers) * 100.0;
+  // Estimator variance blows up near saturation; spend more samples there.
+  config.measured_requests = static_cast<std::size_t>(30000.0 + 200000.0 * rho * rho);
+  config.seed = 7 + servers;
+  const auto result = simulate_requests(config);
+  const double expected =
+      mmn_response_time_s(config.arrival_rate_per_s, 100.0, servers);
+  EXPECT_NEAR(result.response_s.mean(), expected, expected * 0.08)
+      << "n=" << servers << " rho=" << rho;
+}
+
+INSTANTIATE_TEST_SUITE_P(FleetAndLoad, MmnAgreement,
+                         ::testing::Combine(::testing::Values(1, 2, 8),
+                                            ::testing::Values(0.3, 0.6, 0.85)));
+
+}  // namespace
+}  // namespace epm::cluster

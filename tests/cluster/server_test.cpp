@@ -1,0 +1,107 @@
+#include "cluster/server.h"
+
+#include <gtest/gtest.h>
+
+namespace epm::cluster {
+namespace {
+
+class ServerTest : public ::testing::Test {
+ protected:
+  power::ServerPowerModel model_{power::ServerPowerConfig{}};
+};
+
+TEST_F(ServerTest, BootSequence) {
+  Server s(0, model_, ServerState::kOff);
+  EXPECT_DOUBLE_EQ(s.power_w(), 0.0);
+  EXPECT_TRUE(s.power_on());
+  EXPECT_EQ(s.state(), ServerState::kBooting);
+  EXPECT_DOUBLE_EQ(s.power_w(), 280.0);  // boot power
+  s.tick(60.0);
+  EXPECT_EQ(s.state(), ServerState::kBooting);  // 120 s boot
+  s.tick(60.0);
+  EXPECT_EQ(s.state(), ServerState::kActive);
+  EXPECT_TRUE(s.serving());
+  EXPECT_EQ(s.boot_count(), 1u);
+}
+
+TEST_F(ServerTest, BootEnergyAccounted) {
+  Server s(0, model_, ServerState::kOff);
+  s.power_on();
+  s.tick(200.0);  // longer than boot: only 120 s of boot power counts
+  EXPECT_NEAR(s.transition_energy_j(), 280.0 * 120.0, 1e-9);
+}
+
+TEST_F(ServerTest, SleepAndWake) {
+  Server s(0, model_, ServerState::kActive);
+  EXPECT_TRUE(s.sleep());
+  EXPECT_EQ(s.state(), ServerState::kSleeping);
+  EXPECT_DOUBLE_EQ(s.power_w(), 9.0);
+  EXPECT_TRUE(s.wake());
+  EXPECT_EQ(s.state(), ServerState::kWaking);
+  s.tick(15.0);
+  EXPECT_EQ(s.state(), ServerState::kActive);
+}
+
+TEST_F(ServerTest, InvalidCommandsIgnored) {
+  Server s(0, model_, ServerState::kActive);
+  EXPECT_FALSE(s.power_on());   // already on
+  EXPECT_FALSE(s.wake());       // not sleeping
+  EXPECT_TRUE(s.power_off());
+  EXPECT_FALSE(s.power_off());  // already off
+  EXPECT_FALSE(s.sleep());      // off servers cannot sleep
+}
+
+TEST_F(ServerTest, PowerOffFromAnyState) {
+  Server s(0, model_, ServerState::kOff);
+  s.power_on();
+  EXPECT_TRUE(s.power_off());  // abort boot
+  EXPECT_EQ(s.state(), ServerState::kOff);
+}
+
+TEST_F(ServerTest, ActivePowerTracksUtilizationAndPstate) {
+  Server s(0, model_, ServerState::kActive);
+  s.set_utilization(0.0);
+  EXPECT_DOUBLE_EQ(s.power_w(), model_.idle_power_w());
+  s.set_utilization(1.0);
+  EXPECT_DOUBLE_EQ(s.power_w(), model_.peak_power_w());
+  s.set_pstate(model_.pstate_count() - 1);
+  EXPECT_LT(s.power_w(), model_.peak_power_w());
+}
+
+TEST_F(ServerTest, CapacityFractionOnlyWhileActive) {
+  Server s(0, model_, ServerState::kActive);
+  EXPECT_DOUBLE_EQ(s.capacity_fraction(), 1.0);
+  s.set_pstate(model_.pstate_count() - 1);
+  EXPECT_DOUBLE_EQ(s.capacity_fraction(), 0.5);
+  s.set_duty(0.5);
+  EXPECT_DOUBLE_EQ(s.capacity_fraction(), 0.25);
+  s.sleep();
+  EXPECT_DOUBLE_EQ(s.capacity_fraction(), 0.0);
+}
+
+TEST_F(ServerTest, UtilizationClearedOnStateExit) {
+  Server s(0, model_, ServerState::kActive);
+  s.set_utilization(0.8);
+  s.sleep();
+  EXPECT_DOUBLE_EQ(s.utilization(), 0.0);
+}
+
+TEST_F(ServerTest, RejectsBadInput) {
+  Server s(0, model_, ServerState::kActive);
+  EXPECT_THROW(s.set_pstate(99), std::invalid_argument);
+  EXPECT_THROW(s.set_duty(0.0), std::invalid_argument);
+  EXPECT_THROW(s.set_utilization(1.5), std::invalid_argument);
+  EXPECT_THROW(s.tick(-1.0), std::invalid_argument);
+  EXPECT_THROW(Server(0, model_, ServerState::kBooting), std::invalid_argument);
+}
+
+TEST_F(ServerTest, StateNames) {
+  EXPECT_EQ(to_string(ServerState::kOff), "off");
+  EXPECT_EQ(to_string(ServerState::kBooting), "booting");
+  EXPECT_EQ(to_string(ServerState::kActive), "active");
+  EXPECT_EQ(to_string(ServerState::kSleeping), "sleeping");
+  EXPECT_EQ(to_string(ServerState::kWaking), "waking");
+}
+
+}  // namespace
+}  // namespace epm::cluster

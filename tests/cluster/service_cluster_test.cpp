@@ -1,0 +1,148 @@
+#include "cluster/service_cluster.h"
+
+#include <gtest/gtest.h>
+
+namespace epm::cluster {
+namespace {
+
+ServiceClusterConfig small_cluster(std::size_t total = 10, std::size_t active = 10) {
+  ServiceClusterConfig config;
+  config.server_count = total;
+  config.initially_active = active;
+  return config;
+}
+
+workload::OfferedLoad load_of(double rate, double demand = 0.01) {
+  workload::OfferedLoad load;
+  load.arrival_rate_per_s = rate;
+  load.service_demand_s = demand;
+  return load;
+}
+
+TEST(ServiceCluster, UtilizationMatchesLoad) {
+  ServiceCluster cluster(small_cluster());
+  // 10 servers at 100 rps each = 1000 rps capacity; offer 500 -> rho 0.5.
+  const auto r = cluster.run_epoch(60.0, load_of(500.0));
+  EXPECT_EQ(r.serving, 10u);
+  EXPECT_NEAR(r.utilization, 0.5, 1e-9);
+  EXPECT_FALSE(r.sla_violated);
+  EXPECT_DOUBLE_EQ(r.dropped_rate_per_s, 0.0);
+  // M/G/1-PS: 0.01 / 0.5 = 0.02 s.
+  EXPECT_NEAR(r.mean_response_s, 0.02, 1e-9);
+}
+
+TEST(ServiceCluster, PowerAccountsIdleFloor) {
+  ServiceCluster cluster(small_cluster());
+  const auto idle = cluster.run_epoch(60.0, load_of(0.0));
+  EXPECT_NEAR(idle.server_power_w, 10.0 * 180.0, 1e-6);  // 60% of 300 W
+  const auto busy = cluster.run_epoch(60.0, load_of(950.0));
+  EXPECT_GT(busy.server_power_w, idle.server_power_w);
+  EXPECT_LE(busy.server_power_w, 10.0 * 300.0 + 1e-6);
+}
+
+TEST(ServiceCluster, EnergyAccumulates) {
+  ServiceCluster cluster(small_cluster());
+  cluster.run_epoch(60.0, load_of(100.0));
+  cluster.run_epoch(60.0, load_of(100.0));
+  EXPECT_GT(cluster.total_energy_j(), 0.0);
+  EXPECT_EQ(cluster.epochs_run(), 2u);
+}
+
+TEST(ServiceCluster, OverloadShedsAndViolatesSla) {
+  ServiceCluster cluster(small_cluster());
+  const auto r = cluster.run_epoch(60.0, load_of(2000.0));  // 2x capacity
+  EXPECT_TRUE(r.sla_violated);
+  EXPECT_GT(r.dropped_rate_per_s, 900.0);
+  EXPECT_DOUBLE_EQ(r.mean_response_s, cluster.config().sla.overload_response_s);
+  EXPECT_GT(cluster.total_dropped_requests(), 0.0);
+}
+
+TEST(ServiceCluster, BrownOutWithNoServers) {
+  ServiceCluster cluster(small_cluster(10, 0));
+  const auto r = cluster.run_epoch(60.0, load_of(100.0));
+  EXPECT_EQ(r.serving, 0u);
+  EXPECT_DOUBLE_EQ(r.dropped_rate_per_s, 100.0);
+  EXPECT_TRUE(r.sla_violated);
+}
+
+TEST(ServiceCluster, SlaViolationWhenResponseExceedsTarget) {
+  ServiceClusterConfig config = small_cluster();
+  config.sla.target_mean_response_s = 0.015;  // tight: rho>1/3 violates
+  ServiceCluster cluster(config);
+  const auto ok = cluster.run_epoch(60.0, load_of(200.0));  // rho 0.2
+  EXPECT_FALSE(ok.sla_violated);
+  const auto slow = cluster.run_epoch(60.0, load_of(800.0));  // rho 0.8
+  EXPECT_TRUE(slow.sla_violated);
+  EXPECT_EQ(cluster.sla_violation_epochs(), 1u);
+}
+
+TEST(ServiceCluster, TargetCommittedScalesUpWithBootDelay) {
+  ServiceCluster cluster(small_cluster(10, 2));
+  EXPECT_EQ(cluster.committed_count(), 2u);
+  cluster.set_target_committed(6, /*use_sleep=*/false);
+  EXPECT_EQ(cluster.committed_count(), 6u);
+  EXPECT_EQ(cluster.serving_count(), 2u);  // boots take time
+  // First epoch: boots not yet done (120 s boot > 60 s epoch).
+  auto r = cluster.run_epoch(60.0, load_of(100.0));
+  EXPECT_EQ(r.serving, 2u);
+  EXPECT_EQ(r.booting, 4u);
+  // Second epoch: boots complete at its start.
+  r = cluster.run_epoch(60.0, load_of(100.0));
+  EXPECT_EQ(r.serving, 6u);
+}
+
+TEST(ServiceCluster, TargetCommittedScalesDown) {
+  ServiceCluster cluster(small_cluster(10, 8));
+  cluster.set_target_committed(3, /*use_sleep=*/true);
+  EXPECT_EQ(cluster.committed_count(), 3u);
+  EXPECT_EQ(cluster.count_in_state(ServerState::kSleeping), 5u);
+  cluster.set_target_committed(5, true);
+  // Wakes sleepers first (fast transition).
+  EXPECT_EQ(cluster.count_in_state(ServerState::kWaking), 2u);
+}
+
+TEST(ServiceCluster, TargetClampedToFleet) {
+  ServiceCluster cluster(small_cluster(4, 4));
+  cluster.set_target_committed(100, false);
+  EXPECT_EQ(cluster.committed_count(), 4u);
+}
+
+TEST(ServiceCluster, SleepersUseSleepPower) {
+  ServiceCluster cluster(small_cluster(4, 4));
+  cluster.set_target_committed(2, /*use_sleep=*/true);
+  const auto r = cluster.run_epoch(60.0, load_of(0.0));
+  // 2 active idle (180 W) + 2 sleeping (9 W).
+  EXPECT_NEAR(r.server_power_w, 2 * 180.0 + 2 * 9.0, 1e-6);
+}
+
+TEST(ServiceCluster, OffPowerIsZero) {
+  ServiceCluster cluster(small_cluster(4, 4));
+  cluster.set_target_committed(1, /*use_sleep=*/false);
+  const auto r = cluster.run_epoch(60.0, load_of(0.0));
+  EXPECT_NEAR(r.server_power_w, 180.0, 1e-6);
+  EXPECT_EQ(r.off, 3u);
+}
+
+TEST(ServiceCluster, UniformDvfsLowersCapacityAndPower) {
+  ServiceCluster cluster(small_cluster());
+  cluster.set_uniform_pstate(cluster.power_model().pstate_count() - 1);
+  const auto r = cluster.run_epoch(60.0, load_of(400.0));
+  // Capacity halved: 500 rps -> rho 0.8.
+  EXPECT_NEAR(r.utilization, 0.8, 1e-9);
+}
+
+TEST(ServiceCluster, RejectsBadInput) {
+  ServiceClusterConfig zero_servers;
+  zero_servers.server_count = 0;
+  EXPECT_THROW(ServiceCluster{zero_servers}, std::invalid_argument);
+  ServiceClusterConfig bad;
+  bad.initially_active = bad.server_count + 1;
+  EXPECT_THROW(ServiceCluster{bad}, std::invalid_argument);
+  ServiceCluster cluster(small_cluster());
+  EXPECT_THROW(cluster.run_epoch(0.0, load_of(1.0)), std::invalid_argument);
+  EXPECT_THROW(cluster.run_epoch(60.0, load_of(1.0, 0.0)), std::invalid_argument);
+  EXPECT_THROW(cluster.server(99), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace epm::cluster

@@ -1,0 +1,188 @@
+#include "core/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "core/rng.h"
+
+namespace epm {
+namespace {
+
+TEST(OnlineStats, EmptyDefaults) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 0.0);
+  EXPECT_THROW(s.min(), std::logic_error);
+  EXPECT_THROW(s.max(), std::logic_error);
+}
+
+TEST(OnlineStats, MatchesDirectComputation) {
+  const std::vector<double> xs{1.0, 2.5, -3.0, 4.0, 0.5};
+  OnlineStats s;
+  for (double x : xs) s.add(x);
+  double mean = 0.0;
+  for (double x : xs) mean += x;
+  mean /= static_cast<double>(xs.size());
+  double var = 0.0;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(xs.size() - 1);
+  EXPECT_NEAR(s.mean(), mean, 1e-12);
+  EXPECT_NEAR(s.variance(), var, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), -3.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_EQ(s.count(), xs.size());
+}
+
+TEST(OnlineStats, MergeEqualsSequential) {
+  Rng rng(1);
+  OnlineStats all;
+  OnlineStats a;
+  OnlineStats b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(5.0, 2.0);
+    all.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(OnlineStats, MergeWithEmpty) {
+  OnlineStats a;
+  a.add(1.0);
+  OnlineStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.0);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 10), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Histogram, CountsAndOverflow) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(-1.0);
+  h.add(0.0);
+  h.add(5.5);
+  h.add(10.0);  // boundary -> overflow
+  h.add(99.0);
+  EXPECT_EQ(h.total_count(), 5u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.bin(0), 1u);
+  EXPECT_EQ(h.bin(5), 1u);
+}
+
+TEST(Histogram, QuantileOfUniformSamples) {
+  Histogram h(0.0, 1.0, 100);
+  Rng rng(2);
+  for (int i = 0; i < 100000; ++i) h.add(rng.uniform01());
+  EXPECT_NEAR(h.quantile(0.5), 0.5, 0.02);
+  EXPECT_NEAR(h.quantile(0.9), 0.9, 0.02);
+  EXPECT_NEAR(h.quantile(0.99), 0.99, 0.02);
+}
+
+TEST(Histogram, FractionAbove) {
+  Histogram h(0.0, 1.0, 100);
+  Rng rng(3);
+  for (int i = 0; i < 100000; ++i) h.add(rng.uniform01());
+  EXPECT_NEAR(h.fraction_above(0.75), 0.25, 0.02);
+  EXPECT_NEAR(h.fraction_above(-1.0), 1.0, 1e-12);
+  EXPECT_NEAR(h.fraction_above(2.0), 0.0, 1e-12);
+}
+
+TEST(Histogram, EmptyQuantile) {
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.fraction_above(0.5), 0.0);
+}
+
+TEST(Ewma, ConvergesToConstant) {
+  Ewma e(0.2);
+  for (int i = 0; i < 200; ++i) e.add(7.0);
+  EXPECT_NEAR(e.value(), 7.0, 1e-9);
+}
+
+TEST(Ewma, FirstValueSeedsLevel) {
+  Ewma e(0.1);
+  e.add(42.0);
+  EXPECT_DOUBLE_EQ(e.value(), 42.0);
+}
+
+TEST(Ewma, RejectsBadAlpha) {
+  EXPECT_THROW(Ewma(0.0), std::invalid_argument);
+  EXPECT_THROW(Ewma(1.5), std::invalid_argument);
+}
+
+TEST(PearsonCorrelation, PerfectAndAnti) {
+  const std::vector<double> a{1, 2, 3, 4, 5};
+  const std::vector<double> b{2, 4, 6, 8, 10};
+  std::vector<double> c{5, 4, 3, 2, 1};
+  EXPECT_NEAR(pearson_correlation(a, b), 1.0, 1e-12);
+  EXPECT_NEAR(pearson_correlation(a, c), -1.0, 1e-12);
+}
+
+TEST(PearsonCorrelation, DegenerateIsZero) {
+  const std::vector<double> flat{3, 3, 3};
+  const std::vector<double> vary{1, 2, 3};
+  EXPECT_DOUBLE_EQ(pearson_correlation(flat, vary), 0.0);
+}
+
+TEST(SampleQuantile, MedianOfOddSample) {
+  EXPECT_DOUBLE_EQ(sample_quantile({5, 1, 3}, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(sample_quantile({5, 1, 3}, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(sample_quantile({5, 1, 3}, 1.0), 5.0);
+}
+
+// Property sweep: histogram quantiles track exact sample quantiles for
+// several distributions.
+class HistogramQuantileProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(HistogramQuantileProperty, TracksExactQuantiles) {
+  const int dist = GetParam();
+  Rng rng(100 + static_cast<std::uint64_t>(dist));
+  std::vector<double> samples;
+  Histogram h(0.0, 20.0, 400);
+  for (int i = 0; i < 50000; ++i) {
+    double x = 0.0;
+    switch (dist) {
+      case 0:
+        x = rng.uniform(0.0, 10.0);
+        break;
+      case 1:
+        x = rng.exponential(0.5);
+        break;
+      case 2:
+        x = std::fabs(rng.normal(5.0, 2.0));
+        break;
+      default:
+        x = rng.lognormal(1.0, 0.5);
+        break;
+    }
+    samples.push_back(x);
+    h.add(x);
+  }
+  for (double q : {0.1, 0.5, 0.9}) {
+    const double exact = sample_quantile(samples, q);
+    EXPECT_NEAR(h.quantile(q), exact, 0.15 + exact * 0.02) << "q=" << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Distributions, HistogramQuantileProperty,
+                         ::testing::Values(0, 1, 2, 3));
+
+}  // namespace
+}  // namespace epm

@@ -1,0 +1,65 @@
+#include "core/table.h"
+
+#include <gtest/gtest.h>
+
+namespace epm {
+namespace {
+
+TEST(Fmt, FixedPrecision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(3.0, 0), "3");
+  EXPECT_EQ(fmt(-1.5, 1), "-1.5");
+}
+
+TEST(Fmt, Percent) { EXPECT_EQ(fmt_percent(0.1234, 1), "12.3%"); }
+
+TEST(Fmt, Si) {
+  EXPECT_EQ(fmt_si(1500.0, 1), "1.5 k");
+  EXPECT_EQ(fmt_si(2.5e6, 1), "2.5 M");
+  EXPECT_EQ(fmt_si(3.0e9, 0), "3 G");
+  EXPECT_EQ(fmt_si(12.0, 0), "12");
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  const std::string out = t.render(0);
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+  // Header underline present.
+  EXPECT_NE(out.find("-----"), std::string::npos);
+}
+
+TEST(Table, RowArityEnforced) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, EmptyHeaderRejected) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(AsciiChart, ProducesRows) {
+  const std::string chart = ascii_chart({1.0, 2.0, 3.0, 2.0, 1.0}, 20, 4);
+  EXPECT_FALSE(chart.empty());
+  // 4 rows of output.
+  std::size_t newlines = 0;
+  for (char c : chart) {
+    if (c == '\n') ++newlines;
+  }
+  EXPECT_EQ(newlines, 4u);
+  EXPECT_NE(chart.find('#'), std::string::npos);
+}
+
+TEST(AsciiChart, EmptyInputIsEmpty) {
+  EXPECT_TRUE(ascii_chart({}, 10, 4).empty());
+}
+
+TEST(Banner, ContainsTitle) {
+  EXPECT_NE(banner("Hello").find("Hello"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace epm

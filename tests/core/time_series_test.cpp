@@ -1,0 +1,92 @@
+#include "core/time_series.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace epm {
+namespace {
+
+TEST(TimeSeries, TimingAccessors) {
+  TimeSeries s(10.0, 2.0, {1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(s.start_s(), 10.0);
+  EXPECT_DOUBLE_EQ(s.step_s(), 2.0);
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_DOUBLE_EQ(s.end_s(), 16.0);
+  EXPECT_DOUBLE_EQ(s.time_at(0), 10.0);
+  EXPECT_DOUBLE_EQ(s.time_at(2), 14.0);
+}
+
+TEST(TimeSeries, RejectsNonPositiveStep) {
+  EXPECT_THROW(TimeSeries(0.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(TimeSeries(0.0, -1.0), std::invalid_argument);
+}
+
+TEST(TimeSeries, ValueAtZeroOrderHold) {
+  TimeSeries s(0.0, 10.0, {1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(s.value_at(-5.0), 1.0);   // clamp before start
+  EXPECT_DOUBLE_EQ(s.value_at(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.value_at(9.9), 1.0);
+  EXPECT_DOUBLE_EQ(s.value_at(10.0), 2.0);
+  EXPECT_DOUBLE_EQ(s.value_at(25.0), 3.0);
+  EXPECT_DOUBLE_EQ(s.value_at(999.0), 3.0);  // clamp after end
+}
+
+TEST(TimeSeries, ValueAtEmptyThrows) {
+  TimeSeries s(0.0, 1.0);
+  EXPECT_THROW(s.value_at(0.0), std::invalid_argument);
+}
+
+TEST(TimeSeries, StatsAndStatsBetween) {
+  TimeSeries s(0.0, 1.0, {1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(s.stats().mean(), 2.5);
+  const auto mid = s.stats_between(1.0, 3.0);  // samples at t=1,2
+  EXPECT_EQ(mid.count(), 2u);
+  EXPECT_DOUBLE_EQ(mid.mean(), 2.5);
+}
+
+TEST(TimeSeries, DownsampleMean) {
+  TimeSeries s(0.0, 1.0, {1.0, 3.0, 5.0, 7.0, 9.0});
+  const auto d = s.downsample_mean(2);
+  EXPECT_DOUBLE_EQ(d.step_s(), 2.0);
+  ASSERT_EQ(d.size(), 3u);
+  EXPECT_DOUBLE_EQ(d[0], 2.0);
+  EXPECT_DOUBLE_EQ(d[1], 6.0);
+  EXPECT_DOUBLE_EQ(d[2], 9.0);  // trailing partial group
+}
+
+TEST(TimeSeries, DownsampleMax) {
+  TimeSeries s(0.0, 1.0, {1.0, 3.0, 5.0, 2.0});
+  const auto d = s.downsample(2, max_of);
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_DOUBLE_EQ(d[0], 3.0);
+  EXPECT_DOUBLE_EQ(d[1], 5.0);
+}
+
+TEST(TimeSeries, MapAndScale) {
+  TimeSeries s(0.0, 1.0, {1.0, 2.0});
+  const auto m = s.map([](double v) { return v * v; });
+  EXPECT_DOUBLE_EQ(m[1], 4.0);
+  const auto sc = s.scaled(10.0);
+  EXPECT_DOUBLE_EQ(sc[0], 10.0);
+}
+
+TEST(TimeSeries, AdditionRequiresMatchingTiming) {
+  TimeSeries a(0.0, 1.0, {1.0, 2.0});
+  TimeSeries b(0.0, 1.0, {10.0, 20.0});
+  const auto c = a + b;
+  EXPECT_DOUBLE_EQ(c[0], 11.0);
+  EXPECT_DOUBLE_EQ(c[1], 22.0);
+  TimeSeries wrong_len(0.0, 1.0, {1.0});
+  EXPECT_THROW(a + wrong_len, std::invalid_argument);
+  TimeSeries wrong_step(0.0, 2.0, {1.0, 2.0});
+  EXPECT_THROW(a + wrong_step, std::invalid_argument);
+}
+
+TEST(TimeSeries, DownsampleZeroFactorThrows) {
+  TimeSeries s(0.0, 1.0, {1.0});
+  EXPECT_THROW(s.downsample_mean(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace epm

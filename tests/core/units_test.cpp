@@ -1,0 +1,65 @@
+#include "core/units.h"
+
+#include <gtest/gtest.h>
+
+#include "core/logging.h"
+#include "core/require.h"
+
+namespace epm {
+namespace {
+
+TEST(Units, TimeConversionsRoundTrip) {
+  static_assert(minutes(1.0) == 60.0);
+  static_assert(hours(1.0) == 3600.0);
+  static_assert(days(1.0) == 86400.0);
+  static_assert(weeks(1.0) == 7.0 * 86400.0);
+  EXPECT_DOUBLE_EQ(to_minutes(minutes(42.0)), 42.0);
+  EXPECT_DOUBLE_EQ(to_hours(hours(3.5)), 3.5);
+  EXPECT_DOUBLE_EQ(to_days(days(10.0)), 10.0);
+}
+
+TEST(Units, PowerAndEnergy) {
+  static_assert(kilowatts(1.0) == 1.0e3);
+  static_assert(megawatts(2.0) == 2.0e6);
+  EXPECT_DOUBLE_EQ(to_kilowatts(kilowatts(7.0)), 7.0);
+  EXPECT_DOUBLE_EQ(to_megawatts(megawatts(0.5)), 0.5);
+  // 1 kW for 1 hour is 1 kWh.
+  EXPECT_DOUBLE_EQ(to_kwh(kilowatts(1.0) * hours(1.0)), 1.0);
+  EXPECT_DOUBLE_EQ(kwh(2.0), 7.2e6);
+  EXPECT_DOUBLE_EQ(to_mwh(kwh(1000.0)), 1.0);
+}
+
+TEST(Units, Frequency) {
+  static_assert(gigahertz(2.4) == 2.4e9);
+  EXPECT_DOUBLE_EQ(to_gigahertz(gigahertz(1.2)), 1.2);
+}
+
+TEST(Require, ThrowsTypedExceptions) {
+  EXPECT_NO_THROW(require(true, "fine"));
+  EXPECT_NO_THROW(ensure(true, "fine"));
+  EXPECT_THROW(require(false, "bad argument"), std::invalid_argument);
+  EXPECT_THROW(ensure(false, "broken invariant"), std::logic_error);
+  try {
+    require(false, "the message");
+  } catch (const std::invalid_argument& e) {
+    EXPECT_STREQ(e.what(), "the message");
+  }
+}
+
+TEST(Logging, LevelGating) {
+  const auto restore = log_level();
+  set_log_level(LogLevel::kWarn);
+  EXPECT_EQ(log_level(), LogLevel::kWarn);
+  // Below-threshold calls are cheap no-ops; above-threshold calls emit to
+  // stderr. Both must simply not crash and must honor the level.
+  log_debug("dropped ", 1);
+  log_info("dropped ", 2.5);
+  log_warn("emitted");
+  log_error("emitted too");
+  set_log_level(LogLevel::kOff);
+  log_error("dropped again");
+  set_log_level(restore);
+}
+
+}  // namespace
+}  // namespace epm

@@ -1,0 +1,80 @@
+// Integration test for the paper's §5.1 CRAC sensitivity hazard (ref [30]):
+// migrating load from the zone the CRAC watches to the zone it is blind to
+// makes the CRAC raise its supply temperature and cook the loaded zone;
+// coordinated cooling control (supply temp computed from server-side heat)
+// avoids the thermal alarm.
+#include <gtest/gtest.h>
+
+#include "thermal/room.h"
+
+namespace epm::thermal {
+namespace {
+
+constexpr double kHour = 3600.0;
+constexpr double kHeatBefore_A = 27.0e3;  // watts in zone A pre-migration
+constexpr double kHeatBefore_B = 3.0e3;
+constexpr double kHeatAfter_B = 33.0e3;   // all load moved to zone B
+
+MachineRoom make_room() {
+  return MachineRoom(make_sensitivity_scenario_room(/*sensitivity_a=*/0.95,
+                                                    /*sensitivity_b=*/0.05));
+}
+
+TEST(CracSensitivity, NormalOperationStaysCool) {
+  auto room = make_room();
+  room.run_until(6.0 * kHour, {kHeatBefore_A, kHeatBefore_B});
+  EXPECT_TRUE(room.alarms().empty());
+  EXPECT_LT(room.zone(0).temperature_c(), room.zone(0).config().alarm_temp_c);
+}
+
+TEST(CracSensitivity, ObliviousMigrationTriggersThermalAlarm) {
+  auto room = make_room();
+  // Phase 1: normal operation, CRAC settles against zone A's heat.
+  room.run_until(6.0 * kHour, {kHeatBefore_A, kHeatBefore_B});
+  ASSERT_TRUE(room.alarms().empty());
+
+  // Phase 2: migrate all load A -> B and shut down A's servers, without
+  // telling the cooling system.
+  room.run_until(16.0 * kHour, {0.0, kHeatAfter_B});
+
+  // "The CRAC then believes that there is not much heat generated in its
+  //  effective zone and thus increases the temperature of the cooling air."
+  EXPECT_GT(room.crac(0).supply_temp_c(), 19.0);
+  // "Servers at B are then at risk of generating thermal alarms."
+  ASSERT_FALSE(room.alarms().empty());
+  EXPECT_EQ(room.alarms()[0].zone, 1u);
+  EXPECT_GT(room.zone(1).temperature_c(), room.zone(1).config().alarm_temp_c);
+}
+
+TEST(CracSensitivity, CoordinatedMigrationStaysSafe) {
+  auto room = make_room();
+  room.run_until(6.0 * kHour, {kHeatBefore_A, kHeatBefore_B});
+  ASSERT_TRUE(room.alarms().empty());
+
+  // The macro layer performs the same migration but also overrides the CRAC
+  // with a supply temperature computed from real per-zone heat:
+  //   supply = (alarm - margin) - heat / conductance.
+  const auto& zone_b = room.zone(1).config();
+  const double margin_c = 3.0;
+  const double supply_c =
+      (zone_b.alarm_temp_c - margin_c) - kHeatAfter_B / zone_b.conductance_w_per_c;
+  room.set_crac_auto(0, false);
+  room.crac(0).set_supply_temp_c(supply_c);
+  room.run_until(16.0 * kHour, {0.0, kHeatAfter_B});
+
+  EXPECT_TRUE(room.alarms().empty());
+  EXPECT_LT(room.zone(1).temperature_c(), zone_b.alarm_temp_c - 1.0);
+}
+
+TEST(CracSensitivity, SymmetricSensitivityIsSafeWithoutCoordination) {
+  // Ablation: if the CRAC sees both zones equally, the oblivious migration
+  // is harmless — the hazard is the *asymmetric observation*, not the
+  // migration itself.
+  MachineRoom room(make_sensitivity_scenario_room(0.5, 0.5));
+  room.run_until(6.0 * kHour, {kHeatBefore_A, kHeatBefore_B});
+  room.run_until(16.0 * kHour, {0.0, kHeatAfter_B});
+  EXPECT_TRUE(room.alarms().empty());
+}
+
+}  // namespace
+}  // namespace epm::thermal

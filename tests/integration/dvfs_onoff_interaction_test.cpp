@@ -1,0 +1,129 @@
+// Integration test for the paper's §5.1 composition hazard (ref [29]):
+// an ondemand DVFS governor and a delay-threshold On/Off provisioner, each
+// locally sensible, drive each other into a bloated low-frequency fleet,
+// while the coordinated joint policy settles into a small fast one.
+#include <gtest/gtest.h>
+
+#include "cluster/service_cluster.h"
+#include "dvfs/governors.h"
+#include "macro/joint_policy.h"
+#include "onoff/provisioners.h"
+
+namespace epm {
+namespace {
+
+constexpr double kLambda = 3000.0;   // requests/s, steady plateau
+constexpr double kDemand = 0.01;     // CPU-seconds per request
+constexpr double kSlaTarget = 0.028; // seconds
+constexpr int kEpochs = 150;
+
+cluster::ServiceClusterConfig make_config() {
+  cluster::ServiceClusterConfig config;
+  config.server_count = 200;
+  config.initially_active = 55;
+  config.sla.target_mean_response_s = kSlaTarget;
+  return config;
+}
+
+workload::OfferedLoad steady_load() {
+  workload::OfferedLoad load;
+  load.arrival_rate_per_s = kLambda;
+  load.service_demand_s = kDemand;
+  return load;
+}
+
+struct RunResult {
+  double energy_j = 0.0;
+  std::size_t fleet_changes = 0;
+  std::size_t final_committed = 0;
+  std::size_t final_pstate = 0;
+  std::size_t sla_violations = 0;
+};
+
+RunResult run_uncoordinated() {
+  cluster::ServiceCluster cluster(make_config());
+  dvfs::OndemandConfig dvfs_config;
+  dvfs_config.downscale_utilization = 0.60;
+  dvfs_config.upscale_utilization = 0.90;
+  dvfs::OndemandGovernor governor(0, dvfs_config);
+  onoff::DelayThresholdConfig onoff_config;
+  onoff_config.up_factor = 1.0;
+  onoff_config.down_factor = 0.4;
+  onoff_config.add_step = 8;
+  onoff::DelayThresholdProvisioner provisioner(onoff_config);
+
+  RunResult result;
+  std::size_t pstate = 0;
+  for (int i = 0; i < kEpochs; ++i) {
+    const auto r = cluster.run_epoch(60.0, steady_load());
+    // Each policy reacts alone, oblivious to the other (§5.1).
+    pstate = governor.decide(cluster, r);
+    cluster.set_uniform_pstate(pstate);
+    const std::size_t before = cluster.committed_count();
+    cluster.set_target_committed(provisioner.decide(cluster, r), true);
+    if (cluster.committed_count() != before) ++result.fleet_changes;
+  }
+  result.energy_j = cluster.total_energy_j();
+  result.final_committed = cluster.committed_count();
+  result.final_pstate = pstate;
+  result.sla_violations = cluster.sla_violation_epochs();
+  return result;
+}
+
+RunResult run_coordinated() {
+  cluster::ServiceCluster cluster(make_config());
+  RunResult result;
+  macro::JointDecision decision;
+  for (int i = 0; i < kEpochs; ++i) {
+    const auto r = cluster.run_epoch(60.0, steady_load());
+    decision = macro::decide_joint(cluster.power_model(), cluster.server_count(),
+                                   cluster.committed_count(), r.arrival_rate_per_s,
+                                   r.service_demand_s, kSlaTarget);
+    cluster.set_uniform_pstate(decision.pstate);
+    const std::size_t before = cluster.committed_count();
+    cluster.set_target_committed(decision.servers, true);
+    if (cluster.committed_count() != before) ++result.fleet_changes;
+  }
+  result.energy_j = cluster.total_energy_j();
+  result.final_committed = cluster.committed_count();
+  result.final_pstate = decision.pstate;
+  result.sla_violations = cluster.sla_violation_epochs();
+  return result;
+}
+
+TEST(DvfsOnOffInteraction, ObliviousCompositionBloatsTheFleet) {
+  const auto uncoordinated = run_uncoordinated();
+  const auto coordinated = run_coordinated();
+
+  // The §5.1 cycle: DVFS slows, delay rises, On/Off adds, utilization
+  // falls, DVFS slows further... ending with far more servers on.
+  EXPECT_GT(uncoordinated.final_committed, 2 * coordinated.final_committed);
+  // ...all stuck at a slow P-state.
+  EXPECT_EQ(uncoordinated.final_pstate,
+            cluster::ServiceCluster(make_config()).power_model().pstate_count() - 1);
+  EXPECT_EQ(coordinated.final_pstate, 0u);
+}
+
+TEST(DvfsOnOffInteraction, ObliviousCompositionWastesEnergy) {
+  const auto uncoordinated = run_uncoordinated();
+  const auto coordinated = run_coordinated();
+  // "The energy expended on keeping a larger number of machines on may not
+  //  necessarily be offset by DVS savings."
+  EXPECT_GT(uncoordinated.energy_j, 1.3 * coordinated.energy_j);
+}
+
+TEST(DvfsOnOffInteraction, ObliviousCompositionChurns) {
+  const auto uncoordinated = run_uncoordinated();
+  const auto coordinated = run_coordinated();
+  EXPECT_GT(uncoordinated.fleet_changes, coordinated.fleet_changes);
+  EXPECT_GE(uncoordinated.fleet_changes, 10u);
+}
+
+TEST(DvfsOnOffInteraction, CoordinatedMeetsSlaAfterWarmup) {
+  const auto coordinated = run_coordinated();
+  // A handful of warm-up violations while boots complete are acceptable.
+  EXPECT_LE(coordinated.sla_violations, 10u);
+}
+
+}  // namespace
+}  // namespace epm

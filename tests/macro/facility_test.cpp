@@ -1,0 +1,83 @@
+#include "macro/facility.h"
+
+#include <gtest/gtest.h>
+
+namespace epm::macro {
+namespace {
+
+FacilityConfig small_facility() {
+  auto config = make_reference_facility(/*servers_per_service=*/20);
+  return config;
+}
+
+TEST(Facility, ReferenceConfigConstructs) {
+  Facility facility(small_facility());
+  EXPECT_EQ(facility.service_count(), 2u);
+  EXPECT_EQ(facility.service_name(0), "web");
+  EXPECT_EQ(facility.service_name(1), "batch");
+  EXPECT_EQ(facility.room().zone_count(), 2u);
+  EXPECT_DOUBLE_EQ(facility.now_s(), 0.0);
+}
+
+TEST(Facility, StepAdvancesEverything) {
+  Facility facility(small_facility());
+  const auto step = facility.step({500.0, 300.0}, 20.0);
+  EXPECT_EQ(step.services.size(), 2u);
+  EXPECT_GT(step.it_power_w, 0.0);
+  EXPECT_GT(step.mechanical_power_w, 0.0);
+  EXPECT_GT(step.utility_draw_w, step.it_power_w);
+  EXPECT_GT(step.pue, 1.0);
+  EXPECT_DOUBLE_EQ(facility.now_s(), 60.0);
+  EXPECT_EQ(facility.epochs_run(), 1u);
+}
+
+TEST(Facility, EnergyAccumulates) {
+  Facility facility(small_facility());
+  for (int i = 0; i < 5; ++i) facility.step({500.0, 300.0}, 20.0);
+  EXPECT_GT(facility.total_it_energy_j(), 0.0);
+  EXPECT_GT(facility.total_mechanical_energy_j(), 0.0);
+  EXPECT_DOUBLE_EQ(facility.total_energy_j(),
+                   facility.total_it_energy_j() + facility.total_mechanical_energy_j());
+}
+
+TEST(Facility, ZoneSharesNormalized) {
+  Facility facility(small_facility());
+  facility.set_zone_share(0, {2.0, 2.0});
+  const auto& share = facility.zone_share(0);
+  EXPECT_DOUBLE_EQ(share[0], 0.5);
+  EXPECT_DOUBLE_EQ(share[1], 0.5);
+  EXPECT_THROW(facility.set_zone_share(0, {0.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(facility.set_zone_share(0, {1.0}), std::invalid_argument);
+  EXPECT_THROW(facility.set_zone_share(9, {1.0, 0.0}), std::invalid_argument);
+}
+
+TEST(Facility, HeatFollowsZoneShares) {
+  Facility facility(small_facility());
+  // Pin all heat to zone 0.
+  facility.set_zone_share(0, {1.0, 0.0});
+  facility.set_zone_share(1, {1.0, 0.0});
+  for (int i = 0; i < 60; ++i) facility.step({1500.0, 1500.0}, 20.0);
+  EXPECT_GT(facility.room().zone(0).temperature_c(),
+            facility.room().zone(1).temperature_c());
+}
+
+TEST(Facility, SlaViolationsAggregate) {
+  Facility facility(small_facility());
+  // Overload the web service massively.
+  for (int i = 0; i < 3; ++i) facility.step({1.0e6, 10.0}, 20.0);
+  EXPECT_GT(facility.total_sla_violation_epochs(), 0u);
+}
+
+TEST(Facility, DemandVectorValidated) {
+  Facility facility(small_facility());
+  EXPECT_THROW(facility.step({1.0}, 20.0), std::invalid_argument);
+}
+
+TEST(Facility, ReferenceFacilityPowerBudgetSized) {
+  const auto config = make_reference_facility(50);
+  // UPS capacity covers both services' peak with margin.
+  EXPECT_NEAR(config.power.critical_capacity_w, 2 * 50 * 300.0 * 1.15, 1.0);
+}
+
+}  // namespace
+}  // namespace epm::macro

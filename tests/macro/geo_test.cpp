@@ -1,0 +1,134 @@
+#include "macro/geo.h"
+
+#include <gtest/gtest.h>
+
+namespace epm::macro {
+namespace {
+
+std::vector<SiteConfig> three_sites() {
+  SiteConfig cool;  // cold climate, economizer, cheap power, farther away
+  cool.name = "cool";
+  cool.servers = 500;
+  cool.plant.has_economizer = true;
+  cool.electricity_price_per_kwh = 0.09;
+  cool.network_latency_s = 0.050;
+
+  SiteConfig home;  // moderate everything, closest to users
+  home.name = "home";
+  home.servers = 500;
+  home.plant.has_economizer = true;  // modern site; rarely cold enough
+  home.electricity_price_per_kwh = 0.10;
+  home.network_latency_s = 0.010;
+
+  SiteConfig hot;  // hot climate, expensive power
+  hot.name = "hot";
+  hot.servers = 500;
+  hot.electricity_price_per_kwh = 0.16;
+  hot.network_latency_s = 0.040;
+  return {cool, home, hot};
+}
+
+GeoCoordinator make_coordinator() { return GeoCoordinator(three_sites()); }
+
+TEST(GeoCoordinator, UnitCostOrdersSites) {
+  auto geo = make_coordinator();
+  // Cold weather at the cool site (economizer active) vs hot everywhere.
+  const double cool_cost = geo.unit_cost_per_rps(0, 5.0, 0.5);
+  const double home_cost = geo.unit_cost_per_rps(1, 20.0, 0.5);
+  const double hot_cost = geo.unit_cost_per_rps(2, 33.0, 0.5);
+  EXPECT_LT(cool_cost, home_cost);
+  EXPECT_LT(home_cost, hot_cost);
+}
+
+TEST(GeoCoordinator, EconomizerLowersUnitCost) {
+  auto geo = make_coordinator();
+  const double winter = geo.unit_cost_per_rps(0, 2.0, 0.5);
+  const double summer = geo.unit_cost_per_rps(0, 25.0, 0.5);
+  EXPECT_LT(winter, summer);
+}
+
+TEST(GeoCoordinator, RouteConservesDemand) {
+  auto geo = make_coordinator();
+  const double rate = 40000.0;
+  const auto decision = geo.route(rate, {5.0, 20.0, 33.0}, {0.5, 0.5, 0.5});
+  EXPECT_NEAR(decision.served_rate_per_s + decision.dropped_rate_per_s, rate, 1e-6);
+  double sum = 0.0;
+  for (const auto& a : decision.allocations) sum += a.arrival_rate_per_s;
+  EXPECT_NEAR(sum, decision.served_rate_per_s, 1e-6);
+}
+
+TEST(GeoCoordinator, CheapCoolSiteFillsFirst) {
+  auto geo = make_coordinator();
+  // Demand below one site's capacity: everything lands on the cool site.
+  const auto decision = geo.route(20000.0, {5.0, 20.0, 33.0}, {0.5, 0.5, 0.5});
+  EXPECT_NEAR(decision.allocations[0].arrival_rate_per_s, 20000.0, 1e-6);
+  EXPECT_DOUBLE_EQ(decision.allocations[2].arrival_rate_per_s, 0.0);
+  EXPECT_TRUE(decision.allocations[0].economizer_active);
+}
+
+TEST(GeoCoordinator, FollowTheWeather) {
+  auto geo = make_coordinator();
+  // In the cool site's summer heat wave, its advantage shrinks enough that
+  // the (closer, cheaper-cooling) home site should win.
+  const auto decision = geo.route(20000.0, {30.0, 12.0, 33.0}, {0.5, 0.5, 0.5});
+  EXPECT_GT(decision.allocations[1].arrival_rate_per_s, 0.0);
+  EXPECT_DOUBLE_EQ(decision.allocations[0].arrival_rate_per_s, 0.0);
+}
+
+TEST(GeoCoordinator, CapacityOverflowsToNextSite) {
+  auto geo = make_coordinator();
+  // 500 servers * 70 rps usable = 35000 rps per site.
+  const auto decision = geo.route(50000.0, {5.0, 20.0, 33.0}, {0.5, 0.5, 0.5});
+  EXPECT_NEAR(decision.allocations[0].arrival_rate_per_s, 35000.0, 1.0);
+  EXPECT_NEAR(decision.allocations[1].arrival_rate_per_s, 15000.0, 1.0);
+  EXPECT_DOUBLE_EQ(decision.dropped_rate_per_s, 0.0);
+}
+
+TEST(GeoCoordinator, DropsWhenAllSitesFull) {
+  auto geo = make_coordinator();
+  const auto decision = geo.route(200000.0, {5.0, 20.0, 33.0}, {0.5, 0.5, 0.5});
+  EXPECT_GT(decision.dropped_rate_per_s, 0.0);
+  EXPECT_NEAR(decision.served_rate_per_s, 3 * 35000.0, 3.0);
+}
+
+TEST(GeoCoordinator, LatencySlaExcludesFarSites) {
+  auto sites = three_sites();
+  sites[0].network_latency_s = 0.2;  // 2x0.2 + response > 0.25 SLA
+  GeoCoordinator geo(std::move(sites));
+  EXPECT_FALSE(geo.latency_feasible(0));
+  EXPECT_TRUE(geo.latency_feasible(1));
+  const auto decision = geo.route(20000.0, {5.0, 20.0, 33.0}, {0.5, 0.5, 0.5});
+  EXPECT_DOUBLE_EQ(decision.allocations[0].arrival_rate_per_s, 0.0);
+  EXPECT_GT(decision.allocations[1].arrival_rate_per_s, 0.0);
+}
+
+TEST(GeoCoordinator, SingleHomeBaselineCostsMore) {
+  auto geo = make_coordinator();
+  const std::vector<double> temps{5.0, 20.0, 33.0};
+  const std::vector<double> rh{0.5, 0.5, 0.5};
+  const auto aware = geo.route(30000.0, temps, rh);
+  const auto homed = geo.route_single_home(30000.0, 2, temps, rh);  // hot home
+  EXPECT_GT(homed.total_cost_per_hour, aware.total_cost_per_hour);
+  EXPECT_NEAR(homed.served_rate_per_s, aware.served_rate_per_s, 1e-6);
+}
+
+TEST(GeoCoordinator, MeanLatencyWeightedByTraffic) {
+  auto geo = make_coordinator();
+  const auto decision = geo.route(20000.0, {5.0, 20.0, 33.0}, {0.5, 0.5, 0.5});
+  // All on the cool site: 2 * 0.05 network + M/G/1-PS response at ~0.7.
+  EXPECT_NEAR(decision.mean_latency_s, 0.1 + 0.01 / 0.3, 3e-4);
+}
+
+TEST(GeoCoordinator, Validation) {
+  EXPECT_THROW(GeoCoordinator({}), std::invalid_argument);
+  auto geo = make_coordinator();
+  EXPECT_THROW(geo.route(-1.0, {1, 2, 3}, {0.5, 0.5, 0.5}), std::invalid_argument);
+  EXPECT_THROW(geo.route(1.0, {1.0}, {0.5}), std::invalid_argument);
+  EXPECT_THROW(geo.unit_cost_per_rps(9, 1.0, 0.5), std::invalid_argument);
+  auto bad = three_sites();
+  bad[0].distribution_overhead = 0.9;
+  EXPECT_THROW(GeoCoordinator(std::move(bad)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace epm::macro

@@ -1,0 +1,112 @@
+#include "macro/joint_policy.h"
+
+#include <gtest/gtest.h>
+
+#include "cluster/queueing.h"
+
+namespace epm::macro {
+namespace {
+
+class JointPolicyTest : public ::testing::Test {
+ protected:
+  power::ServerPowerModel model_{power::ServerPowerConfig{}};
+};
+
+TEST_F(JointPolicyTest, MeetsSlaPrediction) {
+  const auto d = decide_joint(model_, 100, 10, 2000.0, 0.01, 0.5);
+  ASSERT_TRUE(d.feasible);
+  EXPECT_LE(d.predicted_response_s, 0.5 * 0.8 + 1e-9);
+  EXPECT_LE(d.predicted_utilization, 0.90 + 1e-9);
+  EXPECT_GE(d.servers, 1u);
+}
+
+TEST_F(JointPolicyTest, MinimizesPowerOverBruteForce) {
+  JointPolicyConfig config;
+  config.switching_penalty_w = 0.0;  // pure power objective for this check
+  const double lambda = 1500.0;
+  const double demand = 0.01;
+  const double target = 0.5;
+  const auto d = decide_joint(model_, 100, 0, lambda, demand, target, config);
+  ASSERT_TRUE(d.feasible);
+  // Brute-force search over every feasible (n, p) pair.
+  double best = 1e18;
+  for (std::size_t p = 0; p < model_.pstate_count(); ++p) {
+    for (std::size_t n = 1; n <= 100; ++n) {
+      const double cap = model_.relative_capacity(p);
+      const double rate = static_cast<double>(n) * cap / demand;
+      const double rho = lambda / rate;
+      if (rho >= 0.90) continue;
+      const double resp = cluster::mg1ps_response_time_s(demand / cap, rho);
+      if (resp > target * 0.8) continue;
+      best = std::min(best,
+                      predicted_cluster_power_w(model_, n, p, lambda, demand));
+    }
+  }
+  EXPECT_NEAR(d.predicted_power_w, best, 1e-6);
+}
+
+TEST_F(JointPolicyTest, SlowerStatesWinAtLowLoad) {
+  // With light load and a relaxed SLA, running fewer/slower servers with
+  // high utilization beats many fast idle ones.
+  JointPolicyConfig config;
+  config.switching_penalty_w = 0.0;
+  const auto d = decide_joint(model_, 100, 50, 200.0, 0.01, 1.0, config);
+  ASSERT_TRUE(d.feasible);
+  EXPECT_GT(d.pstate, 0u);
+  EXPECT_LT(d.servers, 10u);
+}
+
+TEST_F(JointPolicyTest, ZeroLoadUsesMinServers) {
+  JointPolicyConfig config;
+  config.min_servers = 2;
+  const auto d = decide_joint(model_, 100, 10, 0.0, 0.01, 0.5, config);
+  ASSERT_TRUE(d.feasible);
+  EXPECT_EQ(d.servers, 2u);
+  EXPECT_EQ(d.pstate, model_.pstate_count() - 1);  // slowest is cheapest
+}
+
+TEST_F(JointPolicyTest, InfeasibleFallsBackToFullFleet) {
+  // Target below even an unloaded server's response time.
+  const auto d = decide_joint(model_, 10, 5, 100.0, 0.01, 0.005);
+  EXPECT_FALSE(d.feasible);
+  EXPECT_EQ(d.servers, 10u);
+  EXPECT_EQ(d.pstate, 0u);
+}
+
+TEST_F(JointPolicyTest, SwitchingPenaltyStabilizes) {
+  // With a large penalty, a marginally cheaper config that requires churn
+  // loses to staying put.
+  JointPolicyConfig cheap;
+  cheap.switching_penalty_w = 0.0;
+  JointPolicyConfig sticky;
+  sticky.switching_penalty_w = 1.0e5;
+  const double lambda = 700.0;
+  const auto moved = decide_joint(model_, 100, 30, lambda, 0.01, 0.5, cheap);
+  const auto stayed = decide_joint(model_, 100, 30, lambda, 0.01, 0.5, sticky);
+  // The sticky policy should land at least as close to 30 servers.
+  const auto dist = [](std::size_t a, std::size_t b) {
+    return a > b ? a - b : b - a;
+  };
+  EXPECT_LE(dist(stayed.servers, 30), dist(moved.servers, 30));
+}
+
+TEST_F(JointPolicyTest, PredictedPowerFormula) {
+  // 10 servers at P0 serving rho=0.5: 10 * (idle + dyn*0.5).
+  const double lambda = 500.0;
+  const double power = predicted_cluster_power_w(model_, 10, 0, lambda, 0.01);
+  EXPECT_NEAR(power, 10.0 * (180.0 + 120.0 * 0.5), 1e-9);
+}
+
+TEST_F(JointPolicyTest, Validation) {
+  EXPECT_THROW(decide_joint(model_, 0, 0, 1.0, 0.01, 0.5), std::invalid_argument);
+  EXPECT_THROW(decide_joint(model_, 10, 0, -1.0, 0.01, 0.5), std::invalid_argument);
+  EXPECT_THROW(decide_joint(model_, 10, 0, 1.0, 0.0, 0.5), std::invalid_argument);
+  EXPECT_THROW(decide_joint(model_, 10, 0, 1.0, 0.01, 0.0), std::invalid_argument);
+  JointPolicyConfig bad;
+  bad.response_headroom = 1.5;
+  EXPECT_THROW(decide_joint(model_, 10, 0, 1.0, 0.01, 0.5, bad),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace epm::macro

@@ -1,0 +1,126 @@
+#include "macro/risk.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace epm::macro {
+namespace {
+
+class RiskTest : public ::testing::Test {
+ protected:
+  power::ServerPowerModel model_{power::ServerPowerConfig{}};
+
+  ServicePlan healthy_plan() const {
+    ServicePlan plan;
+    plan.name = "web";
+    plan.model = &model_;
+    plan.servers = 20;      // 2000 rps capacity at P0
+    plan.pstate = 0;
+    plan.predicted_arrival_rate = 1000.0;  // rho 0.5
+    plan.service_demand_s = 0.01;
+    plan.sla_target_s = 0.1;
+    plan.zone_share = {1.0, 0.0};
+    return plan;
+  }
+
+  FacilityEnvelope roomy_envelope() const {
+    FacilityEnvelope env;
+    env.power_budget_w = 50.0e3;
+    env.zone_conductance_w_per_c = {3.0e3, 3.0e3};
+    env.zone_alarm_c = {32.0, 32.0};
+    env.zone_supply_c = {18.0, 18.0};
+    env.zone_margin_c = 2.0;
+    return env;
+  }
+};
+
+TEST_F(RiskTest, CleanPlanHasNoFindings) {
+  const auto assessment = assess_plan({healthy_plan()}, roomy_envelope());
+  EXPECT_FALSE(assessment.any_risk());
+  EXPECT_TRUE(assessment.diagnostics.empty());
+  ASSERT_EQ(assessment.services.size(), 1u);
+  EXPECT_NEAR(assessment.services[0].predicted_utilization, 0.5, 1e-9);
+  EXPECT_NEAR(assessment.services[0].predicted_response_s, 0.02, 1e-9);
+  // 20 servers at rho 0.5: 20 * (180 + 60).
+  EXPECT_NEAR(assessment.predicted_it_power_w, 20.0 * 240.0, 1e-6);
+}
+
+TEST_F(RiskTest, SlaRiskFlagged) {
+  auto plan = healthy_plan();
+  plan.sla_target_s = 0.015;  // response 0.02 > 0.015
+  const auto assessment = assess_plan({plan}, roomy_envelope());
+  EXPECT_TRUE(assessment.sla_risk());
+  EXPECT_TRUE(assessment.services[0].sla_at_risk);
+  EXPECT_FALSE(assessment.services[0].saturated);
+  ASSERT_EQ(assessment.diagnostics.size(), 1u);
+  EXPECT_NE(assessment.diagnostics[0].find("exceeds SLA"), std::string::npos);
+}
+
+TEST_F(RiskTest, SaturationFlagged) {
+  auto plan = healthy_plan();
+  plan.predicted_arrival_rate = 3000.0;  // 1.5x capacity
+  const auto assessment = assess_plan({plan}, roomy_envelope());
+  EXPECT_TRUE(assessment.services[0].saturated);
+  EXPECT_TRUE(std::isinf(assessment.services[0].predicted_response_s));
+  EXPECT_NE(assessment.diagnostics[0].find("saturates"), std::string::npos);
+  // Power is capped at u=1 for the prediction.
+  EXPECT_NEAR(assessment.predicted_it_power_w, 20.0 * 300.0, 1e-6);
+}
+
+TEST_F(RiskTest, PowerBudgetRiskFlagged) {
+  auto env = roomy_envelope();
+  env.power_budget_w = 4000.0;  // below the 4800 W prediction
+  const auto assessment = assess_plan({healthy_plan()}, env);
+  EXPECT_TRUE(assessment.power_at_risk);
+  EXPECT_FALSE(assessment.thermal_at_risk);
+  EXPECT_NE(assessment.diagnostics[0].find("exceeds budget"), std::string::npos);
+}
+
+TEST_F(RiskTest, UnbudgetedFacilityNeverPowerRisks) {
+  auto env = roomy_envelope();
+  env.power_budget_w = 0.0;
+  const auto assessment = assess_plan({healthy_plan()}, env);
+  EXPECT_FALSE(assessment.power_at_risk);
+}
+
+TEST_F(RiskTest, ThermalRiskFlagged) {
+  auto plan = healthy_plan();
+  plan.servers = 200;                     // ~48 kW into zone 0
+  plan.predicted_arrival_rate = 10000.0;  // rho 0.5 at the larger fleet
+  auto env = roomy_envelope();
+  env.power_budget_w = 100.0e3;
+  const auto assessment = assess_plan({plan}, env);
+  // Zone 0 steady state: 18 + 48000/3000 = 34 C > 32 - 2.
+  EXPECT_TRUE(assessment.thermal_at_risk);
+  EXPECT_GT(assessment.predicted_zone_temp_c[0], 32.0);
+  EXPECT_NEAR(assessment.predicted_zone_temp_c[1], 18.0, 1e-9);
+}
+
+TEST_F(RiskTest, MultiServiceAggregation) {
+  auto a = healthy_plan();
+  auto b = healthy_plan();
+  b.name = "batch";
+  b.zone_share = {0.0, 1.0};
+  const auto assessment = assess_plan({a, b}, roomy_envelope());
+  EXPECT_EQ(assessment.services.size(), 2u);
+  EXPECT_NEAR(assessment.predicted_it_power_w, 2 * 20.0 * 240.0, 1e-6);
+  EXPECT_NEAR(assessment.predicted_zone_temp_c[0], assessment.predicted_zone_temp_c[1],
+              1e-9);
+}
+
+TEST_F(RiskTest, Validation) {
+  EXPECT_THROW(assess_plan({}, roomy_envelope()), std::invalid_argument);
+  auto plan = healthy_plan();
+  plan.model = nullptr;
+  EXPECT_THROW(assess_plan({plan}, roomy_envelope()), std::invalid_argument);
+  plan = healthy_plan();
+  plan.zone_share = {1.0};  // wrong arity
+  EXPECT_THROW(assess_plan({plan}, roomy_envelope()), std::invalid_argument);
+  auto env = roomy_envelope();
+  env.zone_alarm_c.pop_back();
+  EXPECT_THROW(assess_plan({healthy_plan()}, env), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace epm::macro

@@ -1,0 +1,130 @@
+#include "macro/tiers.h"
+
+#include <gtest/gtest.h>
+
+namespace epm::macro {
+namespace {
+
+TieredServiceSpec three_tier_service() {
+  TieredServiceSpec spec;
+  TierSpec web;
+  web.name = "web";
+  web.fanout = 1.0;
+  web.service_demand_s = 0.002;
+  TierSpec app;
+  app.name = "app";
+  app.fanout = 2.0;
+  app.service_demand_s = 0.005;
+  TierSpec db;
+  db.name = "db";
+  db.fanout = 4.0;
+  db.service_demand_s = 0.001;
+  spec.tiers = {web, app, db};
+  spec.end_to_end_sla_s = 0.06;
+  return spec;
+}
+
+TEST(SizeTiers, FeasibleAndMeetsEndToEndSla) {
+  const auto decision = size_tiers(three_tier_service(), 1000.0);
+  ASSERT_TRUE(decision.feasible);
+  ASSERT_EQ(decision.tiers.size(), 3u);
+  EXPECT_LE(decision.end_to_end_response_s, 0.06 + 1e-9);
+  for (const auto& tier : decision.tiers) {
+    EXPECT_GE(tier.servers, 1u);
+    EXPECT_LE(tier.predicted_utilization, 0.90 + 1e-9);
+  }
+}
+
+TEST(SizeTiers, BudgetsSumToSla) {
+  const auto decision = size_tiers(three_tier_service(), 1000.0);
+  ASSERT_TRUE(decision.feasible);
+  double total = 0.0;
+  for (const auto& tier : decision.tiers) total += tier.latency_budget_s;
+  EXPECT_NEAR(total, 0.06, 1e-9);
+}
+
+TEST(SizeTiers, BeatsOrMatchesEqualSplit) {
+  const auto spec = three_tier_service();
+  for (double rate : {200.0, 1000.0, 4000.0}) {
+    const auto optimized = size_tiers(spec, rate);
+    const auto equal = size_tiers_equal_split(spec, rate);
+    ASSERT_TRUE(optimized.feasible) << "rate " << rate;
+    if (equal.feasible) {
+      EXPECT_LE(optimized.total_power_w, equal.total_power_w + 1e-6)
+          << "rate " << rate;
+    }
+  }
+}
+
+TEST(SizeTiers, HeavyTierGetsMoreBudget) {
+  // The app tier (fanout 2 x 5 ms) dominates the work; it should receive a
+  // larger latency budget than the cheap web tier (1 x 2 ms).
+  const auto decision = size_tiers(three_tier_service(), 2000.0);
+  ASSERT_TRUE(decision.feasible);
+  EXPECT_GT(decision.tiers[1].latency_budget_s, decision.tiers[0].latency_budget_s);
+}
+
+TEST(SizeTiers, TierFleetsScaleWithDemand) {
+  const auto spec = three_tier_service();
+  const auto low = size_tiers(spec, 500.0);
+  const auto high = size_tiers(spec, 4000.0);
+  ASSERT_TRUE(low.feasible);
+  ASSERT_TRUE(high.feasible);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_GT(high.tiers[i].servers, low.tiers[i].servers) << "tier " << i;
+  }
+  EXPECT_GT(high.total_power_w, low.total_power_w);
+}
+
+TEST(SizeTiers, DbTierHasMostServersUnderFanout) {
+  // 4x fan-out at the storage tier: its request rate is 4x the external
+  // rate, so (despite tiny per-request demand) it needs real capacity.
+  const auto decision = size_tiers(three_tier_service(), 4000.0);
+  ASSERT_TRUE(decision.feasible);
+  // db rate = 16000/s at 1ms -> >= 16 busy-server equivalents.
+  EXPECT_GE(decision.tiers[2].servers, 16u);
+}
+
+TEST(SizeTiers, SingleTierDegeneratesToJointPolicy) {
+  TieredServiceSpec spec;
+  TierSpec only;
+  only.service_demand_s = 0.01;
+  spec.tiers = {only};
+  spec.end_to_end_sla_s = 0.1;
+  const auto decision = size_tiers(spec, 1000.0);
+  ASSERT_TRUE(decision.feasible);
+  power::ServerPowerModel model{power::ServerPowerConfig{}};
+  JointPolicyConfig joint;
+  joint.switching_penalty_w = 0.0;
+  const auto direct = decide_joint(model, 2000, 0, 1000.0, 0.01, 0.1, joint);
+  EXPECT_EQ(decision.tiers[0].servers, direct.servers);
+  EXPECT_EQ(decision.tiers[0].pstate, direct.pstate);
+}
+
+TEST(SizeTiers, InfeasibleWhenSlaTooTight) {
+  auto spec = three_tier_service();
+  spec.end_to_end_sla_s = 0.005;  // below the sum of bare service times
+  const auto decision = size_tiers(spec, 1000.0);
+  EXPECT_FALSE(decision.feasible);
+}
+
+TEST(SizeTiers, ZeroDemandUsesMinimalFleets) {
+  const auto decision = size_tiers(three_tier_service(), 0.0);
+  ASSERT_TRUE(decision.feasible);
+  for (const auto& tier : decision.tiers) EXPECT_EQ(tier.servers, 1u);
+}
+
+TEST(SizeTiers, Validation) {
+  TieredServiceSpec empty;
+  EXPECT_THROW(size_tiers(empty, 100.0), std::invalid_argument);
+  auto spec = three_tier_service();
+  EXPECT_THROW(size_tiers(spec, -1.0), std::invalid_argument);
+  TierSizingConfig config;
+  config.budget_steps = 2;  // fewer steps than tiers
+  EXPECT_THROW(size_tiers(spec, 100.0, config), std::invalid_argument);
+  spec.tiers[0].fanout = 0.5;
+  EXPECT_THROW(size_tiers(spec, 100.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace epm::macro

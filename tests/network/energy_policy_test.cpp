@@ -1,0 +1,79 @@
+#include "network/energy_policy.h"
+
+#include <gtest/gtest.h>
+
+namespace epm::network {
+namespace {
+
+class EnergyPolicyTest : public ::testing::Test {
+ protected:
+  SwitchPowerModel model_{SwitchPowerConfig{}};
+};
+
+TEST_F(EnergyPolicyTest, AlwaysOnIsLoadIndependent) {
+  const auto idle = evaluate_link(model_, LinkPolicy::kAlwaysOn, 0.0);
+  const auto busy = evaluate_link(model_, LinkPolicy::kAlwaysOn, 9.0);
+  EXPECT_DOUBLE_EQ(idle.power_w, busy.power_w);
+  EXPECT_DOUBLE_EQ(idle.power_w, 5.0);
+  EXPECT_DOUBLE_EQ(idle.added_delay_s, 0.0);
+  EXPECT_DOUBLE_EQ(busy.awake_fraction, 1.0);
+}
+
+TEST_F(EnergyPolicyTest, SleepingSavesAtLowLoad) {
+  const auto light = evaluate_link(model_, LinkPolicy::kSleeping, 0.1);
+  const auto always = evaluate_link(model_, LinkPolicy::kAlwaysOn, 0.1);
+  EXPECT_LT(light.power_w, 0.5 * always.power_w);
+  EXPECT_LT(light.awake_fraction, 0.2);
+  // The price: buffering + wake delay.
+  EXPECT_GT(light.added_delay_s, 0.004);
+}
+
+TEST_F(EnergyPolicyTest, SleepingIdlePortNearSleepFloor) {
+  const auto idle = evaluate_link(model_, LinkPolicy::kSleeping, 0.0);
+  EXPECT_DOUBLE_EQ(idle.power_w, 0.1);
+  EXPECT_DOUBLE_EQ(idle.added_delay_s, 0.0);
+}
+
+TEST_F(EnergyPolicyTest, SleepingConvergesToAlwaysOnAtFullLoad) {
+  const auto full = evaluate_link(model_, LinkPolicy::kSleeping, 10.0);
+  EXPECT_DOUBLE_EQ(full.awake_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(full.power_w, 5.0);
+}
+
+TEST_F(EnergyPolicyTest, RateAdaptationDownshifts) {
+  const auto slow = evaluate_link(model_, LinkPolicy::kRateAdaptation, 0.05);
+  EXPECT_EQ(slow.rate, 0u);
+  EXPECT_DOUBLE_EQ(slow.power_w, 0.7);
+  EXPECT_GT(slow.added_delay_s, 0.0);  // slower serialization
+  const auto fast = evaluate_link(model_, LinkPolicy::kRateAdaptation, 5.0);
+  EXPECT_EQ(fast.rate, 2u);
+  EXPECT_DOUBLE_EQ(fast.power_w, 5.0);
+}
+
+TEST_F(EnergyPolicyTest, RateAdaptationDelaySmallerThanSleeping) {
+  // Ref [23]'s qualitative finding at moderate loads: rate adaptation costs
+  // microseconds of serialization, sleeping costs the buffering interval.
+  const auto ra = evaluate_link(model_, LinkPolicy::kRateAdaptation, 0.5);
+  const auto sleep = evaluate_link(model_, LinkPolicy::kSleeping, 0.5);
+  EXPECT_LT(ra.added_delay_s, sleep.added_delay_s);
+}
+
+TEST_F(EnergyPolicyTest, SleepingBeatsRateAdaptationAtVeryLowLoad) {
+  const auto ra = evaluate_link(model_, LinkPolicy::kRateAdaptation, 0.01);
+  const auto sleep = evaluate_link(model_, LinkPolicy::kSleeping, 0.01);
+  EXPECT_LT(sleep.power_w, ra.power_w);
+}
+
+TEST_F(EnergyPolicyTest, Validation) {
+  EXPECT_THROW(evaluate_link(model_, LinkPolicy::kAlwaysOn, -1.0),
+               std::invalid_argument);
+  EXPECT_THROW(evaluate_link(model_, LinkPolicy::kAlwaysOn, 11.0),
+               std::invalid_argument);
+  SleepingConfig bad;
+  bad.burst_interval_s = 0.0;
+  EXPECT_THROW(evaluate_link(model_, LinkPolicy::kSleeping, 1.0, bad),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace epm::network

@@ -1,0 +1,50 @@
+#include "network/switch_power.h"
+
+#include <gtest/gtest.h>
+
+namespace epm::network {
+namespace {
+
+TEST(SwitchPowerModel, PortPowerByRate) {
+  SwitchPowerModel model{SwitchPowerConfig{}};
+  EXPECT_DOUBLE_EQ(model.port_power_w(0), 0.7);
+  EXPECT_DOUBLE_EQ(model.port_power_w(2), 5.0);
+  EXPECT_DOUBLE_EQ(model.max_rate_gbps(), 10.0);
+  EXPECT_THROW(model.port_power_w(9), std::invalid_argument);
+}
+
+TEST(SwitchPowerModel, RateForLoadPicksSlowestSufficient) {
+  SwitchPowerModel model{SwitchPowerConfig{}};
+  EXPECT_EQ(model.rate_for_load(0.0), 0u);
+  EXPECT_EQ(model.rate_for_load(0.05), 0u);
+  EXPECT_EQ(model.rate_for_load(0.5), 1u);
+  EXPECT_EQ(model.rate_for_load(1.0), 1u);
+  EXPECT_EQ(model.rate_for_load(4.0), 2u);
+  EXPECT_EQ(model.rate_for_load(99.0), 2u);  // clamps at the top rate
+}
+
+TEST(SwitchPowerModel, SwitchPowerSums) {
+  SwitchPowerModel model{SwitchPowerConfig{}};
+  // Chassis + 2 full-rate ports + 46 sleeping.
+  const double power = model.switch_power_w({2, 2}, 46);
+  EXPECT_DOUBLE_EQ(power, 90.0 + 2 * 5.0 + 46 * 0.1);
+  EXPECT_THROW(model.switch_power_w({0}, 48), std::invalid_argument);
+}
+
+TEST(SwitchPowerModel, Validation) {
+  SwitchPowerConfig bad;
+  bad.rates = {{1.0, 2.0}, {0.5, 3.0}};  // non-ascending capacity
+  EXPECT_THROW(SwitchPowerModel{bad}, std::invalid_argument);
+  bad = SwitchPowerConfig{};
+  bad.rates = {{1.0, 2.0}, {10.0, 1.0}};  // faster but cheaper
+  EXPECT_THROW(SwitchPowerModel{bad}, std::invalid_argument);
+  bad = SwitchPowerConfig{};
+  bad.sleep_power_w = 10.0;  // above the slowest rate
+  EXPECT_THROW(SwitchPowerModel{bad}, std::invalid_argument);
+  bad = SwitchPowerConfig{};
+  bad.rates.clear();
+  EXPECT_THROW(SwitchPowerModel{bad}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace epm::network

@@ -1,0 +1,149 @@
+#include "onoff/provisioners.h"
+
+#include <gtest/gtest.h>
+
+namespace epm::onoff {
+namespace {
+
+cluster::ServiceClusterConfig cluster_config(std::size_t total = 20,
+                                             std::size_t active = 10) {
+  cluster::ServiceClusterConfig config;
+  config.server_count = total;
+  config.initially_active = active;
+  return config;
+}
+
+workload::OfferedLoad load_of(double rate) {
+  workload::OfferedLoad load;
+  load.arrival_rate_per_s = rate;
+  load.service_demand_s = 0.01;
+  return load;
+}
+
+TEST(ServersForLoad, CeilingOfRequired) {
+  // 100 rps/server at full speed; 65% target -> 65 rps usable per server.
+  EXPECT_EQ(servers_for_load(650.0, 0.01, 1.0, 0.65), 10u);
+  EXPECT_EQ(servers_for_load(651.0, 0.01, 1.0, 0.65), 11u);
+  EXPECT_EQ(servers_for_load(0.0, 0.01, 1.0, 0.65), 0u);
+  EXPECT_THROW(servers_for_load(1.0, 0.01, 1.0, 1.0), std::invalid_argument);
+}
+
+TEST(StaticProvisioner, Constant) {
+  cluster::ServiceCluster cluster(cluster_config());
+  StaticProvisioner prov(15);
+  const auto r = cluster.run_epoch(60.0, load_of(100.0));
+  EXPECT_EQ(prov.decide(cluster, r), 15u);
+}
+
+TEST(DelayThresholdProvisioner, AddsOnHighDelay) {
+  cluster::ServiceClusterConfig config = cluster_config();
+  config.sla.target_mean_response_s = 0.02;
+  cluster::ServiceCluster cluster(config);
+  DelayThresholdProvisioner prov;
+  // rho 0.9 -> response 0.1 s > 0.02 target.
+  const auto r = cluster.run_epoch(60.0, load_of(900.0));
+  EXPECT_EQ(prov.decide(cluster, r), 12u);  // +2 by default
+}
+
+TEST(DelayThresholdProvisioner, ShrinksOnlyAfterDwell) {
+  cluster::ServiceClusterConfig config = cluster_config();
+  config.sla.target_mean_response_s = 0.5;
+  cluster::ServiceCluster cluster(config);
+  DelayThresholdProvisioner prov;
+  // Very low load: response ~0.01 << 0.25 (down threshold).
+  auto r = cluster.run_epoch(60.0, load_of(50.0));
+  EXPECT_EQ(prov.decide(cluster, r), 10u);  // dwell 1
+  EXPECT_EQ(prov.decide(cluster, r), 10u);  // dwell 2
+  EXPECT_EQ(prov.decide(cluster, r), 9u);   // dwell 3 -> shrink by one
+}
+
+TEST(DelayThresholdProvisioner, RespectsMinimumAndFleet) {
+  cluster::ServiceClusterConfig config = cluster_config(3, 1);
+  config.sla.target_mean_response_s = 0.5;
+  cluster::ServiceCluster cluster(config);
+  DelayThresholdConfig pc;
+  pc.min_servers = 1;
+  pc.down_dwell_epochs = 1;
+  pc.add_step = 10;
+  DelayThresholdProvisioner prov(pc);
+  auto r = cluster.run_epoch(60.0, load_of(50.0));
+  // Low delay at 1 server: stays at minimum.
+  if (r.mean_response_s < 0.25) {
+    EXPECT_EQ(prov.decide(cluster, r), 1u);
+  }
+  // Overload: target clamped to fleet size.
+  r = cluster.run_epoch(60.0, load_of(500.0));
+  EXPECT_EQ(prov.decide(cluster, r), 3u);
+}
+
+TEST(UtilizationBandProvisioner, ResizesToTarget) {
+  cluster::ServiceCluster cluster(cluster_config());
+  UtilizationBandProvisioner prov;
+  // rho 0.9 > 0.8 upper bound: resize to lambda/(100*0.65) = 14.
+  const auto r = cluster.run_epoch(60.0, load_of(900.0));
+  EXPECT_EQ(prov.decide(cluster, r), 14u);
+}
+
+TEST(UtilizationBandProvisioner, HoldsInsideBand) {
+  cluster::ServiceCluster cluster(cluster_config());
+  UtilizationBandProvisioner prov;
+  const auto r = cluster.run_epoch(60.0, load_of(600.0));  // rho 0.6
+  EXPECT_EQ(prov.decide(cluster, r), 10u);
+}
+
+TEST(UtilizationBandProvisioner, DwellPreventsImmediateSecondChange) {
+  cluster::ServiceCluster cluster(cluster_config());
+  UtilizationBandConfig config;
+  config.min_dwell_epochs = 3;
+  UtilizationBandProvisioner prov(config);
+  auto r = cluster.run_epoch(60.0, load_of(900.0));
+  const auto first = prov.decide(cluster, r);
+  EXPECT_NE(first, 10u);
+  cluster.set_target_committed(first, false);
+  // Another out-of-band epoch immediately after: held by dwell.
+  r = cluster.run_epoch(60.0, load_of(100.0));
+  EXPECT_EQ(prov.decide(cluster, r), cluster.committed_count());
+}
+
+TEST(PredictiveProvisioner, LearnsAndProvisionsAhead) {
+  cluster::ServiceCluster cluster(cluster_config());
+  PredictiveConfig config;
+  config.predictor.period_s = 86400.0;
+  config.predictor.bucket_s = 3600.0;
+  PredictiveProvisioner prov(config);
+  // Feed a constant 650 rps; the predictor should converge to ~10 servers
+  // (650 / (100 * 0.65)).
+  std::size_t target = 0;
+  for (int i = 0; i < 50; ++i) {
+    const auto r = cluster.run_epoch(60.0, load_of(650.0));
+    target = prov.decide(cluster, r);
+  }
+  EXPECT_GE(target, 10u);
+  EXPECT_LE(target, 12u);  // margin sigmas may add a little
+}
+
+TEST(PredictiveProvisioner, MinimumWhenNoLoad) {
+  cluster::ServiceCluster cluster(cluster_config());
+  PredictiveProvisioner prov;
+  std::size_t target = 99;
+  for (int i = 0; i < 10; ++i) {
+    const auto r = cluster.run_epoch(60.0, load_of(0.0));
+    target = prov.decide(cluster, r);
+  }
+  EXPECT_EQ(target, 1u);
+}
+
+TEST(Provisioners, ConfigValidation) {
+  DelayThresholdConfig bad;
+  bad.down_factor = 2.0;
+  EXPECT_THROW(DelayThresholdProvisioner{bad}, std::invalid_argument);
+  UtilizationBandConfig ubad;
+  ubad.lower = 0.9;
+  EXPECT_THROW(UtilizationBandProvisioner{ubad}, std::invalid_argument);
+  PredictiveConfig pbad;
+  pbad.target_utilization = 0.0;
+  EXPECT_THROW(PredictiveProvisioner{pbad}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace epm::onoff

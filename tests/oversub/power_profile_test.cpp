@@ -1,0 +1,60 @@
+#include "oversub/power_profile.h"
+
+#include <gtest/gtest.h>
+
+namespace epm::oversub {
+namespace {
+
+TimeSeries ramp_trace() {
+  TimeSeries t(0.0, 60.0);
+  for (int i = 0; i < 100; ++i) t.push_back(100.0 + static_cast<double>(i));
+  return t;
+}
+
+TEST(ServicePowerProfile, MomentsFromTrace) {
+  ServicePowerProfile profile("svc", ramp_trace());
+  EXPECT_EQ(profile.name(), "svc");
+  EXPECT_NEAR(profile.mean_w(), 149.5, 1e-9);
+  EXPECT_DOUBLE_EQ(profile.rated_peak_w(), 199.0);
+  EXPECT_EQ(profile.sample_count(), 100u);
+}
+
+TEST(ServicePowerProfile, ExplicitRatedPeak) {
+  ServicePowerProfile profile("svc", ramp_trace(), 300.0);
+  EXPECT_DOUBLE_EQ(profile.rated_peak_w(), 300.0);
+}
+
+TEST(ServicePowerProfile, Quantiles) {
+  ServicePowerProfile profile("svc", ramp_trace());
+  EXPECT_NEAR(profile.quantile(0.0), 100.0, 1e-9);
+  EXPECT_NEAR(profile.quantile(1.0), 199.0, 1e-9);
+  EXPECT_NEAR(profile.quantile(0.5), 149.5, 1.0);
+}
+
+TEST(ServicePowerProfile, AlignedSamplingWraps) {
+  ServicePowerProfile profile("svc", ramp_trace());
+  EXPECT_DOUBLE_EQ(profile.sample_at(0), 100.0);
+  EXPECT_DOUBLE_EQ(profile.sample_at(100), 100.0);  // wraps
+  EXPECT_DOUBLE_EQ(profile.sample_at(150), 150.0);
+}
+
+TEST(ServicePowerProfile, RandomSamplingFromEmpirical) {
+  ServicePowerProfile profile("svc", ramp_trace());
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = profile.sample(rng);
+    ASSERT_GE(v, 100.0);
+    ASSERT_LE(v, 199.0);
+  }
+}
+
+TEST(ServicePowerProfile, Validation) {
+  EXPECT_THROW(ServicePowerProfile("x", TimeSeries(0.0, 1.0)), std::invalid_argument);
+  TimeSeries negative(0.0, 1.0, {-5.0});
+  EXPECT_THROW(ServicePowerProfile("x", negative), std::invalid_argument);
+  ServicePowerProfile profile("svc", ramp_trace());
+  EXPECT_THROW(profile.quantile(1.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace epm::oversub

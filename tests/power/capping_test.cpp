@@ -1,0 +1,97 @@
+#include "power/capping.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace epm::power {
+namespace {
+
+TEST(PlanCaps, NoCappingUnderBudget) {
+  const std::vector<double> draws{200.0, 250.0, 300.0};
+  const auto decision = plan_caps(draws, 180.0, 1000.0);
+  EXPECT_FALSE(decision.capped);
+  EXPECT_FALSE(decision.infeasible);
+  EXPECT_EQ(decision.caps_w, draws);
+  EXPECT_DOUBLE_EQ(decision.shed_w, 0.0);
+}
+
+TEST(PlanCaps, CapsMeetBudgetExactly) {
+  const std::vector<double> draws{300.0, 300.0, 300.0};  // 900 total
+  const auto decision = plan_caps(draws, 180.0, 750.0);
+  EXPECT_TRUE(decision.capped);
+  EXPECT_FALSE(decision.infeasible);
+  const double total =
+      std::accumulate(decision.caps_w.begin(), decision.caps_w.end(), 0.0);
+  EXPECT_NEAR(total, 750.0, 1e-9);
+  EXPECT_NEAR(decision.shed_w, 150.0, 1e-9);
+  for (double cap : decision.caps_w) EXPECT_GE(cap, 180.0);
+}
+
+TEST(PlanCaps, ProportionalAboveIdle) {
+  const std::vector<double> draws{280.0, 200.0};  // dynamic: 100, 20
+  const auto decision = plan_caps(draws, 180.0, 420.0);  // shed 60 of 120 dyn
+  EXPECT_TRUE(decision.capped);
+  // Scale = (420-360)/120 = 0.5.
+  EXPECT_NEAR(decision.caps_w[0], 180.0 + 50.0, 1e-9);
+  EXPECT_NEAR(decision.caps_w[1], 180.0 + 10.0, 1e-9);
+}
+
+TEST(PlanCaps, InfeasibleWhenBudgetBelowIdleFloor) {
+  const std::vector<double> draws{300.0, 300.0};
+  const auto decision = plan_caps(draws, 180.0, 300.0);  // idle total = 360
+  EXPECT_TRUE(decision.capped);
+  EXPECT_TRUE(decision.infeasible);
+  for (double cap : decision.caps_w) EXPECT_DOUBLE_EQ(cap, 180.0);
+}
+
+TEST(PlanCaps, EmptyServerList) {
+  const auto decision = plan_caps({}, 180.0, 100.0);
+  EXPECT_FALSE(decision.capped);
+  EXPECT_TRUE(decision.caps_w.empty());
+}
+
+TEST(PlanCaps, RejectsDrawBelowIdle) {
+  EXPECT_THROW(plan_caps({100.0}, 180.0, 500.0), std::invalid_argument);
+}
+
+TEST(ThrottleForCap, FastestFittingPStateWins) {
+  ServerPowerModel model{ServerPowerConfig{}};
+  // Generous cap: P0 fits.
+  const auto full = throttle_for_cap(model, 0.5, 1000.0);
+  EXPECT_EQ(full.pstate, 0u);
+  EXPECT_DOUBLE_EQ(full.duty, 1.0);
+  // Tight cap between P-states: picks the fastest that fits.
+  const double cap = model.active_power_w(2, 0.5) + 1.0;
+  const auto mid = throttle_for_cap(model, 0.5, cap);
+  EXPECT_LE(model.active_power_w(mid.pstate, 0.5, mid.duty), cap + 1e-9);
+  EXPECT_LE(mid.pstate, 2u);
+}
+
+TEST(ThrottleForCap, FallsBackToDutyThrottling) {
+  ServerPowerModel model{ServerPowerConfig{}};
+  const std::size_t slowest = model.pstate_count() - 1;
+  // Cap below the slowest P-state's busy power at u=1.
+  const double cap = model.active_power_w(slowest, 1.0) - 10.0;
+  const auto setting = throttle_for_cap(model, 1.0, cap);
+  EXPECT_EQ(setting.pstate, slowest);
+  EXPECT_LT(setting.duty, 1.0);
+  EXPECT_GE(setting.duty, 0.05);
+  EXPECT_LE(model.active_power_w(setting.pstate, 1.0, setting.duty), cap + 1e-9);
+}
+
+TEST(ThrottleForCap, DutyFloorRespectedForImpossibleCaps) {
+  ServerPowerModel model{ServerPowerConfig{}};
+  // Cap below idle cannot be met; duty bottoms out at the floor.
+  const auto setting = throttle_for_cap(model, 1.0, 1.0);
+  EXPECT_DOUBLE_EQ(setting.duty, 0.05);
+}
+
+TEST(ThrottleForCap, ZeroUtilizationKeepsSlowestPlainState) {
+  ServerPowerModel model{ServerPowerConfig{}};
+  const auto setting = throttle_for_cap(model, 0.0, model.idle_power_w() + 1.0);
+  EXPECT_DOUBLE_EQ(setting.duty, 1.0);
+}
+
+}  // namespace
+}  // namespace epm::power

@@ -1,0 +1,125 @@
+#include "power/component_power.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace epm::power {
+namespace {
+
+TEST(MemoryPowerModel, BanksForWorkingSet) {
+  MemoryPowerModel model{MemoryConfig{}};  // 8 x 8 GB
+  EXPECT_DOUBLE_EQ(model.total_gb(), 64.0);
+  EXPECT_EQ(model.banks_for_working_set(0.0), 1u);   // at least one bank
+  EXPECT_EQ(model.banks_for_working_set(8.0), 1u);
+  EXPECT_EQ(model.banks_for_working_set(8.1), 2u);
+  EXPECT_EQ(model.banks_for_working_set(64.0), 8u);
+  EXPECT_THROW(model.banks_for_working_set(65.0), std::invalid_argument);
+}
+
+TEST(MemoryPowerModel, PowerScalesWithActiveBanks) {
+  MemoryPowerModel model{MemoryConfig{}};
+  EXPECT_DOUBLE_EQ(model.power_w(8), 8 * 3.0);
+  EXPECT_DOUBLE_EQ(model.power_w(1), 3.0 + 7 * 0.3);
+  EXPECT_LT(model.power_for_working_set_w(10.0), model.power_w(8));
+  EXPECT_THROW(model.power_w(0), std::invalid_argument);
+  EXPECT_THROW(model.power_w(9), std::invalid_argument);
+}
+
+TEST(MemoryPowerModel, Validation) {
+  MemoryConfig bad;
+  bad.per_bank_asleep_w = 5.0;  // above active
+  EXPECT_THROW(MemoryPowerModel{bad}, std::invalid_argument);
+  bad = MemoryConfig{};
+  bad.banks = 0;
+  EXPECT_THROW(MemoryPowerModel{bad}, std::invalid_argument);
+}
+
+class DiskTest : public ::testing::Test {
+ protected:
+  DiskPowerModel model_{DiskConfig{}};  // 8 W spin, 0.8 W standby, 60 J up
+};
+
+TEST_F(DiskTest, BreakevenFormula) {
+  // 60 J / (8 - 0.8) W = 8.33 s.
+  EXPECT_NEAR(model_.breakeven_idle_s(), 60.0 / 7.2, 1e-9);
+}
+
+TEST_F(DiskTest, GapEnergyPiecewise) {
+  const double timeout = 10.0;
+  // Short gap: never spins down.
+  EXPECT_DOUBLE_EQ(model_.gap_energy_j(5.0, timeout), 8.0 * 5.0);
+  // Long gap: spinning through the timeout, standby after, plus spin-up.
+  EXPECT_DOUBLE_EQ(model_.gap_energy_j(30.0, timeout),
+                   8.0 * 10.0 + 0.8 * 20.0 + 60.0);
+  EXPECT_DOUBLE_EQ(model_.gap_energy_spinning_j(30.0), 240.0);
+}
+
+TEST_F(DiskTest, SpinDownPaysExactlyBeyondBreakeven) {
+  // Immediate spin-down (timeout 0): cheaper than spinning iff the gap
+  // exceeds the break-even length.
+  const double be = model_.breakeven_idle_s();
+  EXPECT_GT(model_.gap_energy_j(be * 0.5, 0.0),
+            model_.gap_energy_spinning_j(be * 0.5));
+  EXPECT_LT(model_.gap_energy_j(be * 2.0, 0.0),
+            model_.gap_energy_spinning_j(be * 2.0));
+  EXPECT_NEAR(model_.gap_energy_j(be, 0.0), model_.gap_energy_spinning_j(be), 1e-9);
+}
+
+TEST_F(DiskTest, ExpectedIdlePowerMatchesMonteCarlo) {
+  Rng rng(3);
+  for (const double mean_gap : {5.0, 20.0, 120.0}) {
+    const double timeout = model_.competitive_timeout_s();
+    const double analytic = model_.expected_idle_power_w(mean_gap, timeout);
+    const double simulated =
+        model_.simulate_idle_power_w(mean_gap, timeout, 200000, rng);
+    EXPECT_NEAR(simulated, analytic, analytic * 0.02) << "mean gap " << mean_gap;
+  }
+}
+
+TEST_F(DiskTest, LongGapsRewardSpinDown) {
+  const double timeout = model_.competitive_timeout_s();
+  // Gaps much longer than break-even: spin-down approaches standby power.
+  EXPECT_LT(model_.expected_idle_power_w(600.0, timeout), 1.5);
+  // Gaps much shorter: spin-down is pointless but the timeout protects us —
+  // power stays at the spinning level (never spins down within short gaps).
+  EXPECT_NEAR(model_.expected_idle_power_w(1.0, timeout), 8.0, 0.1);
+}
+
+TEST_F(DiskTest, SkiRentalBoundHolds) {
+  // The break-even timeout is 2-competitive against the clairvoyant optimum
+  // on every individual gap: opt(g) = min(spin(g), immediate spin-down(g)).
+  const double timeout = model_.competitive_timeout_s();
+  for (double gap = 0.5; gap < 200.0; gap *= 1.7) {
+    const double policy = model_.gap_energy_j(gap, timeout);
+    const double opt =
+        std::min(model_.gap_energy_spinning_j(gap), model_.gap_energy_j(gap, 0.0));
+    EXPECT_LE(policy, 2.0 * opt + 1e-9) << "gap " << gap;
+  }
+}
+
+TEST_F(DiskTest, TimeoutSweepHasInteriorOptimumForExponentialGaps) {
+  // For exponential gaps with a mean well above break-even, some finite
+  // timeout beats both extremes (never spin down / instant spin-down is
+  // actually optimal among timeouts for exponential, by memorylessness the
+  // expected power is monotone in T — check that the analytic formula
+  // agrees: smaller T is never worse when mean >> breakeven).
+  const double mean_gap = 120.0;
+  double prev = model_.expected_idle_power_w(mean_gap, 0.0);
+  for (double timeout : {5.0, 20.0, 60.0}) {
+    const double p = model_.expected_idle_power_w(mean_gap, timeout);
+    EXPECT_GE(p, prev - 1e-9);
+    prev = p;
+  }
+}
+
+TEST_F(DiskTest, Validation) {
+  EXPECT_THROW(model_.gap_energy_j(-1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(model_.expected_idle_power_w(0.0, 1.0), std::invalid_argument);
+  DiskConfig bad;
+  bad.standby_w = 9.0;  // above spinning
+  EXPECT_THROW(DiskPowerModel{bad}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace epm::power

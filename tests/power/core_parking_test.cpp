@@ -1,0 +1,156 @@
+#include "power/core_parking.h"
+
+#include <gtest/gtest.h>
+
+namespace epm::power {
+namespace {
+
+CmpConfig homogeneous8() {
+  CmpConfig config;  // default: one class of 8 cores
+  return config;
+}
+
+CmpConfig big_little() {
+  CmpConfig config;
+  CoreClass big;
+  big.name = "big";
+  big.count = 4;
+  big.capacity_weight = 1.0;
+  big.idle_power_w = 8.0;
+  big.busy_power_w = 30.0;
+  CoreClass little;
+  little.name = "little";
+  little.count = 4;
+  little.capacity_weight = 0.4;
+  little.idle_power_w = 2.0;
+  little.busy_power_w = 6.0;
+  config.classes = {big, little};
+  return config;
+}
+
+TEST(CmpPowerModel, CapacityAndTotals) {
+  CmpPowerModel model(homogeneous8());
+  EXPECT_EQ(model.total_cores(), 8u);
+  EXPECT_DOUBLE_EQ(model.max_capacity(), 8.0);
+  EXPECT_DOUBLE_EQ(model.capacity({4}), 4.0);
+  CmpPowerModel hetero(big_little());
+  EXPECT_DOUBLE_EQ(hetero.max_capacity(), 4.0 + 1.6);
+  EXPECT_DOUBLE_EQ(hetero.capacity({2, 3}), 2.0 + 1.2);
+}
+
+TEST(CmpPowerModel, PowerAccounting) {
+  CmpPowerModel model(homogeneous8());
+  // All parked except nothing: uncore + 8 parked.
+  EXPECT_DOUBLE_EQ(model.power_w({0}, 0.0), 60.0 + 8 * 0.5);
+  // All cores idle: uncore + 8 * 6.
+  EXPECT_DOUBLE_EQ(model.power_w(model.all_cores(), 0.0), 60.0 + 8 * 6.0);
+  // All busy: uncore + 8 * 22.
+  EXPECT_DOUBLE_EQ(model.power_w(model.all_cores(), 1.0), 60.0 + 8 * 22.0);
+  // Half parked at 50% utilization.
+  EXPECT_DOUBLE_EQ(model.power_w({4}, 0.5), 60.0 + 4 * 0.5 + 4 * (6.0 + 8.0));
+}
+
+TEST(CmpPowerModel, ParkingSavesAtLowLoad) {
+  CmpPowerModel model(homogeneous8());
+  // Work worth 2 cores: 8 unparked at u=0.25 vs 2 unparked at u=1.
+  const double spread = model.power_w(model.all_cores(), 0.25);
+  const double parked = model.power_w({2}, 1.0);
+  EXPECT_LT(parked, spread);
+}
+
+TEST(CmpPowerModel, OptimalSelectionMeetsCapacityAtMinPower) {
+  CmpPowerModel model(homogeneous8());
+  const auto sel = model.optimal_active_cores(2.0);
+  EXPECT_GE(model.capacity(sel), 2.0);
+  // Exhaustive check: no selection meeting 2.0 is cheaper.
+  const double chosen =
+      model.power_w(sel, 2.0 / model.capacity(sel));
+  for (std::size_t n = 0; n <= 8; ++n) {
+    const double cap = model.capacity({n});
+    if (cap < 2.0) continue;
+    EXPECT_GE(model.power_w({n}, 2.0 / cap) + 1e-12, chosen) << "n=" << n;
+  }
+}
+
+TEST(CmpPowerModel, HeterogeneousPrefersLittleCoresForLightWork) {
+  CmpPowerModel model(big_little());
+  // 0.8 capacity units: two little cores (12 W busy) beat one big (30 W).
+  const auto sel = model.optimal_active_cores(0.8);
+  EXPECT_EQ(sel[0], 0u);
+  EXPECT_EQ(sel[1], 2u);
+}
+
+TEST(CmpPowerModel, HeterogeneousUsesBigCoresForHeavyWork) {
+  CmpPowerModel model(big_little());
+  const auto sel = model.optimal_active_cores(5.0);
+  EXPECT_GE(sel[0], 4u);  // needs every big core: 4 + 1.6 little max
+  EXPECT_GE(model.capacity(sel), 5.0);
+}
+
+TEST(CmpPowerModel, Validation) {
+  CmpPowerModel model(homogeneous8());
+  EXPECT_THROW(model.capacity({9}), std::invalid_argument);
+  EXPECT_THROW(model.capacity({1, 1}), std::invalid_argument);
+  EXPECT_THROW(model.power_w({4}, 1.5), std::invalid_argument);
+  EXPECT_THROW(model.optimal_active_cores(99.0), std::invalid_argument);
+  CmpConfig bad = homogeneous8();
+  bad.classes[0].busy_power_w = 1.0;  // below idle
+  EXPECT_THROW(CmpPowerModel{bad}, std::invalid_argument);
+  bad = homogeneous8();
+  bad.classes.clear();
+  EXPECT_THROW(CmpPowerModel{bad}, std::invalid_argument);
+}
+
+TEST(CoreParkingPolicy, UnparksUnderPressureParksWhenIdle) {
+  CmpPowerModel model(homogeneous8());
+  CoreParkingPolicy policy(model);
+  // Park down under light load.
+  for (int i = 0; i < 10; ++i) policy.decide(0.1);
+  std::size_t unparked = policy.current()[0];
+  EXPECT_EQ(unparked, 1u);  // one per decision until the floor
+  // Ramp up under pressure.
+  for (int i = 0; i < 10; ++i) policy.decide(0.95);
+  EXPECT_EQ(policy.current()[0], 8u);
+}
+
+TEST(CoreParkingPolicy, HoldsInsideBand) {
+  CmpPowerModel model(homogeneous8());
+  CoreParkingPolicy policy(model);
+  const auto before = policy.current();
+  policy.decide(0.6);
+  EXPECT_EQ(policy.current(), before);
+}
+
+TEST(CoreParkingPolicy, HeterogeneousUnparkOrder) {
+  CmpPowerModel model(big_little());
+  CoreParkingPolicy policy(model);
+  // Park everything possible first.
+  for (int i = 0; i < 16; ++i) policy.decide(0.1);
+  // little cores (0.4/6 = 0.067 cap/W) are *more* efficient than big
+  // (1/30 = 0.033), so unparking should start with little cores.
+  const auto before = policy.current();
+  policy.decide(0.95);
+  const auto after = policy.current();
+  EXPECT_EQ(after[1], before[1] + 1);
+}
+
+TEST(CoreParkingPolicy, RespectsMinCores) {
+  CmpPowerModel model(homogeneous8());
+  CoreParkingPolicyConfig config;
+  config.min_cores = 3;
+  CoreParkingPolicy policy(model, config);
+  for (int i = 0; i < 20; ++i) policy.decide(0.0);
+  EXPECT_EQ(policy.current()[0], 3u);
+}
+
+TEST(CoreParkingPolicy, Validation) {
+  CmpPowerModel model(homogeneous8());
+  CoreParkingPolicyConfig bad;
+  bad.park_utilization = 0.9;
+  EXPECT_THROW(CoreParkingPolicy(model, bad), std::invalid_argument);
+  CoreParkingPolicy policy(model);
+  EXPECT_THROW(policy.decide(1.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace epm::power

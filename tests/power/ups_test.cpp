@@ -1,0 +1,77 @@
+#include "power/ups.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace epm::power {
+namespace {
+
+TEST(UpsBattery, StartsAtConfiguredSoc) {
+  UpsBatteryConfig config;
+  config.initial_soc = 0.5;
+  UpsBattery ups(config);
+  EXPECT_NEAR(ups.state_of_charge(), 0.5, 1e-12);
+  EXPECT_FALSE(ups.depleted());
+}
+
+TEST(UpsBattery, DischargeDeliversEnergy) {
+  UpsBattery ups{UpsBatteryConfig{}};
+  const double before = ups.stored_energy_j();
+  const double delivered = ups.discharge(1.0e6, 60.0);
+  EXPECT_DOUBLE_EQ(delivered, 6.0e7);
+  EXPECT_DOUBLE_EQ(ups.stored_energy_j(), before - delivered);
+}
+
+TEST(UpsBattery, DischargeLimitedByRateAndCapacity) {
+  UpsBatteryConfig config;
+  config.energy_capacity_j = 1000.0;
+  config.max_discharge_w = 10.0;
+  UpsBattery ups(config);
+  // Load above limit is clamped to the discharge limit.
+  EXPECT_DOUBLE_EQ(ups.discharge(100.0, 1.0), 10.0);
+  // Draining more than stored empties it.
+  const double delivered = ups.discharge(10.0, 1e6);
+  EXPECT_DOUBLE_EQ(delivered, 990.0);
+  EXPECT_TRUE(ups.depleted());
+  EXPECT_DOUBLE_EQ(ups.discharge(10.0, 10.0), 0.0);
+}
+
+TEST(UpsBattery, ChargeRespectsEfficiencyAndHeadroom) {
+  UpsBatteryConfig config;
+  config.energy_capacity_j = 1000.0;
+  config.initial_soc = 0.0;
+  config.max_charge_w = 100.0;
+  config.charge_efficiency = 0.5;
+  UpsBattery ups(config);
+  const double drawn = ups.charge(100.0, 10.0);  // 1000 J in, 500 J stored
+  EXPECT_DOUBLE_EQ(ups.stored_energy_j(), 500.0);
+  EXPECT_DOUBLE_EQ(drawn, 1000.0);
+  // Filling to the brim stops at capacity.
+  ups.charge(100.0, 1e9);
+  EXPECT_DOUBLE_EQ(ups.stored_energy_j(), 1000.0);
+}
+
+TEST(UpsBattery, RideThroughTime) {
+  UpsBatteryConfig config;
+  config.energy_capacity_j = 3600.0;
+  UpsBattery ups(config);
+  EXPECT_DOUBLE_EQ(ups.ride_through_s(1.0), 3600.0);
+  EXPECT_TRUE(std::isinf(ups.ride_through_s(0.0)));
+  EXPECT_DOUBLE_EQ(ups.ride_through_s(config.max_discharge_w * 2.0), 0.0);
+}
+
+TEST(UpsBattery, RejectsBadInput) {
+  UpsBattery ups{UpsBatteryConfig{}};
+  EXPECT_THROW(ups.discharge(-1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(ups.charge(1.0, -1.0), std::invalid_argument);
+  UpsBatteryConfig bad;
+  bad.charge_efficiency = 0.0;
+  EXPECT_THROW(UpsBattery{bad}, std::invalid_argument);
+  bad = UpsBatteryConfig{};
+  bad.initial_soc = 2.0;
+  EXPECT_THROW(UpsBattery{bad}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace epm::power

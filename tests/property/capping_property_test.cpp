@@ -1,0 +1,89 @@
+// Randomized invariant sweeps for power capping.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/rng.h"
+#include "power/capping.h"
+
+namespace epm::power {
+namespace {
+
+class CappingProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CappingProperty, CapsConserveAndRespectBounds) {
+  Rng rng(GetParam());
+  const double idle = 150.0;
+  for (int round = 0; round < 200; ++round) {
+    const auto n = static_cast<std::size_t>(rng.uniform_int(1, 40));
+    std::vector<double> draws;
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      draws.push_back(idle + rng.uniform(0.0, 200.0));
+      total += draws.back();
+    }
+    const double budget = rng.uniform(idle * static_cast<double>(n) * 0.5, total * 1.2);
+    const auto decision = plan_caps(draws, idle, budget);
+
+    // Caps never exceed the original draws and never dip below idle.
+    double capped_total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_LE(decision.caps_w[i], draws[i] + 1e-9);
+      ASSERT_GE(decision.caps_w[i], idle - 1e-9);
+      capped_total += decision.caps_w[i];
+    }
+    if (!decision.capped) {
+      // Under budget: untouched.
+      ASSERT_NEAR(capped_total, total, 1e-9);
+      ASSERT_LE(total, budget + 1e-9);
+    } else if (!decision.infeasible) {
+      // Capped and feasible: lands exactly on the budget.
+      ASSERT_NEAR(capped_total, budget, 1e-6);
+      ASSERT_NEAR(decision.shed_w, total - budget, 1e-6);
+    } else {
+      // Infeasible: everything at the idle floor.
+      ASSERT_NEAR(capped_total, idle * static_cast<double>(n), 1e-9);
+      ASSERT_LT(budget, idle * static_cast<double>(n) + 1e-9);
+    }
+  }
+}
+
+TEST_P(CappingProperty, LargerBudgetNeverTightensCaps) {
+  Rng rng(GetParam() + 1000);
+  const double idle = 150.0;
+  for (int round = 0; round < 100; ++round) {
+    const auto n = static_cast<std::size_t>(rng.uniform_int(2, 20));
+    std::vector<double> draws;
+    for (std::size_t i = 0; i < n; ++i) draws.push_back(idle + rng.uniform(0.0, 150.0));
+    const double total = std::accumulate(draws.begin(), draws.end(), 0.0);
+    const double small = rng.uniform(idle * static_cast<double>(n), total);
+    const double large = small + rng.uniform(0.0, total - small);
+    const auto tight = plan_caps(draws, idle, small);
+    const auto loose = plan_caps(draws, idle, large);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_GE(loose.caps_w[i], tight.caps_w[i] - 1e-9) << "server " << i;
+    }
+  }
+}
+
+TEST_P(CappingProperty, ThrottleSettingAlwaysFitsUnderAchievableCaps) {
+  Rng rng(GetParam() + 2000);
+  const ServerPowerModel model{ServerPowerConfig{}};
+  for (int round = 0; round < 300; ++round) {
+    const double u = rng.uniform(0.0, 1.0);
+    // Any cap at or above the idle floor is achievable (duty floor aside).
+    const double cap = rng.uniform(model.idle_power_w(), model.peak_power_w());
+    const auto setting = throttle_for_cap(model, u, cap);
+    if (setting.duty > 0.05 + 1e-12) {  // not pinned at the duty floor
+      ASSERT_LE(model.active_power_w(setting.pstate, u, setting.duty), cap + 1e-9)
+          << "u=" << u << " cap=" << cap;
+    }
+    ASSERT_GT(setting.relative_capacity, 0.0);
+    ASSERT_LE(setting.relative_capacity, 1.0 + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CappingProperty, ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace epm::power

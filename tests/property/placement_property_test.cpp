@@ -1,0 +1,120 @@
+// Randomized invariant sweeps for every placement algorithm: whatever the
+// input population, a placement must respect host capacities in all four
+// resource dimensions, produce valid indices, and honor its special
+// guarantees (IO-intensive separation for interference_aware).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "core/rng.h"
+#include "vm/interference.h"
+#include "vm/placement.h"
+
+namespace epm::vm {
+namespace {
+
+std::vector<VmSpec> random_population(Rng& rng, std::size_t count) {
+  std::vector<VmSpec> vms(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    vms[i].id = i;
+    vms[i].cpu_cores = rng.uniform(0.5, 8.0);
+    vms[i].disk_iops = rng.uniform(1.0, 250.0);
+    vms[i].net_mbps = rng.uniform(1.0, 300.0);
+    vms[i].memory_gb = rng.uniform(1.0, 24.0);
+    if (rng.bernoulli(0.4)) {
+      TimeSeries profile(0.0, 3600.0);
+      const double phase = rng.uniform(0.0, 24.0);
+      for (int h = 0; h < 24; ++h) {
+        profile.push_back(0.6 + 0.4 * std::cos(2.0 * std::numbers::pi *
+                                               (h - phase) / 24.0));
+      }
+      vms[i].load_profile = profile;
+    }
+  }
+  return vms;
+}
+
+void assert_capacities_respected(const std::vector<VmSpec>& vms,
+                                 const std::vector<HostSpec>& hosts,
+                                 const Placement& placement) {
+  ASSERT_EQ(placement.assignment.size(), vms.size());
+  std::vector<HostUsage> usage(hosts.size());
+  std::size_t placed = 0;
+  for (std::size_t i = 0; i < vms.size(); ++i) {
+    const std::size_t h = placement.assignment[i];
+    if (h == kUnplaced) continue;
+    ASSERT_LT(h, hosts.size());
+    usage[h] = add_usage(usage[h], vms[i]);
+    ++placed;
+  }
+  ASSERT_EQ(placed + placement.unplaced, vms.size());
+  for (std::size_t h = 0; h < hosts.size(); ++h) {
+    ASSERT_LE(usage[h].cpu_cores, hosts[h].cpu_cores + 1e-6);
+    ASSERT_LE(usage[h].disk_iops, hosts[h].disk_iops + 1e-6);
+    ASSERT_LE(usage[h].net_mbps, hosts[h].net_mbps + 1e-6);
+    ASSERT_LE(usage[h].memory_gb, hosts[h].memory_gb + 1e-6);
+  }
+}
+
+class PlacementProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PlacementProperty, AllAlgorithmsRespectCapacities) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 30; ++round) {
+    const auto vms =
+        random_population(rng, static_cast<std::size_t>(rng.uniform_int(1, 40)));
+    std::vector<HostSpec> hosts(static_cast<std::size_t>(rng.uniform_int(1, 12)));
+    for (std::size_t h = 0; h < hosts.size(); ++h) hosts[h].id = h;
+
+    assert_capacities_respected(vms, hosts, first_fit_decreasing(vms, hosts));
+    assert_capacities_respected(vms, hosts, interference_aware(vms, hosts));
+    assert_capacities_respected(vms, hosts, correlation_aware(vms, hosts));
+  }
+}
+
+TEST_P(PlacementProperty, InterferenceAwareLimitsIoTenants) {
+  Rng rng(GetParam() + 77);
+  InterferenceConfig config;
+  for (int round = 0; round < 30; ++round) {
+    const auto vms =
+        random_population(rng, static_cast<std::size_t>(rng.uniform_int(2, 30)));
+    std::vector<HostSpec> hosts(8);
+    for (std::size_t h = 0; h < hosts.size(); ++h) hosts[h].id = h;
+    const auto placement = interference_aware(vms, hosts, config, 1);
+    for (const auto& members : placement.by_host(hosts.size())) {
+      std::size_t io_heavy = 0;
+      for (auto m : members) {
+        if (vms[m].disk_iops > config.io_intensive_fraction * hosts[0].disk_iops) {
+          ++io_heavy;
+        }
+      }
+      ASSERT_LE(io_heavy, 1u);
+    }
+  }
+}
+
+TEST_P(PlacementProperty, HostsUsedConsistentWithAssignment) {
+  Rng rng(GetParam() + 178);
+  const auto vms = random_population(rng, 25);
+  std::vector<HostSpec> hosts(10);
+  for (std::size_t h = 0; h < hosts.size(); ++h) hosts[h].id = h;
+  for (const auto& placement :
+       {first_fit_decreasing(vms, hosts), interference_aware(vms, hosts),
+        correlation_aware(vms, hosts)}) {
+    std::vector<bool> used(hosts.size(), false);
+    for (std::size_t h : placement.assignment) {
+      if (h != kUnplaced) used[h] = true;
+    }
+    std::size_t count = 0;
+    for (bool u : used) {
+      if (u) ++count;
+    }
+    ASSERT_EQ(count, placement.hosts_used);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlacementProperty, ::testing::Values(11, 22, 33));
+
+}  // namespace
+}  // namespace epm::vm

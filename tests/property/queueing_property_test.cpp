@@ -1,0 +1,69 @@
+// Randomized invariant sweeps for the queueing formulas.
+#include <gtest/gtest.h>
+
+#include "cluster/queueing.h"
+#include "core/rng.h"
+
+namespace epm::cluster {
+namespace {
+
+class QueueingProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(QueueingProperty, ErlangCIsAProbability) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 500; ++round) {
+    const auto servers = static_cast<std::size_t>(rng.uniform_int(1, 64));
+    const double offered = rng.uniform(0.0, static_cast<double>(servers) * 0.999);
+    const double pw = erlang_c(offered, servers);
+    ASSERT_GE(pw, 0.0);
+    ASSERT_LE(pw, 1.0 + 1e-12) << "offered " << offered << " n " << servers;
+  }
+}
+
+TEST_P(QueueingProperty, ErlangCMonotoneInOfferedLoad) {
+  Rng rng(GetParam() + 10);
+  for (int round = 0; round < 100; ++round) {
+    const auto servers = static_cast<std::size_t>(rng.uniform_int(1, 32));
+    const double a = rng.uniform(0.0, static_cast<double>(servers) * 0.99);
+    const double b = rng.uniform(a, static_cast<double>(servers) * 0.999);
+    ASSERT_LE(erlang_c(a, servers), erlang_c(b, servers) + 1e-12);
+  }
+}
+
+TEST_P(QueueingProperty, MoreServersNeverHurt) {
+  Rng rng(GetParam() + 20);
+  for (int round = 0; round < 100; ++round) {
+    const double mu = rng.uniform(1.0, 100.0);
+    const auto n = static_cast<std::size_t>(rng.uniform_int(1, 24));
+    const double lambda = rng.uniform(0.0, static_cast<double>(n) * mu * 0.95);
+    ASSERT_LE(mmn_response_time_s(lambda, mu, n + 1),
+              mmn_response_time_s(lambda, mu, n) + 1e-12);
+  }
+}
+
+TEST_P(QueueingProperty, ResponseAlwaysAtLeastServiceTime) {
+  Rng rng(GetParam() + 30);
+  for (int round = 0; round < 200; ++round) {
+    const double mu = rng.uniform(1.0, 100.0);
+    const auto n = static_cast<std::size_t>(rng.uniform_int(1, 16));
+    const double lambda = rng.uniform(0.0, static_cast<double>(n) * mu * 0.95);
+    ASSERT_GE(mmn_response_time_s(lambda, mu, n), 1.0 / mu - 1e-12);
+    const double rho = rng.uniform(0.0, 0.99);
+    ASSERT_GE(mg1ps_response_time_s(1.0 / mu, rho), 1.0 / mu - 1e-12);
+  }
+}
+
+TEST_P(QueueingProperty, QuantilesMonotoneInQ) {
+  Rng rng(GetParam() + 40);
+  for (int round = 0; round < 100; ++round) {
+    const double mean = rng.uniform(0.001, 10.0);
+    const double q1 = rng.uniform(0.01, 0.98);
+    const double q2 = rng.uniform(q1, 0.99);
+    ASSERT_LE(response_quantile_s(mean, q1), response_quantile_s(mean, q2) + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QueueingProperty, ::testing::Values(5, 6));
+
+}  // namespace
+}  // namespace epm::cluster

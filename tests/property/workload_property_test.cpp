@@ -1,0 +1,85 @@
+// Randomized invariant sweeps for the workload generators: the Fig. 3
+// shape statistics must hold across seeds and parameterizations, not just
+// for the benchmark's seed.
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "core/units.h"
+#include "workload/messenger.h"
+#include "workload/surge.h"
+
+namespace epm::workload {
+namespace {
+
+class MessengerShapeProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MessengerShapeProperty, ShapeHoldsAcrossSeeds) {
+  MessengerConfig config;
+  config.seed = GetParam();
+  config.step_s = 120.0;
+  const auto trace = generate_messenger_trace(config, weeks(1.0));
+  const auto shape = summarize_messenger_trace(trace, DiurnalModel(config.diurnal));
+  EXPECT_GT(shape.afternoon_to_midnight_ratio, 1.5) << "seed " << GetParam();
+  EXPECT_LT(shape.afternoon_to_midnight_ratio, 2.8) << "seed " << GetParam();
+  EXPECT_GT(shape.weekday_to_weekend_ratio, 1.0) << "seed " << GetParam();
+  for (std::size_t i = 0; i < trace.connections.size(); ++i) {
+    ASSERT_GE(trace.connections[i], 0.0);
+    ASSERT_GE(trace.login_rate_per_s[i], 0.0);
+  }
+}
+
+TEST_P(MessengerShapeProperty, FlashCrowdRateScalesWithConfig) {
+  MessengerConfig calm;
+  calm.seed = GetParam();
+  calm.step_s = 300.0;
+  calm.flash.rate_per_day = 0.5;
+  MessengerConfig stormy = calm;
+  stormy.flash.rate_per_day = 4.0;
+  const auto few = generate_messenger_trace(calm, weeks(2.0));
+  const auto many = generate_messenger_trace(stormy, weeks(2.0));
+  EXPECT_LT(few.flash_crowds.size(), many.flash_crowds.size());
+  // Poisson(7) vs Poisson(56): generous 3-sigma-ish bands.
+  EXPECT_LE(few.flash_crowds.size(), 18u);
+  EXPECT_GE(many.flash_crowds.size(), 30u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MessengerShapeProperty,
+                         ::testing::Values(1, 17, 99, 12345));
+
+class SurgeProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SurgeProperty, RandomConfigsKeepTheSurgeShape) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 50; ++round) {
+    SurgeConfig config;
+    config.baseline = rng.uniform(10.0, 200.0);
+    config.peak = config.baseline * rng.uniform(5.0, 100.0);
+    config.post_surge = config.baseline + (config.peak - config.baseline) *
+                                              rng.uniform(0.01, 0.3);
+    config.surge_start_s = rng.uniform(0.0, days(2.0));
+    config.ramp_s = rng.uniform(hours(6.0), days(5.0));
+    config.plateau_s = rng.uniform(0.0, days(2.0));
+    config.recede_tau_s = rng.uniform(hours(6.0), days(3.0));
+    const SurgeModel model(config);
+    // Before the surge: exactly baseline; at ramp end: exactly peak.
+    ASSERT_DOUBLE_EQ(model.demand_at(config.surge_start_s * 0.5), config.baseline);
+    ASSERT_NEAR(model.demand_at(config.surge_start_s + config.ramp_s), config.peak,
+                config.peak * 1e-6);
+    // Everywhere within [baseline, peak].
+    const double end = config.surge_start_s + config.ramp_s + config.plateau_s +
+                       8.0 * config.recede_tau_s;
+    for (double t = 0.0; t < end; t += end / 200.0) {
+      const double v = model.demand_at(t);
+      ASSERT_GE(v, config.baseline - 1e-9);
+      ASSERT_LE(v, config.peak + 1e-9);
+    }
+    // Long after: recedes to post_surge.
+    ASSERT_NEAR(model.demand_at(end + 20.0 * config.recede_tau_s), config.post_surge,
+                config.peak * 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SurgeProperty, ::testing::Values(3, 4));
+
+}  // namespace
+}  // namespace epm::workload

@@ -1,0 +1,114 @@
+#include "reliability/availability.h"
+
+#include <gtest/gtest.h>
+
+namespace epm::reliability {
+namespace {
+
+TEST(ComponentSpec, AvailabilityFormula) {
+  ComponentSpec c{"x", 999.0, 1.0, 0.0};
+  EXPECT_NEAR(c.availability(), 0.999, 1e-12);
+  const ComponentSpec never_repaired{"y", 100.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(never_repaired.availability(), 1.0);
+}
+
+TEST(ComponentSpec, MaintenanceReducesAvailability) {
+  ComponentSpec c{"x", 1e9, 0.0, 87.6};  // 87.6 h/yr = 1%
+  EXPECT_NEAR(c.availability_with_maintenance(), 0.99, 1e-6);
+}
+
+TEST(Block, SeriesMultiplies) {
+  auto b = Block::series("s", {Block::component({"a", 9.0, 1.0, 0.0}),    // 0.9
+                               Block::component({"b", 8.0, 2.0, 0.0})});  // 0.8
+  EXPECT_NEAR(b.availability(), 0.72, 1e-12);
+}
+
+TEST(Block, ParallelOneOfTwo) {
+  auto b = Block::parallel("p", 1,
+                           {Block::component({"a", 9.0, 1.0, 0.0}),     // 0.9
+                            Block::component({"b", 8.0, 2.0, 0.0})});   // 0.8
+  // 1 - 0.1*0.2 = 0.98.
+  EXPECT_NEAR(b.availability(), 0.98, 1e-12);
+}
+
+TEST(Block, ParallelTwoOfThree) {
+  // Three identical 0.9 components, need 2: 3*0.9^2*0.1 + 0.9^3 = 0.972.
+  auto c = Block::component({"c", 9.0, 1.0, 0.0});
+  auto b = Block::parallel("p", 2, {c, c, c});
+  EXPECT_NEAR(b.availability(), 0.972, 1e-12);
+}
+
+TEST(Block, NestedComposition) {
+  auto leg = Block::series("leg", {Block::component({"a", 9.0, 1.0, 0.0}),
+                                   Block::component({"b", 9.0, 1.0, 0.0})});
+  auto sys = Block::parallel("sys", 1, {leg, leg});
+  // Leg availability 0.81; parallel: 1 - 0.19^2 = 0.9639.
+  EXPECT_NEAR(sys.availability(), 0.9639, 1e-12);
+}
+
+TEST(Block, MaintenanceFlagRespected) {
+  auto b = Block::component({"m", 1e9, 0.0, 876.0});  // 10% maintenance
+  EXPECT_NEAR(b.availability(false), 1.0, 1e-6);
+  EXPECT_NEAR(b.availability(true), 0.9, 1e-6);
+}
+
+TEST(Block, CollectLeaves) {
+  auto sys = Block::parallel(
+      "sys", 1,
+      {Block::component({"a", 1.0, 1.0, 0.0}),
+       Block::series("s", {Block::component({"b", 1.0, 1.0, 0.0}),
+                           Block::component({"c", 1.0, 1.0, 0.0})})});
+  std::vector<const Block*> leaves;
+  sys.collect_leaves(leaves);
+  ASSERT_EQ(leaves.size(), 3u);
+  EXPECT_EQ(leaves[0]->name(), "a");
+  EXPECT_EQ(leaves[2]->name(), "c");
+}
+
+TEST(Block, Validation) {
+  EXPECT_THROW(Block::component({"x", 0.0, 1.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(Block::series("s", {}), std::invalid_argument);
+  EXPECT_THROW(Block::parallel("p", 0, {Block::component({"a", 1.0, 1.0, 0.0})}),
+               std::invalid_argument);
+  EXPECT_THROW(Block::parallel("p", 3, {Block::component({"a", 1.0, 1.0, 0.0})}),
+               std::invalid_argument);
+}
+
+TEST(TierTopologies, AvailabilityOrderingAndBands) {
+  // Paper §2.1 / Uptime Institute [6]: tier availabilities rise I -> IV and
+  // tier II sits at 99.741%.
+  double prev = 0.0;
+  for (int tier = 1; tier <= 4; ++tier) {
+    const auto topo = make_tier_topology(tier);
+    const double a = topo.availability(/*include_maintenance=*/true);
+    EXPECT_GT(a, prev) << "tier " << tier;
+    EXPECT_NEAR(a, uptime_institute_reference(tier), 0.0015) << "tier " << tier;
+    prev = a;
+  }
+}
+
+TEST(TierTopologies, Tier2ReproducesPaperNumber) {
+  const auto tier2 = make_tier_topology(2);
+  EXPECT_NEAR(tier2.availability(true), 0.99741, 0.0008);
+}
+
+TEST(TierTopologies, RedundancyHelpsBeyondMaintenance) {
+  // Ignoring maintenance, tier II's N+1 modules beat tier I outright.
+  EXPECT_GT(make_tier_topology(2).availability(false),
+            make_tier_topology(1).availability(false));
+}
+
+TEST(TierTopologies, InvalidTierRejected) {
+  EXPECT_THROW(make_tier_topology(0), std::invalid_argument);
+  EXPECT_THROW(make_tier_topology(5), std::invalid_argument);
+  EXPECT_THROW(uptime_institute_reference(9), std::invalid_argument);
+}
+
+TEST(DowntimeHours, Conversion) {
+  EXPECT_NEAR(downtime_hours_per_year(0.99741), 22.7, 0.1);
+  EXPECT_DOUBLE_EQ(downtime_hours_per_year(1.0), 0.0);
+  EXPECT_THROW(downtime_hours_per_year(1.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace epm::reliability

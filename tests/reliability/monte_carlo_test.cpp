@@ -1,0 +1,70 @@
+#include "reliability/monte_carlo.h"
+
+#include <gtest/gtest.h>
+
+namespace epm::reliability {
+namespace {
+
+TEST(MonteCarlo, SingleComponentMatchesAnalytic) {
+  auto block = Block::component({"c", 100.0, 10.0, 0.0});  // A = 10/11
+  MonteCarloConfig config;
+  config.years = 60.0;
+  config.replicas = 6;
+  const auto result = simulate_availability(block, config);
+  EXPECT_NEAR(result.availability, block.availability(), 0.01);
+  EXPECT_GT(result.outage_count, 0u);
+  EXPECT_NEAR(result.mean_outage_h, 10.0, 2.0);
+}
+
+TEST(MonteCarlo, ParallelRedundancyMatchesAnalytic) {
+  auto c = Block::component({"c", 100.0, 10.0, 0.0});
+  auto block = Block::parallel("p", 1, {c, c});
+  MonteCarloConfig config;
+  config.years = 120.0;
+  config.replicas = 6;
+  const auto result = simulate_availability(block, config);
+  EXPECT_NEAR(result.availability, block.availability(), 0.005);
+}
+
+TEST(MonteCarlo, MaintenanceWindowCounted) {
+  // Component that never fails but takes 87.6 h/yr of maintenance (1%).
+  auto block = Block::component({"m", 1.0e9, 0.0, 87.6});
+  MonteCarloConfig config;
+  config.years = 30.0;
+  config.replicas = 4;
+  const auto result = simulate_availability(block, config);
+  EXPECT_NEAR(result.availability, 0.99, 0.002);
+}
+
+TEST(MonteCarlo, DeterministicForSeed) {
+  auto block = make_tier_topology(1);
+  MonteCarloConfig config;
+  config.years = 10.0;
+  config.replicas = 2;
+  const auto a = simulate_availability(block, config);
+  const auto b = simulate_availability(block, config);
+  EXPECT_DOUBLE_EQ(a.availability, b.availability);
+  EXPECT_EQ(a.outage_count, b.outage_count);
+}
+
+TEST(MonteCarlo, Tier2WithinAnalyticBand) {
+  auto block = make_tier_topology(2);
+  MonteCarloConfig config;
+  config.years = 80.0;
+  config.replicas = 4;
+  const auto result = simulate_availability(block, config);
+  EXPECT_NEAR(result.availability, block.availability(true), 0.003);
+}
+
+TEST(MonteCarlo, Validation) {
+  auto block = Block::component({"c", 1.0, 1.0, 0.0});
+  MonteCarloConfig bad;
+  bad.years = 0.0;
+  EXPECT_THROW(simulate_availability(block, bad), std::invalid_argument);
+  bad = MonteCarloConfig{};
+  bad.replicas = 0;
+  EXPECT_THROW(simulate_availability(block, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace epm::reliability

@@ -1,0 +1,155 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace epm::sim {
+namespace {
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(3.0, [&] { order.push_back(3); });
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.schedule_at(2.0, [&] { order.push_back(2); });
+  sim.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(Simulator, SameTimeFifoBySchedulingOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  sim.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, ScheduleAfterUsesCurrentTime) {
+  Simulator sim;
+  double fired_at = -1.0;
+  sim.schedule_at(5.0, [&] {
+    sim.schedule_after(2.0, [&] { fired_at = sim.now(); });
+  });
+  sim.run_all();
+  EXPECT_DOUBLE_EQ(fired_at, 7.0);
+}
+
+TEST(Simulator, SchedulingInThePastThrows) {
+  Simulator sim;
+  sim.schedule_at(10.0, [] {});
+  sim.run_all();
+  EXPECT_THROW(sim.schedule_at(5.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(sim.schedule_after(-1.0, [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, EmptyCallbackRejected) {
+  Simulator sim;
+  EXPECT_THROW(sim.schedule_at(1.0, EventFn{}), std::invalid_argument);
+}
+
+TEST(Simulator, RunUntilStopsAndAdvancesClock) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(1.0, [&] { ++fired; });
+  sim.schedule_at(5.0, [&] { ++fired; });
+  const std::size_t ran = sim.run_until(3.0);
+  EXPECT_EQ(ran, 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);  // clock advances even with no event
+  sim.run_until(10.0);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, RunUntilIncludesBoundaryEvents) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(3.0, [&] { ++fired; });
+  sim.run_until(3.0);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  int fired = 0;
+  auto h = sim.schedule_at(1.0, [&] { ++fired; });
+  sim.schedule_at(2.0, [&] { ++fired; });
+  sim.cancel(h);
+  sim.run_all();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, CancelInvalidHandleIsNoop) {
+  Simulator sim;
+  sim.cancel(EventHandle{});
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulator, PeriodicFiresRepeatedly) {
+  Simulator sim;
+  std::vector<double> times;
+  sim.schedule_periodic(10.0, 5.0, [&] { times.push_back(sim.now()); });
+  sim.run_until(26.0);
+  EXPECT_EQ(times, (std::vector<double>{10.0, 15.0, 20.0, 25.0}));
+}
+
+TEST(Simulator, PeriodicCancelStopsFutureFirings) {
+  Simulator sim;
+  int fired = 0;
+  auto h = sim.schedule_periodic(1.0, 1.0, [&] { ++fired; });
+  sim.run_until(3.0);
+  EXPECT_EQ(fired, 3);
+  sim.cancel(h);
+  sim.run_until(10.0);
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Simulator, PeriodicCanCancelItself) {
+  Simulator sim;
+  int fired = 0;
+  EventHandle h;
+  h = sim.schedule_periodic(1.0, 1.0, [&] {
+    if (++fired == 2) sim.cancel(h);
+  });
+  sim.run_until(100.0);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, PendingCountsLiveEvents) {
+  Simulator sim;
+  auto h1 = sim.schedule_at(1.0, [] {});
+  sim.schedule_at(2.0, [] {});
+  EXPECT_EQ(sim.pending(), 2u);
+  sim.cancel(h1);
+  EXPECT_EQ(sim.pending(), 1u);
+}
+
+TEST(Simulator, NestedSchedulingDuringRun) {
+  Simulator sim;
+  std::vector<double> times;
+  sim.schedule_at(1.0, [&] {
+    times.push_back(sim.now());
+    sim.schedule_at(1.5, [&] { times.push_back(sim.now()); });
+  });
+  sim.schedule_at(2.0, [&] { times.push_back(sim.now()); });
+  sim.run_all();
+  EXPECT_EQ(times, (std::vector<double>{1.0, 1.5, 2.0}));
+}
+
+TEST(Simulator, StepExecutesExactlyOne) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(1.0, [&] { ++fired; });
+  sim.schedule_at(2.0, [&] { ++fired; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+  EXPECT_EQ(fired, 2);
+}
+
+}  // namespace
+}  // namespace epm::sim

@@ -1,0 +1,117 @@
+#include "telemetry/anomaly.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "core/rng.h"
+#include "core/units.h"
+
+namespace epm::telemetry {
+namespace {
+
+TEST(DetectSpikes, FindsInjectedSpike) {
+  Rng rng(1);
+  TimeSeries series(0.0, 15.0);
+  for (int i = 0; i < 500; ++i) {
+    double v = 100.0 + rng.normal(0.0, 2.0);
+    if (i == 300) v = 160.0;  // 30-sigma spike
+    series.push_back(v);
+  }
+  const auto spikes = detect_spikes(series);
+  ASSERT_EQ(spikes.size(), 1u);
+  EXPECT_EQ(spikes[0].index, 300u);
+  EXPECT_GT(spikes[0].zscore, 10.0);
+}
+
+TEST(DetectSpikes, QuietSeriesHasNone) {
+  Rng rng(2);
+  TimeSeries series(0.0, 15.0);
+  for (int i = 0; i < 1000; ++i) series.push_back(100.0 + rng.normal(0.0, 2.0));
+  EXPECT_TRUE(detect_spikes(series).empty());
+}
+
+TEST(DetectSpikes, FlatSeriesDoesNotDivideByZero) {
+  TimeSeries series(0.0, 15.0, std::vector<double>(100, 5.0));
+  EXPECT_TRUE(detect_spikes(series).empty());
+}
+
+TEST(DetectSpikes, SustainedShiftStopsAlarming) {
+  TimeSeries series(0.0, 15.0);
+  for (int i = 0; i < 100; ++i) series.push_back(10.0);
+  for (int i = 0; i < 100; ++i) series.push_back(50.0);
+  SpikeConfig config;
+  config.window = 20;
+  config.min_stddev = 0.5;
+  const auto spikes = detect_spikes(series, config);
+  ASSERT_FALSE(spikes.empty());
+  // Once the window absorbs the new level, alarms stop.
+  EXPECT_LT(spikes.back().index, 140u);
+}
+
+TEST(DetectSpikes, TooShortSeries) {
+  TimeSeries series(0.0, 15.0, {1.0, 2.0});
+  EXPECT_TRUE(detect_spikes(series).empty());
+  EXPECT_THROW(detect_spikes(series, SpikeConfig{.window = 1}), std::invalid_argument);
+}
+
+TEST(RemoveSeasonal, StripsHourlyPattern) {
+  // value = 100 + hour-of-day * 2 repeated daily; residual should be ~0.
+  TimeSeries series(0.0, 3600.0);
+  for (int i = 0; i < 24 * 7; ++i) {
+    series.push_back(100.0 + 2.0 * (i % 24));
+  }
+  const auto residual = remove_seasonal(series, kSecondsPerDay, 3600.0);
+  const auto stats = residual.stats();
+  EXPECT_NEAR(stats.mean(), 0.0, 1e-9);
+  EXPECT_NEAR(stats.max(), 0.0, 1e-9);
+}
+
+TEST(RemoveSeasonal, PreservesResidualStructure) {
+  TimeSeries series(0.0, 3600.0);
+  for (int i = 0; i < 24 * 7; ++i) {
+    series.push_back(100.0 + 2.0 * (i % 24) + (i == 50 ? 30.0 : 0.0));
+  }
+  const auto residual = remove_seasonal(series, kSecondsPerDay, 3600.0);
+  // The one-off excursion survives detrending.
+  EXPECT_GT(residual[50], 20.0);
+}
+
+TEST(ResidualCorrelation, LoadBalancedReplicasCorrelate) {
+  // Two replicas behind one balancer share the residual fluctuations.
+  Rng rng(3);
+  TimeSeries a(0.0, 3600.0);
+  TimeSeries b(0.0, 3600.0);
+  for (int i = 0; i < 24 * 14; ++i) {
+    const double seasonal = 50.0 * std::sin(2.0 * std::numbers::pi * (i % 24) / 24.0);
+    const double shared = rng.normal(0.0, 10.0);
+    a.push_back(100.0 + seasonal + shared + rng.normal(0.0, 1.0));
+    b.push_back(100.0 + seasonal + shared + rng.normal(0.0, 1.0));
+  }
+  EXPECT_GT(residual_correlation(a, b, kSecondsPerDay, 3600.0), 0.9);
+}
+
+TEST(ResidualCorrelation, IndependentResidualsDoNot) {
+  Rng rng(4);
+  TimeSeries a(0.0, 3600.0);
+  TimeSeries b(0.0, 3600.0);
+  for (int i = 0; i < 24 * 14; ++i) {
+    const double seasonal = 50.0 * std::sin(2.0 * std::numbers::pi * (i % 24) / 24.0);
+    a.push_back(100.0 + seasonal + rng.normal(0.0, 10.0));
+    b.push_back(100.0 + seasonal + rng.normal(0.0, 10.0));
+  }
+  // Raw series correlate strongly (shared seasonality)...
+  EXPECT_GT(pearson_correlation(a.values(), b.values()), 0.8);
+  // ...but residuals do not: the balancer-health signal is in the residual.
+  EXPECT_LT(std::abs(residual_correlation(a, b, kSecondsPerDay, 3600.0)), 0.2);
+}
+
+TEST(RemoveSeasonal, Validation) {
+  TimeSeries series(0.0, 3600.0, {1.0, 2.0});
+  EXPECT_THROW(remove_seasonal(series, 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(remove_seasonal(series, 10.0, 60.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace epm::telemetry

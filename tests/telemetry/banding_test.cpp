@@ -1,0 +1,123 @@
+#include "telemetry/banding.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "core/rng.h"
+#include "core/units.h"
+
+namespace epm::telemetry {
+namespace {
+
+/// A week of 1-minute CPU samples: rising trend + diurnal + noise + spikes.
+TimeSeries synthetic_week(double noise_sd, std::uint64_t seed = 5) {
+  Rng rng(seed);
+  TimeSeries series(0.0, 60.0);
+  const auto n = static_cast<std::size_t>(weeks(1.0) / 60.0);
+  series.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) * 60.0;
+    const double day = t / kSecondsPerDay;
+    const double hour = std::fmod(t, kSecondsPerDay) / kSecondsPerHour;
+    double v = 40.0 + 2.0 * day +
+               15.0 * std::sin(2.0 * std::numbers::pi * (hour - 8.0) / 24.0);
+    if (noise_sd > 0.0) v += rng.normal(0.0, noise_sd);
+    if (i == n / 2) v += 50.0;  // anomaly worth keeping
+    series.push_back(v);
+  }
+  return series;
+}
+
+TEST(Banding, ReconstructionErrorBoundedByThreshold) {
+  const auto series = synthetic_week(2.0);
+  for (double threshold : {0.5, 2.0, 5.0, 10.0}) {
+    const auto bands = band_compress(series, threshold);
+    const auto recon = band_reconstruct(bands);
+    ASSERT_EQ(recon.size(), series.size());
+    EXPECT_LE(max_abs_error(series, recon), threshold + 1e-9)
+        << "threshold " << threshold;
+  }
+}
+
+TEST(Banding, ZeroThresholdIsLossless) {
+  const auto series = synthetic_week(2.0);
+  const auto bands = band_compress(series, 0.0);
+  const auto recon = band_reconstruct(bands);
+  EXPECT_LE(max_abs_error(series, recon), 1e-9);
+}
+
+TEST(Banding, AnomalySurvivesCompression) {
+  const auto series = synthetic_week(2.0);
+  const auto bands = band_compress(series, 10.0);
+  const auto recon = band_reconstruct(bands);
+  const std::size_t spike = series.size() / 2;
+  // The 50-unit excursion is out-of-band signal, not noise: kept exactly.
+  EXPECT_NEAR(recon[spike], series[spike], 1e-9);
+}
+
+TEST(Banding, CompressionRatioGrowsWithThreshold) {
+  const auto series = synthetic_week(2.0);
+  double prev_ratio = 0.0;
+  for (double threshold : {1.0, 4.0, 8.0}) {
+    const auto bands = band_compress(series, threshold);
+    EXPECT_GE(bands.compression_ratio(), prev_ratio);
+    prev_ratio = bands.compression_ratio();
+  }
+  // At 4 sigma nearly every residual is dropped: ratio should be large.
+  const auto heavy = band_compress(series, 8.0);
+  EXPECT_GT(heavy.compression_ratio(), 50.0);
+  EXPECT_LT(heavy.residual_value.size(), series.size() / 100);
+}
+
+TEST(Banding, BandsCaptureTrendAndPattern) {
+  const auto series = synthetic_week(0.0);
+  const auto bands = band_compress(series, 1e9);  // drop every residual
+  ASSERT_EQ(bands.daily_trend.size(), 7u);
+  // Trend rises ~2/day.
+  EXPECT_NEAR(bands.daily_trend[6] - bands.daily_trend[0], 12.0, 0.5);
+  ASSERT_EQ(bands.hourly_profile.size(), 24u);
+  // Diurnal peak (hour 14) minus trough (hour 2) ~ 2 * 15 = 30.
+  const double peak = *std::max_element(bands.hourly_profile.begin(),
+                                        bands.hourly_profile.end());
+  const double trough = *std::min_element(bands.hourly_profile.begin(),
+                                          bands.hourly_profile.end());
+  EXPECT_NEAR(peak - trough, 30.0, 2.0);
+}
+
+TEST(Banding, NoiseOnlyResidualsDropped) {
+  // Pure trend+pattern signal with sigma-2 noise and a 4-sigma threshold:
+  // essentially everything but the injected anomaly is "noise".
+  const auto series = synthetic_week(2.0);
+  const auto bands = band_compress(series, 8.0);
+  bool anomaly_kept = false;
+  for (std::size_t k = 0; k < bands.residual_index.size(); ++k) {
+    if (bands.residual_index[k] == series.size() / 2) anomaly_kept = true;
+  }
+  EXPECT_TRUE(anomaly_kept);
+}
+
+TEST(Banding, MemoryAccounting) {
+  const auto series = synthetic_week(2.0);
+  const auto bands = band_compress(series, 8.0);
+  EXPECT_EQ(bands.raw_bytes(), series.size() * sizeof(double));
+  EXPECT_LT(bands.memory_bytes(), bands.raw_bytes());
+  EXPECT_EQ(bands.stored_values(),
+            bands.daily_trend.size() + 24 + bands.residual_value.size());
+}
+
+TEST(Banding, Validation) {
+  TimeSeries empty(0.0, 60.0);
+  EXPECT_THROW(band_compress(empty, 1.0), std::invalid_argument);
+  const auto series = synthetic_week(0.0);
+  EXPECT_THROW(band_compress(series, -1.0), std::invalid_argument);
+  BandDecomposition bad;
+  EXPECT_THROW(band_reconstruct(bad), std::invalid_argument);
+  TimeSeries a(0.0, 1.0, {1.0});
+  TimeSeries b(0.0, 1.0, {1.0, 2.0});
+  EXPECT_THROW(max_abs_error(a, b), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace epm::telemetry

@@ -1,0 +1,110 @@
+#include "telemetry/store.h"
+
+#include <gtest/gtest.h>
+
+namespace epm::telemetry {
+namespace {
+
+TEST(CounterKey, PackAndUnpack) {
+  const CounterKey key = make_key(1234, 56);
+  EXPECT_EQ(server_of(key), 1234u);
+  EXPECT_EQ(counter_of(key), 56u);
+  EXPECT_NE(make_key(1, 2), make_key(2, 1));
+}
+
+TEST(TelemetryStore, LazySeriesCreation) {
+  TelemetryStore store;
+  EXPECT_EQ(store.series_count(), 0u);
+  store.append(make_key(0, 0), 0.0, 1.0);
+  store.append(make_key(0, 1), 0.0, 2.0);
+  store.append(make_key(0, 0), 15.0, 3.0);
+  EXPECT_EQ(store.series_count(), 2u);
+  EXPECT_EQ(store.total_samples(), 3u);
+  EXPECT_TRUE(store.contains(make_key(0, 0)));
+  EXPECT_FALSE(store.contains(make_key(9, 9)));
+  EXPECT_THROW(store.series(make_key(9, 9)), std::invalid_argument);
+}
+
+TEST(TelemetryStore, HourlyPatternQuery) {
+  TelemetryStore store;
+  const CounterKey key = make_key(1, 1);
+  // Two hours: 40 then 80.
+  for (int i = 0; i < 2 * 240; ++i) {
+    store.append(key, i * 15.0, i < 240 ? 40.0 : 80.0);
+  }
+  const auto pattern = store.hourly_pattern(key, 0.0, 7200.0);
+  ASSERT_EQ(pattern.means.size(), 2u);
+  EXPECT_DOUBLE_EQ(pattern.means[0], 40.0);
+  EXPECT_DOUBLE_EQ(pattern.means[1], 80.0);
+}
+
+TEST(TelemetryStore, DailyTrendQuery) {
+  // Coarse samples (15 min) keep this fast: 3 days with rising means.
+  MultiScaleConfig config;
+  config.levels = {{900.0, 0}, {3600.0, 0}, {86400.0, 0}};
+  TelemetryStore store(config);
+  const CounterKey key = make_key(2, 7);
+  for (int d = 0; d < 3; ++d) {
+    for (int i = 0; i < 96; ++i) {
+      store.append(key, d * 86400.0 + i * 900.0, 10.0 * (d + 1));
+    }
+  }
+  const auto trend = store.daily_trend(key, 0.0, 3.0 * 86400.0);
+  ASSERT_EQ(trend.means.size(), 3u);
+  EXPECT_DOUBLE_EQ(trend.means[0], 10.0);
+  EXPECT_DOUBLE_EQ(trend.means[2], 30.0);
+}
+
+TEST(TelemetryStore, MemoryAccounting) {
+  TelemetryStore store;
+  store.append(make_key(0, 0), 0.0, 1.0);
+  EXPECT_GT(store.memory_bytes(), 0u);
+}
+
+TEST(RawStore, RangeScan) {
+  RawStore raw;
+  const CounterKey key = make_key(3, 3);
+  for (int i = 0; i < 100; ++i) {
+    raw.append(key, i * 15.0, static_cast<double>(i));
+  }
+  const auto stats = raw.range(key, 150.0, 300.0);  // samples 10..19
+  EXPECT_EQ(stats.count, 10u);
+  EXPECT_DOUBLE_EQ(stats.min, 10.0);
+  EXPECT_DOUBLE_EQ(stats.max, 19.0);
+  EXPECT_DOUBLE_EQ(stats.mean, 14.5);
+  EXPECT_EQ(raw.total_samples(), 100u);
+  EXPECT_GT(raw.memory_bytes(), 100 * 2 * sizeof(double) - 1);
+}
+
+TEST(RawStore, EmptyRangeAndUnknownKey) {
+  RawStore raw;
+  const CounterKey key = make_key(1, 1);
+  raw.append(key, 0.0, 1.0);
+  const auto stats = raw.range(key, 100.0, 200.0);
+  EXPECT_EQ(stats.count, 0u);
+  EXPECT_THROW(raw.range(make_key(5, 5), 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(raw.append(key, -10.0, 1.0), std::invalid_argument);
+}
+
+TEST(StoreAgreement, MultiScaleMatchesRawScan) {
+  // The §5.3 claim only holds if the fast path gives the same answers.
+  TelemetryStore store;
+  RawStore raw;
+  const CounterKey key = make_key(7, 7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = 50.0 + 30.0 * ((i % 17) / 17.0);
+    store.append(key, i * 15.0, v);
+    raw.append(key, i * 15.0, v);
+  }
+  const double t0 = 0.0;
+  const double t1 = 1000 * 15.0;
+  const auto fast = store.series(key).range(t0, t1);
+  const auto slow = raw.range(key, t0, t1);
+  EXPECT_EQ(fast.count, slow.count);
+  EXPECT_NEAR(fast.mean(), slow.mean, 1e-9);
+  EXPECT_DOUBLE_EQ(fast.min, slow.min);
+  EXPECT_DOUBLE_EQ(fast.max, slow.max);
+}
+
+}  // namespace
+}  // namespace epm::telemetry

@@ -1,0 +1,94 @@
+#include "thermal/cooling_plant.h"
+
+#include <gtest/gtest.h>
+
+namespace epm::thermal {
+namespace {
+
+TEST(CoolingPlant, CopImprovesWithWarmerSupply) {
+  CoolingPlant plant{CoolingPlantConfig{}};
+  EXPECT_GT(plant.cop_at(24.0), plant.cop_at(14.0));
+  EXPECT_DOUBLE_EQ(plant.cop_at(18.0), 3.5);
+}
+
+TEST(CoolingPlant, CopFloored) {
+  CoolingPlantConfig config;
+  config.min_cop = 2.0;
+  CoolingPlant plant(config);
+  EXPECT_DOUBLE_EQ(plant.cop_at(-100.0), 2.0);
+}
+
+TEST(CoolingPlant, ChillerPowerScalesWithHeat) {
+  CoolingPlant plant{CoolingPlantConfig{}};
+  const auto low = plant.power_draw(100.0e3, 18.0, 30.0);
+  const auto high = plant.power_draw(200.0e3, 18.0, 30.0);
+  EXPECT_FALSE(low.economizer_active);
+  EXPECT_NEAR(high.chiller_power_w, 2.0 * low.chiller_power_w, 1e-6);
+  EXPECT_NEAR(high.fan_power_w, 2.0 * low.fan_power_w, 1e-6);
+  EXPECT_NEAR(low.chiller_power_w, 100.0e3 / 3.5, 1e-6);
+}
+
+TEST(CoolingPlant, EconomizerDisabledByDefault) {
+  CoolingPlant plant{CoolingPlantConfig{}};
+  EXPECT_FALSE(plant.economizer_usable(-10.0, 18.0));
+}
+
+TEST(CoolingPlant, EconomizerUsableWhenColdEnough) {
+  CoolingPlantConfig config;
+  config.has_economizer = true;
+  config.economizer_approach_c = 4.0;
+  CoolingPlant plant(config);
+  EXPECT_TRUE(plant.economizer_usable(10.0, 18.0));   // 10 <= 18-4
+  EXPECT_FALSE(plant.economizer_usable(15.0, 18.0));  // too warm
+  EXPECT_FALSE(plant.economizer_usable(-20.0, 18.0)); // below frost limit
+}
+
+TEST(CoolingPlant, EconomizerEliminatesChillerPower) {
+  CoolingPlantConfig config;
+  config.has_economizer = true;
+  CoolingPlant plant(config);
+  const auto free_cooling = plant.power_draw(100.0e3, 18.0, 5.0);
+  EXPECT_TRUE(free_cooling.economizer_active);
+  EXPECT_DOUBLE_EQ(free_cooling.chiller_power_w, 0.0);
+  EXPECT_GT(free_cooling.fan_power_w, 0.0);
+  const auto chilled = plant.power_draw(100.0e3, 18.0, 25.0);
+  EXPECT_GT(chilled.total_w(), free_cooling.total_w());
+}
+
+TEST(CoolingPlant, HumidityEnvelopeBlocksEconomizer) {
+  CoolingPlantConfig config;
+  config.has_economizer = true;
+  CoolingPlant plant(config);
+  // Cold but soaking-wet air cannot be used directly...
+  EXPECT_FALSE(plant.economizer_usable(5.0, 18.0, 0.95));
+  // ...nor desert-dry air...
+  EXPECT_FALSE(plant.economizer_usable(5.0, 18.0, 0.05));
+  // ...but in-envelope air can.
+  EXPECT_TRUE(plant.economizer_usable(5.0, 18.0, 0.45));
+  const auto wet = plant.power_draw(100.0e3, 18.0, 5.0, 0.95);
+  EXPECT_FALSE(wet.economizer_active);
+  EXPECT_GT(wet.chiller_power_w, 0.0);
+  const auto dry_enough = plant.power_draw(100.0e3, 18.0, 5.0, 0.45);
+  EXPECT_TRUE(dry_enough.economizer_active);
+  EXPECT_DOUBLE_EQ(dry_enough.chiller_power_w, 0.0);
+}
+
+TEST(CoolingPlant, HumidityValidation) {
+  CoolingPlant plant{CoolingPlantConfig{}};
+  EXPECT_THROW(plant.economizer_usable(5.0, 18.0, 1.5), std::invalid_argument);
+  CoolingPlantConfig bad;
+  bad.min_intake_rh = 0.9;
+  bad.max_intake_rh = 0.5;
+  EXPECT_THROW(CoolingPlant{bad}, std::invalid_argument);
+}
+
+TEST(CoolingPlant, RejectsBadInput) {
+  CoolingPlant plant{CoolingPlantConfig{}};
+  EXPECT_THROW(plant.power_draw(-1.0, 18.0, 20.0), std::invalid_argument);
+  CoolingPlantConfig bad;
+  bad.cop_at_reference = 0.0;
+  EXPECT_THROW(CoolingPlant{bad}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace epm::thermal

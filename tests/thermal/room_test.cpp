@@ -1,0 +1,108 @@
+#include "thermal/room.h"
+
+#include <gtest/gtest.h>
+
+namespace epm::thermal {
+namespace {
+
+MachineRoomConfig simple_room() {
+  MachineRoomConfig room;
+  ZoneConfig z;
+  z.supply_lag_s = 60.0;
+  room.zones = {z};
+  CracConfig c;
+  c.zone_sensitivity = {1.0};
+  room.cracs = {c};
+  room.airflow_share = {{1.0}};
+  return room;
+}
+
+TEST(MachineRoom, AdvancesClock) {
+  MachineRoom room(simple_room());
+  room.run_until(600.0, {5000.0});
+  EXPECT_NEAR(room.now_s(), 600.0, 1e-6);
+}
+
+TEST(MachineRoom, ZoneWarmsUnderHeat) {
+  MachineRoom room(simple_room());
+  const double before = room.zone(0).temperature_c();
+  room.run_until(3600.0, {20000.0});
+  EXPECT_GT(room.zone(0).temperature_c(), before);
+}
+
+TEST(MachineRoom, CracControlRunsOnSchedule) {
+  MachineRoom room(simple_room());
+  room.run_until(3600.0, {20000.0});
+  // 15-minute control period -> 4 actions in an hour.
+  EXPECT_EQ(room.crac(0).control_actions(), 4u);
+}
+
+TEST(MachineRoom, CracEventuallyCoolsHotRoom) {
+  MachineRoom room(simple_room());
+  room.run_until(6.0 * 3600.0, {20000.0});
+  // The controller should have pushed supply temp down.
+  EXPECT_LT(room.crac(0).supply_temp_c(), 18.0);
+}
+
+TEST(MachineRoom, AlarmsRecordedOnce) {
+  auto config = simple_room();
+  config.zones[0].alarm_temp_c = 25.0;
+  config.cracs[0].min_supply_c = 22.0;  // cannot cool enough
+  config.cracs[0].initial_supply_c = 22.0;
+  MachineRoom room(config);
+  room.run_until(4.0 * 3600.0, {30000.0});  // +10C over conductance
+  EXPECT_EQ(room.alarms().size(), 1u);  // edge-triggered, not repeated
+  EXPECT_EQ(room.alarms()[0].zone, 0u);
+  EXPECT_EQ(room.zones_in_alarm().size(), 1u);
+}
+
+TEST(MachineRoom, ManualModeDisablesCracControl) {
+  MachineRoom room(simple_room());
+  room.set_crac_auto(0, false);
+  room.crac(0).set_supply_temp_c(16.0);
+  room.run_until(2.0 * 3600.0, {20000.0});
+  EXPECT_DOUBLE_EQ(room.crac(0).supply_temp_c(), 16.0);
+}
+
+TEST(MachineRoom, HeatRemovalApproachesInjectedHeat) {
+  MachineRoom room(simple_room());
+  room.run_until(8.0 * 3600.0, {15000.0});
+  EXPECT_NEAR(room.heat_removal_w(), 15000.0, 1500.0);
+}
+
+TEST(MachineRoom, RecirculationCouplesZones) {
+  auto config = make_sensitivity_scenario_room();
+  MachineRoom room(config);
+  // Heat only zone A; recirculation should warm zone B above supply+0.
+  room.run_until(2.0 * 3600.0, {20000.0, 0.0});
+  const double supply = room.crac(0).supply_temp_c();
+  EXPECT_GT(room.zone(1).temperature_c(), supply + 0.1);
+}
+
+TEST(MachineRoom, SensitivityScenarioShape) {
+  const auto config = make_sensitivity_scenario_room(0.95, 0.05);
+  ASSERT_EQ(config.zones.size(), 2u);
+  ASSERT_EQ(config.cracs.size(), 1u);
+  EXPECT_DOUBLE_EQ(config.cracs[0].zone_sensitivity[0], 0.95);
+  MachineRoom room(config);
+  EXPECT_EQ(room.zone_count(), 2u);
+  EXPECT_EQ(room.crac_count(), 1u);
+}
+
+TEST(MachineRoom, ValidatesConfiguration) {
+  auto bad = simple_room();
+  bad.airflow_share = {{0.0}};
+  EXPECT_THROW(MachineRoom{bad}, std::invalid_argument);
+  bad = simple_room();
+  bad.airflow_share = {};
+  EXPECT_THROW(MachineRoom{bad}, std::invalid_argument);
+  bad = simple_room();
+  bad.cracs[0].zone_sensitivity = {1.0, 1.0};  // more zones than exist
+  EXPECT_THROW(MachineRoom{bad}, std::invalid_argument);
+  MachineRoom room(simple_room());
+  EXPECT_THROW(room.run_until(100.0, {1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(room.run_until(100.0, {-1.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace epm::thermal

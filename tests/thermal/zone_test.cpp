@@ -1,0 +1,99 @@
+#include "thermal/zone.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace epm::thermal {
+namespace {
+
+ZoneConfig fast_zone() {
+  ZoneConfig z;
+  z.heat_capacity_j_per_c = 1.0e5;
+  z.conductance_w_per_c = 1.0e3;
+  z.supply_lag_s = 0.0;
+  return z;
+}
+
+TEST(ThermalZone, SteadyStateFormula) {
+  ThermalZone zone(fast_zone());
+  // T_inf = supply + Q/G.
+  EXPECT_DOUBLE_EQ(zone.steady_state_c(5000.0, 18.0), 23.0);
+  EXPECT_DOUBLE_EQ(zone.steady_state_c(0.0, 18.0), 18.0);
+}
+
+TEST(ThermalZone, ConvergesToSteadyState) {
+  ThermalZone zone(fast_zone());
+  for (int i = 0; i < 200; ++i) zone.step(10.0, 5000.0, 18.0);
+  EXPECT_NEAR(zone.temperature_c(), 23.0, 0.01);
+}
+
+TEST(ThermalZone, ExponentialApproachMatchesTimeConstant) {
+  auto config = fast_zone();
+  config.initial_temp_c = 18.0;
+  ThermalZone zone(config);
+  // tau = C/G = 100 s. After one tau the gap should close by 1-1/e.
+  const double t_inf = zone.steady_state_c(5000.0, 18.0);
+  zone.step(100.0, 5000.0, 18.0);
+  const double expected = t_inf + (18.0 - t_inf) * std::exp(-1.0);
+  EXPECT_NEAR(zone.temperature_c(), expected, 1e-9);
+}
+
+TEST(ThermalZone, StableForHugeTimeStep) {
+  ThermalZone zone(fast_zone());
+  zone.step(1.0e7, 5000.0, 18.0);  // dt >> tau must not blow up
+  EXPECT_NEAR(zone.temperature_c(), 23.0, 1e-6);
+}
+
+TEST(ThermalZone, SupplyLagDelaysResponse) {
+  auto lagged = fast_zone();
+  lagged.supply_lag_s = 600.0;
+  ThermalZone with_lag(lagged);
+  ThermalZone without_lag(fast_zone());
+  // Drop the supply temperature; the lagged zone cools more slowly.
+  for (int i = 0; i < 10; ++i) {
+    with_lag.step(30.0, 5000.0, 12.0);
+    without_lag.step(30.0, 5000.0, 12.0);
+  }
+  EXPECT_GT(with_lag.temperature_c(), without_lag.temperature_c());
+}
+
+TEST(ThermalZone, AlarmThreshold) {
+  auto config = fast_zone();
+  config.alarm_temp_c = 30.0;
+  ThermalZone zone(config);
+  EXPECT_FALSE(zone.in_alarm());
+  // 15 kW over 1 kW/C = +15 C above an 18 C supply -> 33 C steady state.
+  for (int i = 0; i < 100; ++i) zone.step(30.0, 15000.0, 18.0);
+  EXPECT_TRUE(zone.in_alarm());
+}
+
+TEST(ThermalZone, MoreHeatMeansHotter) {
+  ThermalZone a(fast_zone());
+  ThermalZone b(fast_zone());
+  for (int i = 0; i < 50; ++i) {
+    a.step(30.0, 3000.0, 18.0);
+    b.step(30.0, 9000.0, 18.0);
+  }
+  EXPECT_LT(a.temperature_c(), b.temperature_c());
+}
+
+TEST(ThermalZone, ResetRestoresState) {
+  ThermalZone zone(fast_zone());
+  zone.step(100.0, 9000.0, 18.0);
+  zone.reset(20.0, 18.0);
+  EXPECT_DOUBLE_EQ(zone.temperature_c(), 20.0);
+  EXPECT_DOUBLE_EQ(zone.lagged_supply_c(), 18.0);
+}
+
+TEST(ThermalZone, RejectsBadInput) {
+  ThermalZone zone(fast_zone());
+  EXPECT_THROW(zone.step(0.0, 100.0, 18.0), std::invalid_argument);
+  EXPECT_THROW(zone.step(1.0, -1.0, 18.0), std::invalid_argument);
+  ZoneConfig bad = fast_zone();
+  bad.heat_capacity_j_per_c = 0.0;
+  EXPECT_THROW(ThermalZone{bad}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace epm::thermal

@@ -1,0 +1,123 @@
+#include "vm/consolidation.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace epm::vm {
+namespace {
+
+std::vector<HostSpec> make_hosts(std::size_t n) {
+  std::vector<HostSpec> hosts(n);
+  for (std::size_t i = 0; i < n; ++i) hosts[i].id = i;
+  return hosts;
+}
+
+VmSpec small_vm(std::size_t id, double cores = 2.0) {
+  VmSpec vm;
+  vm.id = id;
+  vm.cpu_cores = cores;
+  vm.disk_iops = 10.0;
+  vm.net_mbps = 5.0;
+  vm.memory_gb = 4.0;
+  return vm;
+}
+
+/// Four 2-core VMs spread one per host (the "demand has receded" state).
+Placement spread_placement() {
+  Placement p;
+  p.assignment = {0, 1, 2, 3};
+  p.hosts_used = 4;
+  return p;
+}
+
+TEST(Consolidation, PacksAndFreesHosts) {
+  std::vector<VmSpec> vms{small_vm(0), small_vm(1), small_vm(2), small_vm(3)};
+  const auto hosts = make_hosts(4);
+  const auto plan = plan_consolidation(vms, hosts, spread_placement());
+  // 4 x 2 cores fit on one 16-core host.
+  EXPECT_EQ(plan.hosts_before, 4u);
+  EXPECT_EQ(plan.hosts_after, 1u);
+  EXPECT_EQ(plan.hosts_freed, 3u);
+  EXPECT_DOUBLE_EQ(plan.power_saved_w, 3 * 180.0);
+  EXPECT_EQ(plan.moves.moves.size(), 3u);
+  EXPECT_TRUE(plan.worthwhile);
+  EXPECT_LT(plan.payback_s, 3600.0);
+}
+
+TEST(Consolidation, AlreadyPackedIsNoop) {
+  std::vector<VmSpec> vms{small_vm(0), small_vm(1)};
+  const auto hosts = make_hosts(2);
+  Placement packed;
+  packed.assignment = {0, 0};
+  packed.hosts_used = 1;
+  const auto plan = plan_consolidation(vms, hosts, packed);
+  EXPECT_EQ(plan.hosts_freed, 0u);
+  EXPECT_TRUE(plan.moves.moves.empty());
+  EXPECT_FALSE(plan.worthwhile);
+  EXPECT_TRUE(std::isinf(plan.payback_s));
+}
+
+TEST(Consolidation, HugeMemoryMakesMigrationNotWorthIt) {
+  std::vector<VmSpec> vms{small_vm(0), small_vm(1), small_vm(2), small_vm(3)};
+  for (auto& vm : vms) vm.memory_gb = 16.0;  // 4 x 16 still fit on one host
+  ConsolidationConfig config;
+  config.payback_horizon_s = 600.0;       // must pay back in 10 minutes
+  config.migration.network_gbps = 0.1;    // slow link: huge migration energy
+  config.migration.overhead_power_w = 200.0;
+  const auto plan =
+      plan_consolidation(vms, make_hosts(4), spread_placement(), config);
+  EXPECT_EQ(plan.hosts_freed, 3u);
+  EXPECT_GT(plan.payback_s, config.payback_horizon_s);
+  EXPECT_FALSE(plan.worthwhile);
+}
+
+TEST(Consolidation, RespectsInterferenceGuard) {
+  // Two IO-heavy VMs spread on two hosts must NOT be packed together.
+  std::vector<VmSpec> vms{small_vm(0), small_vm(1)};
+  vms[0].disk_iops = 150.0;
+  vms[1].disk_iops = 150.0;
+  Placement spread;
+  spread.assignment = {0, 1};
+  spread.hosts_used = 2;
+  const auto plan = plan_consolidation(vms, make_hosts(2), spread);
+  EXPECT_EQ(plan.hosts_after, 2u);
+  EXPECT_EQ(plan.hosts_freed, 0u);
+  EXPECT_FALSE(plan.worthwhile);
+}
+
+TEST(Consolidation, IgnoresUnplacedVms) {
+  std::vector<VmSpec> vms{small_vm(0), small_vm(1), small_vm(2)};
+  Placement current;
+  current.assignment = {0, 1, kUnplaced};
+  current.hosts_used = 2;
+  const auto plan = plan_consolidation(vms, make_hosts(2), current);
+  EXPECT_EQ(plan.target.assignment[2], kUnplaced);
+  EXPECT_EQ(plan.hosts_after, 1u);
+}
+
+TEST(Consolidation, EmptyFleet) {
+  std::vector<VmSpec> vms{small_vm(0)};
+  Placement current;
+  current.assignment = {kUnplaced};
+  current.hosts_used = 0;
+  const auto plan = plan_consolidation(vms, make_hosts(2), current);
+  EXPECT_FALSE(plan.worthwhile);
+  EXPECT_TRUE(plan.moves.moves.empty());
+}
+
+TEST(Consolidation, Validation) {
+  std::vector<VmSpec> vms{small_vm(0)};
+  Placement wrong;
+  wrong.assignment = {0, 1};  // arity mismatch
+  EXPECT_THROW(plan_consolidation(vms, make_hosts(2), wrong), std::invalid_argument);
+  Placement ok;
+  ok.assignment = {0};
+  ok.hosts_used = 1;
+  ConsolidationConfig bad;
+  bad.payback_horizon_s = 0.0;
+  EXPECT_THROW(plan_consolidation(vms, make_hosts(2), ok, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace epm::vm

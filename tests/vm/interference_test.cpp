@@ -1,0 +1,105 @@
+#include "vm/interference.h"
+
+#include <gtest/gtest.h>
+
+namespace epm::vm {
+namespace {
+
+VmSpec io_vm(std::size_t id, double iops = 150.0) {
+  VmSpec vm;
+  vm.id = id;
+  vm.name = "io" + std::to_string(id);
+  vm.cpu_cores = 1.0;
+  vm.disk_iops = iops;
+  return vm;
+}
+
+VmSpec cpu_vm(std::size_t id, double cores = 4.0) {
+  VmSpec vm;
+  vm.id = id;
+  vm.name = "cpu" + std::to_string(id);
+  vm.cpu_cores = cores;
+  vm.disk_iops = 5.0;
+  return vm;
+}
+
+TEST(Interference, SingleVmUndegraded) {
+  const auto eval = evaluate_host({io_vm(0)}, HostSpec{});
+  ASSERT_EQ(eval.vms.size(), 1u);
+  EXPECT_DOUBLE_EQ(eval.vms[0].throughput_ratio, 1.0);
+  EXPECT_EQ(eval.io_intensive_count, 1u);
+  EXPECT_DOUBLE_EQ(eval.effective_disk_iops, 400.0);  // no amplification
+}
+
+TEST(Interference, TwoIoVmsDegradeNonAdditively) {
+  // Paper §4.4: "putting two disk IO intensive applications on the same host
+  // machine may cause significant throughput degradation."
+  HostSpec host;  // 400 iops
+  const auto one = evaluate_host({io_vm(0)}, host);
+  const auto two = evaluate_host({io_vm(0), io_vm(1)}, host);
+  EXPECT_EQ(two.io_intensive_count, 2u);
+  // Effective capacity deflated: 400 / 1.35 < 300 demanded.
+  EXPECT_LT(two.effective_disk_iops, 300.0);
+  EXPECT_LT(two.worst_throughput_ratio, 1.0);
+  EXPECT_LT(two.worst_throughput_ratio, one.worst_throughput_ratio);
+  // Both tenants bottlenecked on disk.
+  for (const auto& perf : two.vms) EXPECT_EQ(perf.bottleneck, 1);
+}
+
+TEST(Interference, DegradationWorsensWithMoreTenants) {
+  HostSpec host;
+  const auto two = evaluate_host({io_vm(0), io_vm(1)}, host);
+  const auto three = evaluate_host({io_vm(0), io_vm(1), io_vm(2)}, host);
+  EXPECT_LT(three.worst_throughput_ratio, two.worst_throughput_ratio);
+  EXPECT_LT(three.effective_disk_iops, two.effective_disk_iops);
+}
+
+TEST(Interference, CpuAndIoMixCoexist) {
+  // One IO-heavy plus CPU-bound fillers: no seek amplification, no
+  // degradation while capacity lasts.
+  HostSpec host;
+  const auto eval = evaluate_host({io_vm(0), cpu_vm(1), cpu_vm(2)}, host);
+  EXPECT_EQ(eval.io_intensive_count, 1u);
+  EXPECT_DOUBLE_EQ(eval.worst_throughput_ratio, 1.0);
+}
+
+TEST(Interference, CpuOversubscriptionIsProportional) {
+  HostSpec host;  // 16 cores
+  const auto eval = evaluate_host({cpu_vm(0, 12.0), cpu_vm(1, 12.0)}, host);
+  // 24 cores demanded on 16: everyone gets 2/3.
+  ASSERT_EQ(eval.vms.size(), 2u);
+  EXPECT_NEAR(eval.vms[0].throughput_ratio, 16.0 / 24.0, 1e-9);
+  EXPECT_EQ(eval.vms[0].bottleneck, 0);
+  EXPECT_DOUBLE_EQ(eval.cpu_utilization, 1.0);
+}
+
+TEST(Interference, NetworkBottleneckDetected) {
+  HostSpec host;
+  host.net_mbps = 100.0;
+  VmSpec net_vm;
+  net_vm.id = 0;
+  net_vm.net_mbps = 150.0;
+  net_vm.disk_iops = 0.0;
+  net_vm.cpu_cores = 0.5;
+  const auto eval = evaluate_host({net_vm}, host);
+  EXPECT_EQ(eval.vms[0].bottleneck, 2);
+  EXPECT_NEAR(eval.vms[0].throughput_ratio, 100.0 / 150.0, 1e-9);
+}
+
+TEST(Interference, EmptyHostIsClean) {
+  const auto eval = evaluate_host({}, HostSpec{});
+  EXPECT_TRUE(eval.vms.empty());
+  EXPECT_DOUBLE_EQ(eval.worst_throughput_ratio, 1.0);
+}
+
+TEST(Interference, ConfigValidation) {
+  InterferenceConfig bad;
+  bad.io_intensive_fraction = 0.0;
+  EXPECT_THROW(evaluate_host({io_vm(0)}, HostSpec{}, bad), std::invalid_argument);
+  bad = InterferenceConfig{};
+  bad.contention_penalty = -1.0;
+  EXPECT_THROW(evaluate_host({io_vm(0)}, HostSpec{}, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace epm::vm

@@ -1,0 +1,173 @@
+#include "vm/placement.h"
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+#include <cmath>
+
+namespace epm::vm {
+namespace {
+
+std::vector<HostSpec> make_hosts(std::size_t n) {
+  std::vector<HostSpec> hosts(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    hosts[i].id = i;
+    hosts[i].name = "host" + std::to_string(i);
+  }
+  return hosts;
+}
+
+VmSpec simple_vm(std::size_t id, double cores) {
+  VmSpec vm;
+  vm.id = id;
+  vm.cpu_cores = cores;
+  vm.disk_iops = 10.0;
+  vm.net_mbps = 5.0;
+  vm.memory_gb = 2.0;
+  return vm;
+}
+
+TEST(FirstFitDecreasing, PacksTightly) {
+  // 4 VMs of 8 cores fit exactly onto 2 x 16-core hosts.
+  std::vector<VmSpec> vms;
+  for (std::size_t i = 0; i < 4; ++i) vms.push_back(simple_vm(i, 8.0));
+  const auto placement = first_fit_decreasing(vms, make_hosts(4));
+  EXPECT_EQ(placement.unplaced, 0u);
+  EXPECT_EQ(placement.hosts_used, 2u);
+}
+
+TEST(FirstFitDecreasing, LargestFirstAvoidsFragmentation) {
+  // 10+6 and 8+8 fit in two 16-core hosts only if large VMs go first.
+  std::vector<VmSpec> vms{simple_vm(0, 6.0), simple_vm(1, 8.0), simple_vm(2, 10.0),
+                          simple_vm(3, 8.0)};
+  const auto placement = first_fit_decreasing(vms, make_hosts(2));
+  EXPECT_EQ(placement.unplaced, 0u);
+  EXPECT_EQ(placement.hosts_used, 2u);
+}
+
+TEST(FirstFitDecreasing, ReportsUnplaced) {
+  std::vector<VmSpec> vms{simple_vm(0, 20.0)};  // bigger than any host
+  const auto placement = first_fit_decreasing(vms, make_hosts(2));
+  EXPECT_EQ(placement.unplaced, 1u);
+  EXPECT_EQ(placement.assignment[0], kUnplaced);
+  EXPECT_EQ(placement.hosts_used, 0u);
+}
+
+TEST(InterferenceAware, SeparatesIoIntensiveVms) {
+  VmSpec io1 = simple_vm(0, 1.0);
+  io1.disk_iops = 150.0;
+  VmSpec io2 = simple_vm(1, 1.0);
+  io2.disk_iops = 150.0;
+  const auto hosts = make_hosts(3);
+  const auto placement = interference_aware({io1, io2}, hosts);
+  EXPECT_EQ(placement.unplaced, 0u);
+  EXPECT_NE(placement.assignment[0], placement.assignment[1]);
+}
+
+TEST(InterferenceAware, FfdWouldColocateThem) {
+  // Contrast: CPU-driven FFD puts both IO hogs on host 0.
+  VmSpec io1 = simple_vm(0, 1.0);
+  io1.disk_iops = 150.0;
+  VmSpec io2 = simple_vm(1, 1.0);
+  io2.disk_iops = 150.0;
+  const auto placement = first_fit_decreasing({io1, io2}, make_hosts(3));
+  EXPECT_EQ(placement.assignment[0], placement.assignment[1]);
+}
+
+TEST(InterferenceAware, CpuVmsStillPack) {
+  std::vector<VmSpec> vms;
+  for (std::size_t i = 0; i < 4; ++i) vms.push_back(simple_vm(i, 4.0));
+  const auto placement = interference_aware(vms, make_hosts(4));
+  EXPECT_EQ(placement.unplaced, 0u);
+  EXPECT_EQ(placement.hosts_used, 1u);
+}
+
+TEST(InterferenceAware, AllowsMoreWithHigherLimit) {
+  VmSpec io1 = simple_vm(0, 1.0);
+  io1.disk_iops = 120.0;
+  VmSpec io2 = simple_vm(1, 1.0);
+  io2.disk_iops = 120.0;
+  const auto placement =
+      interference_aware({io1, io2}, make_hosts(1), InterferenceConfig{}, 2);
+  EXPECT_EQ(placement.unplaced, 0u);
+  EXPECT_EQ(placement.hosts_used, 1u);
+}
+
+TEST(ColocatedPeak, FlatVmsSumMeans) {
+  std::vector<VmSpec> vms{simple_vm(0, 2.0), simple_vm(1, 3.0)};
+  EXPECT_DOUBLE_EQ(colocated_peak(vms, {0, 1}, 0), 5.0);
+  EXPECT_DOUBLE_EQ(colocated_peak(vms, {}, 0), 0.0);
+}
+
+TEST(ColocatedPeak, AntiCorrelatedProfilesPeakLower) {
+  // Two VMs with opposite-phase profiles: together they stay flat.
+  const std::size_t n = 24;
+  std::vector<double> day(n);
+  std::vector<double> night(n);
+  for (std::size_t h = 0; h < n; ++h) {
+    const double phase = 2.0 * std::numbers::pi * static_cast<double>(h) / 24.0;
+    day[h] = 1.0 + 0.8 * std::sin(phase);
+    night[h] = 1.0 - 0.8 * std::sin(phase);
+  }
+  VmSpec a = simple_vm(0, 4.0);
+  a.load_profile = TimeSeries(0.0, 3600.0, day);
+  VmSpec b = simple_vm(1, 4.0);
+  b.load_profile = TimeSeries(0.0, 3600.0, night);
+  VmSpec c = simple_vm(2, 4.0);
+  c.load_profile = TimeSeries(0.0, 3600.0, day);  // correlated with a
+
+  const std::vector<VmSpec> vms{a, b, c};
+  const double anti = colocated_peak(vms, {0, 1}, 0);
+  const double corr = colocated_peak(vms, {0, 2}, 0);
+  EXPECT_NEAR(anti, 8.0, 0.1);        // flat sum
+  EXPECT_NEAR(corr, 2 * 4.0 * 1.8, 0.1);  // peaks aligned
+  EXPECT_LT(anti, corr);
+}
+
+TEST(CorrelationAware, PrefersAntiCorrelatedCoTenants) {
+  const std::size_t n = 24;
+  std::vector<double> day(n);
+  std::vector<double> night(n);
+  for (std::size_t h = 0; h < n; ++h) {
+    const double phase = 2.0 * std::numbers::pi * static_cast<double>(h) / 24.0;
+    day[h] = 1.0 + 0.8 * std::sin(phase);
+    night[h] = 1.0 - 0.8 * std::sin(phase);
+  }
+  // Two day-peaking and two night-peaking VMs on two hosts: the
+  // correlation-aware packer should mix phases per host.
+  std::vector<VmSpec> vms;
+  for (std::size_t i = 0; i < 4; ++i) {
+    // Strictly decreasing sizes pin the FFD ordering to day,night,day,night.
+    VmSpec vm = simple_vm(i, 7.0 - 0.01 * static_cast<double>(i));
+    vm.load_profile = TimeSeries(0.0, 3600.0, (i % 2 == 0) ? day : night);
+    vms.push_back(vm);
+  }
+  auto hosts = make_hosts(2);
+  const auto placement = correlation_aware(vms, hosts);
+  EXPECT_EQ(placement.unplaced, 0u);
+  const auto groups = placement.by_host(2);
+  for (const auto& members : groups) {
+    ASSERT_EQ(members.size(), 2u);
+    // Each host holds one day VM and one night VM.
+    EXPECT_NE(members[0] % 2, members[1] % 2);
+  }
+}
+
+TEST(Placement, ByHostGrouping) {
+  std::vector<VmSpec> vms{simple_vm(0, 1.0), simple_vm(1, 1.0)};
+  Placement placement;
+  placement.assignment = {1, kUnplaced};
+  const auto groups = placement.by_host(2);
+  EXPECT_TRUE(groups[0].empty());
+  ASSERT_EQ(groups[1].size(), 1u);
+  EXPECT_EQ(groups[1][0], 0u);
+}
+
+TEST(Placement, NoHostsRejected) {
+  EXPECT_THROW(first_fit_decreasing({simple_vm(0, 1.0)}, {}), std::invalid_argument);
+  EXPECT_THROW(interference_aware({simple_vm(0, 1.0)}, {}), std::invalid_argument);
+  EXPECT_THROW(correlation_aware({simple_vm(0, 1.0)}, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace epm::vm

@@ -1,0 +1,90 @@
+#include "vm/virtual_power.h"
+
+#include <gtest/gtest.h>
+
+namespace epm::vm {
+namespace {
+
+class VpmTest : public ::testing::Test {
+ protected:
+  power::ServerPowerModel model_{power::ServerPowerConfig{}};
+};
+
+TEST_F(VpmTest, SpeedFractionLadder) {
+  SoftPStateRequest r;
+  r.soft_pstate_count = 4;
+  r.soft_pstate = 0;
+  EXPECT_DOUBLE_EQ(VpmChannel::requested_speed_fraction(r), 1.0);
+  r.soft_pstate = 3;
+  EXPECT_DOUBLE_EQ(VpmChannel::requested_speed_fraction(r), 0.25);
+  r.soft_pstate = 1;
+  EXPECT_NEAR(VpmChannel::requested_speed_fraction(r), 0.75, 1e-12);
+  SoftPStateRequest single;
+  EXPECT_DOUBLE_EQ(VpmChannel::requested_speed_fraction(single), 1.0);
+}
+
+TEST_F(VpmTest, EmptyHostParksSlowest) {
+  VpmChannel channel(model_);
+  const auto decision = channel.apply({});
+  EXPECT_EQ(decision.host_pstate, model_.pstate_count() - 1);
+}
+
+TEST_F(VpmTest, MostDemandingGuestSetsHostState) {
+  VpmChannel channel(model_);
+  SoftPStateRequest fast;
+  fast.vm_id = 0;
+  fast.soft_pstate = 0;
+  fast.soft_pstate_count = 4;
+  SoftPStateRequest slow;
+  slow.vm_id = 1;
+  slow.soft_pstate = 3;
+  slow.soft_pstate_count = 4;
+  const auto decision = channel.apply({fast, slow});
+  // A guest asked for full speed: host must run P0.
+  EXPECT_EQ(decision.host_pstate, 0u);
+  ASSERT_EQ(decision.vm_duty.size(), 2u);
+  EXPECT_DOUBLE_EQ(decision.vm_duty[0], 1.0);
+  // The slow guest is squeezed to its 25% ask through scheduling duty.
+  EXPECT_NEAR(decision.vm_duty[1], 0.25, 1e-9);
+}
+
+TEST_F(VpmTest, AllSlowGuestsLowerHostState) {
+  VpmChannel channel(model_);
+  SoftPStateRequest slow;
+  slow.soft_pstate = 3;
+  slow.soft_pstate_count = 4;  // wants 25%
+  const auto decision = channel.apply({slow, slow});
+  // Host picks the slowest real state covering 25%: the bottom one (50%).
+  EXPECT_EQ(decision.host_pstate, model_.pstate_count() - 1);
+  // Residual squeeze: 0.25 / 0.5 = 0.5 duty.
+  EXPECT_NEAR(decision.vm_duty[0], 0.5, 1e-9);
+}
+
+TEST_F(VpmTest, DutyFloorApplies) {
+  VpmRuleConfig config;
+  config.min_duty = 0.4;
+  VpmChannel channel(model_, config);
+  SoftPStateRequest tiny;
+  tiny.soft_pstate = 9;
+  tiny.soft_pstate_count = 10;  // wants 10%
+  SoftPStateRequest fast;
+  const auto decision = channel.apply({fast, tiny});
+  EXPECT_DOUBLE_EQ(decision.vm_duty[1], 0.4);
+}
+
+TEST_F(VpmTest, Validation) {
+  VpmChannel channel(model_);
+  SoftPStateRequest bad;
+  bad.soft_pstate = 5;
+  bad.soft_pstate_count = 4;
+  EXPECT_THROW(channel.apply({bad}), std::invalid_argument);
+  SoftPStateRequest badshare;
+  badshare.cpu_share = 0.0;
+  EXPECT_THROW(channel.apply({badshare}), std::invalid_argument);
+  VpmRuleConfig badcfg;
+  badcfg.min_duty = 0.0;
+  EXPECT_THROW(VpmChannel(model_, badcfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace epm::vm

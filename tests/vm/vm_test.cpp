@@ -1,0 +1,61 @@
+#include "vm/vm.h"
+
+#include <gtest/gtest.h>
+
+namespace epm::vm {
+namespace {
+
+TEST(VmFits, AllDimensionsChecked) {
+  HostSpec host;
+  host.cpu_cores = 4.0;
+  host.disk_iops = 100.0;
+  host.net_mbps = 100.0;
+  host.memory_gb = 8.0;
+  VmSpec vm;
+  vm.cpu_cores = 2.0;
+  vm.disk_iops = 50.0;
+  vm.net_mbps = 50.0;
+  vm.memory_gb = 4.0;
+  HostUsage used;
+  EXPECT_TRUE(fits(vm, host, used));
+  used = add_usage(used, vm);
+  EXPECT_TRUE(fits(vm, host, used));  // exactly fills
+  used = add_usage(used, vm);
+  EXPECT_FALSE(fits(vm, host, used));
+}
+
+TEST(VmFits, SingleDimensionBlocks) {
+  HostSpec host;
+  VmSpec vm;
+  vm.cpu_cores = 1.0;
+  vm.memory_gb = host.memory_gb + 1.0;  // memory alone blocks
+  EXPECT_FALSE(fits(vm, host, HostUsage{}));
+}
+
+TEST(AddUsage, Accumulates) {
+  VmSpec vm;
+  vm.cpu_cores = 1.5;
+  vm.disk_iops = 20.0;
+  vm.net_mbps = 5.0;
+  vm.memory_gb = 2.0;
+  const auto used = add_usage(add_usage(HostUsage{}, vm), vm);
+  EXPECT_DOUBLE_EQ(used.cpu_cores, 3.0);
+  EXPECT_DOUBLE_EQ(used.disk_iops, 40.0);
+  EXPECT_DOUBLE_EQ(used.net_mbps, 10.0);
+  EXPECT_DOUBLE_EQ(used.memory_gb, 4.0);
+}
+
+TEST(IsDiskBound, ClassifiesByDominantPressure) {
+  HostSpec reference;  // 16 cores, 400 iops
+  VmSpec io_vm;
+  io_vm.cpu_cores = 1.0;    // 1/16 = 0.0625 pressure
+  io_vm.disk_iops = 200.0;  // 200/400 = 0.5 pressure
+  EXPECT_TRUE(is_disk_bound(io_vm, reference));
+  VmSpec cpu_vm;
+  cpu_vm.cpu_cores = 8.0;   // 0.5 pressure
+  cpu_vm.disk_iops = 10.0;  // 0.025 pressure
+  EXPECT_FALSE(is_disk_bound(cpu_vm, reference));
+}
+
+}  // namespace
+}  // namespace epm::vm

@@ -1,0 +1,110 @@
+#include "workload/diurnal.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/units.h"
+
+namespace epm::workload {
+namespace {
+
+TEST(DiurnalModel, PeakAtConfiguredHourOnWeekday) {
+  DiurnalConfig config;
+  config.peak_hour = 14.0;
+  DiurnalModel model(config);
+  const double peak = model.demand_at(hours(14.0));  // t=0 is Monday
+  // Sample every 15 minutes across the day: nothing should beat the peak.
+  for (double h = 0.0; h < 24.0; h += 0.25) {
+    EXPECT_LE(model.demand_at(hours(h)), peak + 1e-12) << "hour " << h;
+  }
+  EXPECT_NEAR(peak, 1.0, 1e-9);
+}
+
+TEST(DiurnalModel, TroughToPeakRatioHonored) {
+  DiurnalConfig config;
+  config.trough_to_peak = 0.5;
+  config.second_harmonic = 0.0;  // symmetric curve: trough at peak+12h
+  DiurnalModel model(config);
+  const double peak = model.demand_at(hours(config.peak_hour));
+  const double trough = model.demand_at(hours(config.peak_hour + 12.0));
+  EXPECT_NEAR(trough / peak, 0.5, 1e-9);
+}
+
+TEST(DiurnalModel, WeekendScaling) {
+  DiurnalConfig config;
+  config.weekend_factor = 0.8;
+  config.start_weekday = 0;  // Monday
+  DiurnalModel model(config);
+  const double monday = model.demand_at(hours(14.0));
+  const double saturday = model.demand_at(days(5) + hours(14.0));
+  EXPECT_NEAR(saturday / monday, 0.8, 1e-9);
+}
+
+TEST(DiurnalModel, WeekdayIndexing) {
+  DiurnalConfig config;
+  config.start_weekday = 3;  // Thursday
+  DiurnalModel model(config);
+  EXPECT_EQ(model.weekday_of(0.0), 3);
+  EXPECT_EQ(model.weekday_of(days(1)), 4);
+  EXPECT_EQ(model.weekday_of(days(4)), 0);  // wraps to Monday
+  EXPECT_TRUE(model.is_weekend(days(2)));   // Saturday
+  EXPECT_FALSE(model.is_weekend(days(4)));
+}
+
+TEST(DiurnalModel, HourOfDay) {
+  EXPECT_DOUBLE_EQ(DiurnalModel::hour_of_day(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(DiurnalModel::hour_of_day(hours(25.0)), 1.0);
+  EXPECT_NEAR(DiurnalModel::hour_of_day(days(3) + hours(13.5)), 13.5, 1e-9);
+}
+
+TEST(DiurnalModel, RejectsBadConfig) {
+  DiurnalConfig bad;
+  bad.peak_hour = 24.0;
+  EXPECT_THROW(DiurnalModel{bad}, std::invalid_argument);
+  bad = DiurnalConfig{};
+  bad.trough_to_peak = 0.0;
+  EXPECT_THROW(DiurnalModel{bad}, std::invalid_argument);
+  bad = DiurnalConfig{};
+  bad.weekend_factor = 1.5;
+  EXPECT_THROW(DiurnalModel{bad}, std::invalid_argument);
+  bad = DiurnalConfig{};
+  bad.start_weekday = 7;
+  EXPECT_THROW(DiurnalModel{bad}, std::invalid_argument);
+}
+
+TEST(SampleDemand, SamplesUniformGrid) {
+  DiurnalModel model(DiurnalConfig{});
+  const auto s = sample_demand(model, hours(2.0), minutes(30.0));
+  EXPECT_EQ(s.size(), 4u);
+  EXPECT_DOUBLE_EQ(s.step_s(), minutes(30.0));
+  EXPECT_DOUBLE_EQ(s[0], model.demand_at(0.0));
+  EXPECT_DOUBLE_EQ(s[3], model.demand_at(minutes(90.0)));
+}
+
+// Property: demand stays within (0, 1] for a sweep of shapes.
+class DiurnalRangeProperty
+    : public ::testing::TestWithParam<std::tuple<double, double, double>> {};
+
+TEST_P(DiurnalRangeProperty, DemandWithinUnitRange) {
+  const auto [peak_hour, trough, harmonic] = GetParam();
+  DiurnalConfig config;
+  config.peak_hour = peak_hour;
+  config.trough_to_peak = trough;
+  config.second_harmonic = harmonic;
+  DiurnalModel model(config);
+  for (double t = 0.0; t < weeks(1.0); t += minutes(17.0)) {
+    const double d = model.demand_at(t);
+    ASSERT_GT(d, 0.0);
+    ASSERT_LE(d, 1.0 + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, DiurnalRangeProperty,
+    ::testing::Combine(::testing::Values(2.0, 14.0, 22.0),
+                       ::testing::Values(0.2, 0.5, 0.9),
+                       ::testing::Values(0.0, 0.15, 0.4)));
+
+}  // namespace
+}  // namespace epm::workload

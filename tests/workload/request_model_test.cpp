@@ -1,0 +1,65 @@
+#include "workload/request_model.h"
+
+#include <gtest/gtest.h>
+
+namespace epm::workload {
+namespace {
+
+TEST(RequestModel, DeterministicFluidMode) {
+  RequestModelConfig config;
+  config.stochastic_arrivals = false;
+  config.requests_per_demand_unit = 0.1;
+  config.fanout = 3.0;
+  RequestModel model(config);
+  const auto load = model.offered_load(1000.0, 60.0);
+  EXPECT_DOUBLE_EQ(load.arrival_rate_per_s, 1000.0 * 0.1 * 3.0);
+  EXPECT_DOUBLE_EQ(load.service_demand_s, config.mean_service_demand_s);
+  EXPECT_DOUBLE_EQ(load.cpu_load(), load.arrival_rate_per_s * load.service_demand_s);
+}
+
+TEST(RequestModel, StochasticModeIsUnbiased) {
+  RequestModelConfig config;
+  config.stochastic_arrivals = true;
+  config.requests_per_demand_unit = 0.05;
+  RequestModel model(config);
+  double sum = 0.0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    sum += model.offered_load(1000.0, 60.0).arrival_rate_per_s;
+  }
+  EXPECT_NEAR(sum / n, 50.0, 1.0);
+}
+
+TEST(RequestModel, ZeroDemandZeroLoad) {
+  RequestModel model{RequestModelConfig{}};
+  const auto load = model.offered_load(0.0, 60.0);
+  EXPECT_DOUBLE_EQ(load.arrival_rate_per_s, 0.0);
+}
+
+TEST(RequestModel, RejectsBadInput) {
+  RequestModel model{RequestModelConfig{}};
+  EXPECT_THROW(model.offered_load(-1.0, 60.0), std::invalid_argument);
+  EXPECT_THROW(model.offered_load(1.0, 0.0), std::invalid_argument);
+  RequestModelConfig bad;
+  bad.fanout = 0.5;
+  EXPECT_THROW(RequestModel{bad}, std::invalid_argument);
+  bad = RequestModelConfig{};
+  bad.mean_service_demand_s = 0.0;
+  EXPECT_THROW(RequestModel{bad}, std::invalid_argument);
+}
+
+TEST(ToArrivalRates, MapsWholeSeries) {
+  RequestModelConfig config;
+  config.stochastic_arrivals = false;
+  config.requests_per_demand_unit = 2.0;
+  RequestModel model(config);
+  TimeSeries demand(0.0, 60.0, {1.0, 2.0, 3.0});
+  const auto rates = to_arrival_rates(model, demand);
+  ASSERT_EQ(rates.size(), 3u);
+  EXPECT_DOUBLE_EQ(rates[0], 2.0);
+  EXPECT_DOUBLE_EQ(rates[2], 6.0);
+  EXPECT_DOUBLE_EQ(rates.step_s(), 60.0);
+}
+
+}  // namespace
+}  // namespace epm::workload

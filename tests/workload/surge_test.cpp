@@ -1,0 +1,89 @@
+#include "workload/surge.h"
+
+#include <gtest/gtest.h>
+
+#include "core/units.h"
+
+namespace epm::workload {
+namespace {
+
+TEST(SurgeModel, BaselineBeforeSurge) {
+  SurgeModel model{SurgeConfig{}};
+  EXPECT_DOUBLE_EQ(model.demand_at(0.0), 50.0);
+  EXPECT_DOUBLE_EQ(model.demand_at(hours(23.0)), 50.0);
+}
+
+TEST(SurgeModel, RampEndsAtPeak) {
+  SurgeConfig config;
+  SurgeModel model{config};
+  const double ramp_end = config.surge_start_s + config.ramp_s;
+  EXPECT_NEAR(model.demand_at(ramp_end), config.peak, 1e-6);
+  EXPECT_NEAR(model.demand_at(config.surge_start_s), config.baseline, 1e-6);
+}
+
+TEST(SurgeModel, RampIsMonotone) {
+  SurgeConfig config;
+  SurgeModel model{config};
+  double prev = model.demand_at(config.surge_start_s);
+  for (double t = config.surge_start_s; t <= config.surge_start_s + config.ramp_s;
+       t += hours(1.0)) {
+    const double v = model.demand_at(t);
+    ASSERT_GE(v, prev - 1e-9);
+    prev = v;
+  }
+}
+
+TEST(SurgeModel, PlateauHoldsPeak) {
+  SurgeConfig config;
+  SurgeModel model{config};
+  const double plateau_mid =
+      config.surge_start_s + config.ramp_s + config.plateau_s / 2.0;
+  EXPECT_DOUBLE_EQ(model.demand_at(plateau_mid), config.peak);
+}
+
+TEST(SurgeModel, RecedesTowardPostSurgeLevel) {
+  SurgeConfig config;
+  SurgeModel model{config};
+  const double recede_start = config.surge_start_s + config.ramp_s + config.plateau_s;
+  // "traffic fell to a level that was well below the peak"
+  const double late = model.demand_at(recede_start + 8.0 * config.recede_tau_s);
+  EXPECT_NEAR(late, config.post_surge, 0.01 * config.peak);
+  EXPECT_LT(late, 0.2 * config.peak);
+  EXPECT_GT(late, config.baseline);
+}
+
+TEST(SurgeModel, PaperGrowthFactor) {
+  // 50 -> 3500 servers: a 70x surge in three days.
+  SurgeConfig config;
+  SurgeModel model{config};
+  const double peak = model.demand_at(config.surge_start_s + config.ramp_s);
+  EXPECT_NEAR(peak / config.baseline, 70.0, 0.5);
+  EXPECT_DOUBLE_EQ(config.ramp_s, days(3.0));
+}
+
+TEST(SurgeModel, RejectsBadConfig) {
+  SurgeConfig bad;
+  bad.peak = bad.baseline;
+  EXPECT_THROW(SurgeModel{bad}, std::invalid_argument);
+  bad = SurgeConfig{};
+  bad.post_surge = bad.peak;
+  EXPECT_THROW(SurgeModel{bad}, std::invalid_argument);
+  bad = SurgeConfig{};
+  bad.baseline = 0.0;
+  EXPECT_THROW(SurgeModel{bad}, std::invalid_argument);
+  bad = SurgeConfig{};
+  bad.ramp_s = 0.0;
+  EXPECT_THROW(SurgeModel{bad}, std::invalid_argument);
+}
+
+TEST(SampleSurge, GridMatchesModel) {
+  SurgeConfig config;
+  SurgeModel model{config};
+  const auto s = sample_surge(model, days(7.0), hours(1.0));
+  EXPECT_EQ(s.size(), 168u);
+  EXPECT_DOUBLE_EQ(s[0], model.demand_at(0.0));
+  EXPECT_DOUBLE_EQ(s[100], model.demand_at(hours(100.0)));
+}
+
+}  // namespace
+}  // namespace epm::workload

@@ -1,0 +1,85 @@
+#include "workload/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace epm::workload {
+namespace {
+
+TEST(TraceIo, RoundTrip) {
+  TimeSeries a(0.0, 15.0, {1.0, 2.0, 3.0});
+  TimeSeries b(0.0, 15.0, {10.0, 20.0, 30.0});
+  std::ostringstream out;
+  write_csv(out, {{"alpha", a}, {"beta", b}});
+
+  std::istringstream in(out.str());
+  const auto cols = read_csv(in);
+  ASSERT_EQ(cols.size(), 2u);
+  EXPECT_EQ(cols[0].name, "alpha");
+  EXPECT_EQ(cols[1].name, "beta");
+  ASSERT_EQ(cols[0].series.size(), 3u);
+  EXPECT_DOUBLE_EQ(cols[0].series.step_s(), 15.0);
+  EXPECT_DOUBLE_EQ(cols[0].series[1], 2.0);
+  EXPECT_DOUBLE_EQ(cols[1].series[2], 30.0);
+}
+
+TEST(TraceIo, SingleRowRoundTrip) {
+  TimeSeries a(5.0, 1.0, {9.0});
+  std::ostringstream out;
+  write_csv(out, {{"x", a}});
+  std::istringstream in(out.str());
+  const auto cols = read_csv(in);
+  ASSERT_EQ(cols.size(), 1u);
+  EXPECT_DOUBLE_EQ(cols[0].series.start_s(), 5.0);
+  EXPECT_DOUBLE_EQ(cols[0].series[0], 9.0);
+}
+
+TEST(TraceIo, WriteRejectsMismatchedSeries) {
+  TimeSeries a(0.0, 15.0, {1.0, 2.0});
+  TimeSeries b(0.0, 30.0, {1.0, 2.0});
+  std::ostringstream out;
+  EXPECT_THROW(write_csv(out, {{"a", a}, {"b", b}}), std::invalid_argument);
+  EXPECT_THROW(write_csv(out, {}), std::invalid_argument);
+  EXPECT_THROW(write_csv(out, {{"bad,name", a}}), std::invalid_argument);
+}
+
+TEST(TraceIo, ReadRejectsMalformedInput) {
+  {
+    std::istringstream in("");
+    EXPECT_THROW(read_csv(in), std::invalid_argument);
+  }
+  {
+    std::istringstream in("wrong_header,foo\n0,1\n");
+    EXPECT_THROW(read_csv(in), std::invalid_argument);
+  }
+  {
+    std::istringstream in("time_s,a\n0,1\n15\n");  // ragged
+    EXPECT_THROW(read_csv(in), std::invalid_argument);
+  }
+  {
+    std::istringstream in("time_s,a\n0,xyz\n");  // non-numeric
+    EXPECT_THROW(read_csv(in), std::invalid_argument);
+  }
+  {
+    std::istringstream in("time_s,a\n0,1\n15,2\n45,3\n");  // non-uniform step
+    EXPECT_THROW(read_csv(in), std::invalid_argument);
+  }
+  {
+    std::istringstream in("time_s,a\n");  // header only
+    EXPECT_THROW(read_csv(in), std::invalid_argument);
+  }
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/epm_trace_io_test.csv";
+  TimeSeries a(0.0, 15.0, {1.5, 2.5});
+  write_csv_file(path, {{"v", a}});
+  const auto cols = read_csv_file(path);
+  ASSERT_EQ(cols.size(), 1u);
+  EXPECT_DOUBLE_EQ(cols[0].series[1], 2.5);
+  EXPECT_THROW(read_csv_file("/nonexistent/epm.csv"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace epm::workload

@@ -1,0 +1,254 @@
+// epmctl — command-line front end to the EPM library.
+//
+//   epmctl messenger    --days 7 --seed 42 --csv trace.csv
+//   epmctl simulate     --servers 120 --policy joint --days 7 --peak-rps 8000
+//   epmctl facility     --days 2 --servers 60
+//   epmctl tiers        --rate 2000 --sla-ms 60
+//   epmctl availability --tier 2
+//
+// Every subcommand prints a compact report; `epmctl help` lists them.
+#include <iostream>
+#include <string>
+
+#include "cluster/service_cluster.h"
+#include "core/cli_args.h"
+#include "core/table.h"
+#include "core/units.h"
+#include "macro/coordinator.h"
+#include "macro/joint_policy.h"
+#include "macro/tiers.h"
+#include "onoff/provisioners.h"
+#include "reliability/availability.h"
+#include "reliability/monte_carlo.h"
+#include "workload/messenger.h"
+#include "workload/trace_io.h"
+
+using namespace epm;
+
+namespace {
+
+int cmd_help() {
+  std::cout <<
+      R"(epmctl — elastic power management toolkit
+
+  epmctl messenger    --days N --seed S [--csv PATH]    synthetic Fig.3 workload
+  epmctl simulate     --servers N --policy P --days D   cluster under a policy
+                      --peak-rps R [--seed S]           (static|reactive|predictive|joint)
+  epmctl facility     --days D --servers N              macro-managed facility week
+  epmctl tiers        --rate R --sla-ms MS              multi-tier joint sizing
+  epmctl availability --tier K [--years Y]              tier availability model
+)";
+  return 0;
+}
+
+int fail(const std::string& message) {
+  std::cerr << "epmctl: " << message << "\n";
+  return 2;
+}
+
+int check_unused(const CliArgs& args) {
+  const auto unused = args.unused();
+  if (!unused.empty()) {
+    return fail("unknown flag --" + unused.front() + " (see 'epmctl help')");
+  }
+  return 0;
+}
+
+int cmd_messenger(const CliArgs& args) {
+  workload::MessengerConfig config;
+  config.seed = static_cast<std::uint64_t>(args.get("seed", std::int64_t{42}));
+  config.step_s = args.get("step-s", 60.0);
+  const double horizon = days(static_cast<double>(args.get("days", std::int64_t{7})));
+  const std::string csv = args.get("csv", std::string{});
+  if (const int rc = check_unused(args)) return rc;
+
+  const auto trace = workload::generate_messenger_trace(config, horizon);
+  const auto shape =
+      summarize_messenger_trace(trace, workload::DiurnalModel(config.diurnal));
+  std::cout << "Generated " << trace.connections.size() << " samples over "
+            << fmt(to_days(horizon), 0) << " days\n"
+            << "  afternoon/midnight ratio: " << fmt(shape.afternoon_to_midnight_ratio, 2)
+            << "x\n  weekday/weekend ratio:    "
+            << (shape.weekday_to_weekend_ratio > 0.0
+                    ? fmt(shape.weekday_to_weekend_ratio, 2) + "x"
+                    : std::string{"n/a (no weekend in range)"})
+            << "\n  flash crowds:             " << shape.flash_crowd_count << "\n";
+  if (!csv.empty()) {
+    workload::write_csv_file(csv, {{"connections", trace.connections},
+                                   {"login_rate_per_s", trace.login_rate_per_s}});
+    std::cout << "Wrote " << csv << "\n";
+  }
+  return 0;
+}
+
+int cmd_simulate(const CliArgs& args) {
+  const auto servers = static_cast<std::size_t>(args.get("servers", std::int64_t{120}));
+  const auto sim_days = static_cast<double>(args.get("days", std::int64_t{7}));
+  const double peak_rps = args.get("peak-rps", 8000.0);
+  const std::string policy = args.get("policy", std::string{"joint"});
+  const auto seed = static_cast<std::uint64_t>(args.get("seed", std::int64_t{18}));
+  if (const int rc = check_unused(args)) return rc;
+
+  workload::MessengerConfig wl;
+  wl.step_s = 60.0;
+  wl.seed = seed;
+  const auto trace = workload::generate_messenger_trace(wl, days(sim_days));
+  const auto rate = trace.connections.scaled(peak_rps / trace.connections.stats().max());
+
+  cluster::ServiceClusterConfig config;
+  config.server_count = servers;
+  config.initially_active = servers;
+  config.sla.target_mean_response_s = 0.1;
+  cluster::ServiceCluster cluster(config);
+
+  onoff::UtilizationBandProvisioner reactive;
+  onoff::PredictiveConfig predictive_config;
+  predictive_config.hysteresis_servers = 4;
+  onoff::PredictiveProvisioner predictive(predictive_config);
+
+  for (std::size_t i = 0; i < rate.size(); ++i) {
+    workload::OfferedLoad load;
+    load.arrival_rate_per_s = rate[i];
+    load.service_demand_s = 0.01;
+    const auto r = cluster.run_epoch(60.0, load);
+    if (policy == "static") {
+      // leave the fleet alone
+    } else if (policy == "reactive") {
+      cluster.set_target_committed(reactive.decide(cluster, r), true);
+    } else if (policy == "predictive") {
+      cluster.set_target_committed(predictive.decide(cluster, r), true);
+    } else if (policy == "joint") {
+      const auto d = macro::decide_joint(cluster.power_model(), servers,
+                                         cluster.committed_count(),
+                                         r.arrival_rate_per_s, r.service_demand_s,
+                                         config.sla.target_mean_response_s);
+      cluster.set_uniform_pstate(d.pstate);
+      cluster.set_target_committed(d.servers, true);
+    } else {
+      return fail("unknown --policy '" + policy +
+                  "' (static|reactive|predictive|joint)");
+    }
+  }
+
+  std::cout << "Policy '" << policy << "' over " << fmt(sim_days, 0) << " days, "
+            << servers << " servers, peak " << fmt(peak_rps, 0) << " rps:\n"
+            << "  energy:          " << fmt(to_kwh(cluster.total_energy_j()), 1)
+            << " kWh\n"
+            << "  SLA violations:  " << cluster.sla_violation_epochs() << " / "
+            << cluster.epochs_run() << " epochs\n"
+            << "  dropped:         " << fmt(cluster.total_dropped_requests(), 0)
+            << " requests\n";
+  return 0;
+}
+
+int cmd_facility(const CliArgs& args) {
+  const auto sim_days = static_cast<double>(args.get("days", std::int64_t{2}));
+  const auto servers = static_cast<std::size_t>(args.get("servers", std::int64_t{60}));
+  const auto seed = static_cast<std::uint64_t>(args.get("seed", std::int64_t{4}));
+  if (const int rc = check_unused(args)) return rc;
+
+  workload::MessengerConfig wl;
+  wl.step_s = 60.0;
+  wl.seed = seed;
+  const auto trace = workload::generate_messenger_trace(wl, days(sim_days));
+  const double peak = trace.connections.stats().max();
+
+  macro::Facility facility(macro::make_reference_facility(servers));
+  macro::MacroResourceManager manager(facility);
+  double pue_sum = 0.0;
+  for (std::size_t i = 0; i < trace.connections.size(); ++i) {
+    const double level = trace.connections[i] / peak;
+    pue_sum += manager.step({level * 4000.0, level * 2500.0}, 18.0).pue;
+  }
+  std::cout << "Macro-managed reference facility, " << fmt(sim_days, 0) << " days:\n"
+            << "  IT energy:       " << fmt(to_kwh(facility.total_it_energy_j()), 0)
+            << " kWh\n  cooling energy:  "
+            << fmt(to_kwh(facility.total_mechanical_energy_j()), 0) << " kWh\n"
+            << "  mean PUE:        "
+            << fmt(pue_sum / static_cast<double>(facility.epochs_run()), 2) << "\n"
+            << "  SLA violations:  " << facility.total_sla_violation_epochs()
+            << " service-epochs\n  thermal alarms:  "
+            << facility.total_thermal_alarms() << "\n  decisions logged: "
+            << manager.log().size() << "\n";
+  return 0;
+}
+
+int cmd_tiers(const CliArgs& args) {
+  const double rate = args.get("rate", 1000.0);
+  const double sla_ms = args.get("sla-ms", 60.0);
+  if (const int rc = check_unused(args)) return rc;
+
+  macro::TieredServiceSpec spec;
+  macro::TierSpec web;
+  web.name = "web";
+  web.fanout = 1.0;
+  web.service_demand_s = 0.002;
+  macro::TierSpec app;
+  app.name = "app";
+  app.fanout = 2.0;
+  app.service_demand_s = 0.005;
+  macro::TierSpec db;
+  db.name = "db";
+  db.fanout = 4.0;
+  db.service_demand_s = 0.001;
+  spec.tiers = {web, app, db};
+  spec.end_to_end_sla_s = sla_ms / 1e3;
+
+  const auto decision = macro::size_tiers(spec, rate);
+  if (!decision.feasible) return fail("SLA infeasible for this demand");
+  Table table({"tier", "servers", "P-state", "budget (ms)", "response (ms)",
+               "power (kW)"});
+  for (std::size_t i = 0; i < decision.tiers.size(); ++i) {
+    const auto& t = decision.tiers[i];
+    table.add_row({spec.tiers[i].name, std::to_string(t.servers),
+                   "P" + std::to_string(t.pstate), fmt(t.latency_budget_s * 1e3, 1),
+                   fmt(t.predicted_response_s * 1e3, 1),
+                   fmt(t.predicted_power_w / 1e3, 2)});
+  }
+  std::cout << "Sizing for " << fmt(rate, 0) << " external rps under "
+            << fmt(sla_ms, 0) << " ms end-to-end:\n"
+            << table.render() << "  total: " << fmt(decision.total_power_w / 1e3, 2)
+            << " kW, end-to-end " << fmt(decision.end_to_end_response_s * 1e3, 1)
+            << " ms\n";
+  return 0;
+}
+
+int cmd_availability(const CliArgs& args) {
+  const auto tier = static_cast<int>(args.get("tier", std::int64_t{2}));
+  const auto years = args.get("years", 50.0);
+  if (const int rc = check_unused(args)) return rc;
+  if (tier < 1 || tier > 4) return fail("--tier must be 1..4");
+
+  const auto topology = reliability::make_tier_topology(tier);
+  const double analytic = topology.availability(true);
+  reliability::MonteCarloConfig mc;
+  mc.years = years;
+  const auto simulated = reliability::simulate_availability(topology, mc);
+  std::cout << "Tier " << tier << ":\n"
+            << "  Uptime Institute reference: "
+            << fmt_percent(reliability::uptime_institute_reference(tier), 3) << "\n"
+            << "  analytic:                   " << fmt_percent(analytic, 3) << "\n"
+            << "  Monte Carlo (" << fmt(years, 0) << " yr x " << mc.replicas
+            << "): " << fmt_percent(simulated.availability, 3) << "\n"
+            << "  downtime:                   "
+            << fmt(reliability::downtime_hours_per_year(analytic), 1) << " h/yr\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const CliArgs args(argc, argv);
+    const std::string& cmd = args.command();
+    if (cmd.empty() || cmd == "help" || args.get_switch("help")) return cmd_help();
+    if (cmd == "messenger") return cmd_messenger(args);
+    if (cmd == "simulate") return cmd_simulate(args);
+    if (cmd == "facility") return cmd_facility(args);
+    if (cmd == "tiers") return cmd_tiers(args);
+    if (cmd == "availability") return cmd_availability(args);
+    return fail("unknown command '" + cmd + "' (see 'epmctl help')");
+  } catch (const std::exception& e) {
+    return fail(e.what());
+  }
+}
