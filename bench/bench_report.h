@@ -1,0 +1,41 @@
+// Perf-record emitter shared by the bench binaries.
+//
+// Each converted bench appends one JSON object per measured section to
+// BENCH_parallel.json (one object per line), so a run of the bench suite
+// leaves a machine-readable trajectory of throughput (items/sec), wall time,
+// and the thread count it was achieved at. Override the destination with
+// the EPM_BENCH_REPORT environment variable; set it to "-" to suppress.
+#pragma once
+
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+namespace epm::bench {
+
+struct BenchRecord {
+  std::string name;        ///< e.g. "telemetry_bulk_ingest"
+  std::size_t threads = 1; ///< worker threads the section ran with
+  double wall_s = 0.0;     ///< measured wall-clock seconds
+  double items = 0.0;      ///< work units completed (events, samples, points)
+};
+
+inline std::string bench_report_path() {
+  if (const char* env = std::getenv("EPM_BENCH_REPORT")) return env;
+  return "BENCH_parallel.json";
+}
+
+/// Appends `record` to the report file; silently a no-op when the file is
+/// unwritable (benches must never fail on report plumbing).
+inline void append_bench_record(const BenchRecord& record) {
+  const std::string path = bench_report_path();
+  if (path == "-") return;
+  std::ofstream out(path, std::ios::app);
+  if (!out) return;
+  const double rate = record.wall_s > 0.0 ? record.items / record.wall_s : 0.0;
+  out << "{\"name\":\"" << record.name << "\",\"threads\":" << record.threads
+      << ",\"wall_s\":" << record.wall_s << ",\"items\":" << record.items
+      << ",\"items_per_s\":" << rate << "}\n";
+}
+
+}  // namespace epm::bench

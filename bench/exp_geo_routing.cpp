@@ -19,6 +19,7 @@
 #include "core/table.h"
 #include "core/units.h"
 #include "macro/geo.h"
+#include "sweep_runner.h"
 #include "thermal/outside_air.h"
 
 using namespace epm;
@@ -52,14 +53,6 @@ int main() {
   std::cout << banner(
       "Extension (sec. 3.2): geo routing across three federated data centers");
 
-  // Nordic site (cold, cheap hydro, 50 ms away), mid-US home (moderate,
-  // 10 ms), hot southern site (expensive peak power, 40 ms).
-  std::vector<macro::SiteConfig> sites{
-      make_site("nordic", 700, 0.07, 0.050, true),
-      make_site("home", 700, 0.10, 0.010, true),
-      make_site("southern", 700, 0.14, 0.040, false)};
-  macro::GeoCoordinator geo(sites);
-
   const std::vector<thermal::OutsideAirModel::Weather> weather{
       make_weather(4.0, 0.0, 1), make_weather(14.0, 7.0, 2),
       make_weather(26.0, 10.0, 3)};
@@ -76,21 +69,32 @@ int main() {
     double econ_hours = 0.0;
     std::vector<double> site_share{0.0, 0.0, 0.0};
   };
-  Tally aware;
-  Tally homed;
 
-  const std::size_t steps = weather[0].temperature_c.size();
-  for (std::size_t h = 0; h < steps; ++h) {
-    const double t = static_cast<double>(h) * hours(1.0);
-    const double phase = 2.0 * std::numbers::pi * (to_hours(t) - 14.0) / 24.0;
-    const double rate = total_capacity * (0.5 + 0.35 * std::cos(phase));
-    std::vector<double> temps;
-    std::vector<double> rhs;
-    for (const auto& w : weather) {
-      temps.push_back(w.temperature_c[h]);
-      rhs.push_back(w.relative_humidity[h]);
-    }
-    auto tally = [&](Tally& into, const macro::GeoDecision& d) {
+  // Each strategy replays the same week against its own coordinator, so the
+  // two runs are independent sweep points.
+  auto evaluate = [&](bool price_weather_aware) {
+    // Nordic site (cold, cheap hydro, 50 ms away), mid-US home (moderate,
+    // 10 ms), hot southern site (expensive peak power, 40 ms).
+    std::vector<macro::SiteConfig> sites{
+        make_site("nordic", 700, 0.07, 0.050, true),
+        make_site("home", 700, 0.10, 0.010, true),
+        make_site("southern", 700, 0.14, 0.040, false)};
+    macro::GeoCoordinator geo(sites);
+
+    Tally into;
+    const std::size_t steps = weather[0].temperature_c.size();
+    for (std::size_t h = 0; h < steps; ++h) {
+      const double t = static_cast<double>(h) * hours(1.0);
+      const double phase = 2.0 * std::numbers::pi * (to_hours(t) - 14.0) / 24.0;
+      const double rate = total_capacity * (0.5 + 0.35 * std::cos(phase));
+      std::vector<double> temps;
+      std::vector<double> rhs;
+      for (const auto& w : weather) {
+        temps.push_back(w.temperature_c[h]);
+        rhs.push_back(w.relative_humidity[h]);
+      }
+      const auto d = price_weather_aware ? geo.route(rate, temps, rhs)
+                                         : geo.route_single_home(rate, 1, temps, rhs);
       into.cost += d.total_cost_per_hour;
       into.energy_kwh += to_kwh(d.total_power_w * 3600.0);
       into.latency_weight += d.mean_latency_s * d.served_rate_per_s;
@@ -100,10 +104,16 @@ int main() {
         into.site_share[s] += d.allocations[s].arrival_rate_per_s;
         if (d.allocations[s].economizer_active) into.econ_hours += 1.0 / 3.0;
       }
-    };
-    tally(aware, geo.route(rate, temps, rhs));
-    tally(homed, geo.route_single_home(rate, 1, temps, rhs));
-  }
+    }
+    return into;
+  };
+
+  const std::vector<bool> strategies{true, false};
+  const auto tallies = bench::run_sweep(
+      strategies, [&](bool aware_point) { return evaluate(aware_point); },
+      "geo_routing_sweep");
+  const Tally& aware = tallies[0];
+  const Tally& homed = tallies[1];
 
   Table table({"strategy", "energy (MWh/wk)", "cost ($/wk)", "mean latency (ms)",
                "dropped", "nordic share", "home share", "southern share"});

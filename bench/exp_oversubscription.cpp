@@ -15,6 +15,7 @@
 #include "core/table.h"
 #include "core/units.h"
 #include "oversub/aggregation.h"
+#include "sweep_runner.h"
 #include "workload/messenger.h"
 
 using namespace epm;
@@ -62,22 +63,40 @@ int main() {
   oversub::RiskConfig risk_config;
   risk_config.monte_carlo_draws = 100000;
 
-  for (std::size_t n : {10, 11, 12, 13, 14, 16, 20}) {
-    std::vector<oversub::ServicePowerProfile> services;
-    for (std::size_t i = 0; i < n; ++i) {
-      services.push_back(
-          make_service("svc" + std::to_string(i), 100 + i, kServicePeakKw));
-    }
-    const double ratio = oversub::oversubscription_ratio(services, capacity_w);
-    const double independent =
-        oversub::overflow_probability_independent(services, capacity_w, risk_config);
-    const double aligned =
-        oversub::overflow_probability_aligned(services, capacity_w, risk_config);
-    const auto impact = oversub::capping_impact_aligned(services, capacity_w);
-    table.add_row({std::to_string(n), fmt(ratio, 2) + "x",
-                   fmt_percent(independent, 3), fmt_percent(aligned, 3),
-                   fmt_percent(impact.capped_fraction, 3),
-                   fmt(to_kilowatts(impact.mean_shed_w), 1) + " kW"});
+  // Every grid point rebuilds its services from fixed seeds and draws its
+  // own Monte Carlo risk, so the sweep parallelizes without changing a row.
+  struct Row {
+    std::size_t services = 0;
+    double ratio = 0.0;
+    double independent = 0.0;
+    double aligned = 0.0;
+    oversub::CappingImpact impact;
+  };
+  const std::vector<std::size_t> grid{10, 11, 12, 13, 14, 16, 20};
+  const auto rows = bench::run_sweep(
+      grid,
+      [&](std::size_t n) {
+        std::vector<oversub::ServicePowerProfile> services;
+        for (std::size_t i = 0; i < n; ++i) {
+          services.push_back(
+              make_service("svc" + std::to_string(i), 100 + i, kServicePeakKw));
+        }
+        Row row;
+        row.services = n;
+        row.ratio = oversub::oversubscription_ratio(services, capacity_w);
+        row.independent = oversub::overflow_probability_independent(
+            services, capacity_w, risk_config);
+        row.aligned =
+            oversub::overflow_probability_aligned(services, capacity_w, risk_config);
+        row.impact = oversub::capping_impact_aligned(services, capacity_w);
+        return row;
+      },
+      "oversubscription_sweep");
+  for (const auto& row : rows) {
+    table.add_row({std::to_string(row.services), fmt(row.ratio, 2) + "x",
+                   fmt_percent(row.independent, 3), fmt_percent(row.aligned, 3),
+                   fmt_percent(row.impact.capped_fraction, 3),
+                   fmt(to_kilowatts(row.impact.mean_shed_w), 1) + " kW"});
   }
   std::cout << table.render();
 

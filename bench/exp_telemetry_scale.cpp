@@ -14,11 +14,14 @@
 // argument rests on.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <iostream>
 #include <vector>
 
+#include "bench_report.h"
+#include "core/parallel.h"
 #include "core/rng.h"
 #include "core/table.h"
 #include "core/units.h"
@@ -142,6 +145,43 @@ void BM_RecentWindowRawScan(benchmark::State& state) {
 }
 BENCHMARK(BM_RecentWindowRawScan);
 
+/// A slice of the §5.3 firehose: `servers` x `counters` sampled every 15 s
+/// for `steps` ticks, in arrival (time-major) order. Values are a diurnal
+/// base plus per-sample hash noise, so generation is cheap and the batch is
+/// identical however it is later ingested.
+std::vector<telemetry::Sample> synthesize_fleet(std::uint32_t servers,
+                                                std::uint32_t counters,
+                                                std::size_t steps) {
+  std::vector<telemetry::Sample> samples;
+  samples.reserve(static_cast<std::size_t>(servers) * counters * steps);
+  for (std::size_t i = 0; i < steps; ++i) {
+    const double t = static_cast<double>(i) * kStep;
+    const double hour = t / 3600.0;
+    const double diurnal = 50.0 + 30.0 * std::sin(2.0 * 3.14159265 * (hour - 8.0) / 24.0);
+    for (std::uint32_t s = 0; s < servers; ++s) {
+      for (std::uint32_t c = 0; c < counters; ++c) {
+        const auto key = make_key(s, c);
+        SplitMix64 hash(key ^ (static_cast<std::uint64_t>(i) << 24));
+        const double noise =
+            6.0 * (static_cast<double>(hash.next() >> 11) * 0x1.0p-53 - 0.5);
+        samples.push_back({key, t, diurnal + noise});
+      }
+    }
+  }
+  return samples;
+}
+
+/// Ingests the batch with `threads` workers and returns the wall time.
+double timed_bulk_ingest(telemetry::TelemetryStore& store,
+                         const std::vector<telemetry::Sample>& samples,
+                         std::size_t threads) {
+  const auto start = std::chrono::steady_clock::now();
+  store.bulk_append(samples, threads);
+  const std::chrono::duration<double> wall =
+      std::chrono::steady_clock::now() - start;
+  return wall.count();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -172,6 +212,52 @@ int main(int argc, char** argv) {
     const auto raw_trend = f.raw.range(make_key(0, 0), 0.0, f.horizon_s);
     std::cout << "  Trend query agreement: multi-scale mean " << fmt(trend.mean(), 3)
               << " vs raw-scan mean " << fmt(raw_trend.mean, 3) << "\n\n";
+  }
+
+  // Sharded parallel ingest of a fleet slice (96 servers x 25 counters,
+  // two hours @ 15 s = 1.15M points — half a paper-minute of the full
+  // firehose). The parallel path must be bit-identical to one thread.
+  {
+    const std::uint32_t servers_in_slice = 96;
+    const std::uint32_t counters_per_server = 25;
+    const std::size_t steps = 480;  // two hours at 15 s
+    const auto samples =
+        synthesize_fleet(servers_in_slice, counters_per_server, steps);
+    const std::size_t threads = default_thread_count();
+
+    telemetry::TelemetryStore serial_store;
+    telemetry::TelemetryStore parallel_store;
+    const double serial_s = timed_bulk_ingest(serial_store, samples, 1);
+    const double parallel_s = timed_bulk_ingest(parallel_store, samples, threads);
+
+    bool identical = serial_store.total_samples() == parallel_store.total_samples() &&
+                     serial_store.series_count() == parallel_store.series_count();
+    for (std::uint32_t s = 0; s < servers_in_slice && identical; s += 7) {
+      const auto key = make_key(s, s % counters_per_server);
+      const auto a = serial_store.series(key).range(0.0, steps * kStep);
+      const auto b = parallel_store.series(key).range(0.0, steps * kStep);
+      identical = a.count == b.count && a.sum == b.sum && a.min == b.min &&
+                  a.max == b.max;
+    }
+
+    const double rate = parallel_s > 0.0
+                            ? static_cast<double>(samples.size()) / parallel_s
+                            : 0.0;
+    std::cout << "  Sharded bulk ingest, " << fmt_si(static_cast<double>(samples.size()), 2)
+              << " points (" << servers_in_slice << " servers x "
+              << counters_per_server << " counters, 2 h):\n"
+              << "    1 thread:  " << fmt(serial_s * 1e3, 0) << " ms\n    "
+              << threads << " thread" << (threads == 1 ? "" : "s") << ": "
+              << fmt(parallel_s * 1e3, 0) << " ms  ("
+              << fmt(serial_s / std::max(parallel_s, 1e-12), 2) << "x, "
+              << fmt_si(rate, 2) << " points/s)\n"
+              << "    results bit-identical across thread counts: "
+              << (identical ? "yes" : "NO — BUG") << "\n\n";
+
+    bench::append_bench_record({"telemetry_bulk_ingest", 1, serial_s,
+                                static_cast<double>(samples.size())});
+    bench::append_bench_record({"telemetry_bulk_ingest", threads, parallel_s,
+                                static_cast<double>(samples.size())});
   }
 
   benchmark::Initialize(&argc, argv);

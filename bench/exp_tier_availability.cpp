@@ -6,8 +6,13 @@
 // Builds the four tier topologies as reliability block diagrams, evaluates
 // them analytically, cross-checks with event-driven Monte Carlo, and
 // compares against the Uptime Institute reference numbers.
+#include <algorithm>
+#include <chrono>
 #include <iostream>
+#include <vector>
 
+#include "bench_report.h"
+#include "core/parallel.h"
 #include "core/table.h"
 #include "reliability/availability.h"
 #include "reliability/monte_carlo.h"
@@ -49,6 +54,42 @@ int main() {
                     fmt_percent(topology.availability(true), 3)});
   }
   std::cout << decomp.render();
+
+  // Replica-level scaling: 64 tier-2 replicas across the thread ladder.
+  // Same seed at every width — the availabilities must agree to the last
+  // bit; only the wall clock moves.
+  {
+    const auto topology = reliability::make_tier_topology(2);
+    reliability::MonteCarloConfig scaling;
+    scaling.years = 25.0;
+    scaling.replicas = 64;
+    std::cout << "\n  Monte Carlo replica scaling (64 replicas x 25 yr, tier 2):\n";
+    double reference = 0.0;
+    double serial_s = 0.0;
+    std::vector<std::size_t> ladder{1, 2, 4, 8};
+    if (std::find(ladder.begin(), ladder.end(), default_thread_count()) ==
+        ladder.end()) {
+      ladder.push_back(default_thread_count());
+    }
+    for (const std::size_t threads : ladder) {
+      scaling.threads = threads;
+      const auto start = std::chrono::steady_clock::now();
+      const auto mc = reliability::simulate_availability(topology, scaling);
+      const std::chrono::duration<double> wall =
+          std::chrono::steady_clock::now() - start;
+      if (threads == 1) {
+        reference = mc.availability;
+        serial_s = wall.count();
+      }
+      std::cout << "    " << threads << " thread" << (threads == 1 ? ": " : "s:")
+                << " " << fmt(wall.count() * 1e3, 0) << " ms ("
+                << fmt(serial_s / std::max(wall.count(), 1e-12), 2)
+                << "x), availability " << fmt_percent(mc.availability, 4)
+                << (mc.availability == reference ? "" : "  <- MISMATCH") << "\n";
+      bench::append_bench_record({"availability_replicas", threads, wall.count(),
+                                  static_cast<double>(scaling.replicas)});
+    }
+  }
 
   std::cout << "\n  Paper: tier-2 sites deliver 99.741% availability — the "
                "facility class the paper's elastic power\n"

@@ -1,0 +1,41 @@
+// Shared parameter-sweep harness for the bench binaries.
+//
+// Every sweep-style experiment has the same skeleton: a grid of
+// configuration points, an expensive deterministic evaluation per point, and
+// a report that walks the results in grid order. run_sweep evaluates the
+// grid concurrently on a ThreadPool and returns results in input order, so
+// converting a bench from a serial loop changes nothing about its output —
+// only its wall clock. Thread count comes from EPM_THREADS (see
+// default_thread_count) unless the caller passes one explicitly.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "bench_report.h"
+#include "core/parallel.h"
+
+namespace epm::bench {
+
+/// Evaluates fn(point) for every grid point concurrently; results come back
+/// in grid order. When `record_as` is non-empty, appends a BenchRecord named
+/// after it (items = grid points) via append_bench_record.
+template <typename Point, typename Fn>
+auto run_sweep(const std::vector<Point>& points, Fn&& fn,
+               const std::string& record_as = {}, std::size_t threads = 0) {
+  ThreadPool pool(resolve_thread_count(static_cast<std::int64_t>(threads)));
+  const auto start = std::chrono::steady_clock::now();
+  auto results = pool.parallel_map(
+      points.size(), [&](std::size_t i) { return fn(points[i]); });
+  const std::chrono::duration<double> wall =
+      std::chrono::steady_clock::now() - start;
+  if (!record_as.empty()) {
+    append_bench_record(
+        {record_as, pool.thread_count(), wall.count(),
+         static_cast<double>(points.size())});
+  }
+  return results;
+}
+
+}  // namespace epm::bench

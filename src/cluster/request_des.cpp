@@ -6,6 +6,7 @@
 #include <set>
 #include <vector>
 
+#include "core/parallel.h"
 #include "core/require.h"
 
 namespace epm::cluster {
@@ -202,6 +203,32 @@ RequestDesResult simulate_requests(const RequestDesConfig& config) {
   validate(config);
   return config.discipline == ServiceDiscipline::kFcfs ? run_fcfs(config)
                                                        : run_ps(config);
+}
+
+ReplicationResult simulate_replications(const ReplicationConfig& config) {
+  require(config.replications >= 1,
+          "simulate_replications: need at least one replication");
+  validate(config.base);
+
+  ThreadPool pool(resolve_thread_count(static_cast<std::int64_t>(config.threads)));
+  const auto runs = pool.parallel_replicate(
+      config.replications, config.seed, [&](Rng& rng, std::size_t) {
+        RequestDesConfig rep = config.base;
+        rep.seed = rng.next_u64();
+        return simulate_requests(rep);
+      });
+
+  // Ordered reduction keeps the merged floating-point state identical at
+  // every thread count.
+  ReplicationResult result;
+  for (const auto& run : runs) {
+    result.response_s.merge(run.response_s);
+    result.queue_depth.merge(run.queue_depth);
+    result.utilization.add(run.utilization);
+    result.replication_mean_response_s.add(run.response_s.mean());
+    result.completed += run.completed;
+  }
+  return result;
 }
 
 }  // namespace epm::cluster

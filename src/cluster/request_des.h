@@ -54,4 +54,32 @@ struct RequestDesResult {
 /// (arrival rate < servers / mean_service); throws otherwise.
 RequestDesResult simulate_requests(const RequestDesConfig& config);
 
+struct ReplicationConfig {
+  /// Per-replication DES configuration. `base.seed` is ignored: each
+  /// replication's seed is derived from `seed` below by index, so the
+  /// streams are independent and the run is reproducible at any thread
+  /// count.
+  RequestDesConfig base;
+  std::size_t replications = 8;
+  std::uint64_t seed = 2027;
+  /// Worker threads for the fan-out; 0 = default_thread_count().
+  std::size_t threads = 0;
+};
+
+struct ReplicationResult {
+  OnlineStats response_s;    ///< pooled over every measured request
+  OnlineStats queue_depth;   ///< pooled arrival-instant samples
+  OnlineStats utilization;   ///< one sample per replication
+  /// Per-replication mean responses — the right basis for confidence
+  /// intervals (individual sojourn times are autocorrelated; replication
+  /// means are independent).
+  OnlineStats replication_mean_response_s;
+  std::size_t completed = 0;  ///< across all replications
+};
+
+/// Runs N independent DES replications concurrently and merges their
+/// statistics in replication order (`OnlineStats::merge`), so the result is
+/// bit-identical for any thread count, including 1.
+ReplicationResult simulate_replications(const ReplicationConfig& config);
+
 }  // namespace epm::cluster

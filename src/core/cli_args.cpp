@@ -1,5 +1,6 @@
 #include "core/cli_args.h"
 
+#include "core/parallel.h"
 #include "core/require.h"
 
 namespace epm {
@@ -84,6 +85,13 @@ bool CliArgs::get_switch(const std::string& flag) const {
   require(it->second.empty(),
           "CliArgs: --" + flag + " is a switch and takes no value");
   return true;
+}
+
+std::size_t CliArgs::threads() const {
+  const std::int64_t requested = get("threads", std::int64_t{0});
+  require(values_.count("threads") == 0 || requested >= 1,
+          "CliArgs: --threads must be a positive integer");
+  return resolve_thread_count(requested);
 }
 
 std::vector<std::string> CliArgs::unused() const {

@@ -29,6 +29,10 @@ class CliArgs {
   std::int64_t get(const std::string& flag, std::int64_t fallback) const;
   bool get_switch(const std::string& flag) const;
 
+  /// Worker count from `--threads N` (>= 1 required when present); defaults
+  /// to the EPM_THREADS environment override, else hardware_concurrency.
+  std::size_t threads() const;
+
   /// Flags that were provided but never read — for "unknown flag" errors.
   std::vector<std::string> unused() const;
 

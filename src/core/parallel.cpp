@@ -1,0 +1,117 @@
+#include "core/parallel.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "core/require.h"
+
+namespace epm {
+namespace {
+
+/// Set while a worker thread is executing a task, so parallel_for can refuse
+/// re-entrant use of the same pool (which would deadlock: the waiting task
+/// occupies the worker its children would need).
+thread_local const ThreadPool* t_worker_pool = nullptr;
+
+}  // namespace
+
+std::size_t default_thread_count() {
+  if (const char* env = std::getenv("EPM_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0) return static_cast<std::size_t>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+std::size_t resolve_thread_count(std::int64_t requested) {
+  return requested >= 1 ? static_cast<std::size_t>(requested) : default_thread_count();
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  const std::size_t count = threads > 0 ? threads : default_thread_count();
+  workers_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  t_worker_pool = this;
+  for (;;) {
+    Range range{0, 0};
+    const ChunkFn* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !pending_.empty(); });
+      if (pending_.empty()) return;  // stop_ set and queue drained
+      range = pending_.front();
+      pending_.pop_front();
+      job = job_;
+    }
+    try {
+      (*job)(range.begin, range.end);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--in_flight_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n, const ChunkFn& chunk) {
+  require(static_cast<bool>(chunk), "ThreadPool::parallel_for: empty chunk function");
+  if (t_worker_pool == this) {
+    throw std::logic_error(
+        "ThreadPool::parallel_for: nested call from one of this pool's own "
+        "tasks (would deadlock a fixed-size pool)");
+  }
+  if (n == 0) return;
+
+  // Several small chunks per worker smooth out unequal task costs without
+  // affecting results (chunking changes scheduling, never index->task
+  // assignment).
+  const std::size_t chunks = std::min(n, thread_count() * 4);
+  const std::size_t base = n / chunks;
+  const std::size_t extra = n % chunks;
+
+  std::lock_guard<std::mutex> submit(submit_mu_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::size_t begin = 0;
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const std::size_t len = base + (c < extra ? 1 : 0);
+      pending_.push_back(Range{begin, begin + len});
+      begin += len;
+    }
+    job_ = &chunk;
+    in_flight_ = chunks;
+    first_error_ = nullptr;
+  }
+  work_cv_.notify_all();
+
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [this] { return in_flight_ == 0; });
+    job_ = nullptr;
+    error = first_error_;
+    first_error_ = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace epm

@@ -1,0 +1,120 @@
+// Deterministic parallel execution engine.
+//
+// Every hot path in the library — Monte Carlo replicas, DES replications,
+// fleet telemetry ingest, bench parameter sweeps — has the same shape: a
+// fixed batch of independent work items fanned out across cores and reduced
+// in input order. This module provides that substrate with one hard
+// guarantee: **the same seed produces bit-identical results at every thread
+// count, including 1**. Determinism comes from construction, not luck:
+//
+//   * work is partitioned by index, never by completion order;
+//   * `parallel_map` returns results in input order regardless of which
+//     thread finished first;
+//   * `parallel_replicate` derives one independent `Rng` stream per task
+//     from the caller's seed via `SplitMix64`, so task i's randomness never
+//     depends on which thread ran tasks 0..i-1.
+//
+// Reductions stay the caller's job and must be performed in task order
+// (e.g. `OnlineStats::merge` over results[0..n)), which keeps floating-point
+// summation order — and therefore every bit of the output — invariant.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "core/rng.h"
+
+namespace epm {
+
+/// Thread count used when a caller passes 0: the `EPM_THREADS` environment
+/// variable when set to a positive integer, else `hardware_concurrency`
+/// (minimum 1).
+std::size_t default_thread_count();
+
+/// Maps a user-facing `--threads` value to an actual count: values >= 1 are
+/// taken verbatim, anything else falls back to default_thread_count().
+std::size_t resolve_thread_count(std::int64_t requested);
+
+/// Fixed-size worker pool. One pool runs one parallel call at a time
+/// (concurrent submissions from different external threads serialize);
+/// calling back into the same pool from inside a task throws instead of
+/// deadlocking.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 means default_thread_count().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  using ChunkFn = std::function<void(std::size_t begin, std::size_t end)>;
+
+  /// Runs `chunk(begin, end)` over a partition of [0, n). Chunks are
+  /// contiguous, cover every index exactly once, and may run on any worker.
+  /// Blocks until all chunks finish. The first exception thrown by a chunk
+  /// is rethrown here (remaining chunks still run to completion).
+  /// Throws std::logic_error when called from inside one of this pool's own
+  /// tasks (nested calls would deadlock a fixed-size pool).
+  void parallel_for(std::size_t n, const ChunkFn& chunk);
+
+  /// Ordered map: out[i] = fn(i) for i in [0, n), with out in input order
+  /// regardless of completion order. R must be default-constructible.
+  template <typename Fn>
+  auto parallel_map(std::size_t n, Fn&& fn) {
+    using R = std::decay_t<std::invoke_result_t<Fn&, std::size_t>>;
+    std::vector<R> out(n);
+    parallel_for(n, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) out[i] = fn(i);
+    });
+    return out;
+  }
+
+  /// Seeded replication: expands `seed` into n stream seeds with SplitMix64
+  /// (all derived up front, independent of thread count), hands task i a
+  /// private Rng, and returns fn(rng, i) results in input order.
+  template <typename Fn>
+  auto parallel_replicate(std::size_t n, std::uint64_t seed, Fn&& fn) {
+    using R = std::decay_t<std::invoke_result_t<Fn&, Rng&, std::size_t>>;
+    std::vector<std::uint64_t> seeds(n);
+    SplitMix64 mix(seed);
+    for (auto& s : seeds) s = mix.next();
+    std::vector<R> out(n);
+    parallel_for(n, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        Rng rng(seeds[i]);
+        out[i] = fn(rng, i);
+      }
+    });
+    return out;
+  }
+
+ private:
+  struct Range {
+    std::size_t begin;
+    std::size_t end;
+  };
+
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex submit_mu_;  ///< serializes whole parallel_for calls
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::deque<Range> pending_;
+  const ChunkFn* job_ = nullptr;
+  std::size_t in_flight_ = 0;
+  std::exception_ptr first_error_;
+  bool stop_ = false;
+};
+
+}  // namespace epm

@@ -4,6 +4,7 @@
 #include <limits>
 #include <vector>
 
+#include "core/parallel.h"
 #include "core/require.h"
 #include "core/rng.h"
 #include "core/stats.h"
@@ -44,6 +45,87 @@ bool system_up(const Block& block, const std::vector<LeafState>& states,
   return up >= block.required();
 }
 
+/// One independent replica's contribution, reduced across replicas in
+/// replica order so the result is invariant to the thread count.
+struct ReplicaOutcome {
+  double availability = 0.0;
+  OnlineStats outages;
+  double max_outage_h = 0.0;
+};
+
+ReplicaOutcome run_replica(const Block& topology,
+                           const std::vector<const Block*>& leaves,
+                           double horizon_h, Rng& rng) {
+  ReplicaOutcome outcome;
+  std::vector<LeafState> states;
+  states.reserve(leaves.size());
+  for (const Block* leaf : leaves) {
+    LeafState s;
+    s.spec = &leaf->spec();
+    s.next_fail_toggle_h = rng.exponential(1.0 / s.spec->mtbf_h);
+    if (s.spec->maintenance_h_per_year > 0.0) {
+      // One planned window per year at a random phase.
+      s.next_maint_h = rng.uniform(0.0, kHoursPerYear);
+      s.maint_is_start = true;
+    }
+    states.push_back(s);
+  }
+
+  double t = 0.0;
+  double downtime_h = 0.0;
+  double outage_started_h = -1.0;
+  std::size_t cursor = 0;
+  bool up = system_up(topology, states, cursor);
+
+  while (t < horizon_h) {
+    // Next event over all components.
+    double t_next = horizon_h;
+    for (const auto& s : states) {
+      t_next = std::min({t_next, s.next_fail_toggle_h, s.next_maint_h});
+    }
+    const double dt = t_next - t;
+    if (!up) downtime_h += dt;
+    t = t_next;
+    if (t >= horizon_h) break;
+
+    for (auto& s : states) {
+      if (s.next_fail_toggle_h <= t + 1e-12) {
+        if (!s.failed && s.spec->mttr_h <= 0.0) {
+          // Instant repair: the failure contributes no downtime.
+          s.next_fail_toggle_h = t + rng.exponential(1.0 / s.spec->mtbf_h);
+        } else {
+          s.failed = !s.failed;
+          const double rate = s.failed ? 1.0 / s.spec->mttr_h : 1.0 / s.spec->mtbf_h;
+          s.next_fail_toggle_h = t + rng.exponential(rate);
+        }
+      }
+      if (s.next_maint_h <= t + 1e-12) {
+        if (s.maint_is_start) {
+          s.in_maintenance = true;
+          s.next_maint_h = t + s.spec->maintenance_h_per_year;
+          s.maint_is_start = false;
+        } else {
+          s.in_maintenance = false;
+          s.next_maint_h = t + (kHoursPerYear - s.spec->maintenance_h_per_year);
+          s.maint_is_start = true;
+        }
+      }
+    }
+    cursor = 0;
+    const bool now_up = system_up(topology, states, cursor);
+    if (up && !now_up) {
+      outage_started_h = t;
+    } else if (!up && now_up && outage_started_h >= 0.0) {
+      const double duration = t - outage_started_h;
+      outcome.outages.add(duration);
+      outcome.max_outage_h = std::max(outcome.max_outage_h, duration);
+    }
+    up = now_up;
+  }
+  outcome.availability = 1.0 - downtime_h / horizon_h;
+  return outcome;
+}
+
 }  // namespace
 
 MonteCarloResult simulate_availability(const Block& topology,
@@ -55,83 +137,21 @@ MonteCarloResult simulate_availability(const Block& topology,
   topology.collect_leaves(leaves);
   require(!leaves.empty(), "simulate_availability: topology has no components");
 
-  Rng master(config.seed);
+  const double horizon_h = config.years * kHoursPerYear;
+  ThreadPool pool(resolve_thread_count(static_cast<std::int64_t>(config.threads)));
+  const auto outcomes = pool.parallel_replicate(
+      config.replicas, config.seed, [&](Rng& rng, std::size_t) {
+        return run_replica(topology, leaves, horizon_h, rng);
+      });
+
+  // Ordered reduction: replica index order, independent of completion order.
   OnlineStats replica_availability;
   OnlineStats outage_durations;
   double max_outage = 0.0;
-  std::size_t outage_count = 0;
-
-  for (std::size_t rep = 0; rep < config.replicas; ++rep) {
-    Rng rng = master.fork();
-    const double horizon_h = config.years * kHoursPerYear;
-
-    std::vector<LeafState> states;
-    states.reserve(leaves.size());
-    for (const Block* leaf : leaves) {
-      LeafState s;
-      s.spec = &leaf->spec();
-      s.next_fail_toggle_h = rng.exponential(1.0 / s.spec->mtbf_h);
-      if (s.spec->maintenance_h_per_year > 0.0) {
-        // One planned window per year at a random phase.
-        s.next_maint_h = rng.uniform(0.0, kHoursPerYear);
-        s.maint_is_start = true;
-      }
-      states.push_back(s);
-    }
-
-    double t = 0.0;
-    double downtime_h = 0.0;
-    double outage_started_h = -1.0;
-    std::size_t cursor = 0;
-    bool up = system_up(topology, states, cursor);
-
-    while (t < horizon_h) {
-      // Next event over all components.
-      double t_next = horizon_h;
-      for (const auto& s : states) {
-        t_next = std::min({t_next, s.next_fail_toggle_h, s.next_maint_h});
-      }
-      const double dt = t_next - t;
-      if (!up) downtime_h += dt;
-      t = t_next;
-      if (t >= horizon_h) break;
-
-      for (auto& s : states) {
-        if (s.next_fail_toggle_h <= t + 1e-12) {
-          if (!s.failed && s.spec->mttr_h <= 0.0) {
-            // Instant repair: the failure contributes no downtime.
-            s.next_fail_toggle_h = t + rng.exponential(1.0 / s.spec->mtbf_h);
-          } else {
-            s.failed = !s.failed;
-            const double rate = s.failed ? 1.0 / s.spec->mttr_h : 1.0 / s.spec->mtbf_h;
-            s.next_fail_toggle_h = t + rng.exponential(rate);
-          }
-        }
-        if (s.next_maint_h <= t + 1e-12) {
-          if (s.maint_is_start) {
-            s.in_maintenance = true;
-            s.next_maint_h = t + s.spec->maintenance_h_per_year;
-            s.maint_is_start = false;
-          } else {
-            s.in_maintenance = false;
-            s.next_maint_h = t + (kHoursPerYear - s.spec->maintenance_h_per_year);
-            s.maint_is_start = true;
-          }
-        }
-      }
-      cursor = 0;
-      const bool now_up = system_up(topology, states, cursor);
-      if (up && !now_up) {
-        outage_started_h = t;
-      } else if (!up && now_up && outage_started_h >= 0.0) {
-        const double duration = t - outage_started_h;
-        outage_durations.add(duration);
-        max_outage = std::max(max_outage, duration);
-        ++outage_count;
-      }
-      up = now_up;
-    }
-    replica_availability.add(1.0 - downtime_h / horizon_h);
+  for (const auto& outcome : outcomes) {
+    replica_availability.add(outcome.availability);
+    outage_durations.merge(outcome.outages);
+    max_outage = std::max(max_outage, outcome.max_outage_h);
   }
 
   MonteCarloResult result;
@@ -139,7 +159,7 @@ MonteCarloResult simulate_availability(const Block& topology,
   result.availability_stddev = replica_availability.stddev();
   result.mean_outage_h = outage_durations.count() ? outage_durations.mean() : 0.0;
   result.max_outage_h = max_outage;
-  result.outage_count = outage_count;
+  result.outage_count = outage_durations.count();
   return result;
 }
 

@@ -1,7 +1,5 @@
 #include "sim/simulator.h"
 
-#include <algorithm>
-
 #include "core/require.h"
 
 namespace epm::sim {
@@ -30,28 +28,20 @@ EventHandle Simulator::schedule_periodic(double first_s, double period_s, EventF
 
 void Simulator::cancel(EventHandle handle) {
   if (!handle.valid()) return;
-  if (!is_cancelled(handle.id_)) {
-    cancelled_.push_back(handle.id_);
-    ++cancelled_live_;
-  }
+  cancelled_.insert(handle.id_);
 }
 
 bool Simulator::is_cancelled(std::uint64_t id) const {
-  return std::find(cancelled_.begin(), cancelled_.end(), id) != cancelled_.end();
+  return cancelled_.count(id) > 0;
 }
 
 bool Simulator::step() {
   while (!queue_.empty()) {
     Event ev = queue_.top();
     queue_.pop();
-    if (is_cancelled(ev.id)) {
-      // At most one queued instance exists per id (periodic events are
-      // re-queued only after firing), so the id can be forgotten now.
-      cancelled_.erase(std::remove(cancelled_.begin(), cancelled_.end(), ev.id),
-                       cancelled_.end());
-      if (cancelled_live_ > 0) --cancelled_live_;
-      continue;
-    }
+    // At most one queued instance exists per id (periodic events are
+    // re-queued only after firing), so a drained id can be forgotten now.
+    if (cancelled_.erase(ev.id) > 0) continue;
     ensure(ev.when_s >= now_s_, "Simulator: time went backwards");
     now_s_ = ev.when_s;
     if (ev.period_s > 0.0) {

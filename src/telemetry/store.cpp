@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/parallel.h"
 #include "core/require.h"
 
 namespace epm::telemetry {
@@ -20,20 +21,77 @@ TelemetryStore::TelemetryStore(MultiScaleConfig per_counter_config)
 }
 
 void TelemetryStore::append(CounterKey key, double time_s, double value) {
-  auto [it, inserted] = series_.try_emplace(key, config_);
+  auto [it, inserted] = shards_[shard_of(key)].try_emplace(key, config_);
   it->second.append(time_s, value);
   ++total_samples_;
 }
 
+void TelemetryStore::bulk_append(const std::vector<Sample>& samples,
+                                 ThreadPool& pool) {
+  if (samples.empty()) return;
+  require(samples.size() <= 0xffffffffu,
+          "TelemetryStore::bulk_append: batch too large for 32-bit indices");
+
+  // Phase 1: partition indices by shard, in parallel over input slices.
+  // Concatenating each shard's slice-lists in slice order restores the
+  // global input order per shard, so the result cannot depend on how many
+  // slices (= threads) scanned the input.
+  const std::size_t slices = pool.thread_count();
+  std::vector<std::array<std::vector<std::uint32_t>, kShards>> partition(slices);
+  const std::size_t per_slice = (samples.size() + slices - 1) / slices;
+  pool.parallel_for(slices, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t s = begin; s < end; ++s) {
+      const std::size_t lo = s * per_slice;
+      const std::size_t hi = std::min(samples.size(), lo + per_slice);
+      for (std::size_t i = lo; i < hi; ++i) {
+        partition[s][shard_of(samples[i].key)].push_back(
+            static_cast<std::uint32_t>(i));
+      }
+    }
+  });
+
+  // Phase 2: apply whole shards concurrently. Each shard map is touched by
+  // exactly one task, so no synchronization is needed.
+  pool.parallel_for(kShards, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t shard = begin; shard < end; ++shard) {
+      auto& map = shards_[shard];
+      for (std::size_t s = 0; s < slices; ++s) {
+        for (const std::uint32_t i : partition[s][shard]) {
+          const Sample& sample = samples[i];
+          auto [it, inserted] = map.try_emplace(sample.key, config_);
+          it->second.append(sample.time_s, sample.value);
+        }
+      }
+    }
+  });
+
+  total_samples_ += samples.size();
+}
+
+void TelemetryStore::bulk_append(const std::vector<Sample>& samples,
+                                 std::size_t threads) {
+  ThreadPool pool(resolve_thread_count(static_cast<std::int64_t>(threads)));
+  bulk_append(samples, pool);
+}
+
+std::size_t TelemetryStore::series_count() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard.size();
+  return total;
+}
+
 const MultiScaleSeries& TelemetryStore::series(CounterKey key) const {
-  auto it = series_.find(key);
-  require(it != series_.end(), "TelemetryStore: unknown counter");
+  const auto& shard = shards_[shard_of(key)];
+  auto it = shard.find(key);
+  require(it != shard.end(), "TelemetryStore: unknown counter");
   return it->second;
 }
 
 std::size_t TelemetryStore::memory_bytes() const {
   std::size_t total = 0;
-  for (const auto& [key, s] : series_) total += s.memory_bytes();
+  for (const auto& shard : shards_) {
+    for (const auto& [key, s] : shard) total += s.memory_bytes();
+  }
   return total;
 }
 

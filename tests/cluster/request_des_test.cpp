@@ -115,6 +115,67 @@ TEST(RequestDes, ResponseGrowsWithLoad) {
   }
 }
 
+TEST(RequestDesParallel, BitIdenticalAcrossThreadCounts) {
+  ReplicationConfig config;
+  config.base = base_config();
+  config.base.measured_requests = 5000;
+  config.replications = 6;
+  auto run_at = [&](std::size_t threads) {
+    config.threads = threads;
+    return simulate_replications(config);
+  };
+  const auto at1 = run_at(1);
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    const auto at = run_at(threads);
+    EXPECT_DOUBLE_EQ(at.response_s.mean(), at1.response_s.mean())
+        << threads << " threads";
+    EXPECT_DOUBLE_EQ(at.response_s.variance(), at1.response_s.variance())
+        << threads << " threads";
+    EXPECT_DOUBLE_EQ(at.queue_depth.mean(), at1.queue_depth.mean())
+        << threads << " threads";
+    EXPECT_DOUBLE_EQ(at.replication_mean_response_s.mean(),
+                     at1.replication_mean_response_s.mean())
+        << threads << " threads";
+    EXPECT_EQ(at.completed, at1.completed) << threads << " threads";
+  }
+}
+
+TEST(RequestDesParallel, PooledCountsAddUp) {
+  ReplicationConfig config;
+  config.base = base_config();
+  config.base.measured_requests = 2000;
+  config.replications = 4;
+  const auto result = simulate_replications(config);
+  EXPECT_EQ(result.completed,
+            config.replications * config.base.measured_requests);
+  EXPECT_EQ(result.response_s.count(), result.completed);
+  EXPECT_EQ(result.utilization.count(), config.replications);
+  EXPECT_EQ(result.replication_mean_response_s.count(), config.replications);
+  // Per-replication means scatter around the pooled mean.
+  EXPECT_NEAR(result.replication_mean_response_s.mean(),
+              result.response_s.mean(), result.response_s.mean() * 0.05);
+}
+
+TEST(RequestDesParallel, ReplicationsDifferFromEachOther) {
+  // Each replication must get an independent RNG stream, not the base seed.
+  ReplicationConfig config;
+  config.base = base_config();
+  config.base.measured_requests = 2000;
+  config.replications = 4;
+  const auto result = simulate_replications(config);
+  EXPECT_GT(result.replication_mean_response_s.stddev(), 0.0);
+}
+
+TEST(RequestDesParallel, Validation) {
+  ReplicationConfig config;
+  config.base = base_config();
+  config.replications = 0;
+  EXPECT_THROW(simulate_replications(config), std::invalid_argument);
+  config.replications = 2;
+  config.base.servers = 0;
+  EXPECT_THROW(simulate_replications(config), std::invalid_argument);
+}
+
 TEST(RequestDes, UnstableAndInvalidConfigsThrow) {
   auto config = base_config();
   config.arrival_rate_per_s = 100.0;  // rho = 1

@@ -1,0 +1,129 @@
+#include "core/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace epm {
+namespace {
+
+TEST(ThreadPool, ThreadCountResolution) {
+  EXPECT_GE(default_thread_count(), 1u);
+  EXPECT_EQ(resolve_thread_count(3), 3u);
+  EXPECT_EQ(resolve_thread_count(0), default_thread_count());
+  EXPECT_EQ(resolve_thread_count(-5), default_thread_count());
+  ThreadPool pool(5);
+  EXPECT_EQ(pool.thread_count(), 5u);
+}
+
+TEST(ThreadPool, EmptyRangeRunsNothing) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  pool.parallel_for(0, [&](std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  // Chunks get disjoint index ranges, so these writes never race.
+  std::vector<int> hits(1000, 0);
+  pool.parallel_for(hits.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) ++hits[i];
+  });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0),
+            static_cast<int>(hits.size()));
+  EXPECT_EQ(*std::min_element(hits.begin(), hits.end()), 1);
+  EXPECT_EQ(*std::max_element(hits.begin(), hits.end()), 1);
+}
+
+TEST(ThreadPool, MapReturnsResultsInInputOrder) {
+  ThreadPool pool(8);
+  const auto squares =
+      pool.parallel_map(257, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(squares.size(), 257u);
+  for (std::size_t i = 0; i < squares.size(); ++i) EXPECT_EQ(squares[i], i * i);
+}
+
+TEST(ThreadPool, ExceptionsPropagateAndPoolSurvives) {
+  ThreadPool pool(3);
+  EXPECT_THROW(
+      pool.parallel_for(100,
+                        [](std::size_t begin, std::size_t) {
+                          if (begin >= 0) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  // The pool must stay usable after a failed call.
+  std::atomic<int> total{0};
+  pool.parallel_for(10, [&](std::size_t begin, std::size_t end) {
+    total += static_cast<int>(end - begin);
+  });
+  EXPECT_EQ(total.load(), 10);
+}
+
+TEST(ThreadPool, NestedCallsRejected) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(4,
+                                 [&](std::size_t, std::size_t) {
+                                   pool.parallel_for(
+                                       2, [](std::size_t, std::size_t) {});
+                                 }),
+               std::logic_error);
+}
+
+TEST(ThreadPool, DifferentPoolsMayNest) {
+  ThreadPool outer(2);
+  std::atomic<int> total{0};
+  outer.parallel_for(2, [&](std::size_t begin, std::size_t end) {
+    ThreadPool inner(2);
+    inner.parallel_for(5, [&](std::size_t b, std::size_t e) {
+      total += static_cast<int>(e - b);
+    });
+    total += static_cast<int>(end - begin);
+  });
+  EXPECT_EQ(total.load(), 12);
+}
+
+TEST(ThreadPool, ReplicateBitIdenticalAcrossThreadCounts) {
+  auto draw = [](std::size_t threads) {
+    ThreadPool pool(threads);
+    return pool.parallel_replicate(
+        33, 99, [](Rng& rng, std::size_t) { return rng.uniform01(); });
+  };
+  const auto at1 = draw(1);
+  const auto at2 = draw(2);
+  const auto at8 = draw(8);
+  ASSERT_EQ(at1.size(), 33u);
+  for (std::size_t i = 0; i < at1.size(); ++i) {
+    EXPECT_DOUBLE_EQ(at1[i], at2[i]) << "replica " << i;
+    EXPECT_DOUBLE_EQ(at1[i], at8[i]) << "replica " << i;
+  }
+}
+
+TEST(ThreadPool, ReplicateStreamsAreIndependentOfIndexNeighbors) {
+  // Stream i must not depend on how much randomness stream i-1 consumed.
+  ThreadPool pool(2);
+  const auto greedy = pool.parallel_replicate(4, 7, [](Rng& rng, std::size_t i) {
+    if (i == 0) {
+      for (int k = 0; k < 1000; ++k) rng.next_u64();  // burn
+    }
+    return rng.uniform01();
+  });
+  const auto frugal = pool.parallel_replicate(
+      4, 7, [](Rng& rng, std::size_t) { return rng.uniform01(); });
+  for (std::size_t i = 1; i < 4; ++i) EXPECT_DOUBLE_EQ(greedy[i], frugal[i]);
+}
+
+TEST(ThreadPool, ReplicateSeedChangesStreams) {
+  ThreadPool pool(2);
+  const auto a = pool.parallel_replicate(
+      8, 1, [](Rng& rng, std::size_t) { return rng.uniform01(); });
+  const auto b = pool.parallel_replicate(
+      8, 2, [](Rng& rng, std::size_t) { return rng.uniform01(); });
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace epm

@@ -56,6 +56,38 @@ TEST(MonteCarlo, Tier2WithinAnalyticBand) {
   EXPECT_NEAR(result.availability, block.availability(true), 0.003);
 }
 
+TEST(MonteCarloParallel, BitIdenticalAcrossThreadCounts) {
+  auto block = make_tier_topology(2);
+  MonteCarloConfig config;
+  config.years = 20.0;
+  config.replicas = 12;
+  auto run_at = [&](std::size_t threads) {
+    config.threads = threads;
+    return simulate_availability(block, config);
+  };
+  const auto at1 = run_at(1);
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    const auto at = run_at(threads);
+    EXPECT_DOUBLE_EQ(at.availability, at1.availability) << threads << " threads";
+    EXPECT_DOUBLE_EQ(at.mean_outage_h, at1.mean_outage_h) << threads << " threads";
+    EXPECT_DOUBLE_EQ(at.max_outage_h, at1.max_outage_h) << threads << " threads";
+    EXPECT_EQ(at.outage_count, at1.outage_count) << threads << " threads";
+  }
+}
+
+TEST(MonteCarloParallel, ThreadsZeroMeansDefault) {
+  auto block = make_tier_topology(1);
+  MonteCarloConfig config;
+  config.years = 5.0;
+  config.replicas = 3;
+  config.threads = 0;  // resolves to default_thread_count()
+  const auto defaulted = simulate_availability(block, config);
+  config.threads = 1;
+  const auto serial = simulate_availability(block, config);
+  EXPECT_DOUBLE_EQ(defaulted.availability, serial.availability);
+  EXPECT_EQ(defaulted.outage_count, serial.outage_count);
+}
+
 TEST(MonteCarlo, Validation) {
   auto block = Block::component({"c", 1.0, 1.0, 0.0});
   MonteCarloConfig bad;

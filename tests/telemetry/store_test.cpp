@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <vector>
+
+#include "core/parallel.h"
+
 namespace epm::telemetry {
 namespace {
 
@@ -84,6 +89,106 @@ TEST(RawStore, EmptyRangeAndUnknownKey) {
   EXPECT_EQ(stats.count, 0u);
   EXPECT_THROW(raw.range(make_key(5, 5), 0.0, 1.0), std::invalid_argument);
   EXPECT_THROW(raw.append(key, -10.0, 1.0), std::invalid_argument);
+}
+
+namespace {
+
+/// A deterministic fleet batch in arrival (time-major) order.
+std::vector<Sample> fleet_batch(std::uint32_t servers, std::uint32_t counters,
+                                std::size_t steps) {
+  std::vector<Sample> samples;
+  samples.reserve(static_cast<std::size_t>(servers) * counters * steps);
+  for (std::size_t i = 0; i < steps; ++i) {
+    for (std::uint32_t s = 0; s < servers; ++s) {
+      for (std::uint32_t c = 0; c < counters; ++c) {
+        samples.push_back({make_key(s, c), static_cast<double>(i) * 15.0,
+                           static_cast<double>((i * 31 + s * 7 + c) % 97)});
+      }
+    }
+  }
+  return samples;
+}
+
+/// Every series aggregate must agree bitwise between two stores.
+void expect_stores_identical(const TelemetryStore& a, const TelemetryStore& b,
+                             std::uint32_t servers, std::uint32_t counters,
+                             double horizon_s) {
+  ASSERT_EQ(a.total_samples(), b.total_samples());
+  ASSERT_EQ(a.series_count(), b.series_count());
+  for (std::uint32_t s = 0; s < servers; ++s) {
+    for (std::uint32_t c = 0; c < counters; ++c) {
+      const auto key = make_key(s, c);
+      const auto lhs = a.series(key).range(0.0, horizon_s);
+      const auto rhs = b.series(key).range(0.0, horizon_s);
+      EXPECT_EQ(lhs.count, rhs.count) << "server " << s << " counter " << c;
+      EXPECT_DOUBLE_EQ(lhs.sum, rhs.sum) << "server " << s << " counter " << c;
+      EXPECT_DOUBLE_EQ(lhs.min, rhs.min) << "server " << s << " counter " << c;
+      EXPECT_DOUBLE_EQ(lhs.max, rhs.max) << "server " << s << " counter " << c;
+    }
+  }
+}
+
+}  // namespace
+
+TEST(TelemetryStoreParallel, BulkMatchesSerialAppend) {
+  const std::uint32_t servers = 9;
+  const std::uint32_t counters = 4;
+  const std::size_t steps = 50;
+  const auto batch = fleet_batch(servers, counters, steps);
+
+  TelemetryStore serial;
+  for (const auto& sample : batch) {
+    serial.append(sample.key, sample.time_s, sample.value);
+  }
+  TelemetryStore bulk;
+  bulk.bulk_append(batch, /*threads=*/4);
+  expect_stores_identical(serial, bulk, servers, counters, steps * 15.0);
+}
+
+TEST(TelemetryStoreParallel, BitIdenticalAcrossThreadCounts) {
+  const std::uint32_t servers = 130;  // > kShards so shards hold several servers
+  const std::uint32_t counters = 3;
+  const std::size_t steps = 20;
+  const auto batch = fleet_batch(servers, counters, steps);
+
+  TelemetryStore at1;
+  at1.bulk_append(batch, 1);
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    TelemetryStore at;
+    at.bulk_append(batch, threads);
+    expect_stores_identical(at1, at, servers, counters, steps * 15.0);
+  }
+}
+
+TEST(TelemetryStoreParallel, InterleavesWithSingleAppends) {
+  TelemetryStore store;
+  store.append(make_key(0, 0), 0.0, 1.0);
+  store.bulk_append({{make_key(0, 0), 15.0, 2.0}, {make_key(1, 0), 15.0, 3.0}},
+                    2);
+  store.append(make_key(1, 0), 30.0, 4.0);
+  EXPECT_EQ(store.total_samples(), 4u);
+  EXPECT_EQ(store.series_count(), 2u);
+  const auto agg = store.series(make_key(0, 0)).range(0.0, 100.0);
+  EXPECT_EQ(agg.count, 2u);
+  EXPECT_DOUBLE_EQ(agg.sum, 3.0);
+}
+
+TEST(TelemetryStoreParallel, EmptyBatchIsNoOp) {
+  TelemetryStore store;
+  store.bulk_append({}, 4);
+  EXPECT_EQ(store.total_samples(), 0u);
+  EXPECT_EQ(store.series_count(), 0u);
+}
+
+TEST(TelemetryStoreParallel, SharedPoolReuse) {
+  ThreadPool pool(3);
+  TelemetryStore store;
+  const auto batch = fleet_batch(5, 2, 10);
+  auto later = batch;  // second batch continues where the first left off
+  for (auto& sample : later) sample.time_s += 10 * 15.0;
+  store.bulk_append(batch, pool);
+  store.bulk_append(later, pool);
+  EXPECT_EQ(store.total_samples(), 2 * batch.size());
 }
 
 TEST(StoreAgreement, MultiScaleMatchesRawScan) {
