@@ -4,14 +4,15 @@
 // chillers/CRACs/humidifiers), swept over IT load, with per-stage losses and
 // the resulting PUE. The paper's §2.2 claim "most data centers have PUE
 // close to 2" should hold at conservative cooling settings.
+//
+// The numbers come from repro::fig1_* so the golden-regression tests diff
+// exactly what this binary prints.
 #include <cstddef>
 #include <iostream>
 
 #include "core/table.h"
 #include "core/units.h"
-#include "power/distribution.h"
-#include "power/psu.h"
-#include "thermal/cooling_plant.h"
+#include "repro/figures.h"
 
 using namespace epm;
 
@@ -19,81 +20,30 @@ int main() {
   std::cout << banner(
       "Figure 1: power distribution tiers of a 1 MW tier-2 data center");
 
-  power::Tier2TopologyConfig topo_config;  // 1 MW critical capacity
-  // Conservative legacy cooling, per the paper's description of typical
-  // 2009-era operation: no economizer, over-cold 14 C supply air, an
-  // inefficient plant (low COP) and generous air handling. This is what
-  // makes PUE land near 2; EXP-E shows how economizers improve it.
-  thermal::CoolingPlantConfig plant_config;
-  plant_config.has_economizer = false;
-  plant_config.cop_at_reference = 2.2;
-  plant_config.fan_fraction = 0.22;
-  const thermal::CoolingPlant plant(plant_config);
-  const power::Psu psu{power::PsuConfig{}};
-
+  const auto flow = repro::fig1_power_flow();
   Table table({"IT load", "servers@450W", "PSU in", "racks", "UPS in", "mech (cooling)",
                "transformer in", "utility", "losses", "PUE"});
-
-  for (double load_frac : {0.1, 0.25, 0.5, 0.75, 0.9, 1.0}) {
-    auto topo = power::build_tier2_topology(topo_config);
-    const double it_dc_w = topo_config.critical_capacity_w * load_frac * 0.85;
-    // Servers draw DC behind per-server PSUs; the racks see AC input.
-    const double per_server_dc = 450.0 * 0.6;  // mid-load servers
-    const auto servers = static_cast<std::size_t>(it_dc_w / per_server_dc);
-    const double psu_in_per_server = psu.input_power_w(per_server_dc);
-    const double rack_total = psu_in_per_server * static_cast<double>(servers);
-    const double per_rack = rack_total / static_cast<double>(topo.rack_ids.size());
-    for (auto rack : topo.rack_ids) topo.tree.set_direct_load(rack, per_rack);
-
-    // Cooling must remove every watt the IT gear dissipates; conservative
-    // 14 C supply air keeps the chiller COP low (over-cooling is costly).
-    const auto cooling = plant.power_draw(rack_total, 14.0, 25.0);
-    topo.tree.set_direct_load(topo.mechanical_id, cooling.total_w());
-
-    const auto report = topo.tree.evaluate();
-    const auto& ups_flow = report.flows[topo.ups_id];
-    table.add_row({fmt_percent(load_frac, 0), std::to_string(servers),
-                   fmt(to_kilowatts(rack_total), 0) + " kW",
-                   fmt(to_kilowatts(report.critical_power_w), 0) + " kW",
-                   fmt(to_kilowatts(ups_flow.input_w), 0) + " kW",
-                   fmt(to_kilowatts(report.mechanical_power_w), 0) + " kW",
-                   fmt(to_kilowatts(report.flows[1].input_w), 0) + " kW",
-                   fmt(to_kilowatts(report.utility_draw_w), 0) + " kW",
-                   fmt(to_kilowatts(report.total_loss_w), 0) + " kW",
-                   fmt(report.pue, 2)});
+  for (const auto& row : flow.rows) {
+    table.add_row({fmt_percent(row[0], 0),
+                   std::to_string(static_cast<std::size_t>(row[1])),
+                   fmt(row[2], 0) + " kW", fmt(row[3], 0) + " kW",
+                   fmt(row[4], 0) + " kW", fmt(row[5], 0) + " kW",
+                   fmt(row[6], 0) + " kW", fmt(row[7], 0) + " kW",
+                   fmt(row[8], 0) + " kW", fmt(row[9], 2)});
   }
   std::cout << table.render();
 
   std::cout << "\n  Per-stage share of utility draw at 50% IT load:\n";
   {
-    auto topo = power::build_tier2_topology(topo_config);
-    const double rack_total = 500.0e3;
-    for (auto rack : topo.rack_ids) {
-      topo.tree.set_direct_load(rack,
-                                rack_total / static_cast<double>(topo.rack_ids.size()));
-    }
-    const auto cooling = plant.power_draw(rack_total, 14.0, 25.0);
-    topo.tree.set_direct_load(topo.mechanical_id, cooling.total_w());
-    const auto report = topo.tree.evaluate();
+    const auto shares = repro::fig1_stage_shares();
+    const char* stage_names[] = {"critical IT power", "cooling (chiller+fans)",
+                                 "UPS conversion loss", "PDU losses",
+                                 "transformer loss"};
     Table stages({"stage", "loss/draw", "share of utility"});
-    const double utility = report.utility_draw_w;
-    stages.add_row({"critical IT power", fmt(to_kilowatts(report.critical_power_w), 0) + " kW",
-                    fmt_percent(report.critical_power_w / utility, 1)});
-    stages.add_row({"cooling (chiller+fans)",
-                    fmt(to_kilowatts(report.mechanical_power_w), 0) + " kW",
-                    fmt_percent(report.mechanical_power_w / utility, 1)});
-    stages.add_row({"UPS conversion loss",
-                    fmt(to_kilowatts(report.flows[topo.ups_id].loss_w), 0) + " kW",
-                    fmt_percent(report.flows[topo.ups_id].loss_w / utility, 1)});
-    double pdu_loss = 0.0;
-    for (auto id : topo.tree.nodes_of_kind(power::NodeKind::kPdu)) {
-      pdu_loss += report.flows[id].loss_w;
+    for (const auto& row : shares.rows) {
+      stages.add_row({stage_names[static_cast<std::size_t>(row[0])],
+                      fmt(row[1], 0) + " kW", fmt_percent(row[2], 1)});
     }
-    stages.add_row({"PDU losses", fmt(to_kilowatts(pdu_loss), 0) + " kW",
-                    fmt_percent(pdu_loss / utility, 1)});
-    stages.add_row({"transformer loss",
-                    fmt(to_kilowatts(report.flows[1].loss_w), 0) + " kW",
-                    fmt_percent(report.flows[1].loss_w / utility, 1)});
     std::cout << stages.render();
   }
 

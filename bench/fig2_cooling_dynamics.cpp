@@ -4,56 +4,34 @@
 // the 15-minute CRAC control reactions (paper §2.2: "CRAC units usually
 // react every 15 minutes"), and the slow propagation ("their actions also
 // take long propagation delays to reach the servers").
+//
+// The numbers come from repro::fig2_cooling_dynamics so the golden-
+// regression tests diff exactly what this binary prints.
 #include <iostream>
 #include <vector>
 
 #include "core/table.h"
 #include "core/units.h"
-#include "thermal/room.h"
+#include "repro/figures.h"
 
 using namespace epm;
 
 int main() {
   std::cout << banner("Figure 2: air-cooled raised-floor machine room dynamics");
 
-  thermal::MachineRoomConfig config;
-  thermal::ZoneConfig cold_aisle;
-  cold_aisle.name = "cold-aisle";
-  thermal::ZoneConfig hot_spot = cold_aisle;
-  hot_spot.name = "dense-racks";
-  hot_spot.conductance_w_per_c = 2.0e3;  // worse airflow in the dense aisle
-  config.zones = {cold_aisle, hot_spot};
-  thermal::CracConfig crac;
-  crac.name = "crac0";
-  crac.zone_sensitivity = {0.5, 0.5};
-  config.cracs = {crac};
-  config.airflow_share = {{1.0}, {1.0}};
-  config.recirculation = {{0.0, 0.08}, {0.08, 0.0}};
-  thermal::MachineRoom room(config);
-
-  // Warm-up at light load, then a consolidation-style load step at t=2h.
-  const std::vector<double> light{8.0e3, 6.0e3};
-  const std::vector<double> heavy{24.0e3, 18.0e3};
-
+  const auto dynamics = repro::fig2_cooling_dynamics();
   Table table({"time", "IT heat", "zone0 (C)", "zone1 (C)", "supply (C)",
                "CRAC actions", "alarms"});
   std::vector<double> zone1_series;
-  double t = 0.0;
-  const double sample_s = minutes(15.0);
-  for (int i = 0; i <= 24; ++i) {  // 6 hours
-    const auto& heat = t < hours(2.0) ? light : heavy;
-    if (i > 0) room.run_until(t, heat);
-    zone1_series.push_back(room.zone(1).temperature_c());
+  for (std::size_t i = 0; i < dynamics.rows.size(); ++i) {
+    const auto& row = dynamics.rows[i];
+    zone1_series.push_back(row[3]);
     if (i % 2 == 0) {
-      table.add_row({fmt(to_hours(t), 2) + " h",
-                     fmt((heat[0] + heat[1]) / 1e3, 0) + " kW",
-                     fmt(room.zone(0).temperature_c(), 2),
-                     fmt(room.zone(1).temperature_c(), 2),
-                     fmt(room.crac(0).supply_temp_c(), 2),
-                     std::to_string(room.crac(0).control_actions()),
-                     std::to_string(room.alarms().size())});
+      table.add_row({fmt(row[0], 2) + " h", fmt(row[1], 0) + " kW",
+                     fmt(row[2], 2), fmt(row[3], 2), fmt(row[4], 2),
+                     std::to_string(static_cast<std::size_t>(row[5])),
+                     std::to_string(static_cast<std::size_t>(row[6]))});
     }
-    t += sample_s;
   }
   std::cout << table.render();
 

@@ -9,12 +9,16 @@
 //   * "the total demand in weekdays are higher than that in weekends"
 //   * "the flash crowd effects, where a large number of users login in a
 //      short period of time"
+//
+// Daily stats and callouts come from repro::fig3_* so the golden-regression
+// tests diff exactly what this binary prints; the charts and flash-crowd
+// listing use the same fixed-seed trace.
 #include <iostream>
 
 #include "core/table.h"
 #include "core/units.h"
+#include "repro/figures.h"
 #include "workload/messenger.h"
-#include "workload/trace_io.h"
 
 using namespace epm;
 
@@ -25,7 +29,6 @@ int main() {
   config.step_s = 15.0;  // the paper's counters are sampled at 15 s (§5.3)
   config.seed = 2009;
   const auto trace = workload::generate_messenger_trace(config, weeks(1.0));
-  const workload::DiurnalModel diurnal(config.diurnal);
 
   // Normalize connections to 1 million users at the weekly peak.
   const double peak_conn = trace.connections.stats().max();
@@ -36,28 +39,26 @@ int main() {
   std::cout << "\n  Login rate (users/second), Monday..Sunday:\n";
   std::cout << ascii_chart(trace.login_rate_per_s.values(), 70, 8);
 
+  const char* names[] = {"Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun"};
+  const auto daily_stats = repro::fig3_daily_stats();
   Table daily({"day", "mean connections (M)", "peak connections (M)",
                "mean logins/s", "peak logins/s"});
-  const char* names[] = {"Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun"};
-  for (int d = 0; d < 7; ++d) {
-    const auto conn = trace.connections.stats_between(days(d), days(d + 1));
-    const auto login = trace.login_rate_per_s.stats_between(days(d), days(d + 1));
-    daily.add_row({names[d], fmt(conn.mean() / peak_conn, 3),
-                   fmt(conn.max() / peak_conn, 3), fmt(login.mean(), 0),
-                   fmt(login.max(), 0)});
+  for (const auto& row : daily_stats.rows) {
+    daily.add_row({names[static_cast<int>(row[0])], fmt(row[1], 3),
+                   fmt(row[2], 3), fmt(row[3], 0), fmt(row[4], 0)});
   }
   std::cout << "\n" << daily.render();
 
-  const auto shape = summarize_messenger_trace(trace, diurnal);
+  const auto shape = repro::fig3_callouts();
   Table callouts({"paper callout", "paper value", "measured"});
   callouts.add_row({"afternoon/midnight connections", "~2x",
-                    fmt(shape.afternoon_to_midnight_ratio, 2) + "x"});
+                    fmt(shape.at(0, 0), 2) + "x"});
   callouts.add_row({"weekday/weekend demand", "> 1x",
-                    fmt(shape.weekday_to_weekend_ratio, 2) + "x"});
+                    fmt(shape.at(0, 1), 2) + "x"});
   callouts.add_row({"peak login rate (normalized)", "1400/s",
-                    fmt(shape.peak_login_rate, 0) + "/s (incl. flash crowds)"});
+                    fmt(shape.at(0, 2), 0) + "/s (incl. flash crowds)"});
   callouts.add_row({"flash crowds in the week", "present",
-                    std::to_string(shape.flash_crowd_count) + " events"});
+                    fmt(shape.at(0, 3), 0) + " events"});
   std::cout << "\n" << callouts.render();
 
   if (!trace.flash_crowds.empty()) {

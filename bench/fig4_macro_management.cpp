@@ -6,6 +6,10 @@
 // micro-policy stack. The paper's architectural claim is that the
 // coordination layer "make[s] resource utilization follow the elasticity of
 // software services" — measured here as energy, SLA, and thermal outcomes.
+//
+// Stack outcomes and decision counts come from repro::fig4_* so the golden-
+// regression tests diff exactly what this binary prints; the decision-log
+// excerpt re-runs the coordinated week to show the human-readable entries.
 #include <algorithm>
 #include <iostream>
 #include <vector>
@@ -13,98 +17,34 @@
 #include "core/table.h"
 #include "core/units.h"
 #include "macro/coordinator.h"
-#include "macro/uncoordinated.h"
+#include "repro/figures.h"
 #include "workload/messenger.h"
 
 using namespace epm;
 
-namespace {
-
-struct Outcome {
-  double it_energy_kwh = 0.0;
-  double mech_energy_kwh = 0.0;
-  double mean_pue = 0.0;
-  std::size_t sla_violations = 0;
-  std::size_t epochs = 0;
-  std::size_t alarms = 0;
-  std::size_t overloads = 0;
-  double mean_servers = 0.0;
-};
-
-template <typename Stack>
-Outcome run_week(macro::Facility& facility, Stack& stack,
-                 const TimeSeries& demand_level) {
-  Outcome out;
-  double pue_sum = 0.0;
-  double servers_sum = 0.0;
-  for (std::size_t i = 0; i < demand_level.size(); ++i) {
-    const double level = demand_level[i];
-    const auto step = stack.step({level * 4000.0, level * 2500.0}, 18.0);
-    pue_sum += step.pue;
-    for (const auto& svc : step.services) {
-      servers_sum += static_cast<double>(svc.serving);
-      if (svc.sla_violated) ++out.sla_violations;
-    }
-    out.overloads += step.power_overloaded ? 1 : 0;
-  }
-  out.epochs = demand_level.size();
-  out.it_energy_kwh = to_kwh(facility.total_it_energy_j());
-  out.mech_energy_kwh = to_kwh(facility.total_mechanical_energy_j());
-  out.mean_pue = pue_sum / static_cast<double>(out.epochs);
-  out.alarms = facility.total_thermal_alarms();
-  out.mean_servers = servers_sum / static_cast<double>(out.epochs) / 2.0;
-  return out;
-}
-
-}  // namespace
-
 int main() {
   std::cout << banner("Figure 4: macro-resource management layer, end to end");
 
-  workload::MessengerConfig wl;
-  wl.step_s = 60.0;
-  wl.seed = 4;
-  const auto trace = workload::generate_messenger_trace(wl, weeks(1.0));
-  const double peak = trace.connections.stats().max();
-  const auto level = trace.connections.scaled(1.0 / peak);
-
-  const auto config = macro::make_reference_facility(60);
-
-  macro::Facility coordinated(config);
-  macro::MacroResourceManager manager(coordinated);
-  const auto macro_out = run_week(coordinated, manager, level);
-
-  macro::Facility baseline_facility(config);
-  macro::UncoordinatedStack baseline(baseline_facility);
-  const auto micro_out = run_week(baseline_facility, baseline, level);
-
-  macro::Facility static_facility(config);
-  // Static over-provisioning: every server on at P0, CRACs on autopilot.
-  struct StaticStack {
-    macro::Facility& facility;
-    macro::FacilityStep step(const std::vector<double>& demand, double outside_c) {
-      return facility.step(demand, outside_c);
-    }
-  } static_stack{static_facility};
-  const auto static_out = run_week(static_facility, static_stack, level);
-
+  const auto outcomes = repro::fig4_stack_outcomes();
+  const char* stack_names[] = {"static over-provisioned",
+                               "uncoordinated micro stack",
+                               "macro-resource manager"};
   Table table({"stack", "IT energy (kWh)", "cooling (kWh)", "mean PUE",
                "mean active servers/svc", "SLA violations", "thermal alarms",
                "power overloads"});
-  auto add = [&](const char* name, const Outcome& o) {
-    table.add_row({name, fmt(o.it_energy_kwh, 0), fmt(o.mech_energy_kwh, 0),
-                   fmt(o.mean_pue, 2), fmt(o.mean_servers, 1),
-                   std::to_string(o.sla_violations), std::to_string(o.alarms),
-                   std::to_string(o.overloads)});
-  };
-  add("static over-provisioned", static_out);
-  add("uncoordinated micro stack", micro_out);
-  add("macro-resource manager", macro_out);
+  for (const auto& row : outcomes.rows) {
+    table.add_row({stack_names[static_cast<std::size_t>(row[0])],
+                   fmt(row[1], 0), fmt(row[2], 0), fmt(row[3], 2),
+                   fmt(row[4], 1),
+                   std::to_string(static_cast<std::size_t>(row[5])),
+                   std::to_string(static_cast<std::size_t>(row[6])),
+                   std::to_string(static_cast<std::size_t>(row[7]))});
+  }
   std::cout << table.render();
 
-  const double total_macro = macro_out.it_energy_kwh + macro_out.mech_energy_kwh;
-  const double total_static = static_out.it_energy_kwh + static_out.mech_energy_kwh;
-  const double total_micro = micro_out.it_energy_kwh + micro_out.mech_energy_kwh;
+  const double total_static = outcomes.at(0, 1) + outcomes.at(0, 2);
+  const double total_micro = outcomes.at(1, 1) + outcomes.at(1, 2);
+  const double total_macro = outcomes.at(2, 1) + outcomes.at(2, 2);
 
   std::cout << "\n  Macro layer vs static provisioning: "
             << fmt_percent(1.0 - total_macro / total_static, 1) << " energy saved\n";
@@ -113,10 +53,31 @@ int main() {
 
   std::cout << "\n  Decision mix over the week (Fig. 4's decision outputs):\n";
   Table decisions({"decision kind", "count"});
-  for (const auto& [kind, count] : manager.log().counts_by_kind()) {
-    decisions.add_row({kind, std::to_string(count)});
+  for (const auto& row : repro::fig4_decision_counts().rows) {
+    if (row[1] <= 0.0) continue;
+    decisions.add_row(
+        {to_string(static_cast<macro::DecisionKind>(static_cast<int>(row[0]))),
+         std::to_string(static_cast<std::size_t>(row[1]))});
   }
   std::cout << decisions.render();
+
+  // Re-run the coordinated week once more for the human-readable excerpt
+  // (the repro tables are numeric by design).
+  workload::MessengerConfig wl;
+  wl.step_s = 60.0;
+  wl.seed = 4;
+  const auto trace = workload::generate_messenger_trace(wl, weeks(1.0));
+  const double peak = trace.connections.stats().max();
+  const auto level = trace.connections.scaled(1.0 / peak);
+  macro::Facility coordinated(macro::make_reference_facility(60));
+  macro::MacroResourceManager manager(coordinated);
+  std::size_t sla_violations = 0;
+  for (std::size_t i = 0; i < level.size(); ++i) {
+    const auto step = manager.step({level[i] * 4000.0, level[i] * 2500.0}, 18.0);
+    for (const auto& svc : step.services) {
+      if (svc.sla_violated) ++sla_violations;
+    }
+  }
 
   std::cout << "\n  First decisions of the week:\n";
   Table sample({"t (h)", "kind", "service", "detail"});
@@ -127,9 +88,8 @@ int main() {
   }
   std::cout << sample.render();
 
-  const double macro_viol = static_cast<double>(macro_out.sla_violations);
-  const double micro_viol = static_cast<double>(std::max<std::size_t>(
-      micro_out.sla_violations, 1));
+  const double macro_viol = outcomes.at(2, 5);
+  const double micro_viol = std::max(outcomes.at(1, 5), 1.0);
   std::cout << "\n  Paper: the macro layer takes SLA/app/environment inputs and "
                "decides power provisioning, cooling\n"
                "  control, server allocation, placement, and load balancing at "

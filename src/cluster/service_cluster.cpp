@@ -56,20 +56,23 @@ std::size_t ServiceCluster::committed_count() const {
 }
 
 std::size_t ServiceCluster::set_target_committed(std::size_t target, bool use_sleep) {
-  target = std::min(target, servers_.size());
+  const std::size_t usable = available_count();
+  target = std::min(target, usable);
   std::size_t committed = committed_count();
   std::size_t commands = 0;
   if (committed < target) {
     // Prefer waking sleepers (fast) before cold boots.
-    for (auto& s : servers_) {
+    for (std::size_t i = 0; i < usable; ++i) {
       if (committed >= target) break;
+      auto& s = servers_[i];
       if (s.state() == ServerState::kSleeping && s.wake()) {
         ++committed;
         ++commands;
       }
     }
-    for (auto& s : servers_) {
+    for (std::size_t i = 0; i < usable; ++i) {
       if (committed >= target) break;
+      auto& s = servers_[i];
       if (s.state() == ServerState::kOff && s.power_on()) {
         ++committed;
         ++commands;
@@ -78,7 +81,7 @@ std::size_t ServiceCluster::set_target_committed(std::size_t target, bool use_sl
   } else if (committed > target) {
     // Retire Active servers first (transitional ones will finish and can be
     // retired next epoch; aborting boots mid-way is not modeled).
-    for (std::size_t i = servers_.size(); i-- > 0 && committed > target;) {
+    for (std::size_t i = usable; i-- > 0 && committed > target;) {
       auto& s = servers_[i];
       if (s.state() != ServerState::kActive) continue;
       const bool done = use_sleep ? s.sleep() : s.power_off();
@@ -89,6 +92,21 @@ std::size_t ServiceCluster::set_target_committed(std::size_t target, bool use_sl
     }
   }
   return commands;
+}
+
+void ServiceCluster::set_unavailable(std::size_t n) {
+  n = std::min(n, servers_.size());
+  // Force newly unavailable tail servers Off immediately (a crash or a
+  // tripped feed does not wait for a graceful retire).
+  for (std::size_t i = servers_.size() - n; i < servers_.size() - unavailable_;
+       ++i) {
+    if (servers_[i].state() != ServerState::kOff) {
+      servers_[i].power_off();
+    }
+  }
+  // Servers freed by a shrinking fault stay Off; provisioning reboots them
+  // through set_target_committed when it wants them back.
+  unavailable_ = n;
 }
 
 void ServiceCluster::set_uniform_pstate(std::size_t pstate) {

@@ -71,8 +71,19 @@ class ServiceCluster {
 
   /// Brings the committed server count to `target`: powers on (or wakes)
   /// servers when short, sleeps (or powers off) excess Active servers when
-  /// long. Returns the number of state commands issued.
+  /// long. Returns the number of state commands issued. The target is
+  /// clamped to available_count(); unavailable (crashed) servers are never
+  /// commanded.
   std::size_t set_target_committed(std::size_t target, bool use_sleep);
+
+  /// Fault hook: marks the tail `n` servers unavailable (crashed / behind a
+  /// tripped PSU). Newly unavailable servers are forced Off immediately;
+  /// when the fault clears (smaller `n`) the recovered servers stay Off
+  /// until provisioning reboots them through set_target_committed.
+  void set_unavailable(std::size_t n);
+  std::size_t unavailable_count() const { return unavailable_; }
+  /// Servers provisioning may command (server_count - unavailable_count).
+  std::size_t available_count() const { return servers_.size() - unavailable_; }
 
   /// Applies a P-state / duty to every server (uniform DVFS policy).
   void set_uniform_pstate(std::size_t pstate);
@@ -92,6 +103,7 @@ class ServiceCluster {
   ServiceClusterConfig config_;
   power::ServerPowerModel model_;
   std::vector<Server> servers_;
+  std::size_t unavailable_ = 0;  ///< tail servers held Off by a fault
   double now_s_ = 0.0;
   double total_energy_j_ = 0.0;
   std::size_t epochs_run_ = 0;

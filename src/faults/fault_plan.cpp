@@ -1,0 +1,297 @@
+#include "faults/fault_plan.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+#include <tuple>
+
+#include "core/rng.h"
+
+namespace epm::faults {
+namespace {
+
+const char* kTypeTokens[kFaultTypeCount] = {
+    "crash", "psu", "crac", "derate", "sensor-drop", "sensor-stuck",
+    "outage", "surge",
+};
+
+void validate_event(const FaultEvent& event) {
+  if (event.start_s < 0.0) {
+    throw std::invalid_argument("FaultEvent start_s must be >= 0");
+  }
+  if (!(event.duration_s > 0.0)) {
+    throw std::invalid_argument("FaultEvent duration_s must be > 0");
+  }
+  if (event.severity < 0.0) {
+    throw std::invalid_argument("FaultEvent severity must be >= 0");
+  }
+}
+
+void sort_events(std::vector<FaultEvent>& events) {
+  std::sort(events.begin(), events.end(),
+            [](const FaultEvent& a, const FaultEvent& b) {
+              return std::make_tuple(a.start_s, static_cast<int>(a.type),
+                                     a.target, a.duration_s, a.severity) <
+                     std::make_tuple(b.start_s, static_cast<int>(b.type),
+                                     b.target, b.duration_s, b.severity);
+            });
+}
+
+std::string trim(const std::string& s) {
+  std::size_t lo = 0;
+  std::size_t hi = s.size();
+  while (lo < hi && std::isspace(static_cast<unsigned char>(s[lo]))) ++lo;
+  while (hi > lo && std::isspace(static_cast<unsigned char>(s[hi - 1]))) --hi;
+  return s.substr(lo, hi - lo);
+}
+
+std::string format_double(double value) {
+  std::ostringstream out;
+  out << value;
+  return out.str();
+}
+
+}  // namespace
+
+std::string to_string(FaultType type) {
+  const auto index = static_cast<std::size_t>(type);
+  if (index >= kFaultTypeCount) {
+    throw std::invalid_argument("unknown FaultType");
+  }
+  return kTypeTokens[index];
+}
+
+FaultType fault_type_from_string(const std::string& token) {
+  for (std::size_t i = 0; i < kFaultTypeCount; ++i) {
+    if (token == kTypeTokens[i]) {
+      return static_cast<FaultType>(i);
+    }
+  }
+  throw std::invalid_argument("unknown fault type token: " + token);
+}
+
+FaultPlan FaultPlan::scripted(std::vector<FaultEvent> events) {
+  for (const auto& event : events) {
+    validate_event(event);
+  }
+  sort_events(events);
+  FaultPlan plan;
+  plan.events_ = std::move(events);
+  return plan;
+}
+
+FaultPlan FaultPlan::sampled(const FaultPlanConfig& config) {
+  if (!(config.horizon_s > 0.0)) {
+    throw std::invalid_argument("FaultPlanConfig horizon_s must be > 0");
+  }
+  std::vector<FaultEvent> events;
+  // One independent stream per type: SplitMix64 seeded from the plan seed
+  // produces the per-type sub-seed at position `type`, so disabling or
+  // retuning one type never shifts another type's draws.
+  SplitMix64 expander(config.seed);
+  for (std::size_t i = 0; i < kFaultTypeCount; ++i) {
+    const std::uint64_t stream_seed = expander.next();
+    const FaultRateSpec& spec = config.rates[i];
+    if (!(spec.rate_per_day > 0.0)) {
+      continue;
+    }
+    if (spec.target_count == 0) {
+      throw std::invalid_argument("FaultRateSpec target_count must be > 0");
+    }
+    Rng rng(stream_seed);
+    const double rate_per_s = spec.rate_per_day / 86400.0;
+    double t = rng.exponential(rate_per_s);
+    while (t < config.horizon_s) {
+      FaultEvent event;
+      event.type = static_cast<FaultType>(i);
+      event.start_s = t;
+      event.duration_s = std::max(
+          spec.min_duration_s, rng.exponential(1.0 / spec.mean_duration_s));
+      event.target = spec.target_count > 1
+                         ? static_cast<std::size_t>(rng.uniform_int(
+                               0, static_cast<std::int64_t>(spec.target_count) - 1))
+                         : 0;
+      event.severity = spec.severity_lo < spec.severity_hi
+                           ? rng.uniform(spec.severity_lo, spec.severity_hi)
+                           : spec.severity_lo;
+      events.push_back(event);
+      t += rng.exponential(rate_per_s);
+    }
+  }
+  return scripted(std::move(events));
+}
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  std::vector<FaultEvent> events;
+  std::stringstream stream(spec);
+  std::string entry;
+  while (std::getline(stream, entry, ';')) {
+    entry = trim(entry);
+    if (entry.empty()) {
+      continue;
+    }
+    const auto at = entry.find('@');
+    if (at == std::string::npos) {
+      throw std::invalid_argument("fault entry missing '@': " + entry);
+    }
+    std::string head = entry.substr(0, at);
+    std::string tail = entry.substr(at + 1);
+    FaultEvent event;
+    const auto colon = head.find(':');
+    if (colon != std::string::npos) {
+      event.target = static_cast<std::size_t>(
+          std::stoull(head.substr(colon + 1)));
+      head = head.substr(0, colon);
+    }
+    event.type = fault_type_from_string(trim(head));
+    const auto plus = tail.find('+');
+    if (plus == std::string::npos) {
+      throw std::invalid_argument("fault entry missing '+duration': " + entry);
+    }
+    event.start_s = std::stod(tail.substr(0, plus));
+    std::string rest = tail.substr(plus + 1);
+    const auto x = rest.find('x');
+    if (x != std::string::npos) {
+      event.severity = std::stod(rest.substr(x + 1));
+      rest = rest.substr(0, x);
+    }
+    event.duration_s = std::stod(rest);
+    events.push_back(event);
+  }
+  return scripted(std::move(events));
+}
+
+FaultPlan FaultPlan::merged_with(const FaultPlan& other) const {
+  std::vector<FaultEvent> events = events_;
+  events.insert(events.end(), other.events_.begin(), other.events_.end());
+  return scripted(std::move(events));
+}
+
+double FaultPlan::horizon_s() const {
+  double horizon = 0.0;
+  for (const auto& event : events_) {
+    horizon = std::max(horizon, event.end_s());
+  }
+  return horizon;
+}
+
+std::size_t FaultPlan::count(FaultType type) const {
+  std::size_t n = 0;
+  for (const auto& event : events_) {
+    if (event.type == type) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::string FaultPlan::to_string() const {
+  std::string out;
+  for (const auto& event : events_) {
+    if (!out.empty()) {
+      out += ';';
+    }
+    out += faults::to_string(event.type);
+    if (event.target != 0) {
+      out += ':' + std::to_string(event.target);
+    }
+    out += '@' + format_double(event.start_s);
+    out += '+' + format_double(event.duration_s);
+    if (event.severity != 1.0) {
+      out += 'x' + format_double(event.severity);
+    }
+  }
+  return out;
+}
+
+std::uint64_t FaultPlan::fingerprint() const {
+  // FNV-1a over every event field (doubles bit-cast through their IEEE
+  // representation), order-sensitive because events_ is canonically sorted.
+  auto mix = [](std::uint64_t hash, std::uint64_t value) {
+    for (int byte = 0; byte < 8; ++byte) {
+      hash ^= (value >> (byte * 8)) & 0xffU;
+      hash *= 0x100000001b3ULL;
+    }
+    return hash;
+  };
+  auto bits = [](double value) {
+    std::uint64_t out;
+    static_assert(sizeof(out) == sizeof(value));
+    __builtin_memcpy(&out, &value, sizeof(out));
+    return out;
+  };
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const auto& event : events_) {
+    hash = mix(hash, static_cast<std::uint64_t>(event.type));
+    hash = mix(hash, bits(event.start_s));
+    hash = mix(hash, bits(event.duration_s));
+    hash = mix(hash, static_cast<std::uint64_t>(event.target));
+    hash = mix(hash, bits(event.severity));
+  }
+  return hash;
+}
+
+FaultPlan make_storm_plan(double intensity, double horizon_s,
+                          std::uint64_t seed, std::size_t service_count,
+                          std::size_t crac_count) {
+  if (intensity < 0.0) {
+    throw std::invalid_argument("storm intensity must be >= 0");
+  }
+  // Scripted core: a guaranteed utility outage long enough to exhaust a
+  // reference UPS window, and a full CRAC failure, both scaling in duration
+  // with intensity so every swept point exercises both the power and the
+  // cooling paths.
+  std::vector<FaultEvent> core;
+  const double outage_start = 0.25 * horizon_s;
+  const double outage_duration = (600.0 + 1800.0 * intensity);
+  core.push_back({FaultType::kUtilityOutage, outage_start, outage_duration,
+                  0, 1.0});
+  const double crac_start = 0.55 * horizon_s;
+  const double crac_duration = (900.0 + 2700.0 * intensity);
+  core.push_back({FaultType::kCracFailure, crac_start, crac_duration,
+                  crac_count > 0 ? crac_count - 1 : 0, 1.0});
+  FaultPlan plan = FaultPlan::scripted(std::move(core));
+
+  if (intensity > 0.0) {
+    FaultPlanConfig config;
+    config.horizon_s = horizon_s;
+    config.seed = seed;
+    auto& crash = config.rate(FaultType::kServerCrash);
+    crash.rate_per_day = 4.0 * intensity;
+    crash.mean_duration_s = 900.0;
+    crash.severity_lo = 0.05;
+    crash.severity_hi = 0.25;
+    crash.target_count = service_count;
+    auto& psu = config.rate(FaultType::kPsuTrip);
+    psu.rate_per_day = 1.5 * intensity;
+    psu.mean_duration_s = 1800.0;
+    psu.severity_lo = 0.1;
+    psu.severity_hi = 0.3;
+    psu.target_count = service_count;
+    auto& derate = config.rate(FaultType::kCoolingDerate);
+    derate.rate_per_day = 2.0 * intensity;
+    derate.mean_duration_s = 1800.0;
+    derate.severity_lo = 0.2;
+    derate.severity_hi = 0.6;
+    derate.target_count = crac_count;
+    auto& dropout = config.rate(FaultType::kSensorDropout);
+    dropout.rate_per_day = 3.0 * intensity;
+    dropout.mean_duration_s = 600.0;
+    dropout.target_count = service_count;
+    auto& stuck = config.rate(FaultType::kSensorStuck);
+    stuck.rate_per_day = 2.0 * intensity;
+    stuck.mean_duration_s = 600.0;
+    stuck.target_count = service_count;
+    auto& surge = config.rate(FaultType::kFlashCrowd);
+    surge.rate_per_day = 1.0 * intensity;
+    surge.mean_duration_s = 1200.0;
+    surge.severity_lo = 1.5;
+    surge.severity_hi = 1.5 + intensity;
+    surge.target_count = service_count;
+    plan = plan.merged_with(FaultPlan::sampled(config));
+  }
+  return plan;
+}
+
+}  // namespace epm::faults

@@ -1,0 +1,120 @@
+#include "faults/injector.h"
+
+#include <stdexcept>
+
+namespace epm::faults {
+
+FaultInjector::FaultInjector(sim::Simulator& sim, FaultPlan plan)
+    : sim_(sim), plan_(std::move(plan)) {
+  records_.reserve(plan_.size());
+  for (const auto& event : plan_.events()) {
+    FaultRecord record;
+    record.event = event;
+    records_.push_back(record);
+  }
+}
+
+void FaultInjector::subscribe(FaultHandler handler) {
+  if (armed_) {
+    throw std::logic_error("FaultInjector: subscribe() after arm()");
+  }
+  if (!handler) {
+    throw std::invalid_argument("FaultInjector: null handler");
+  }
+  handlers_.push_back(std::move(handler));
+}
+
+void FaultInjector::arm() {
+  if (armed_) {
+    throw std::logic_error("FaultInjector: arm() called twice");
+  }
+  armed_ = true;
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    const FaultEvent& event = records_[i].event;
+    sim_.schedule_at(event.start_s,
+                     [this, i] { deliver(i, true, sim_.now()); });
+    sim_.schedule_at(event.end_s(),
+                     [this, i] { deliver(i, false, sim_.now()); });
+  }
+}
+
+void FaultInjector::deliver(std::size_t index, bool onset, double now_s) {
+  FaultRecord& record = records_[index];
+  if (onset) {
+    record.observed = true;
+    record.observed_at_s = now_s;
+  } else {
+    record.cleared = true;
+    record.cleared_at_s = now_s;
+  }
+  for (auto& handler : handlers_) {
+    const bool reacted = handler(record.event, onset, now_s);
+    if (onset && reacted) {
+      record.handled = true;
+    }
+  }
+}
+
+std::vector<FaultEvent> FaultInjector::active_events() const {
+  std::vector<FaultEvent> active;
+  for (const auto& record : records_) {
+    if (record.observed && !record.cleared) {
+      active.push_back(record.event);
+    }
+  }
+  return active;
+}
+
+std::vector<FaultEvent> FaultInjector::active_events(FaultType type) const {
+  std::vector<FaultEvent> active;
+  for (const auto& record : records_) {
+    if (record.observed && !record.cleared && record.event.type == type) {
+      active.push_back(record.event);
+    }
+  }
+  return active;
+}
+
+bool FaultInjector::any_active(FaultType type) const {
+  for (const auto& record : records_) {
+    if (record.observed && !record.cleared && record.event.type == type) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::size_t FaultInjector::observed_count() const {
+  std::size_t n = 0;
+  for (const auto& record : records_) {
+    if (record.observed) ++n;
+  }
+  return n;
+}
+
+std::size_t FaultInjector::handled_count() const {
+  std::size_t n = 0;
+  for (const auto& record : records_) {
+    if (record.handled) ++n;
+  }
+  return n;
+}
+
+std::size_t FaultInjector::cleared_count() const {
+  std::size_t n = 0;
+  for (const auto& record : records_) {
+    if (record.cleared) ++n;
+  }
+  return n;
+}
+
+bool FaultInjector::conserved() const {
+  for (const auto& record : records_) {
+    if (!record.observed || !record.handled || !record.cleared) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace epm::faults

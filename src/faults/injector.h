@@ -1,0 +1,76 @@
+// FaultInjector: delivers a FaultPlan into the simulation clock.
+//
+// For each event in the plan the injector schedules an onset callback at
+// event.start_s and a clear callback at event.end_s(). Subscribers (one per
+// affected layer — cluster, thermal, power, telemetry, the degradation
+// policy) receive both edges and report whether they handled the fault;
+// the injector keeps a FaultRecord per event so tests can assert the
+// conservation property: every injected fault is observed, handled, and
+// eventually cleared.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "faults/fault_plan.h"
+#include "sim/simulator.h"
+
+namespace epm::faults {
+
+/// Subscriber callback. `onset` is true at event.start_s and false at
+/// event.end_s(). Return true if the subscriber reacted to the event.
+using FaultHandler =
+    std::function<bool(const FaultEvent& event, bool onset, double now_s)>;
+
+/// Per-event bookkeeping for the conservation property.
+struct FaultRecord {
+  FaultEvent event;
+  bool observed = false;   ///< onset delivered to subscribers
+  bool handled = false;    ///< at least one subscriber returned true at onset
+  bool cleared = false;    ///< clear delivered to subscribers
+  double observed_at_s = -1.0;
+  double cleared_at_s = -1.0;
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(sim::Simulator& sim, FaultPlan plan);
+
+  /// Registers a subscriber; must be called before arm().
+  void subscribe(FaultHandler handler);
+
+  /// Schedules every event's onset and clear into the simulator. Call once;
+  /// the plan then unfolds as the caller advances the clock.
+  void arm();
+
+  const FaultPlan& plan() const { return plan_; }
+  const std::vector<FaultRecord>& records() const { return records_; }
+
+  /// Events whose onset has fired but whose clear has not, as of the last
+  /// delivered edge.
+  std::vector<FaultEvent> active_events() const;
+  /// Active events of one type (e.g. all in-progress CRAC failures).
+  std::vector<FaultEvent> active_events(FaultType type) const;
+  /// True when a fault of `type` is currently active.
+  bool any_active(FaultType type) const;
+
+  std::size_t observed_count() const;
+  std::size_t handled_count() const;
+  std::size_t cleared_count() const;
+
+  /// Conservation check: every event observed, handled, and cleared. Only
+  /// meaningful once the clock has passed the plan horizon.
+  bool conserved() const;
+
+ private:
+  void deliver(std::size_t index, bool onset, double now_s);
+
+  sim::Simulator& sim_;
+  FaultPlan plan_;
+  std::vector<FaultHandler> handlers_;
+  std::vector<FaultRecord> records_;
+  bool armed_ = false;
+};
+
+}  // namespace epm::faults

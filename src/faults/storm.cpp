@@ -1,0 +1,325 @@
+#include "faults/storm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/require.h"
+#include "faults/injector.h"
+#include "sim/simulator.h"
+#include "telemetry/store.h"
+
+namespace epm::faults {
+namespace {
+
+/// The active fault set folded into per-layer effect magnitudes. All
+/// aggregates are additive (sums / counts), so applying the same edges in
+/// the same order always reproduces the same state bit-for-bit.
+struct FaultState {
+  std::vector<double> crash_frac;     ///< per service: Σ active crash/PSU severities
+  std::vector<double> surge_excess;   ///< per service: Σ active (severity - 1)
+  std::vector<int> sensor_dropout;    ///< per service: active dropout count
+  std::vector<int> sensor_stuck;      ///< per service: active stuck-at count
+  std::vector<double> crac_derate;    ///< per CRAC: Σ active derate severities
+  int outage_active = 0;
+
+  FaultState(std::size_t services, std::size_t cracs)
+      : crash_frac(services, 0.0),
+        surge_excess(services, 0.0),
+        sensor_dropout(services, 0),
+        sensor_stuck(services, 0),
+        crac_derate(cracs, 0.0) {}
+
+  bool apply(const FaultEvent& event, bool onset) {
+    const double sign = onset ? 1.0 : -1.0;
+    switch (event.type) {
+      case FaultType::kServerCrash:
+      case FaultType::kPsuTrip:
+        crash_frac[event.target % crash_frac.size()] +=
+            sign * std::clamp(event.severity, 0.0, 1.0);
+        return true;
+      case FaultType::kCracFailure:
+        crac_derate[event.target % crac_derate.size()] += sign * 1.0;
+        return true;
+      case FaultType::kCoolingDerate:
+        crac_derate[event.target % crac_derate.size()] +=
+            sign * std::clamp(event.severity, 0.0, 1.0);
+        return true;
+      case FaultType::kSensorDropout:
+        sensor_dropout[event.target % sensor_dropout.size()] += onset ? 1 : -1;
+        return true;
+      case FaultType::kSensorStuck:
+        sensor_stuck[event.target % sensor_stuck.size()] += onset ? 1 : -1;
+        return true;
+      case FaultType::kUtilityOutage:
+        outage_active += onset ? 1 : -1;
+        return true;
+      case FaultType::kFlashCrowd:
+        surge_excess[event.target % surge_excess.size()] +=
+            sign * std::max(0.0, event.severity - 1.0);
+        return true;
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+StormOutcome run_fault_storm(const StormConfig& config, const FaultPlan& plan) {
+  require(!config.facility.services.empty(), "Storm: facility has no services");
+  require(config.demand_rps.size() == config.facility.services.size(),
+          "Storm: demand_rps must cover every service");
+  require(config.horizon_s > 0.0, "Storm: horizon must be positive");
+  require(config.provision_headroom >= 1.0, "Storm: headroom below 1");
+
+  macro::Facility facility(config.facility);
+  const std::size_t services = facility.service_count();
+  const std::size_t cracs = facility.room().crac_count();
+  const double epoch_s = facility.epoch_s();
+
+  sim::Simulator sim;
+  FaultInjector injector(sim, plan);
+  FaultState state(services, cracs);
+  injector.subscribe([&state](const FaultEvent& event, bool onset, double) {
+    return state.apply(event, onset);
+  });
+
+  macro::DecisionLog log;
+  macro::DegradationPolicy policy(config.policy, services, &log);
+  if (config.policy_enabled) {
+    injector.subscribe(
+        [&policy](const FaultEvent& event, bool onset, double now_s) {
+          return policy.on_fault(event, onset, now_s);
+        });
+  }
+  injector.arm();
+
+  power::UpsBattery battery(config.battery);
+  telemetry::TelemetryStore telemetry;
+  const auto& topo = facility.power_topology();
+  const double ups_loss = topo.tree.spec(topo.ups_id).loss_fraction;
+  const double ups_fixed_w = topo.tree.spec(topo.ups_id).fixed_loss_w;
+
+  // Baseline return setpoints: the policy's deltas are applied on top each
+  // epoch, never accumulated.
+  std::vector<double> base_setpoint_c(cracs, 0.0);
+  for (std::size_t k = 0; k < cracs; ++k) {
+    base_setpoint_c[k] = facility.room().crac(k).config().return_setpoint_c;
+  }
+
+  const std::size_t deepest_pstate =
+      facility.service(0).power_model().pstate_count() - 1;
+
+  StormOutcome out;
+  std::vector<double> last_sensor_value(services, 0.0);
+  double prev_it_power_w = 0.0;
+  for (std::size_t s = 0; s < services; ++s) {
+    // First-epoch draw estimate: the initially active fleet at idle.
+    prev_it_power_w += static_cast<double>(facility.service(s).serving_count()) *
+                       facility.service(s).power_model().idle_power_w();
+  }
+  std::size_t lockout_left = 0;
+
+  const auto epochs =
+      static_cast<std::size_t>(std::ceil(config.horizon_s / epoch_s));
+  for (std::size_t e = 0; e < epochs; ++e) {
+    const double t0 = static_cast<double>(e) * epoch_s;
+    sim.run_until(t0);
+
+    // 1. Fold the active fault set into the layers.
+    for (std::size_t s = 0; s < services; ++s) {
+      const auto& cl = facility.service(s);
+      const double frac = std::clamp(state.crash_frac[s], 0.0, 1.0);
+      const auto lost = static_cast<std::size_t>(std::lround(
+          frac * static_cast<double>(cl.server_count())));
+      facility.service(s).set_unavailable(lost);
+    }
+    for (std::size_t k = 0; k < cracs; ++k) {
+      facility.room().crac(k).set_derate(
+          std::clamp(state.crac_derate[k], 0.0, 1.0));
+    }
+
+    // 2. Offered demand under any active surges.
+    std::vector<double> offered(services, 0.0);
+    for (std::size_t s = 0; s < services; ++s) {
+      offered[s] = config.demand_rps[s] * (1.0 + state.surge_excess[s]);
+    }
+
+    // 3. Policy reaction from the active fault set and the UPS margin.
+    const double est_draw_w = prev_it_power_w * (1.0 + ups_loss) + ups_fixed_w;
+    macro::DegradationAction action;
+    if (config.policy_enabled) {
+      action = policy.react(t0, battery.ride_through_s(est_draw_w));
+    } else {
+      action.serve_scale.assign(services, 1.0);
+      action.shed_scale.assign(services, 0.0);
+      action.reroute_scale.assign(services, 0.0);
+    }
+    for (std::size_t k = 0; k < cracs; ++k) {
+      double setpoint = base_setpoint_c[k] + action.setpoint_delta_c;
+      if (state.crac_derate[k] <= 0.0) {
+        setpoint += action.healthy_setpoint_delta_c;
+      }
+      facility.room().crac(k).set_return_setpoint_c(std::max(1.0, setpoint));
+    }
+    const std::size_t pstate = action.throttle ? deepest_pstate : 0;
+    for (std::size_t s = 0; s < services; ++s) {
+      facility.service(s).set_uniform_pstate(pstate);
+    }
+
+    std::vector<double> local(services, 0.0);
+    for (std::size_t s = 0; s < services; ++s) {
+      local[s] = offered[s] * action.serve_scale[s];
+    }
+
+    // 4. Brown-out: during an outage the UPS must carry the whole epoch;
+    //    if it cannot, the facility is dark until utility power returns.
+    const bool brownout =
+        state.outage_active > 0 &&
+        battery.ride_through_s(est_draw_w) < epoch_s;
+    const bool tripped = lockout_left > 0;
+    if (brownout || tripped) {
+      std::fill(local.begin(), local.end(), 0.0);
+    }
+
+    // 5. Provision each fleet for its local demand.
+    for (std::size_t s = 0; s < services; ++s) {
+      auto& cl = facility.service(s);
+      std::size_t target = 0;
+      if (!brownout && !tripped) {
+        const auto& model = cl.power_model();
+        const double per_server_rps =
+            model.relative_capacity(pstate) /
+            facility.request_model(s).config().mean_service_demand_s;
+        const double util_target =
+            cl.config().max_utilization / config.provision_headroom;
+        target = static_cast<std::size_t>(
+            std::ceil(local[s] / (per_server_rps * util_target)));
+        target = std::min(std::max<std::size_t>(target, 1), cl.available_count());
+        if (action.consolidation_paused) {
+          target = std::max(target,
+                            std::min(cl.committed_count(), cl.available_count()));
+        }
+      }
+      cl.set_target_committed(target, /*use_sleep=*/false);
+    }
+
+    // 6. Advance the cyber-physical plant one epoch.
+    const auto step = facility.step(local, config.outside_c);
+
+    // 7. UPS energy flow.
+    if (state.outage_active > 0) {
+      const double draw_w = step.it_power_w * (1.0 + ups_loss) + ups_fixed_w;
+      battery.discharge(draw_w, epoch_s);
+    } else {
+      battery.charge(battery.config().max_charge_w, epoch_s);
+    }
+    out.min_state_of_charge =
+        std::min(out.min_state_of_charge, battery.state_of_charge());
+
+    // 8. Thermal protective trip.
+    if (step.max_zone_temp_c > config.thermal_trip_c) {
+      lockout_left = config.trip_lockout_epochs;
+    } else if (lockout_left > 0) {
+      --lockout_left;
+    }
+
+    // 9. Accounting.
+    ++out.epochs;
+    if (brownout) ++out.brownout_epochs;
+    if (tripped) ++out.trip_epochs;
+    out.thermal_alarms += step.new_thermal_alarms;
+    if (step.power_overloaded) ++out.overload_epochs;
+    out.max_zone_temp_c = std::max(out.max_zone_temp_c, step.max_zone_temp_c);
+    prev_it_power_w = step.it_power_w;
+
+    for (std::size_t s = 0; s < services; ++s) {
+      const double dropped = step.services[s].dropped_rate_per_s;
+      const double served = std::max(0.0, local[s] - dropped);
+      out.offered_requests += offered[s] * epoch_s;
+      out.served_requests += served * epoch_s;
+      if (brownout || tripped) {
+        // Policy shed/re-route still happened upstream of the dark epoch.
+        out.shed_requests += offered[s] * action.shed_scale[s] * epoch_s;
+        out.rerouted_requests += offered[s] * action.reroute_scale[s] * epoch_s;
+        out.dropped_requests +=
+            offered[s] * action.serve_scale[s] * epoch_s;
+      } else {
+        out.shed_requests += offered[s] * action.shed_scale[s] * epoch_s;
+        out.rerouted_requests += offered[s] * action.reroute_scale[s] * epoch_s;
+        out.dropped_requests += dropped * epoch_s;
+      }
+      if (step.services[s].sla_violated) ++out.sla_violation_epochs;
+
+      // 10. Telemetry path with sensor faults.
+      const auto key = telemetry::make_key(static_cast<std::uint32_t>(s), 0);
+      if (state.sensor_dropout[s] > 0) {
+        telemetry.record_dropout(1);
+      } else if (state.sensor_stuck[s] > 0) {
+        telemetry.append(key, t0, last_sensor_value[s], /*degraded=*/true);
+      } else {
+        telemetry.append(key, t0, served);
+        last_sensor_value[s] = served;
+      }
+    }
+  }
+  // Deliver any clears scheduled past the horizon so conservation holds for
+  // plans that fit inside the storm.
+  sim.run_all();
+
+  out.it_energy_kwh = facility.total_it_energy_j() / 3.6e6;
+  out.mechanical_energy_kwh = facility.total_mechanical_energy_j() / 3.6e6;
+  out.telemetry_samples = telemetry.total_samples();
+  out.degraded_samples = telemetry.degraded_samples();
+  out.dropped_samples = telemetry.dropped_samples();
+  out.faults_injected = injector.plan().size();
+  out.faults_handled = injector.handled_count();
+  out.faults_cleared = injector.cleared_count();
+  out.faults_conserved = injector.conserved();
+  out.decision_counts = log.counts_by_kind();
+  return out;
+}
+
+StormConfig make_reference_storm_config(std::size_t servers_per_service) {
+  StormConfig config;
+  config.facility = macro::make_reference_facility(servers_per_service);
+
+  // Give the storm facility a second CRAC sharing the room 50/50, so a
+  // CRAC failure halves the cooling path instead of erasing it and the
+  // policy's "healthy CRACs cool harder" reaction has a surviving unit to
+  // lean on.
+  thermal::CracConfig spare = config.facility.room.cracs[0];
+  spare.name = "crac1";
+  spare.zone_sensitivity = {0.4, 0.6};
+  config.facility.room.cracs.push_back(spare);
+  config.facility.room.airflow_share = {{0.5, 0.5}, {0.5, 0.5}};
+
+  // Moderate steady demand: ~60% of each fleet's full capacity (100 rps per
+  // server at the reference demand of 0.01 s/request).
+  const double capacity_rps = static_cast<double>(servers_per_service) * 100.0;
+  config.demand_rps = {0.6 * capacity_rps, 0.6 * capacity_rps};
+
+  // Size the UPS so the *unmanaged* fleet (everything on, near-peak draw
+  // with conversion losses) rides through only ~3 minutes — far shorter
+  // than every storm outage — while the policy's shed/re-routed fleet
+  // stretches the same battery across several more epochs.
+  const double full_draw_w =
+      2.0 * static_cast<double>(servers_per_service) * 300.0 * 1.1;
+  config.battery.energy_capacity_j = full_draw_w * 180.0;
+  config.battery.max_discharge_w = full_draw_w * 2.0;
+  config.battery.max_charge_w = full_draw_w * 0.25;
+
+  config.policy.low_tier_service = 1;  // batch
+  // Shed modestly and lean on geo re-routing: re-routed requests are served
+  // by the peer site without spending the local UPS window, while every
+  // shed request is a loss the policy must win back in ride-through.
+  config.policy.low_tier_shed_fraction = 0.5;
+  config.policy.reroute_fraction = 0.5;
+  // Race-to-idle beats throttling here: the 60% idle floor means fewer fast
+  // servers draw less than many slow ones for the same served load.
+  config.policy.throttle_on_power_emergency = false;
+  // With a surviving CRAC to cool harder, heat-shedding is not needed.
+  config.policy.cooling_shed_fraction = 0.0;
+  return config;
+}
+
+}  // namespace epm::faults

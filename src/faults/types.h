@@ -1,0 +1,51 @@
+// Typed fault events for the deterministic fault-injection engine.
+//
+// The paper's macro-resource management layer exists to ride through
+// physical-side disruptions — utility outages carried by the UPS window
+// (§2.1), CRAC failures and cooling derates (§2.2), and flash-crowd login
+// storms (§3, Fig. 3). Each fault is a typed interval [start, start +
+// duration) with a target index and a type-specific severity; the injector
+// delivers the onset and the clear into the simulation clock.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace epm::faults {
+
+enum class FaultType {
+  kServerCrash = 0,  ///< a fraction of one service's servers crash and reboot
+  kPsuTrip,          ///< a PSU/PDU feeding a chunk of one service trips
+  kCracFailure,      ///< a CRAC unit fails outright (full derate)
+  kCoolingDerate,    ///< partial cooling-capacity derate of a CRAC
+  kSensorDropout,    ///< a service's telemetry sensor produces no samples
+  kSensorStuck,      ///< a service's telemetry sensor repeats its last value
+  kUtilityOutage,    ///< utility feed lost; UPS battery ride-through
+  kFlashCrowd,       ///< login-storm demand surge on one service
+};
+
+inline constexpr std::size_t kFaultTypeCount = 8;
+
+/// Short stable token, e.g. "crash", "outage", "surge"; used by the
+/// FaultPlan text syntax and by reports.
+std::string to_string(FaultType type);
+
+/// Inverse of to_string; throws std::invalid_argument for unknown tokens.
+FaultType fault_type_from_string(const std::string& token);
+
+struct FaultEvent {
+  FaultType type = FaultType::kServerCrash;
+  double start_s = 0.0;
+  double duration_s = 0.0;
+  /// Type-dependent index: service for crash/PSU/sensor/surge faults, CRAC
+  /// unit for cooling faults; ignored for utility outages.
+  std::size_t target = 0;
+  /// Type-dependent magnitude: fraction of the service's servers lost
+  /// (crash/PSU), derate fraction in [0,1] (cooling), demand multiplier
+  /// (surge); ignored for sensor faults and utility outages.
+  double severity = 1.0;
+
+  double end_s() const { return start_s + duration_s; }
+};
+
+}  // namespace epm::faults

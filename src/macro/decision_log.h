@@ -19,6 +19,7 @@ enum class DecisionKind {
   kPowerCapping,      ///< budget enforcement
   kLoadBalancing,
   kRiskAlert,
+  kLoadShedding,      ///< graceful degradation under faults
 };
 
 std::string to_string(DecisionKind kind);
@@ -70,6 +71,8 @@ inline std::string to_string(DecisionKind kind) {
       return "load-balancing";
     case DecisionKind::kRiskAlert:
       return "risk-alert";
+    case DecisionKind::kLoadShedding:
+      return "load-shedding";
   }
   return "?";
 }

@@ -1,6 +1,7 @@
 #include "reliability/monte_carlo.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <vector>
 
@@ -160,6 +161,34 @@ MonteCarloResult simulate_availability(const Block& topology,
   result.mean_outage_h = outage_durations.count() ? outage_durations.mean() : 0.0;
   result.max_outage_h = max_outage;
   result.outage_count = outage_durations.count();
+
+  // 95% interval. The normal interval across replicas collapses to zero
+  // width when every replica reports the same availability — in particular
+  // when none of them sampled a failure. Union it with a Wilson score
+  // interval on the pooled downtime fraction, treating each simulated hour
+  // as one Bernoulli down/up trial, which stays strictly positive-width for
+  // any finite horizon.
+  constexpr double kZ = 1.959963984540054;  // Phi^-1(0.975)
+  const double n_replicas = static_cast<double>(config.replicas);
+  const double normal_half =
+      kZ * result.availability_stddev / std::sqrt(n_replicas);
+  double lo = result.availability - normal_half;
+  double hi = result.availability + normal_half;
+
+  const double trials = n_replicas * horizon_h;
+  const double p_down = std::clamp(1.0 - result.availability, 0.0, 1.0);
+  const double z2 = kZ * kZ;
+  const double denom = 1.0 + z2 / trials;
+  const double center = (p_down + z2 / (2.0 * trials)) / denom;
+  const double half =
+      kZ *
+      std::sqrt(p_down * (1.0 - p_down) / trials + z2 / (4.0 * trials * trials)) /
+      denom;
+  lo = std::min(lo, 1.0 - (center + half));
+  hi = std::max(hi, 1.0 - (center - half));
+
+  result.ci_lo = std::clamp(lo, 0.0, 1.0);
+  result.ci_hi = std::clamp(hi, 0.0, 1.0);
   return result;
 }
 

@@ -22,9 +22,19 @@ struct MonteCarloConfig {
 struct MonteCarloResult {
   double availability = 0.0;        ///< mean over replicas
   double availability_stddev = 0.0; ///< across replicas
+  /// 95% confidence interval on availability: the union of the normal
+  /// interval across replicas and a Wilson score interval on the pooled
+  /// downtime fraction (pseudo-trials = simulated hours). The Wilson term
+  /// keeps the interval strictly wider than zero even when no replica saw a
+  /// single failure — observing zero failures over a finite horizon is
+  /// evidence of high availability, not proof of perfect availability.
+  double ci_lo = 0.0;
+  double ci_hi = 1.0;
   double mean_outage_h = 0.0;       ///< average system-outage duration
   double max_outage_h = 0.0;
   std::size_t outage_count = 0;     ///< across all replicas
+
+  double ci_width() const { return ci_hi - ci_lo; }
 };
 
 /// Simulates every leaf component as an alternating exponential

@@ -1,0 +1,65 @@
+// Numeric figure reproduction, factored out of the bench mains.
+//
+// Each fig*() function computes the quantitative content of one paper-figure
+// reproduction as a pure FigureTable (fixed seeds, no I/O). The bench
+// binaries render these tables for humans; tests/golden diffs them against
+// checked-in CSVs so figure-producing code cannot silently drift.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace epm::repro {
+
+struct FigureTable {
+  std::string name;
+  std::vector<std::string> columns;
+  std::vector<std::vector<double>> rows;
+
+  double at(std::size_t row, std::size_t col) const { return rows[row][col]; }
+  /// Header line of column names, then one comma-separated row per line,
+  /// doubles at round-trip precision.
+  std::string to_csv() const;
+  static FigureTable from_csv(const std::string& name, const std::string& csv);
+};
+
+/// Fig. 1: power flow through the tier-2 distribution tree over IT load.
+/// Columns: load_frac, servers, rack_kw, critical_kw, ups_in_kw, mech_kw,
+/// transformer_in_kw, utility_kw, loss_kw, pue.
+FigureTable fig1_power_flow();
+
+/// Fig. 1 inset: per-stage share of utility draw at 50% IT load.
+/// Columns: stage (0=critical IT, 1=cooling, 2=UPS loss, 3=PDU loss,
+/// 4=transformer loss), kw, share_of_utility.
+FigureTable fig1_stage_shares();
+
+/// Fig. 2: machine-room dynamics across a load step at t=2h, sampled every
+/// 15 minutes for 6 hours.
+/// Columns: t_h, it_heat_kw, zone0_c, zone1_c, supply_c, crac_actions,
+/// alarms.
+FigureTable fig2_cooling_dynamics();
+
+/// Fig. 3: Messenger week (seed 2009), per-day stats.
+/// Columns: day, mean_conn_norm, peak_conn_norm, mean_login_rps,
+/// peak_login_rps.
+FigureTable fig3_daily_stats();
+
+/// Fig. 3 callouts, single row.
+/// Columns: afternoon_to_midnight_ratio, weekday_to_weekend_ratio,
+/// peak_login_rps, flash_crowd_count.
+FigureTable fig3_callouts();
+
+/// Fig. 4: three management stacks over a Messenger week (seed 4), one row
+/// per stack (0=static, 1=uncoordinated, 2=macro).
+/// Columns: stack, it_kwh, mech_kwh, mean_pue, mean_servers_per_svc,
+/// sla_violations, thermal_alarms, power_overloads.
+FigureTable fig4_stack_outcomes();
+
+/// Fig. 4 decision mix of the macro stack over the same week.
+/// Columns: kind (DecisionKind index), count.
+FigureTable fig4_decision_counts();
+
+/// All of the above, for iteration in the golden test and regeneration.
+std::vector<FigureTable> all_figure_tables();
+
+}  // namespace epm::repro

@@ -20,10 +20,12 @@ TelemetryStore::TelemetryStore(MultiScaleConfig per_counter_config)
   }
 }
 
-void TelemetryStore::append(CounterKey key, double time_s, double value) {
+void TelemetryStore::append(CounterKey key, double time_s, double value,
+                            bool degraded) {
   auto [it, inserted] = shards_[shard_of(key)].try_emplace(key, config_);
   it->second.append(time_s, value);
   ++total_samples_;
+  if (degraded) ++degraded_samples_;
 }
 
 void TelemetryStore::bulk_append(const std::vector<Sample>& samples,
@@ -35,9 +37,12 @@ void TelemetryStore::bulk_append(const std::vector<Sample>& samples,
   // Phase 1: partition indices by shard, in parallel over input slices.
   // Concatenating each shard's slice-lists in slice order restores the
   // global input order per shard, so the result cannot depend on how many
-  // slices (= threads) scanned the input.
+  // slices (= threads) scanned the input. Degraded samples are counted
+  // per slice here (phase 2 runs shards concurrently, so a shared counter
+  // there would race) and summed serially below.
   const std::size_t slices = pool.thread_count();
   std::vector<std::array<std::vector<std::uint32_t>, kShards>> partition(slices);
+  std::vector<std::uint64_t> degraded_per_slice(slices, 0);
   const std::size_t per_slice = (samples.size() + slices - 1) / slices;
   pool.parallel_for(slices, [&](std::size_t begin, std::size_t end) {
     for (std::size_t s = begin; s < end; ++s) {
@@ -46,6 +51,7 @@ void TelemetryStore::bulk_append(const std::vector<Sample>& samples,
       for (std::size_t i = lo; i < hi; ++i) {
         partition[s][shard_of(samples[i].key)].push_back(
             static_cast<std::uint32_t>(i));
+        if (samples[i].degraded) ++degraded_per_slice[s];
       }
     }
   });
@@ -66,6 +72,7 @@ void TelemetryStore::bulk_append(const std::vector<Sample>& samples,
   });
 
   total_samples_ += samples.size();
+  for (const std::uint64_t n : degraded_per_slice) degraded_samples_ += n;
 }
 
 void TelemetryStore::bulk_append(const std::vector<Sample>& samples,

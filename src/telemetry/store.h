@@ -43,6 +43,10 @@ struct Sample {
   CounterKey key = 0;
   double time_s = 0.0;
   double value = 0.0;
+  /// Set by the fault layer for sensor stuck-at faults: the value is a stale
+  /// repeat, not a fresh reading. Degraded samples are stored (queries still
+  /// work) but counted so consumers can judge data quality.
+  bool degraded = false;
 };
 
 /// Multi-scale store for a whole fleet, sharded by server.
@@ -60,7 +64,11 @@ class TelemetryStore {
   explicit TelemetryStore(MultiScaleConfig per_counter_config = {});
 
   /// Appends one sample; creates the series lazily.
-  void append(CounterKey key, double time_s, double value);
+  void append(CounterKey key, double time_s, double value, bool degraded = false);
+
+  /// Fault hook: accounts `count` samples that a sensor dropout swallowed
+  /// (they were never produced, so nothing is stored).
+  void record_dropout(std::uint64_t count) { dropped_samples_ += count; }
 
   /// Parallel bulk ingest: partitions `samples` by shard, then lets each
   /// worker apply whole shards (one shard is never split across threads, so
@@ -74,6 +82,10 @@ class TelemetryStore {
 
   std::size_t series_count() const;
   std::uint64_t total_samples() const { return total_samples_; }
+  /// Stored samples flagged degraded (sensor stuck-at).
+  std::uint64_t degraded_samples() const { return degraded_samples_; }
+  /// Samples lost to sensor dropouts (never stored).
+  std::uint64_t dropped_samples() const { return dropped_samples_; }
   /// Series lookup; throws for unknown keys.
   const MultiScaleSeries& series(CounterKey key) const;
   bool contains(CounterKey key) const {
@@ -95,6 +107,8 @@ class TelemetryStore {
   MultiScaleConfig config_;
   std::array<ShardMap, kShards> shards_;
   std::uint64_t total_samples_ = 0;
+  std::uint64_t degraded_samples_ = 0;
+  std::uint64_t dropped_samples_ = 0;
   std::size_t daily_level_ = 0;
   std::size_t hourly_level_ = 0;
 };

@@ -25,6 +25,23 @@ Crac::Crac(CracConfig config) : config_(config), supply_c_(config.initial_supply
   require(total > 0.0, "Crac: all sensitivities zero");
 }
 
+double Crac::supply_temp_c() const {
+  // A derated coil removes less heat; model it as the supply air warming
+  // linearly toward the top of the unit's range (a fully failed CRAC just
+  // recirculates warm air).
+  return supply_c_ + derate_ * (config_.max_supply_c - supply_c_);
+}
+
+void Crac::set_derate(double fraction) {
+  require(fraction >= 0.0 && fraction <= 1.0, "Crac: derate outside [0,1]");
+  derate_ = fraction;
+}
+
+void Crac::set_return_setpoint_c(double setpoint_c) {
+  require(setpoint_c > 0.0, "Crac: setpoint must be positive");
+  config_.return_setpoint_c = setpoint_c;
+}
+
 double Crac::observed_return_c(const std::vector<double>& zone_temps_c) const {
   require(zone_temps_c.size() >= config_.zone_sensitivity.size(),
           "Crac: fewer zone temperatures than sensitivities");

@@ -35,8 +35,26 @@ class Crac {
   explicit Crac(CracConfig config);
 
   const CracConfig& config() const { return config_; }
-  double supply_temp_c() const { return supply_c_; }
+  /// Supply temperature the room actually receives: the controlled value
+  /// pushed toward max_supply_c in proportion to the active derate (a fully
+  /// derated unit blows room-temperature air — it has failed).
+  double supply_temp_c() const;
+  /// Controller state before derate is applied.
+  double commanded_supply_c() const { return supply_c_; }
   std::size_t control_actions() const { return control_actions_; }
+
+  /// Fault hook: derates cooling capacity by `fraction` in [0,1]. 0 restores
+  /// the healthy unit, 1 models outright failure.
+  void set_derate(double fraction);
+  double derate() const { return derate_; }
+  /// Heat the coil can still remove under the active derate.
+  double effective_capacity_w() const {
+    return config_.cooling_capacity_w * (1.0 - derate_);
+  }
+
+  /// Degradation hook: moves the return-air setpoint (macro layer raises it
+  /// to shed cooling load during power emergencies).
+  void set_return_setpoint_c(double setpoint_c);
 
   /// The return temperature this CRAC *observes* for the given zone
   /// temperatures (sensitivity-weighted mean).
@@ -53,6 +71,7 @@ class Crac {
  private:
   CracConfig config_;
   double supply_c_;
+  double derate_ = 0.0;
   std::size_t control_actions_ = 0;
 };
 

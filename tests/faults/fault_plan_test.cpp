@@ -1,0 +1,179 @@
+#include "faults/fault_plan.h"
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using epm::faults::FaultEvent;
+using epm::faults::FaultPlan;
+using epm::faults::FaultPlanConfig;
+using epm::faults::FaultType;
+
+TEST(FaultPlan, ParseToStringRoundTrip) {
+  const std::string spec =
+      "outage@3600+1200;crac:0@7200+1800;surge:1@10000+300x3";
+  const FaultPlan plan = FaultPlan::parse(spec);
+  ASSERT_EQ(plan.size(), 3u);
+  EXPECT_EQ(plan.events()[0].type, FaultType::kUtilityOutage);
+  EXPECT_DOUBLE_EQ(plan.events()[0].start_s, 3600.0);
+  EXPECT_DOUBLE_EQ(plan.events()[0].duration_s, 1200.0);
+  EXPECT_EQ(plan.events()[1].type, FaultType::kCracFailure);
+  EXPECT_EQ(plan.events()[2].type, FaultType::kFlashCrowd);
+  EXPECT_EQ(plan.events()[2].target, 1u);
+  EXPECT_DOUBLE_EQ(plan.events()[2].severity, 3.0);
+
+  const FaultPlan again = FaultPlan::parse(plan.to_string());
+  EXPECT_EQ(again.fingerprint(), plan.fingerprint());
+  EXPECT_EQ(again.to_string(), plan.to_string());
+}
+
+TEST(FaultPlan, TypeTokensRoundTripForAllTypes) {
+  for (std::size_t i = 0; i < epm::faults::kFaultTypeCount; ++i) {
+    const auto type = static_cast<FaultType>(i);
+    EXPECT_EQ(epm::faults::fault_type_from_string(epm::faults::to_string(type)),
+              type);
+  }
+  EXPECT_THROW(epm::faults::fault_type_from_string("melts"),
+               std::invalid_argument);
+}
+
+TEST(FaultPlan, ScriptedValidatesAndSortsEvents) {
+  std::vector<FaultEvent> events;
+  events.push_back({FaultType::kServerCrash, 500.0, 60.0, 1, 0.2});
+  events.push_back({FaultType::kUtilityOutage, 100.0, 300.0, 0, 1.0});
+  const FaultPlan plan = FaultPlan::scripted(events);
+  EXPECT_DOUBLE_EQ(plan.events().front().start_s, 100.0);
+  EXPECT_DOUBLE_EQ(plan.events().back().start_s, 500.0);
+  EXPECT_DOUBLE_EQ(plan.horizon_s(), 560.0);
+  EXPECT_EQ(plan.count(FaultType::kUtilityOutage), 1u);
+  EXPECT_EQ(plan.count(FaultType::kCracFailure), 0u);
+
+  EXPECT_THROW(FaultPlan::scripted({{FaultType::kServerCrash, -1.0, 60.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(FaultPlan::scripted({{FaultType::kServerCrash, 0.0, 0.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      FaultPlan::scripted({{FaultType::kServerCrash, 0.0, 60.0, 0, -0.5}}),
+      std::invalid_argument);
+}
+
+TEST(FaultPlan, ParseRejectsMalformedEntries) {
+  EXPECT_THROW(FaultPlan::parse("outage3600+1200"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("outage@3600"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("meteor@0+60"), std::invalid_argument);
+}
+
+TEST(FaultPlan, SampledIsDeterministicInSeed) {
+  FaultPlanConfig config;
+  config.horizon_s = 7.0 * 86400.0;
+  config.seed = 2009;
+  config.rate(FaultType::kServerCrash) = {4.0, 900.0, 60.0, 0.05, 0.25, 2};
+  config.rate(FaultType::kCoolingDerate) = {2.0, 1800.0, 300.0, 0.2, 0.6, 1};
+  config.rate(FaultType::kFlashCrowd) = {1.0, 600.0, 120.0, 1.5, 3.0, 2};
+
+  const FaultPlan a = FaultPlan::sampled(config);
+  const FaultPlan b = FaultPlan::sampled(config);
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+
+  config.seed = 2010;
+  const FaultPlan c = FaultPlan::sampled(config);
+  EXPECT_NE(a.fingerprint(), c.fingerprint());
+}
+
+// Per-type streams are independent: enabling a second fault type must not
+// perturb the first type's arrivals, durations, or severities.
+TEST(FaultPlan, SampledStreamsAreIndependentAcrossTypes) {
+  FaultPlanConfig crash_only;
+  crash_only.horizon_s = 7.0 * 86400.0;
+  crash_only.seed = 7;
+  crash_only.rate(FaultType::kServerCrash) = {3.0, 900.0, 60.0, 0.1, 0.3, 2};
+
+  FaultPlanConfig crash_plus_surge = crash_only;
+  crash_plus_surge.rate(FaultType::kFlashCrowd) = {2.0, 600.0, 120.0, 1.5,
+                                                   2.5, 2};
+
+  const FaultPlan lean = FaultPlan::sampled(crash_only);
+  const FaultPlan rich = FaultPlan::sampled(crash_plus_surge);
+  ASSERT_FALSE(lean.empty());
+  EXPECT_GT(rich.size(), lean.size());
+
+  std::vector<FaultEvent> lean_crashes;
+  for (const auto& e : lean.events()) {
+    if (e.type == FaultType::kServerCrash) lean_crashes.push_back(e);
+  }
+  std::vector<FaultEvent> rich_crashes;
+  for (const auto& e : rich.events()) {
+    if (e.type == FaultType::kServerCrash) rich_crashes.push_back(e);
+  }
+  ASSERT_EQ(lean_crashes.size(), rich_crashes.size());
+  for (std::size_t i = 0; i < lean_crashes.size(); ++i) {
+    EXPECT_DOUBLE_EQ(lean_crashes[i].start_s, rich_crashes[i].start_s);
+    EXPECT_DOUBLE_EQ(lean_crashes[i].duration_s, rich_crashes[i].duration_s);
+    EXPECT_DOUBLE_EQ(lean_crashes[i].severity, rich_crashes[i].severity);
+    EXPECT_EQ(lean_crashes[i].target, rich_crashes[i].target);
+  }
+}
+
+TEST(FaultPlan, SampledRespectsHorizonAndDurationFloor) {
+  FaultPlanConfig config;
+  config.horizon_s = 86400.0;
+  config.seed = 11;
+  config.rate(FaultType::kPsuTrip) = {20.0, 300.0, 120.0, 0.1, 0.3, 3};
+  const FaultPlan plan = FaultPlan::sampled(config);
+  ASSERT_FALSE(plan.empty());
+  for (const auto& e : plan.events()) {
+    EXPECT_GE(e.start_s, 0.0);
+    EXPECT_LT(e.start_s, config.horizon_s);
+    EXPECT_GE(e.duration_s, 120.0);
+    EXPECT_LT(e.target, 3u);
+    EXPECT_GE(e.severity, 0.1);
+    EXPECT_LE(e.severity, 0.3);
+  }
+}
+
+TEST(FaultPlan, MergedWithConcatenatesAndResorts) {
+  const FaultPlan early = FaultPlan::parse("outage@100+60");
+  const FaultPlan late = FaultPlan::parse("crash:0@10+30x0.2");
+  const FaultPlan merged = early.merged_with(late);
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged.events()[0].type, FaultType::kServerCrash);
+  EXPECT_EQ(merged.events()[1].type, FaultType::kUtilityOutage);
+}
+
+// The storm profile must always contain its scripted utility-outage +
+// CRAC-failure core — that pair is what the acceptance sweep stresses.
+TEST(FaultPlan, StormPlanAlwaysContainsOutageAndCracCore) {
+  for (const double intensity : {0.0, 0.5, 1.0, 2.0}) {
+    const FaultPlan plan =
+        epm::faults::make_storm_plan(intensity, 6.0 * 3600.0, 42, 2, 1);
+    EXPECT_GE(plan.count(FaultType::kUtilityOutage), 1u) << intensity;
+    EXPECT_GE(plan.count(FaultType::kCracFailure), 1u) << intensity;
+    if (intensity == 0.0) {
+      EXPECT_EQ(plan.size(), plan.count(FaultType::kUtilityOutage) +
+                                 plan.count(FaultType::kCracFailure));
+    } else {
+      EXPECT_GT(plan.size(), 2u) << intensity;
+    }
+  }
+  EXPECT_THROW(epm::faults::make_storm_plan(-0.1, 3600.0, 1, 2, 1),
+               std::invalid_argument);
+}
+
+TEST(FaultPlan, FingerprintIsSensitiveToEveryField) {
+  const FaultPlan base = FaultPlan::parse("crash:0@100+60x0.2");
+  EXPECT_NE(base.fingerprint(),
+            FaultPlan::parse("crash:0@101+60x0.2").fingerprint());
+  EXPECT_NE(base.fingerprint(),
+            FaultPlan::parse("crash:0@100+61x0.2").fingerprint());
+  EXPECT_NE(base.fingerprint(),
+            FaultPlan::parse("crash:1@100+60x0.2").fingerprint());
+  EXPECT_NE(base.fingerprint(),
+            FaultPlan::parse("crash:0@100+60x0.3").fingerprint());
+  EXPECT_NE(base.fingerprint(),
+            FaultPlan::parse("psu:0@100+60x0.2").fingerprint());
+}
+
+}  // namespace

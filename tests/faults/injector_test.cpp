@@ -1,0 +1,110 @@
+#include "faults/injector.h"
+
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+
+namespace {
+
+using epm::faults::FaultEvent;
+using epm::faults::FaultInjector;
+using epm::faults::FaultPlan;
+using epm::faults::FaultType;
+
+TEST(FaultInjector, DeliversOnsetAndClearInOrder) {
+  epm::sim::Simulator sim;
+  FaultInjector injector(sim,
+                         FaultPlan::parse("outage@100+50;crac:0@120+100"));
+
+  struct Edge {
+    FaultType type;
+    bool onset;
+    double at_s;
+  };
+  std::vector<Edge> edges;
+  injector.subscribe([&](const FaultEvent& e, bool onset, double now_s) {
+    edges.push_back({e.type, onset, now_s});
+    return true;
+  });
+  injector.arm();
+  sim.run_all();
+
+  ASSERT_EQ(edges.size(), 4u);
+  EXPECT_EQ(edges[0].type, FaultType::kUtilityOutage);
+  EXPECT_TRUE(edges[0].onset);
+  EXPECT_DOUBLE_EQ(edges[0].at_s, 100.0);
+  EXPECT_EQ(edges[1].type, FaultType::kCracFailure);
+  EXPECT_TRUE(edges[1].onset);
+  EXPECT_DOUBLE_EQ(edges[1].at_s, 120.0);
+  EXPECT_FALSE(edges[2].onset);  // outage clears at 150
+  EXPECT_DOUBLE_EQ(edges[2].at_s, 150.0);
+  EXPECT_FALSE(edges[3].onset);  // crac clears at 220
+  EXPECT_DOUBLE_EQ(edges[3].at_s, 220.0);
+}
+
+TEST(FaultInjector, TracksActiveEventsMidPlan) {
+  epm::sim::Simulator sim;
+  FaultInjector injector(sim,
+                         FaultPlan::parse("outage@100+50;crac:0@120+100"));
+  injector.subscribe(
+      [](const FaultEvent&, bool, double) { return true; });
+  injector.arm();
+
+  sim.run_until(99.0);
+  EXPECT_TRUE(injector.active_events().empty());
+
+  sim.run_until(130.0);
+  EXPECT_EQ(injector.active_events().size(), 2u);
+  EXPECT_TRUE(injector.any_active(FaultType::kUtilityOutage));
+  EXPECT_TRUE(injector.any_active(FaultType::kCracFailure));
+
+  sim.run_until(160.0);
+  EXPECT_FALSE(injector.any_active(FaultType::kUtilityOutage));
+  ASSERT_EQ(injector.active_events(FaultType::kCracFailure).size(), 1u);
+  EXPECT_FALSE(injector.conserved());  // crac failure not yet cleared
+
+  sim.run_all();
+  EXPECT_TRUE(injector.conserved());
+  EXPECT_EQ(injector.observed_count(), 2u);
+  EXPECT_EQ(injector.handled_count(), 2u);
+  EXPECT_EQ(injector.cleared_count(), 2u);
+}
+
+// Conservation demands somebody *handled* each fault, not just saw it.
+TEST(FaultInjector, UnhandledFaultBreaksConservation) {
+  epm::sim::Simulator sim;
+  FaultInjector injector(sim, FaultPlan::parse("outage@10+20"));
+  injector.subscribe(
+      [](const FaultEvent&, bool, double) { return false; });
+  injector.arm();
+  sim.run_all();
+  EXPECT_EQ(injector.observed_count(), 1u);
+  EXPECT_EQ(injector.cleared_count(), 1u);
+  EXPECT_EQ(injector.handled_count(), 0u);
+  EXPECT_FALSE(injector.conserved());
+}
+
+TEST(FaultInjector, EmptyPlanIsTriviallyConserved) {
+  epm::sim::Simulator sim;
+  FaultInjector injector(sim, FaultPlan{});
+  injector.arm();
+  sim.run_all();
+  EXPECT_TRUE(injector.conserved());
+  EXPECT_EQ(injector.observed_count(), 0u);
+}
+
+TEST(FaultInjector, RejectsMisuse) {
+  epm::sim::Simulator sim;
+  FaultInjector injector(sim, FaultPlan::parse("outage@10+20"));
+  EXPECT_THROW(injector.subscribe(nullptr), std::invalid_argument);
+  injector.arm();
+  EXPECT_THROW(injector.subscribe(
+                   [](const FaultEvent&, bool, double) { return true; }),
+               std::logic_error);
+  EXPECT_THROW(injector.arm(), std::logic_error);
+}
+
+}  // namespace

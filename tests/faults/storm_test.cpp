@@ -1,0 +1,117 @@
+#include "faults/storm.h"
+
+#include <gtest/gtest.h>
+
+#include "faults/fault_plan.h"
+
+namespace {
+
+using epm::faults::FaultPlan;
+using epm::faults::FaultType;
+using epm::faults::StormConfig;
+using epm::faults::StormOutcome;
+
+TEST(FaultStorm, QuietStormServesEverythingOffered) {
+  StormConfig config = epm::faults::make_reference_storm_config(40);
+  config.horizon_s = 2.0 * 3600.0;
+  const StormOutcome out = epm::faults::run_fault_storm(config, FaultPlan{});
+  EXPECT_EQ(out.epochs, 120u);
+  EXPECT_GT(out.offered_requests, 0.0);
+  EXPECT_GT(out.served_fraction(), 0.99);
+  EXPECT_EQ(out.brownout_epochs, 0u);
+  EXPECT_EQ(out.trip_epochs, 0u);
+  EXPECT_DOUBLE_EQ(out.shed_requests, 0.0);
+  EXPECT_DOUBLE_EQ(out.rerouted_requests, 0.0);
+  EXPECT_TRUE(out.faults_conserved);
+  EXPECT_EQ(out.faults_injected, 0u);
+  EXPECT_GT(out.it_energy_kwh, 0.0);
+  EXPECT_GT(out.mechanical_energy_kwh, 0.0);
+}
+
+TEST(FaultStorm, StormPlanIsFullyConservedAndAccounted) {
+  const StormConfig config = epm::faults::make_reference_storm_config(40);
+  const FaultPlan plan = epm::faults::make_storm_plan(
+      1.0, config.horizon_s, 77, config.demand_rps.size(), 1);
+  const StormOutcome out = epm::faults::run_fault_storm(config, plan);
+
+  EXPECT_TRUE(out.faults_conserved);
+  EXPECT_EQ(out.faults_injected, plan.size());
+  EXPECT_EQ(out.faults_handled, plan.size());
+  EXPECT_EQ(out.faults_cleared, plan.size());
+
+  EXPECT_GT(out.offered_requests, 0.0);
+  EXPECT_GE(out.served_requests, 0.0);
+  EXPECT_LE(out.served_requests, out.offered_requests);
+  EXPECT_GE(out.shed_requests, 0.0);
+  EXPECT_GE(out.rerouted_requests, 0.0);
+  EXPECT_GE(out.dropped_requests, 0.0);
+  EXPECT_GE(out.min_state_of_charge, 0.0);
+  EXPECT_LE(out.min_state_of_charge, 1.0);
+  // The scripted outage must actually bite the UPS.
+  EXPECT_LT(out.min_state_of_charge, 1.0);
+  EXPECT_GT(out.telemetry_samples, 0u);
+}
+
+// The acceptance property in miniature: under the utility-outage +
+// CRAC-failure storm, the degradation policy must serve strictly more than
+// the uncoordinated baseline (which browns out when the UPS empties).
+TEST(FaultStorm, PolicyOutservesUncoordinatedBaseline) {
+  StormConfig with_policy = epm::faults::make_reference_storm_config(40);
+  StormConfig baseline = with_policy;
+  baseline.policy_enabled = false;
+  const FaultPlan plan = epm::faults::make_storm_plan(
+      1.0, with_policy.horizon_s, 7, with_policy.demand_rps.size(), 1);
+
+  const StormOutcome managed = epm::faults::run_fault_storm(with_policy, plan);
+  const StormOutcome unmanaged = epm::faults::run_fault_storm(baseline, plan);
+
+  EXPECT_DOUBLE_EQ(managed.offered_requests, unmanaged.offered_requests);
+  // Served load is what reaches users anywhere: locally served plus traffic
+  // the policy re-routed to a peer site (the baseline never re-routes).
+  EXPECT_GT(managed.served_requests + managed.rerouted_requests,
+            unmanaged.served_requests + unmanaged.rerouted_requests);
+  EXPECT_LE(managed.brownout_epochs, unmanaged.brownout_epochs);
+  // The policy's whole point: the baseline goes dark, the policy does not
+  // (or at least far less).
+  EXPECT_GT(unmanaged.brownout_epochs, 0u);
+  EXPECT_GT(managed.decision_counts.size(), 0u);
+}
+
+TEST(FaultStorm, SensorFaultsDegradeTelemetryOnly) {
+  StormConfig config = epm::faults::make_reference_storm_config(40);
+  config.horizon_s = 3600.0;
+  const FaultPlan plan =
+      FaultPlan::parse("sensor-drop:0@600+900;sensor-stuck:1@600+900");
+  const StormOutcome out = epm::faults::run_fault_storm(config, plan);
+  EXPECT_GT(out.dropped_samples, 0u);
+  EXPECT_GT(out.degraded_samples, 0u);
+  EXPECT_TRUE(out.faults_conserved);
+  // Sensor faults must not cost any served load.
+  EXPECT_GT(out.served_fraction(), 0.99);
+}
+
+TEST(FaultStorm, FlashCrowdRaisesOfferedLoad) {
+  StormConfig config = epm::faults::make_reference_storm_config(40);
+  config.horizon_s = 3600.0;
+  const StormOutcome quiet = epm::faults::run_fault_storm(config, FaultPlan{});
+  const StormOutcome surged = epm::faults::run_fault_storm(
+      config, FaultPlan::parse("surge:0@600+1200x2.5"));
+  EXPECT_GT(surged.offered_requests, quiet.offered_requests);
+}
+
+TEST(FaultStorm, IdenticalInputsGiveIdenticalOutcomes) {
+  const StormConfig config = epm::faults::make_reference_storm_config(40);
+  const FaultPlan plan = epm::faults::make_storm_plan(
+      0.8, config.horizon_s, 3, config.demand_rps.size(), 1);
+  const StormOutcome a = epm::faults::run_fault_storm(config, plan);
+  const StormOutcome b = epm::faults::run_fault_storm(config, plan);
+  EXPECT_DOUBLE_EQ(a.served_requests, b.served_requests);
+  EXPECT_DOUBLE_EQ(a.offered_requests, b.offered_requests);
+  EXPECT_DOUBLE_EQ(a.it_energy_kwh, b.it_energy_kwh);
+  EXPECT_DOUBLE_EQ(a.mechanical_energy_kwh, b.mechanical_energy_kwh);
+  EXPECT_DOUBLE_EQ(a.max_zone_temp_c, b.max_zone_temp_c);
+  EXPECT_EQ(a.brownout_epochs, b.brownout_epochs);
+  EXPECT_EQ(a.decision_counts, b.decision_counts);
+}
+
+}  // namespace

@@ -1,0 +1,131 @@
+// Golden-regression tests for the figure reproductions (ROADMAP: "figure
+// code cannot silently drift"). Every repro::fig*() table is regenerated at
+// its fixed seed and diffed against the CSV checked in under
+// tests/golden/data/. The benches render these same tables, so a green run
+// here certifies the printed figures too.
+//
+// To refresh the goldens intentionally (after an acknowledged numerics
+// change), run the suite once with EPM_UPDATE_GOLDENS=1; it rewrites the
+// CSVs in the source tree and passes.
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <stdexcept>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "repro/figures.h"
+
+namespace {
+
+using epm::repro::FigureTable;
+
+std::string golden_path(const std::string& name) {
+  return std::string(EPM_GOLDEN_DIR) + "/" + name + ".csv";
+}
+
+bool update_mode() {
+  const char* env = std::getenv("EPM_UPDATE_GOLDENS");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    ADD_FAILURE() << "missing golden file " << path
+                  << " — regenerate with EPM_UPDATE_GOLDENS=1";
+    return {};
+  }
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+// Tolerances are deliberately tight: the tables are fixed-seed and the CSVs
+// round-trip doubles at full precision, so anything beyond libm-level jitter
+// between toolchains is a real numerics change.
+constexpr double kRelTol = 1.0e-9;
+constexpr double kAbsTol = 1.0e-12;
+
+void expect_table_matches_golden(const FigureTable& fresh) {
+  if (update_mode()) {
+    std::ofstream out(golden_path(fresh.name));
+    ASSERT_TRUE(out) << "cannot write " << golden_path(fresh.name);
+    out << fresh.to_csv();
+    SUCCEED() << "updated golden " << fresh.name;
+    return;
+  }
+  const std::string csv = read_file(golden_path(fresh.name));
+  if (csv.empty()) return;  // read_file already reported the failure
+  const FigureTable golden = FigureTable::from_csv(fresh.name, csv);
+
+  ASSERT_EQ(golden.columns, fresh.columns) << fresh.name << ": column drift";
+  ASSERT_EQ(golden.rows.size(), fresh.rows.size())
+      << fresh.name << ": row-count drift";
+  for (std::size_t r = 0; r < golden.rows.size(); ++r) {
+    ASSERT_EQ(golden.rows[r].size(), fresh.rows[r].size())
+        << fresh.name << " row " << r << ": width drift";
+    for (std::size_t c = 0; c < golden.rows[r].size(); ++c) {
+      const double want = golden.rows[r][c];
+      const double got = fresh.rows[r][c];
+      const double tol = kAbsTol + kRelTol * std::abs(want);
+      EXPECT_NEAR(got, want, tol)
+          << fresh.name << " [" << r << "][" << fresh.columns[c] << "]";
+    }
+  }
+}
+
+TEST(FiguresGolden, Fig1PowerFlow) {
+  expect_table_matches_golden(epm::repro::fig1_power_flow());
+}
+
+TEST(FiguresGolden, Fig1StageShares) {
+  expect_table_matches_golden(epm::repro::fig1_stage_shares());
+}
+
+TEST(FiguresGolden, Fig2CoolingDynamics) {
+  expect_table_matches_golden(epm::repro::fig2_cooling_dynamics());
+}
+
+TEST(FiguresGolden, Fig3DailyStats) {
+  expect_table_matches_golden(epm::repro::fig3_daily_stats());
+}
+
+TEST(FiguresGolden, Fig3Callouts) {
+  expect_table_matches_golden(epm::repro::fig3_callouts());
+}
+
+TEST(FiguresGolden, Fig4StackOutcomes) {
+  expect_table_matches_golden(epm::repro::fig4_stack_outcomes());
+}
+
+TEST(FiguresGolden, Fig4DecisionCounts) {
+  expect_table_matches_golden(epm::repro::fig4_decision_counts());
+}
+
+// The CSV serialization itself must round-trip bit-exactly; the golden
+// mechanism depends on it.
+TEST(FiguresGolden, CsvRoundTripIsExact) {
+  for (const auto& table : epm::repro::all_figure_tables()) {
+    const FigureTable back = FigureTable::from_csv(table.name, table.to_csv());
+    ASSERT_EQ(back.columns, table.columns) << table.name;
+    ASSERT_EQ(back.rows.size(), table.rows.size()) << table.name;
+    for (std::size_t r = 0; r < table.rows.size(); ++r) {
+      for (std::size_t c = 0; c < table.rows[r].size(); ++c) {
+        EXPECT_DOUBLE_EQ(back.rows[r][c], table.rows[r][c])
+            << table.name << " [" << r << "][" << c << "]";
+      }
+    }
+  }
+}
+
+TEST(FiguresGolden, FromCsvRejectsMalformedInput) {
+  EXPECT_THROW(FigureTable::from_csv("x", ""), std::invalid_argument);
+  EXPECT_THROW(FigureTable::from_csv("x", "a,b\n1.0\n"),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,204 @@
+// Randomized invariant sweeps for the fault-injection subsystem.
+//
+//   * conservation — every injected fault is observed, handled, and cleared;
+//   * safety — storm outcomes never go negative, never over-serve, and the
+//     UPS state of charge stays inside [0, 1] under arbitrary fault soup;
+//   * monotonicity — adding capacity-fault events to a plan can only hold
+//     the served load equal or push it down, never up (the degradation
+//     policy is a pure function of the active fault set, so "more broken"
+//     can never mean "serves more");
+//   * determinism — plans and whole storm sweeps are bit-identical at 1, 2,
+//     and 8 threads ("Parallel" in the suite name opts into the TSan run).
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/parallel.h"
+#include "core/rng.h"
+#include "faults/fault_plan.h"
+#include "faults/injector.h"
+#include "faults/storm.h"
+#include "sim/simulator.h"
+
+namespace epm::faults {
+namespace {
+
+FaultPlanConfig random_plan_config(Rng& rng) {
+  FaultPlanConfig config;
+  config.horizon_s = rng.uniform(3600.0, 2.0 * 86400.0);
+  config.seed = static_cast<std::uint64_t>(rng.uniform_int(1, 1 << 30));
+  for (std::size_t i = 0; i < kFaultTypeCount; ++i) {
+    auto& spec = config.rates[i];
+    // Roughly half the types enabled per draw.
+    spec.rate_per_day = rng.uniform(0.0, 1.0) < 0.5 ? rng.uniform(0.5, 8.0) : 0.0;
+    spec.mean_duration_s = rng.uniform(120.0, 3600.0);
+    spec.min_duration_s = 60.0;
+    spec.severity_lo = rng.uniform(0.05, 0.5);
+    spec.severity_hi = spec.severity_lo + rng.uniform(0.0, 1.0);
+    spec.target_count = static_cast<std::size_t>(rng.uniform_int(1, 3));
+  }
+  return config;
+}
+
+class FaultsProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FaultsProperty, SampledPlansAreConservedByTheInjector) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 10; ++round) {
+    const FaultPlanConfig config = random_plan_config(rng);
+    const FaultPlan plan = FaultPlan::sampled(config);
+    ASSERT_EQ(plan.fingerprint(), FaultPlan::sampled(config).fingerprint());
+
+    sim::Simulator sim;
+    FaultInjector injector(sim, plan);
+    injector.subscribe([](const FaultEvent&, bool, double) { return true; });
+    injector.arm();
+    sim.run_all();
+    ASSERT_TRUE(injector.conserved());
+    ASSERT_EQ(injector.observed_count(), plan.size());
+    ASSERT_EQ(injector.cleared_count(), plan.size());
+    ASSERT_TRUE(injector.active_events().empty());
+  }
+}
+
+TEST_P(FaultsProperty, StormOutcomesStayPhysicalUnderArbitraryFaultSoup) {
+  Rng rng(GetParam());
+  StormConfig config = make_reference_storm_config(30);
+  config.horizon_s = 2.0 * 3600.0;
+  for (int round = 0; round < 3; ++round) {
+    FaultPlanConfig soup;
+    soup.horizon_s = config.horizon_s;
+    soup.seed = static_cast<std::uint64_t>(rng.uniform_int(1, 1 << 30));
+    soup.rate(FaultType::kServerCrash) = {24.0, 900.0, 60.0, 0.1, 0.6, 2};
+    soup.rate(FaultType::kPsuTrip) = {12.0, 600.0, 60.0, 0.1, 0.4, 2};
+    soup.rate(FaultType::kCracFailure) = {6.0, 1200.0, 300.0, 1.0, 1.0, 1};
+    soup.rate(FaultType::kCoolingDerate) = {12.0, 1800.0, 300.0, 0.2, 0.8, 1};
+    soup.rate(FaultType::kSensorDropout) = {24.0, 600.0, 60.0, 1.0, 1.0, 2};
+    soup.rate(FaultType::kSensorStuck) = {24.0, 600.0, 60.0, 1.0, 1.0, 2};
+    soup.rate(FaultType::kUtilityOutage) = {6.0, 900.0, 120.0, 1.0, 1.0, 1};
+    soup.rate(FaultType::kFlashCrowd) = {12.0, 600.0, 120.0, 1.2, 3.0, 2};
+    const FaultPlan plan = FaultPlan::sampled(soup);
+
+    const StormOutcome out = run_fault_storm(config, plan);
+    ASSERT_TRUE(out.faults_conserved);
+    ASSERT_GE(out.served_requests, 0.0);
+    ASSERT_GE(out.shed_requests, 0.0);
+    ASSERT_GE(out.rerouted_requests, 0.0);
+    ASSERT_GE(out.dropped_requests, 0.0);
+    ASSERT_LE(out.served_requests, out.offered_requests + 1e-6);
+    ASSERT_LE(out.served_requests + out.shed_requests + out.rerouted_requests,
+              out.offered_requests + out.dropped_requests + 1e-6);
+    ASSERT_GE(out.min_state_of_charge, 0.0);
+    ASSERT_LE(out.min_state_of_charge, 1.0);
+    ASSERT_GE(out.max_zone_temp_c, 0.0);
+    ASSERT_GT(out.it_energy_kwh, 0.0);
+  }
+}
+
+// Build a pool of capacity faults (crashes, PSU trips, outages) and run the
+// storm on every prefix: each added fault must hold served load equal or
+// push it down. Sensor faults and surges are excluded by design — surges
+// raise *offered* load, which is a different axis than degradation.
+TEST_P(FaultsProperty, MoreCapacityFaultsNeverServeMoreLoad) {
+  Rng rng(GetParam());
+  StormConfig config = make_reference_storm_config(30);
+  config.horizon_s = 2.0 * 3600.0;
+
+  std::vector<FaultEvent> pool;
+  const FaultType kinds[] = {FaultType::kServerCrash, FaultType::kPsuTrip,
+                             FaultType::kUtilityOutage};
+  for (int i = 0; i < 5; ++i) {
+    FaultEvent event;
+    event.type = kinds[rng.uniform_int(0, 2)];
+    event.start_s = rng.uniform(0.0, config.horizon_s * 0.8);
+    event.duration_s = rng.uniform(300.0, 1800.0);
+    event.target = static_cast<std::size_t>(rng.uniform_int(0, 1));
+    event.severity =
+        event.type == FaultType::kUtilityOutage ? 1.0 : rng.uniform(0.1, 0.5);
+    pool.push_back(event);
+  }
+  // Prefixes grow in start-time order so each plan extends the previous
+  // run's timeline instead of rewriting its past.
+  std::sort(pool.begin(), pool.end(),
+            [](const FaultEvent& a, const FaultEvent& b) {
+              return a.start_s < b.start_s;
+            });
+
+  double prev_served = -1.0;
+  for (std::size_t k = 0; k <= pool.size(); ++k) {
+    const std::vector<FaultEvent> prefix(pool.begin(),
+                                         pool.begin() + static_cast<long>(k));
+    const StormOutcome out =
+        run_fault_storm(config, FaultPlan::scripted(prefix));
+    if (k > 0) {
+      ASSERT_LE(out.served_requests, prev_served + 1e-6)
+          << "adding fault #" << k << " (" << to_string(pool[k - 1].type)
+          << " @" << pool[k - 1].start_s << ") increased served load";
+    }
+    prev_served = out.served_requests;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultsProperty,
+                         ::testing::Values(101, 202, 303));
+
+// Determinism across thread counts: sampling plans and running whole storm
+// sweeps on a ThreadPool must be bit-identical at 1, 2, and 8 threads.
+TEST(FaultsParallelDeterminism, PlanFingerprintsMatchAcrossThreadCounts) {
+  const std::size_t points = 12;
+  std::vector<std::vector<std::uint64_t>> per_threads;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    per_threads.push_back(pool.parallel_map(points, [](std::size_t i) {
+      FaultPlanConfig config;
+      config.horizon_s = 86400.0;
+      config.seed = 1000 + i;
+      config.rate(FaultType::kServerCrash) = {5.0, 900.0, 60.0, 0.1, 0.4, 2};
+      config.rate(FaultType::kUtilityOutage) = {2.0, 900.0, 120.0, 1.0, 1.0, 1};
+      config.rate(FaultType::kFlashCrowd) = {3.0, 600.0, 120.0, 1.5, 2.5, 2};
+      return FaultPlan::sampled(config).fingerprint();
+    }));
+  }
+  EXPECT_EQ(per_threads[0], per_threads[1]);
+  EXPECT_EQ(per_threads[0], per_threads[2]);
+}
+
+TEST(FaultsParallelDeterminism, StormSweepIsBitIdenticalAcrossThreadCounts) {
+  const std::vector<double> intensities = {0.0, 0.5, 1.0, 1.5};
+  StormConfig config = make_reference_storm_config(30);
+  config.horizon_s = 3600.0;
+
+  auto sweep = [&](std::size_t threads) {
+    ThreadPool pool(threads);
+    return pool.parallel_map(intensities.size(), [&](std::size_t i) {
+      const FaultPlan plan = make_storm_plan(intensities[i], config.horizon_s,
+                                             99, config.demand_rps.size(), 1);
+      return run_fault_storm(config, plan);
+    });
+  };
+
+  const auto base = sweep(1);
+  for (const std::size_t threads : {2u, 8u}) {
+    const auto other = sweep(threads);
+    ASSERT_EQ(base.size(), other.size());
+    for (std::size_t i = 0; i < base.size(); ++i) {
+      EXPECT_DOUBLE_EQ(base[i].served_requests, other[i].served_requests);
+      EXPECT_DOUBLE_EQ(base[i].offered_requests, other[i].offered_requests);
+      EXPECT_DOUBLE_EQ(base[i].dropped_requests, other[i].dropped_requests);
+      EXPECT_DOUBLE_EQ(base[i].it_energy_kwh, other[i].it_energy_kwh);
+      EXPECT_DOUBLE_EQ(base[i].mechanical_energy_kwh,
+                       other[i].mechanical_energy_kwh);
+      EXPECT_DOUBLE_EQ(base[i].max_zone_temp_c, other[i].max_zone_temp_c);
+      EXPECT_DOUBLE_EQ(base[i].min_state_of_charge,
+                       other[i].min_state_of_charge);
+      EXPECT_EQ(base[i].brownout_epochs, other[i].brownout_epochs);
+      EXPECT_EQ(base[i].epochs, other[i].epochs);
+      EXPECT_EQ(base[i].decision_counts, other[i].decision_counts);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace epm::faults

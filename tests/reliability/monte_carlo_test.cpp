@@ -88,6 +88,57 @@ TEST(MonteCarloParallel, ThreadsZeroMeansDefault) {
   EXPECT_EQ(defaulted.outage_count, serial.outage_count);
 }
 
+// Regression: a topology so reliable that no replica samples a single
+// failure used to report availability exactly 1.0 with a zero-width
+// confidence interval — certainty the finite horizon cannot support. The
+// Wilson term must keep the interval open below 1.
+TEST(MonteCarlo, ZeroFailuresYieldsOpenConfidenceInterval) {
+  // MTBF of ~11 million years against a 2-year horizon: effectively never
+  // fails inside the simulation.
+  auto block = Block::component({"solid", 1.0e11, 1.0, 0.0});
+  MonteCarloConfig config;
+  config.years = 2.0;
+  config.replicas = 4;
+  const auto result = simulate_availability(block, config);
+  EXPECT_DOUBLE_EQ(result.availability, 1.0);
+  EXPECT_EQ(result.outage_count, 0u);
+  EXPECT_DOUBLE_EQ(result.availability_stddev, 0.0);
+  EXPECT_DOUBLE_EQ(result.ci_hi, 1.0);
+  EXPECT_LT(result.ci_lo, 1.0) << "interval must stay open below 1";
+  EXPECT_GT(result.ci_width(), 0.0);
+  // ...but barely: ~70k simulated hours with zero observed downtime pins
+  // the Wilson bound very close to 1.
+  EXPECT_GT(result.ci_lo, 0.9999);
+}
+
+TEST(MonteCarlo, ConfidenceIntervalContainsAnalytic) {
+  auto block = make_tier_topology(2);
+  MonteCarloConfig config;
+  config.years = 80.0;
+  config.replicas = 8;
+  const auto result = simulate_availability(block, config);
+  const double analytic = block.availability(true);
+  EXPECT_LE(result.ci_lo, analytic);
+  EXPECT_GE(result.ci_hi, analytic);
+  EXPECT_LE(result.ci_lo, result.availability);
+  EXPECT_GE(result.ci_hi, result.availability);
+  EXPECT_GE(result.ci_lo, 0.0);
+  EXPECT_LE(result.ci_hi, 1.0);
+}
+
+TEST(MonteCarloParallel, ConfidenceIntervalBitIdenticalAcrossThreadCounts) {
+  auto block = make_tier_topology(2);
+  MonteCarloConfig config;
+  config.years = 20.0;
+  config.replicas = 12;
+  config.threads = 1;
+  const auto at1 = simulate_availability(block, config);
+  config.threads = 8;
+  const auto at8 = simulate_availability(block, config);
+  EXPECT_DOUBLE_EQ(at1.ci_lo, at8.ci_lo);
+  EXPECT_DOUBLE_EQ(at1.ci_hi, at8.ci_hi);
+}
+
 TEST(MonteCarlo, Validation) {
   auto block = Block::component({"c", 1.0, 1.0, 0.0});
   MonteCarloConfig bad;

@@ -16,6 +16,8 @@
 #include "core/cli_args.h"
 #include "core/table.h"
 #include "core/units.h"
+#include "faults/fault_plan.h"
+#include "faults/storm.h"
 #include "macro/coordinator.h"
 #include "macro/joint_policy.h"
 #include "macro/tiers.h"
@@ -43,6 +45,9 @@ int cmd_help() {
   epmctl replications --rate R --service-ms MS          N independent request-level
                       --servers N [--reps K]            DES replications, pooled
                       [--seed S] [--threads T]          stats + confidence interval
+  epmctl faults       [--intensity X] [--hours H]       fault storm vs. graceful
+                      [--plan SPEC] [--seed S]          degradation (SPEC:
+                      [--servers N] [--no-policy]       "outage@3600+1200;crac:0@...")
 
   --threads T applies to the commands with parallel backends (availability,
   replications); it defaults to the EPM_THREADS environment variable, else
@@ -244,6 +249,9 @@ int cmd_availability(const CliArgs& args) {
             << "  analytic:                   " << fmt_percent(analytic, 3) << "\n"
             << "  Monte Carlo (" << fmt(years, 0) << " yr x " << mc.replicas
             << "): " << fmt_percent(simulated.availability, 3) << "\n"
+            << "  95% CI:                     ["
+            << fmt_percent(simulated.ci_lo, 4) << ", "
+            << fmt_percent(simulated.ci_hi, 4) << "]\n"
             << "  downtime:                   "
             << fmt(reliability::downtime_hours_per_year(analytic), 1) << " h/yr\n";
   return 0;
@@ -280,6 +288,77 @@ int cmd_replications(const CliArgs& args) {
   return 0;
 }
 
+int cmd_faults(const CliArgs& args) {
+  const double intensity = args.get("intensity", 1.0);
+  const double hours = args.get("hours", 6.0);
+  const auto seed = static_cast<std::uint64_t>(args.get("seed", std::int64_t{2009}));
+  const auto servers = static_cast<std::size_t>(args.get("servers", std::int64_t{60}));
+  const std::string plan_spec = args.get("plan", std::string{});
+  const bool no_policy = args.get_switch("no-policy");
+  if (const int rc = check_unused(args)) return rc;
+  if (hours <= 0.0) return fail("--hours must be > 0");
+
+  faults::StormConfig config = faults::make_reference_storm_config(servers);
+  config.horizon_s = hours * 3600.0;
+  const faults::FaultPlan plan =
+      plan_spec.empty()
+          ? faults::make_storm_plan(intensity, config.horizon_s, seed,
+                                    config.demand_rps.size(), 1)
+          : faults::FaultPlan::parse(plan_spec);
+
+  std::cout << "Fault plan (" << plan.size() << " events";
+  if (plan_spec.empty()) std::cout << ", intensity " << fmt(intensity, 1);
+  std::cout << "):\n";
+  for (std::size_t i = 0; i < faults::kFaultTypeCount; ++i) {
+    const auto type = static_cast<faults::FaultType>(i);
+    if (const std::size_t n = plan.count(type)) {
+      std::cout << "  " << faults::to_string(type) << ": " << n << "\n";
+    }
+  }
+
+  Table table({"arm", "served", "shed", "re-routed", "dropped", "brownout",
+               "trip", "max zone", "min SoC"});
+  auto add_arm = [&](const char* name, const faults::StormOutcome& out) {
+    table.add_row(
+        {name,
+         fmt_percent((out.served_requests + out.rerouted_requests) /
+                         out.offered_requests, 1),
+         fmt_percent(out.shed_requests / out.offered_requests, 1),
+         fmt_percent(out.rerouted_requests / out.offered_requests, 1),
+         fmt_percent(out.dropped_requests / out.offered_requests, 1),
+         std::to_string(out.brownout_epochs), std::to_string(out.trip_epochs),
+         fmt(out.max_zone_temp_c, 1) + " C",
+         fmt_percent(out.min_state_of_charge, 0)});
+  };
+
+  config.policy_enabled = false;
+  const auto baseline = faults::run_fault_storm(config, plan);
+  add_arm("uncoordinated", baseline);
+  if (!no_policy) {
+    config.policy_enabled = true;
+    const auto managed = faults::run_fault_storm(config, plan);
+    add_arm("degradation policy", managed);
+    std::cout << table.render();
+    const double gain = (managed.served_requests + managed.rerouted_requests) -
+                        (baseline.served_requests + baseline.rerouted_requests);
+    std::cout << "  policy saved " << fmt(gain, 0)
+              << " requests over the storm ("
+              << (managed.faults_conserved ? "all faults conserved"
+                                           : "CONSERVATION VIOLATED")
+              << ")\n";
+    if (!managed.decision_counts.empty()) {
+      std::cout << "  decisions:";
+      for (const auto& [kind, count] : managed.decision_counts) {
+        std::cout << " " << kind << "=" << count;
+      }
+      std::cout << "\n";
+    }
+  } else {
+    std::cout << table.render();
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -293,6 +372,7 @@ int main(int argc, char** argv) {
     if (cmd == "tiers") return cmd_tiers(args);
     if (cmd == "availability") return cmd_availability(args);
     if (cmd == "replications") return cmd_replications(args);
+    if (cmd == "faults") return cmd_faults(args);
     return fail("unknown command '" + cmd + "' (see 'epmctl help')");
   } catch (const std::exception& e) {
     return fail(e.what());
