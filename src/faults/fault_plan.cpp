@@ -2,6 +2,11 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <iomanip>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 #include <tuple>
@@ -13,7 +18,7 @@ namespace {
 
 const char* kTypeTokens[kFaultTypeCount] = {
     "crash", "psu", "crac", "derate", "sensor-drop", "sensor-stuck",
-    "outage", "surge",
+    "outage", "surge", "sensor-noise", "actuator-fail",
 };
 
 void validate_event(const FaultEvent& event) {
@@ -47,9 +52,70 @@ std::string trim(const std::string& s) {
 }
 
 std::string format_double(double value) {
-  std::ostringstream out;
-  out << value;
-  return out.str();
+  // Shortest representation that parses back to the exact same double, so
+  // to_string() -> parse() round-trips fingerprint-equal even for sampled
+  // plans whose times carry full mantissas.
+  // A "+" inside scientific notation ("2e+06") would collide with the
+  // '+duration' separator on re-parse, so rewrite "e+06" as "e6".
+  const auto normalize = [](std::string text) {
+    const auto e = text.find("e+");
+    if (e != std::string::npos) {
+      std::size_t digits = e + 2;
+      while (digits + 1 < text.size() && text[digits] == '0') ++digits;
+      text = text.substr(0, e + 1) + text.substr(digits);
+    }
+    return text;
+  };
+  std::string best;
+  for (int precision : {6, 15, 16, 17}) {
+    std::ostringstream out;
+    out << std::setprecision(precision) << value;
+    best = normalize(out.str());
+    if (std::strtod(best.c_str(), nullptr) == value) {
+      return best;
+    }
+  }
+  return best;
+}
+
+/// Parses a full token as a finite double; rejects empty tokens, trailing
+/// garbage ("12abc"), inf, and NaN with a message naming the bad token.
+double parse_number(const std::string& raw, const char* field,
+                    const std::string& entry) {
+  const std::string token = trim(raw);
+  if (token.empty()) {
+    throw std::invalid_argument(std::string("fault entry has empty ") + field +
+                                " in '" + entry + "'");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(token.c_str(), &end);
+  if (end != token.c_str() + token.size() || errno == ERANGE ||
+      !std::isfinite(value)) {
+    throw std::invalid_argument(std::string("bad ") + field + " token '" +
+                                token + "' in fault entry '" + entry + "'");
+  }
+  return value;
+}
+
+/// Parses a full token as an unsigned target index; rejects signs, trailing
+/// garbage, and values that overflow std::size_t.
+std::size_t parse_target(const std::string& raw, const std::string& entry) {
+  const std::string token = trim(raw);
+  if (token.empty() ||
+      !std::isdigit(static_cast<unsigned char>(token.front()))) {
+    throw std::invalid_argument("bad target token '" + token +
+                                "' in fault entry '" + entry + "'");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(token.c_str(), &end, 10);
+  if (end != token.c_str() + token.size() || errno == ERANGE ||
+      value > std::numeric_limits<std::size_t>::max()) {
+    throw std::invalid_argument("bad target token '" + token +
+                                "' in fault entry '" + entry + "'");
+  }
+  return static_cast<std::size_t>(value);
 }
 
 }  // namespace
@@ -135,28 +201,48 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
     if (at == std::string::npos) {
       throw std::invalid_argument("fault entry missing '@': " + entry);
     }
+    if (entry.find('@', entry.find('@') + 1) != std::string::npos) {
+      throw std::invalid_argument("fault entry has duplicate '@': '" + entry +
+                                  "'");
+    }
     std::string head = entry.substr(0, at);
     std::string tail = entry.substr(at + 1);
     FaultEvent event;
     const auto colon = head.find(':');
     if (colon != std::string::npos) {
-      event.target = static_cast<std::size_t>(
-          std::stoull(head.substr(colon + 1)));
+      event.target = parse_target(head.substr(colon + 1), entry);
       head = head.substr(0, colon);
     }
-    event.type = fault_type_from_string(trim(head));
+    const std::string type_token = trim(head);
+    if (type_token.empty()) {
+      throw std::invalid_argument("fault entry missing type: '" + entry + "'");
+    }
+    event.type = fault_type_from_string(type_token);
     const auto plus = tail.find('+');
     if (plus == std::string::npos) {
-      throw std::invalid_argument("fault entry missing '+duration': " + entry);
+      throw std::invalid_argument("fault entry missing '+duration': '" + entry +
+                                  "'");
     }
-    event.start_s = std::stod(tail.substr(0, plus));
+    event.start_s = parse_number(tail.substr(0, plus), "start", entry);
     std::string rest = tail.substr(plus + 1);
     const auto x = rest.find('x');
     if (x != std::string::npos) {
-      event.severity = std::stod(rest.substr(x + 1));
+      event.severity = parse_number(rest.substr(x + 1), "severity", entry);
       rest = rest.substr(0, x);
     }
-    event.duration_s = std::stod(rest);
+    event.duration_s = parse_number(rest, "duration", entry);
+    if (event.start_s < 0.0) {
+      throw std::invalid_argument("fault entry start must be >= 0: '" + entry +
+                                  "'");
+    }
+    if (!(event.duration_s > 0.0)) {
+      throw std::invalid_argument("fault entry duration must be > 0: '" +
+                                  entry + "'");
+    }
+    if (event.severity < 0.0) {
+      throw std::invalid_argument("fault entry severity must be >= 0: '" +
+                                  entry + "'");
+    }
     events.push_back(event);
   }
   return scripted(std::move(events));

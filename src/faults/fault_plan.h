@@ -12,7 +12,7 @@
 //   plan     := entry (';' entry)*
 //   entry    := type [':' target] '@' start '+' duration ['x' severity]
 //   type     := crash | psu | crac | derate | sensor-drop | sensor-stuck |
-//               outage | surge
+//               outage | surge | sensor-noise | actuator-fail
 //
 // Times are seconds. Example: "outage@3600+1200;crac:0@7200+1800;
 // surge:1@10000+300x3.0" — a 20-minute utility outage at t=1h, CRAC 0 down

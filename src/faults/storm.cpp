@@ -17,16 +17,12 @@ namespace {
 struct FaultState {
   std::vector<double> crash_frac;     ///< per service: Σ active crash/PSU severities
   std::vector<double> surge_excess;   ///< per service: Σ active (severity - 1)
-  std::vector<int> sensor_dropout;    ///< per service: active dropout count
-  std::vector<int> sensor_stuck;      ///< per service: active stuck-at count
   std::vector<double> crac_derate;    ///< per CRAC: Σ active derate severities
   int outage_active = 0;
 
   FaultState(std::size_t services, std::size_t cracs)
       : crash_frac(services, 0.0),
         surge_excess(services, 0.0),
-        sensor_dropout(services, 0),
-        sensor_stuck(services, 0),
         crac_derate(cracs, 0.0) {}
 
   bool apply(const FaultEvent& event, bool onset) {
@@ -44,12 +40,6 @@ struct FaultState {
         crac_derate[event.target % crac_derate.size()] +=
             sign * std::clamp(event.severity, 0.0, 1.0);
         return true;
-      case FaultType::kSensorDropout:
-        sensor_dropout[event.target % sensor_dropout.size()] += onset ? 1 : -1;
-        return true;
-      case FaultType::kSensorStuck:
-        sensor_stuck[event.target % sensor_stuck.size()] += onset ? 1 : -1;
-        return true;
       case FaultType::kUtilityOutage:
         outage_active += onset ? 1 : -1;
         return true;
@@ -57,6 +47,11 @@ struct FaultState {
         surge_excess[event.target % surge_excess.size()] +=
             sign * std::max(0.0, event.severity - 1.0);
         return true;
+      case FaultType::kSensorDropout:
+      case FaultType::kSensorStuck:
+      case FaultType::kSensorNoise:
+      case FaultType::kActuatorFail:
+        return false;  // the sensing / actuation planes own these
     }
     return false;
   }
@@ -83,7 +78,54 @@ StormOutcome run_fault_storm(const StormConfig& config, const FaultPlan& plan) {
     return state.apply(event, onset);
   });
 
+  // Sensing plane: service channels in per-service fault domains, plant
+  // channels (IT power) in the final domain.
+  sensing::SensorPlaneConfig sensor_config = config.sensors;
+  sensor_config.fault_domains = static_cast<std::uint32_t>(services) + 1;
+  sensing::SensorPlane sensors(sensor_config);
+  sensing::ValidatedEstimator estimator(config.estimator);
+  injector.subscribe([&sensors](const FaultEvent& event, bool onset,
+                                double now_s) {
+    return sensors.on_fault(event, onset, now_s);
+  });
+
   macro::DecisionLog log;
+  sensing::ActuatorPlane actuators(config.actuators);
+  injector.subscribe([&actuators](const FaultEvent& event, bool onset,
+                                  double now_s) {
+    return actuators.on_fault(event, onset, now_s);
+  });
+  actuators.set_logger([&log](double now_s, const std::string& text) {
+    log.record({now_s, macro::DecisionKind::kActuation, "", text});
+  });
+  actuators.set_applier([&facility](const sensing::ActuatorCommand& command) {
+    switch (command.kind) {
+      case sensing::CommandKind::kFleetSize:
+        facility.service(command.target)
+            .set_target_committed(
+                static_cast<std::size_t>(std::llround(command.value)),
+                /*use_sleep=*/false);
+        return true;
+      case sensing::CommandKind::kPstate:
+      case sensing::CommandKind::kPowerCap:
+        facility.service(command.target)
+            .set_uniform_pstate(
+                static_cast<std::size_t>(std::llround(command.value)));
+        return true;
+      case sensing::CommandKind::kCracReturnSetpoint:
+        facility.room().crac(command.target).set_return_setpoint_c(command.value);
+        return true;
+      case sensing::CommandKind::kCracSupply:
+        facility.room().set_crac_auto(command.target, false);
+        facility.room().crac(command.target).set_supply_temp_c(command.value);
+        return true;
+      case sensing::CommandKind::kZoneShare:
+        facility.set_zone_share(command.target, command.values);
+        return true;
+    }
+    return false;
+  });
+
   macro::DegradationPolicy policy(config.policy, services, &log);
   if (config.policy_enabled) {
     injector.subscribe(
@@ -92,6 +134,9 @@ StormOutcome run_fault_storm(const StormConfig& config, const FaultPlan& plan) {
         });
   }
   injector.arm();
+
+  sensing::InvariantMonitor monitor(config.invariants);
+  facility.attach_invariant_monitor(&monitor);
 
   power::UpsBattery battery(config.battery);
   telemetry::TelemetryStore telemetry;
@@ -110,7 +155,6 @@ StormOutcome run_fault_storm(const StormConfig& config, const FaultPlan& plan) {
       facility.service(0).power_model().pstate_count() - 1;
 
   StormOutcome out;
-  std::vector<double> last_sensor_value(services, 0.0);
   double prev_it_power_w = 0.0;
   for (std::size_t s = 0; s < services; ++s) {
     // First-epoch draw estimate: the initially active fleet at idle.
@@ -124,6 +168,7 @@ StormOutcome run_fault_storm(const StormConfig& config, const FaultPlan& plan) {
   for (std::size_t e = 0; e < epochs; ++e) {
     const double t0 = static_cast<double>(e) * epoch_s;
     sim.run_until(t0);
+    actuators.tick(t0);
 
     // 1. Fold the active fault set into the layers.
     for (std::size_t s = 0; s < services; ++s) {
@@ -159,11 +204,15 @@ StormOutcome run_fault_storm(const StormConfig& config, const FaultPlan& plan) {
       if (state.crac_derate[k] <= 0.0) {
         setpoint += action.healthy_setpoint_delta_c;
       }
-      facility.room().crac(k).set_return_setpoint_c(std::max(1.0, setpoint));
+      actuators.issue({sensing::CommandKind::kCracReturnSetpoint, k,
+                       std::max(1.0, setpoint), {}},
+                      t0);
     }
     const std::size_t pstate = action.throttle ? deepest_pstate : 0;
     for (std::size_t s = 0; s < services; ++s) {
-      facility.service(s).set_uniform_pstate(pstate);
+      actuators.issue({sensing::CommandKind::kPstate, s,
+                       static_cast<double>(pstate), {}},
+                      t0);
     }
 
     std::vector<double> local(services, 0.0);
@@ -200,7 +249,9 @@ StormOutcome run_fault_storm(const StormConfig& config, const FaultPlan& plan) {
                             std::min(cl.committed_count(), cl.available_count()));
         }
       }
-      cl.set_target_committed(target, /*use_sleep=*/false);
+      actuators.issue({sensing::CommandKind::kFleetSize, s,
+                       static_cast<double>(target), {}},
+                      t0);
     }
 
     // 6. Advance the cyber-physical plant one epoch.
@@ -215,6 +266,7 @@ StormOutcome run_fault_storm(const StormConfig& config, const FaultPlan& plan) {
     }
     out.min_state_of_charge =
         std::min(out.min_state_of_charge, battery.state_of_charge());
+    monitor.check_scalar("soc-bounds", battery.state_of_charge(), 0.0, 1.0, t0);
 
     // 8. Thermal protective trip.
     if (step.max_zone_temp_c > config.thermal_trip_c) {
@@ -230,7 +282,14 @@ StormOutcome run_fault_storm(const StormConfig& config, const FaultPlan& plan) {
     out.thermal_alarms += step.new_thermal_alarms;
     if (step.power_overloaded) ++out.overload_epochs;
     out.max_zone_temp_c = std::max(out.max_zone_temp_c, step.max_zone_temp_c);
-    prev_it_power_w = step.it_power_w;
+    // The policy's next ride-through estimate comes from the sensed (and
+    // possibly stale or noisy) IT power, not the ground truth.
+    {
+      const auto key = sensing::make_channel(sensing::ChannelKind::kItPower, 0);
+      prev_it_power_w =
+          estimator.update(key, sensors.sample(key, step.it_power_w, t0), t0)
+              .value;
+    }
 
     for (std::size_t s = 0; s < services; ++s) {
       const double dropped = step.services[s].dropped_rate_per_s;
@@ -250,15 +309,19 @@ StormOutcome run_fault_storm(const StormConfig& config, const FaultPlan& plan) {
       }
       if (step.services[s].sla_violated) ++out.sla_violation_epochs;
 
-      // 10. Telemetry path with sensor faults.
+      // 10. Telemetry path: the served-rate counter goes through the
+      // sensing plane, so dropout/stuck/noise faults degrade it exactly as
+      // they degrade the controller's view.
       const auto key = telemetry::make_key(static_cast<std::uint32_t>(s), 0);
-      if (state.sensor_dropout[s] > 0) {
+      const auto readings = sensors.sample(
+          sensing::make_channel(sensing::ChannelKind::kServiceArrival,
+                                static_cast<std::uint32_t>(s)),
+          served, t0);
+      if (!readings.front().valid) {
         telemetry.record_dropout(1);
-      } else if (state.sensor_stuck[s] > 0) {
-        telemetry.append(key, t0, last_sensor_value[s], /*degraded=*/true);
       } else {
-        telemetry.append(key, t0, served);
-        last_sensor_value[s] = served;
+        telemetry.append(key, t0, readings.front().value,
+                         readings.front().degraded);
       }
     }
   }
@@ -275,6 +338,17 @@ StormOutcome run_fault_storm(const StormConfig& config, const FaultPlan& plan) {
   out.faults_handled = injector.handled_count();
   out.faults_cleared = injector.cleared_count();
   out.faults_conserved = injector.conserved();
+  out.sensor_readings = sensors.readings();
+  out.sensor_dropped = sensors.dropped_readings();
+  out.sensor_stuck = sensors.stuck_readings();
+  out.sensor_noisy = sensors.noisy_readings();
+  out.commands_issued = actuators.issued();
+  out.commands_acked = actuators.acked();
+  out.commands_failed = actuators.failed();
+  out.command_retries = actuators.retries();
+  out.invariant_violations = monitor.violation_count();
+  out.invariants_ok = monitor.ok();
+  out.invariant_report = monitor.report();
   out.decision_counts = log.counts_by_kind();
   return out;
 }

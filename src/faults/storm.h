@@ -22,6 +22,10 @@
 #include "macro/degradation.h"
 #include "macro/facility.h"
 #include "power/ups.h"
+#include "sensing/actuator_plane.h"
+#include "sensing/estimator.h"
+#include "sensing/invariants.h"
+#include "sensing/sensor_plane.h"
 
 namespace epm::faults {
 
@@ -42,6 +46,16 @@ struct StormConfig {
   std::size_t trip_lockout_epochs = 5;
   /// Provisioning headroom: fleet sized for demand / (max_util / headroom).
   double provision_headroom = 1.1;
+  /// Sensing plane for telemetry and the policy's IT-power estimate
+  /// (fault_domains is overridden to service_count + 1 by the runner).
+  sensing::SensorPlaneConfig sensors;
+  /// Estimation applied to sensed channels; default raw passthrough.
+  sensing::EstimatorConfig estimator;
+  /// Actuation plane for setpoints, P-states, and provisioning commands;
+  /// default single-attempt, infallible without kActuatorFail faults.
+  sensing::ActuatorPlaneConfig actuators;
+  /// Per-epoch invariant checking of the facility state and UPS SoC.
+  sensing::InvariantMonitorConfig invariants;
 };
 
 struct StormOutcome {
@@ -67,6 +81,17 @@ struct StormOutcome {
   std::size_t faults_handled = 0;
   std::size_t faults_cleared = 0;
   bool faults_conserved = false;
+  std::uint64_t sensor_readings = 0;
+  std::uint64_t sensor_dropped = 0;
+  std::uint64_t sensor_stuck = 0;
+  std::uint64_t sensor_noisy = 0;
+  std::uint64_t commands_issued = 0;
+  std::uint64_t commands_acked = 0;
+  std::uint64_t commands_failed = 0;
+  std::uint64_t command_retries = 0;
+  std::size_t invariant_violations = 0;
+  bool invariants_ok = true;
+  std::string invariant_report;
   std::map<std::string, std::size_t> decision_counts;
 
   double served_fraction() const {

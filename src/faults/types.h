@@ -22,9 +22,11 @@ enum class FaultType {
   kSensorStuck,      ///< a service's telemetry sensor repeats its last value
   kUtilityOutage,    ///< utility feed lost; UPS battery ride-through
   kFlashCrowd,       ///< login-storm demand surge on one service
+  kSensorNoise,      ///< a sensing domain's readings gain Gaussian noise
+  kActuatorFail,     ///< actuation commands fail with probability = severity
 };
 
-inline constexpr std::size_t kFaultTypeCount = 8;
+inline constexpr std::size_t kFaultTypeCount = 10;
 
 /// Short stable token, e.g. "crash", "outage", "surge"; used by the
 /// FaultPlan text syntax and by reports.

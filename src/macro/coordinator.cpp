@@ -11,14 +11,38 @@
 
 namespace epm::macro {
 
-MacroResourceManager::MacroResourceManager(Facility& facility, MacroManagerConfig config)
-    : facility_(facility), config_(config) {
+MacroResourceManager::MacroResourceManager(Facility& facility,
+                                           MacroManagerConfig config,
+                                           sensing::SensorPlane* sensors,
+                                           sensing::ActuatorPlane* actuators)
+    : facility_(facility), config_(config), estimator_(config.estimator) {
   require(config_.coordinate_every_epochs >= 1,
           "MacroResourceManager: coordination cadence must be >= 1 epoch");
   require(config_.zone_margin_c >= 0.0, "MacroResourceManager: negative zone margin");
   require(config_.placement_trigger_margin_c >= 0.0 &&
               config_.placement_trigger_margin_c <= config_.zone_margin_c,
           "MacroResourceManager: placement trigger must be within the zone margin");
+  if (sensors == nullptr) {
+    // Exact plane: one sensor per channel, no noise, no quantization.
+    sensing::SensorPlaneConfig exact;
+    exact.fault_domains =
+        static_cast<std::uint32_t>(facility_.service_count()) + 1;
+    owned_sensors_ = std::make_unique<sensing::SensorPlane>(exact);
+    sensors = owned_sensors_.get();
+  }
+  if (actuators == nullptr) {
+    owned_actuators_ =
+        std::make_unique<sensing::ActuatorPlane>(sensing::ActuatorPlaneConfig{});
+    actuators = owned_actuators_.get();
+  }
+  sensors_ = sensors;
+  actuators_ = actuators;
+  actuators_->set_applier([this](const sensing::ActuatorCommand& command) {
+    return apply_command(command);
+  });
+  actuators_->set_logger([this](double now_s, const std::string& text) {
+    log_.record({now_s, DecisionKind::kActuation, "", text});
+  });
   for (std::size_t i = 0; i < facility_.service_count(); ++i) {
     predictors_.emplace_back(config_.predictor);
     last_arrival_rate_.push_back(0.0);
@@ -29,23 +53,85 @@ MacroResourceManager::MacroResourceManager(Facility& facility, MacroManagerConfi
   }
 }
 
+sensing::Estimate MacroResourceManager::estimate(sensing::ChannelKind kind,
+                                                 std::uint32_t index,
+                                                 double truth, double now_s) {
+  const sensing::ChannelKey key = sensing::make_channel(kind, index);
+  return estimator_.update(key, sensors_->sample(key, truth, now_s), now_s);
+}
+
+bool MacroResourceManager::apply_command(const sensing::ActuatorCommand& command) {
+  switch (command.kind) {
+    case sensing::CommandKind::kFleetSize:
+      facility_.service(command.target)
+          .set_target_committed(
+              static_cast<std::size_t>(std::llround(command.value)),
+              config_.use_sleep_states);
+      return true;
+    case sensing::CommandKind::kPstate:
+    case sensing::CommandKind::kPowerCap:
+      facility_.service(command.target)
+          .set_uniform_pstate(
+              static_cast<std::size_t>(std::llround(command.value)));
+      return true;
+    case sensing::CommandKind::kCracSupply:
+      facility_.room().set_crac_auto(command.target, false);
+      facility_.room().crac(command.target).set_supply_temp_c(command.value);
+      return true;
+    case sensing::CommandKind::kCracReturnSetpoint:
+      facility_.room().crac(command.target).set_return_setpoint_c(command.value);
+      return true;
+    case sensing::CommandKind::kZoneShare:
+      facility_.set_zone_share(command.target, command.values);
+      return true;
+  }
+  return false;
+}
+
+void MacroResourceManager::issue(sensing::CommandKind kind, std::size_t target,
+                                 double value, std::vector<double> values) {
+  sensing::ActuatorCommand command;
+  command.kind = kind;
+  command.target = target;
+  command.value = value;
+  command.values = std::move(values);
+  actuators_->issue(command, facility_.now_s());
+}
+
 FacilityStep MacroResourceManager::step(const std::vector<double>& demand_per_service,
                                         double outside_c) {
+  actuators_->tick(facility_.now_s());
   if (epoch_count_ % config_.coordinate_every_epochs == 0) coordinate();
   ++epoch_count_;
 
   FacilityStep result = facility_.step(demand_per_service, outside_c);
+  max_estimate_age_s_ = 0.0;
   for (std::size_t i = 0; i < result.services.size(); ++i) {
     const auto& r = result.services[i];
-    predictors_[i].observe(r.time_s, r.arrival_rate_per_s);
-    last_arrival_rate_[i] = r.arrival_rate_per_s;
-    last_service_demand_s_[i] = r.service_demand_s;
+    const auto index = static_cast<std::uint32_t>(i);
+    const sensing::Estimate arrival = estimate(
+        sensing::ChannelKind::kServiceArrival, index, r.arrival_rate_per_s,
+        r.time_s);
+    const sensing::Estimate demand = estimate(
+        sensing::ChannelKind::kServiceDemand, index, r.service_demand_s,
+        r.time_s);
+    predictors_[i].observe(r.time_s, arrival.value);
+    last_arrival_rate_[i] = arrival.value;
+    last_service_demand_s_[i] = demand.value;
+    max_estimate_age_s_ =
+        std::max({max_estimate_age_s_, arrival.age_s, demand.age_s});
   }
   return result;
 }
 
 void MacroResourceManager::coordinate() {
   const double now = facility_.now_s();
+
+  // Stale sensing buys wider safety margins: the multiplier is exactly 1
+  // at age 0, so fresh data reproduces the unwidened decisions bit-for-bit.
+  const double demand_margin_sigmas =
+      config_.demand_margin_sigmas *
+      estimator_.margin_multiplier(max_estimate_age_s_);
 
   // --- 1+2: joint fleet sizing + DVFS per service, from predicted demand.
   double predicted_it_power = 0.0;
@@ -64,15 +150,17 @@ void MacroResourceManager::coordinate() {
     }
     const double lead_s = model.config().boot_time_s + facility_.epoch_s();
     double predicted = predictors_[i].predict(now + lead_s) +
-                       config_.demand_margin_sigmas * predictors_[i].residual_stddev();
+                       demand_margin_sigmas * predictors_[i].residual_stddev();
     predicted = std::max(predicted, 0.0);
 
     const auto decision = decide_joint(
         model, svc.server_count(), svc.committed_count(), predicted,
         last_service_demand_s_[i], svc.config().sla.target_mean_response_s,
         config_.joint);
-    svc.set_target_committed(decision.servers, config_.use_sleep_states);
-    svc.set_uniform_pstate(decision.pstate);
+    issue(sensing::CommandKind::kFleetSize, i,
+          static_cast<double>(decision.servers));
+    issue(sensing::CommandKind::kPstate, i,
+          static_cast<double>(decision.pstate));
     chosen_pstate_[i] = decision.pstate;
     per_service_power[i] = decision.predicted_power_w;
     predicted_it_power += decision.predicted_power_w;
@@ -112,7 +200,7 @@ void MacroResourceManager::coordinate() {
         predicted_it_power -= before - after;
         per_service_power[i] = after;
       }
-      svc.set_uniform_pstate(p);
+      issue(sensing::CommandKind::kPowerCap, i, static_cast<double>(p));
       chosen_pstate_[i] = p;
     }
     std::ostringstream detail;
@@ -121,8 +209,20 @@ void MacroResourceManager::coordinate() {
     log_.record({now, DecisionKind::kPowerCapping, "", detail.str()});
   }
 
-  // --- 4: cooling control from server-side heat knowledge.
+  // --- 4: cooling control from server-side heat knowledge. Zone
+  // temperatures are sensed, not read: a stale estimate widens the margin.
   auto& room = facility_.room();
+  std::vector<double> zone_temp_est(room.zone_count(), 0.0);
+  double zone_age_s = 0.0;
+  for (std::size_t z = 0; z < room.zone_count(); ++z) {
+    const sensing::Estimate est =
+        estimate(sensing::ChannelKind::kZoneTemp, static_cast<std::uint32_t>(z),
+                 room.zone(z).temperature_c(), now);
+    zone_temp_est[z] = est.value;
+    zone_age_s = std::max(zone_age_s, est.age_s);
+  }
+  const double zone_margin_c =
+      config_.zone_margin_c * estimator_.margin_multiplier(zone_age_s);
   std::vector<double> zone_heat(room.zone_count(), 0.0);
   for (std::size_t i = 0; i < facility_.service_count(); ++i) {
     const auto& share = facility_.zone_share(i);
@@ -138,14 +238,13 @@ void MacroResourceManager::coordinate() {
     double required_supply = crac.config().max_supply_c;
     for (std::size_t z = 0; z < room.zone_count(); ++z) {
       const auto& zone = room.zone(z);
-      const double limit_c = zone.config().alarm_temp_c - config_.zone_margin_c;
+      const double limit_c = zone.config().alarm_temp_c - zone_margin_c;
       const double supply_c = limit_c - zone_heat[z] / zone.config().conductance_w_per_c;
       required_supply = std::min(required_supply, supply_c);
     }
     required_supply =
         std::clamp(required_supply, crac.config().min_supply_c, crac.config().max_supply_c);
-    room.set_crac_auto(k, false);
-    crac.set_supply_temp_c(required_supply);
+    issue(sensing::CommandKind::kCracSupply, k, required_supply);
     log_.record({now, DecisionKind::kCoolingControl, crac.config().name,
                  "supply=" + fmt(required_supply, 1) + "C"});
   }
@@ -182,10 +281,11 @@ void MacroResourceManager::coordinate() {
     }
   }
 
-  // --- 5: placement: shift heat away from zones already near their limit.
+  // --- 5: placement: shift heat away from zones already near their limit,
+  // judged from the sensed temperature estimates.
   for (std::size_t z = 0; z < room.zone_count(); ++z) {
     const auto& zone = room.zone(z);
-    if (zone.temperature_c() <=
+    if (zone_temp_est[z] <=
         zone.config().alarm_temp_c - config_.placement_trigger_margin_c) {
       continue;
     }
@@ -199,7 +299,7 @@ void MacroResourceManager::coordinate() {
       for (std::size_t other = 0; other < share.size(); ++other) {
         if (other != z) share[other] += per_other;
       }
-      facility_.set_zone_share(i, share);
+      issue(sensing::CommandKind::kZoneShare, i, 0.0, share);
       log_.record({now, DecisionKind::kPlacement, facility_.service_name(i),
                    "shifted 20% of heat out of hot zone " + std::to_string(z)});
     }

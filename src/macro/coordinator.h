@@ -20,12 +20,16 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "macro/decision_log.h"
 #include "macro/facility.h"
 #include "macro/joint_policy.h"
 #include "onoff/predictor.h"
+#include "sensing/actuator_plane.h"
+#include "sensing/estimator.h"
+#include "sensing/sensor_plane.h"
 
 namespace epm::macro {
 
@@ -49,28 +53,56 @@ struct MacroManagerConfig {
   /// Estimated mechanical fraction used when budgeting (before the plant
   /// reacts); the critical budget is what the UPS actually limits.
   bool use_sleep_states = true;
+  /// Validation/estimation applied to every sensed channel. The default is
+  /// an exact raw passthrough, so the manager's decisions are bit-identical
+  /// to direct ground-truth reads until hardening is enabled.
+  sensing::EstimatorConfig estimator;
 };
 
+/// The manager never touches ground truth directly: every observation goes
+/// through a SensorPlane + ValidatedEstimator, and every command (fleet
+/// size, P-state, CRAC setpoint, power cap, zone share) is issued through an
+/// ActuatorPlane. Pass external planes to subject the manager to sensor and
+/// actuator faults; by default it owns exact, infallible planes.
 class MacroResourceManager {
  public:
-  MacroResourceManager(Facility& facility, MacroManagerConfig config = {});
+  MacroResourceManager(Facility& facility, MacroManagerConfig config = {},
+                       sensing::SensorPlane* sensors = nullptr,
+                       sensing::ActuatorPlane* actuators = nullptr);
 
-  /// One epoch: coordinate if due, then advance the facility.
+  /// One epoch: retry pending actuations, coordinate if due, then advance
+  /// the facility.
   FacilityStep step(const std::vector<double>& demand_per_service, double outside_c);
 
   const DecisionLog& log() const { return log_; }
   std::size_t capping_epochs() const { return capping_epochs_; }
+  const sensing::ValidatedEstimator& estimator() const { return estimator_; }
+  const sensing::ActuatorPlane& actuators() const { return *actuators_; }
+  /// Oldest accepted-data age across the service channels as of the last
+  /// step; drives the staleness margin widening.
+  double max_estimate_age_s() const { return max_estimate_age_s_; }
 
  private:
   void coordinate();
+  sensing::Estimate estimate(sensing::ChannelKind kind, std::uint32_t index,
+                             double truth, double now_s);
+  bool apply_command(const sensing::ActuatorCommand& command);
+  void issue(sensing::CommandKind kind, std::size_t target, double value,
+             std::vector<double> values = {});
 
   Facility& facility_;
   MacroManagerConfig config_;
   DecisionLog log_;
+  std::unique_ptr<sensing::SensorPlane> owned_sensors_;
+  std::unique_ptr<sensing::ActuatorPlane> owned_actuators_;
+  sensing::SensorPlane* sensors_ = nullptr;
+  sensing::ActuatorPlane* actuators_ = nullptr;
+  sensing::ValidatedEstimator estimator_;
   std::vector<onoff::SeasonalPredictor> predictors_;
   std::vector<double> last_arrival_rate_;
   std::vector<double> last_service_demand_s_;
   std::vector<std::size_t> chosen_pstate_;
+  double max_estimate_age_s_ = 0.0;
   std::size_t epoch_count_ = 0;
   std::size_t capping_epochs_ = 0;
 };

@@ -20,6 +20,7 @@ enum class DecisionKind {
   kLoadBalancing,
   kRiskAlert,
   kLoadShedding,      ///< graceful degradation under faults
+  kActuation,         ///< actuator-plane retries / failures / timeouts
 };
 
 std::string to_string(DecisionKind kind);
@@ -73,6 +74,8 @@ inline std::string to_string(DecisionKind kind) {
       return "risk-alert";
     case DecisionKind::kLoadShedding:
       return "load-shedding";
+    case DecisionKind::kActuation:
+      return "actuation";
   }
   return "?";
 }

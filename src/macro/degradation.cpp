@@ -56,7 +56,10 @@ bool DegradationPolicy::on_fault(const faults::FaultEvent& event, bool onset,
       return true;
     case faults::FaultType::kSensorDropout:
     case faults::FaultType::kSensorStuck:
-      return false;  // telemetry layer's problem, not the coordinator's
+    case faults::FaultType::kSensorNoise:
+      return false;  // the sensing plane's problem, not the coordinator's
+    case faults::FaultType::kActuatorFail:
+      return false;  // the actuator plane retries; nothing to shed for
   }
   return false;
 }

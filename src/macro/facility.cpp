@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/require.h"
+#include "sensing/invariants.h"
 
 namespace epm::macro {
 
@@ -131,7 +132,36 @@ FacilityStep Facility::step(const std::vector<double>& demand_per_service,
   mech_energy_j_ += out.mechanical_power_w * config_.epoch_s;
   now_s_ += config_.epoch_s;
   ++epochs_run_;
+  for (const auto& observer : observers_) {
+    observer(out);
+  }
   return out;
+}
+
+void Facility::add_step_observer(StepObserver observer) {
+  require(static_cast<bool>(observer), "Facility: null step observer");
+  observers_.push_back(std::move(observer));
+}
+
+void Facility::attach_invariant_monitor(sensing::InvariantMonitor* monitor) {
+  require(monitor != nullptr, "Facility: null invariant monitor");
+  add_step_observer([this, monitor](const FacilityStep& step) {
+    sensing::InvariantInputs in;
+    in.time_s = step.time_s;
+    in.it_power_w = step.it_power_w;
+    in.mechanical_power_w = step.mechanical_power_w;
+    in.utility_draw_w = step.utility_draw_w;
+    in.pue = step.pue;
+    in.max_zone_temp_c = step.max_zone_temp_c;
+    for (std::size_t z = 0; z < room_.zone_count(); ++z) {
+      in.zone_temps_c.push_back(room_.zone(z).temperature_c());
+    }
+    for (const auto& r : step.services) {
+      in.arrival_rate_per_s.push_back(r.arrival_rate_per_s);
+      in.dropped_rate_per_s.push_back(r.dropped_rate_per_s);
+    }
+    monitor->check(in);
+  });
 }
 
 std::size_t Facility::total_sla_violation_epochs() const {

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -13,6 +14,10 @@
 #include "thermal/cooling_plant.h"
 #include "thermal/room.h"
 #include "workload/request_model.h"
+
+namespace epm::sensing {
+class InvariantMonitor;
+}
 
 namespace epm::macro {
 
@@ -74,6 +79,15 @@ class Facility {
   /// plant and power tree.
   FacilityStep step(const std::vector<double>& demand_per_service, double outside_c);
 
+  /// Called after every step with the completed step result.
+  using StepObserver = std::function<void(const FacilityStep&)>;
+  void add_step_observer(StepObserver observer);
+
+  /// Registers a step observer that feeds every epoch's state (power tree,
+  /// PUE, per-service request accounting, zone temperatures) into the
+  /// runtime invariant monitor. The monitor must outlive the facility.
+  void attach_invariant_monitor(sensing::InvariantMonitor* monitor);
+
   /// Cumulative totals.
   double total_it_energy_j() const { return it_energy_j_; }
   double total_mechanical_energy_j() const { return mech_energy_j_; }
@@ -91,6 +105,7 @@ class Facility {
   power::Tier2Topology topology_;
   thermal::MachineRoom room_;
   thermal::CoolingPlant plant_;
+  std::vector<StepObserver> observers_;
   double now_s_ = 0.0;
   double it_energy_j_ = 0.0;
   double mech_energy_j_ = 0.0;

@@ -5,9 +5,11 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/require.h"
 #include "core/units.h"
 #include "macro/coordinator.h"
 #include "macro/uncoordinated.h"
+#include "sensing/invariants.h"
 #include "power/distribution.h"
 #include "power/psu.h"
 #include "thermal/cooling_plant.h"
@@ -243,6 +245,11 @@ struct Fig4Outcome {
 template <typename Stack>
 Fig4Outcome fig4_run_week(macro::Facility& facility, Stack& stack,
                           const TimeSeries& demand_level) {
+  // Every fig4 epoch is checked against the runtime physical invariants
+  // (energy conservation, served <= offered, temperature bounds, PUE floor).
+  // The monitor is scoped to this run; no caller steps the facility again.
+  sensing::InvariantMonitor monitor;
+  facility.attach_invariant_monitor(&monitor);
   Fig4Outcome out;
   double pue_sum = 0.0;
   double servers_sum = 0.0;
@@ -262,6 +269,8 @@ Fig4Outcome fig4_run_week(macro::Facility& facility, Stack& stack,
   out.mean_pue = pue_sum / epochs;
   out.alarms = facility.total_thermal_alarms();
   out.mean_servers = servers_sum / epochs / 2.0;
+  require(monitor.ok(),
+          "fig4: runtime invariant violated:\n" + monitor.report());
   return out;
 }
 

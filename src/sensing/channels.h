@@ -1,0 +1,83 @@
+// Typed sensing channels shared by the SensorPlane and the estimator.
+//
+// Every ground-truth quantity a controller may observe is addressed by a
+// (kind, index) channel key: per-service arrival rate and service demand,
+// per-zone temperature, and facility IT power. Channels map onto fault
+// domains so that one sensor fault (dropout, stuck-at, noise) degrades a
+// coherent slice of the sensing plane: service channels share the service's
+// domain, while plant-side channels (zone temperature, IT power) share a
+// dedicated final domain. The paper (§5.3) stresses that this plane is huge
+// and unreliable; the estimator's plausibility bounds below are what stands
+// between a wild reading and a wild actuation.
+#pragma once
+
+#include <cstdint>
+
+namespace epm::sensing {
+
+enum class ChannelKind : std::uint32_t {
+  kServiceArrival = 0,  ///< per-service offered arrival rate (req/s)
+  kServiceDemand,       ///< per-service mean service demand (s/req)
+  kZoneTemp,            ///< per-zone inlet temperature (degC)
+  kItPower,             ///< facility IT power draw (W)
+};
+
+/// Packed (kind, index) channel address.
+using ChannelKey = std::uint64_t;
+
+constexpr ChannelKey make_channel(ChannelKind kind, std::uint32_t index) {
+  return (static_cast<std::uint64_t>(kind) << 32) | index;
+}
+
+constexpr ChannelKind kind_of(ChannelKey key) {
+  return static_cast<ChannelKind>(key >> 32);
+}
+
+constexpr std::uint32_t index_of(ChannelKey key) {
+  return static_cast<std::uint32_t>(key & 0xffffffffULL);
+}
+
+/// Fault-domain mapping: service channels live in the domain of their
+/// service index; plant channels (zone temperature, IT power) share the
+/// last domain. Fault targets are reduced modulo `fault_domains`.
+constexpr std::uint32_t domain_of(ChannelKey key, std::uint32_t fault_domains) {
+  if (fault_domains == 0) {
+    return 0;
+  }
+  const ChannelKind kind = kind_of(key);
+  if (kind == ChannelKind::kZoneTemp || kind == ChannelKind::kItPower) {
+    return fault_domains - 1;
+  }
+  return index_of(key) % fault_domains;
+}
+
+/// Static plausibility envelope for a channel kind, used by the validated
+/// estimator's range and rate-of-change gates. Deliberately generous: the
+/// gates exist to reject physically impossible readings, not to second-guess
+/// legitimate dynamics like flash crowds.
+struct ChannelBounds {
+  double lo = 0.0;
+  double hi = 1e30;
+  double max_rate_per_s = 1e30;  ///< |dv/dt| ceiling between accepted samples
+  /// Whether bit-identical repeated readings indicate a stuck sensor. Only
+  /// meaningful for channels whose truth genuinely varies; a quasi-constant
+  /// truth (per-request service demand) legitimately repeats bit-for-bit on
+  /// a noiseless sensor and must not be declared stuck.
+  bool stuck_detect = true;
+};
+
+constexpr ChannelBounds default_bounds(ChannelKind kind) {
+  switch (kind) {
+    case ChannelKind::kServiceArrival:
+      return {0.0, 1e7, 1e4, true};  // req/s; surges ramp fast but not infinitely
+    case ChannelKind::kServiceDemand:
+      return {0.0, 100.0, 10.0, false};  // s/req; legitimately constant
+    case ChannelKind::kZoneTemp:
+      return {-20.0, 90.0, 2.0, true};  // degC; thermal mass limits slew
+    case ChannelKind::kItPower:
+      return {0.0, 1e9, 1e7, true};  // W
+  }
+  return {};
+}
+
+}  // namespace epm::sensing

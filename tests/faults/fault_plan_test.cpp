@@ -65,6 +65,115 @@ TEST(FaultPlan, ParseRejectsMalformedEntries) {
   EXPECT_THROW(FaultPlan::parse("meteor@0+60"), std::invalid_argument);
 }
 
+// Fuzz-style malformed-input corpus: every entry must be rejected with a
+// std::invalid_argument whose message contains the expected fragment —
+// usually the offending token itself — so a bad plan string is diagnosable
+// from the exception alone.
+TEST(FaultPlan, ParseNamesTheBadTokenForEveryMalformedEntry) {
+  struct Case {
+    const char* spec;
+    const char* needle;  // must appear in the exception message
+  };
+  const Case corpus[] = {
+      // Structural damage.
+      {"outage@100+60@200", "duplicate '@'"},
+      {"crash:0@@100+60", "duplicate '@'"},
+      {"@100+60", "missing type"},
+      {":0@100+60", "missing type"},
+      {"outage@", "missing '+duration'"},
+      {"crash:0@100", "missing '+duration'"},
+      // Truncated numeric tokens.
+      {"crash:0@+60", "empty start"},
+      {"crash:0@100+", "empty duration"},
+      {"crash:0@100+60x", "empty severity"},
+      // Non-numeric and non-finite values.
+      {"crash:0@12abc+60", "'12abc'"},
+      {"crash:0@nan+60", "'nan'"},
+      {"crash:0@inf+60", "'inf'"},
+      {"crash:0@1e400+60", "'1e400'"},  // overflows to +inf
+      {"crash:0@100+nan", "'nan'"},
+      {"crash:0@100+60xabc", "'abc'"},
+      // Out-of-domain values.
+      {"crash:0@-5+60", "start must be >= 0"},
+      {"crash:0@100+-60", "duration must be > 0"},
+      {"crash:0@100+0", "duration must be > 0"},
+      {"crash:0@100+60x-1", "severity must be >= 0"},
+      // Broken target indices.
+      {"crash:@100+60", "bad target token"},
+      {"crash:-1@100+60", "'-1'"},
+      {"crash:1e3@100+60", "'1e3'"},
+      {"crash:7up@100+60", "'7up'"},
+      {"crash:99999999999999999999999@100+60", "bad target token"},
+      // Unknown types.
+      {"meteor@0+60", "meteor"},
+      {"sensor-dropp@0+60", "sensor-dropp"},
+  };
+  for (const auto& c : corpus) {
+    try {
+      (void)FaultPlan::parse(c.spec);
+      FAIL() << "accepted malformed spec: " << c.spec;
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(c.needle), std::string::npos)
+          << "spec '" << c.spec << "' threw '" << e.what()
+          << "' which does not mention '" << c.needle << "'";
+    }
+  }
+}
+
+// Whitespace and empty entries are tolerated, not errors.
+TEST(FaultPlan, ParseToleratesWhitespaceAndEmptyEntries) {
+  const FaultPlan plan =
+      FaultPlan::parse(" outage@100+60 ; ;; crash : 1 @ 10 + 30 x 0.5 ");
+  ASSERT_EQ(plan.size(), 2u);
+  EXPECT_EQ(plan.events()[0].type, FaultType::kServerCrash);
+  EXPECT_EQ(plan.events()[0].target, 1u);
+  EXPECT_DOUBLE_EQ(plan.events()[0].severity, 0.5);
+  EXPECT_TRUE(FaultPlan::parse("").empty());
+  EXPECT_TRUE(FaultPlan::parse(" ; ; ").empty());
+}
+
+// Property: format -> parse -> fingerprint is the identity for any valid
+// plan, including the sensing/actuation fault types and doubles whose
+// default formatting is awkward (1e+06 collides with the '+' separator,
+// 17-significant-digit values need full round-trip precision).
+TEST(FaultPlan, FormatParseFingerprintRoundTripsEveryTypeAndAwkwardDoubles) {
+  std::vector<FaultEvent> events;
+  for (std::size_t i = 0; i < epm::faults::kFaultTypeCount; ++i) {
+    events.push_back({static_cast<FaultType>(i), 1e6 + 7.0 * i,
+                      600.0 + 0.1 * i, i, 0.25 + 0.05 * i});
+  }
+  events.push_back(
+      {FaultType::kSensorNoise, 0.1234567890123456789, 2e6, 3, 1e-9});
+  events.push_back({FaultType::kActuatorFail, 3.0e7, 86400.0 / 3.0, 1, 0.97});
+  const FaultPlan plan = FaultPlan::scripted(events);
+
+  const FaultPlan again = FaultPlan::parse(plan.to_string());
+  EXPECT_EQ(again.fingerprint(), plan.fingerprint());
+  ASSERT_EQ(again.size(), plan.size());
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    EXPECT_EQ(again.events()[i].start_s, plan.events()[i].start_s);
+    EXPECT_EQ(again.events()[i].duration_s, plan.events()[i].duration_s);
+    EXPECT_EQ(again.events()[i].severity, plan.events()[i].severity);
+  }
+
+  // Sampled plans across several seeds round-trip too: the plan text is a
+  // faithful serialization, not an approximation.
+  for (const std::uint64_t seed : {1ull, 2009ull, 0xdeadbeefull}) {
+    FaultPlanConfig config;
+    config.horizon_s = 7.0 * 86400.0;
+    config.seed = seed;
+    for (std::size_t i = 0; i < epm::faults::kFaultTypeCount; ++i) {
+      config.rates[i] = {2.0 + static_cast<double>(i), 900.0, 60.0,
+                         0.05, 0.95, 3};
+    }
+    const FaultPlan sampled = FaultPlan::sampled(config);
+    ASSERT_FALSE(sampled.empty());
+    EXPECT_EQ(FaultPlan::parse(sampled.to_string()).fingerprint(),
+              sampled.fingerprint())
+        << "seed " << seed;
+  }
+}
+
 TEST(FaultPlan, SampledIsDeterministicInSeed) {
   FaultPlanConfig config;
   config.horizon_s = 7.0 * 86400.0;

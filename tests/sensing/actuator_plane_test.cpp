@@ -1,0 +1,213 @@
+#include "sensing/actuator_plane.h"
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "faults/types.h"
+
+namespace {
+
+using epm::faults::FaultEvent;
+using epm::faults::FaultType;
+using epm::sensing::ActuatorCommand;
+using epm::sensing::ActuatorPlane;
+using epm::sensing::ActuatorPlaneConfig;
+using epm::sensing::CommandKind;
+
+ActuatorCommand fleet_command(std::size_t target, double value) {
+  return {CommandKind::kFleetSize, target, value, {}};
+}
+
+TEST(SensingActuatorPlane, AppliesSynchronouslyWhenHealthy) {
+  ActuatorPlane plane(ActuatorPlaneConfig{});
+  std::vector<double> applied;
+  plane.set_applier([&applied](const ActuatorCommand& command) {
+    applied.push_back(command.value);
+    return true;
+  });
+  plane.issue(fleet_command(0, 10.0), 0.0);
+  plane.issue(fleet_command(0, 12.0), 60.0);
+  ASSERT_EQ(applied.size(), 2u);
+  EXPECT_DOUBLE_EQ(applied[0], 10.0);
+  EXPECT_DOUBLE_EQ(applied[1], 12.0);
+  EXPECT_EQ(plane.acked(), 2u);
+  EXPECT_EQ(plane.failed(), 0u);
+  EXPECT_EQ(plane.pending_count(), 0u);
+}
+
+TEST(SensingActuatorPlane, RejectsInvalidConfig) {
+  ActuatorPlaneConfig config;
+  config.max_attempts = 0;
+  EXPECT_THROW(ActuatorPlane{config}, std::invalid_argument);
+  config = {};
+  config.retry_backoff_s = 0.0;
+  EXPECT_THROW(ActuatorPlane{config}, std::invalid_argument);
+  config = {};
+  config.backoff_multiplier = 0.5;
+  EXPECT_THROW(ActuatorPlane{config}, std::invalid_argument);
+}
+
+TEST(SensingActuatorPlane, FaultDomainScopesFailuresToOneControlNetwork) {
+  ActuatorPlane plane(ActuatorPlaneConfig{});
+  // Cooling/BMS network (domain 1) down hard; compute network untouched.
+  const FaultEvent fault{FaultType::kActuatorFail, 0.0, 600.0, 1, 1.0};
+  EXPECT_TRUE(plane.on_fault(fault, true, 0.0));
+  EXPECT_DOUBLE_EQ(plane.failure_probability(CommandKind::kCracSupply), 1.0);
+  EXPECT_DOUBLE_EQ(plane.failure_probability(CommandKind::kZoneShare), 1.0);
+  EXPECT_DOUBLE_EQ(plane.failure_probability(CommandKind::kFleetSize), 0.0);
+  EXPECT_DOUBLE_EQ(plane.failure_probability(CommandKind::kPstate), 0.0);
+
+  EXPECT_TRUE(plane.on_fault(fault, false, 600.0));
+  EXPECT_EQ(plane.failure_probability(CommandKind::kCracSupply), 0.0);
+}
+
+TEST(SensingActuatorPlane, CertainFailureExhaustsAttemptsThenFails) {
+  ActuatorPlaneConfig config;
+  config.max_attempts = 3;
+  config.retry_backoff_s = 60.0;
+  ActuatorPlane plane(config);
+  int applied = 0;
+  plane.set_applier([&applied](const ActuatorCommand&) {
+    ++applied;
+    return true;
+  });
+  std::vector<std::string> lines;
+  plane.set_logger(
+      [&lines](double, const std::string& text) { lines.push_back(text); });
+
+  const FaultEvent fault{FaultType::kActuatorFail, 0.0, 3600.0, 0, 1.0};
+  plane.on_fault(fault, true, 0.0);
+  plane.issue(fleet_command(0, 10.0), 0.0);
+  EXPECT_EQ(plane.pending_count(), 1u);  // first attempt failed, queued
+
+  // Drive time forward until all attempts are spent.
+  for (double t = 60.0; t <= 600.0; t += 60.0) {
+    plane.tick(t);
+  }
+  EXPECT_EQ(applied, 0);
+  EXPECT_EQ(plane.failed(), 1u);
+  EXPECT_EQ(plane.retries(), 2u);  // attempts 2 and 3 were retries
+  EXPECT_EQ(plane.pending_count(), 0u);
+  ASSERT_GE(lines.size(), 3u);
+  EXPECT_NE(lines.back().find("failed fleet-size:0"), std::string::npos);
+}
+
+TEST(SensingActuatorPlane, RetrySucceedsAfterFaultClears) {
+  ActuatorPlaneConfig config;
+  config.max_attempts = 5;
+  config.retry_backoff_s = 60.0;
+  ActuatorPlane plane(config);
+  int applied = 0;
+  plane.set_applier([&applied](const ActuatorCommand&) {
+    ++applied;
+    return true;
+  });
+
+  const FaultEvent fault{FaultType::kActuatorFail, 0.0, 120.0, 0, 1.0};
+  plane.on_fault(fault, true, 0.0);
+  plane.issue(fleet_command(0, 10.0), 0.0);
+  EXPECT_EQ(applied, 0);
+
+  plane.on_fault(fault, false, 120.0);  // network restored
+  for (double t = 60.0; t <= 600.0 && plane.pending_count() > 0; t += 60.0) {
+    plane.tick(t);
+  }
+  EXPECT_EQ(applied, 1);
+  EXPECT_EQ(plane.acked(), 1u);
+  EXPECT_EQ(plane.failed(), 0u);
+}
+
+TEST(SensingActuatorPlane, BackoffGrowsExponentiallyWithCapAndJitter) {
+  ActuatorPlaneConfig config;
+  config.max_attempts = 10;
+  config.retry_backoff_s = 60.0;
+  config.backoff_multiplier = 2.0;
+  config.max_backoff_s = 200.0;
+  ActuatorPlane plane(config);
+
+  std::vector<double> backoffs;
+  plane.set_logger([&backoffs](double, const std::string& text) {
+    const auto pos = text.find("backoff ");
+    if (pos != std::string::npos) {
+      backoffs.push_back(std::stod(text.substr(pos + 8)));
+    }
+  });
+  plane.on_fault({FaultType::kActuatorFail, 0.0, 1e6, 0, 1.0}, true, 0.0);
+  plane.issue(fleet_command(0, 10.0), 0.0);
+  for (double t = 10.0; t <= 2000.0; t += 10.0) {
+    plane.tick(t);
+  }
+  ASSERT_GE(backoffs.size(), 4u);
+  // Jitter keeps each delay within [0.75, 1.25) of the nominal backoff.
+  EXPECT_GE(backoffs[0], 0.75 * 60.0);
+  EXPECT_LT(backoffs[0], 1.25 * 60.0);
+  EXPECT_GE(backoffs[1], 0.75 * 120.0);
+  EXPECT_LT(backoffs[1], 1.25 * 120.0);
+  // Nominal backoff caps at max_backoff_s.
+  for (const double b : backoffs) {
+    EXPECT_LT(b, 1.25 * 200.0);
+  }
+}
+
+TEST(SensingActuatorPlane, NewerCommandSupersedesPendingRetry) {
+  ActuatorPlaneConfig config;
+  config.max_attempts = 5;
+  ActuatorPlane plane(config);
+  std::vector<double> applied;
+  plane.set_applier([&applied](const ActuatorCommand& command) {
+    applied.push_back(command.value);
+    return true;
+  });
+
+  const FaultEvent fault{FaultType::kActuatorFail, 0.0, 100.0, 0, 1.0};
+  plane.on_fault(fault, true, 0.0);
+  plane.issue(fleet_command(0, 10.0), 0.0);  // fails, queued for retry
+  plane.on_fault(fault, false, 100.0);
+  plane.issue(fleet_command(0, 20.0), 120.0);  // supersedes and applies
+  EXPECT_EQ(plane.superseded(), 1u);
+  EXPECT_EQ(plane.pending_count(), 0u);
+
+  for (double t = 180.0; t <= 1200.0; t += 60.0) {
+    plane.tick(t);
+  }
+  // The stale value 10 must never land after the fresh 20.
+  ASSERT_EQ(applied.size(), 1u);
+  EXPECT_DOUBLE_EQ(applied[0], 20.0);
+}
+
+TEST(SensingActuatorPlane, PendingCommandTimesOutAsFailed) {
+  ActuatorPlaneConfig config;
+  config.max_attempts = 100;
+  config.retry_backoff_s = 400.0;  // slower than the timeout
+  config.command_timeout_s = 300.0;
+  ActuatorPlane plane(config);
+  plane.on_fault({FaultType::kActuatorFail, 0.0, 1e6, 0, 1.0}, true, 0.0);
+  plane.issue(fleet_command(0, 10.0), 0.0);
+  EXPECT_EQ(plane.pending_count(), 1u);
+  plane.tick(300.0);
+  EXPECT_EQ(plane.pending_count(), 0u);
+  EXPECT_EQ(plane.failed(), 1u);
+}
+
+TEST(SensingActuatorPlane, OutcomesAreDeterministicPerSeed) {
+  ActuatorPlaneConfig config;
+  config.max_attempts = 4;
+  ActuatorPlane a(config);
+  ActuatorPlane b(config);
+  for (ActuatorPlane* plane : {&a, &b}) {
+    plane->on_fault({FaultType::kActuatorFail, 0.0, 1e6, 0, 0.5}, true, 0.0);
+    for (std::size_t i = 0; i < 20; ++i) {
+      plane->issue(fleet_command(i % 3, static_cast<double>(i)), i * 30.0);
+      plane->tick(i * 30.0 + 15.0);
+    }
+  }
+  EXPECT_EQ(a.acked(), b.acked());
+  EXPECT_EQ(a.failed(), b.failed());
+  EXPECT_EQ(a.retries(), b.retries());
+  EXPECT_GT(a.retries(), 0u);
+}
+
+}  // namespace

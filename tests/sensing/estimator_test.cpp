@@ -1,0 +1,162 @@
+#include "sensing/estimator.h"
+
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using epm::sensing::ChannelKind;
+using epm::sensing::EstimatorConfig;
+using epm::sensing::make_channel;
+using epm::sensing::SensorReading;
+using epm::sensing::ValidatedEstimator;
+
+std::vector<SensorReading> readings(std::initializer_list<double> values,
+                                    double time_s = 0.0, bool valid = true) {
+  std::vector<SensorReading> out;
+  for (double v : values) {
+    out.push_back({v, time_s, valid, false});
+  }
+  return out;
+}
+
+TEST(SensingEstimator, RawModeIsBitExactPassthrough) {
+  ValidatedEstimator estimator;  // defaults: validate=false, alpha=1
+  const auto key = make_channel(ChannelKind::kServiceArrival, 0);
+  const double truth = 1234.5678901234567;
+  const auto est = estimator.update(key, readings({truth}), 0.0);
+  EXPECT_EQ(est.value, truth);  // bitwise
+  EXPECT_DOUBLE_EQ(est.age_s, 0.0);
+  EXPECT_FALSE(est.degraded);
+  EXPECT_TRUE(est.has_value);
+  EXPECT_EQ(estimator.accepted(), 1u);
+}
+
+TEST(SensingEstimator, RejectsInvalidConfig) {
+  EstimatorConfig config;
+  config.ewma_alpha = 0.0;
+  EXPECT_THROW(ValidatedEstimator{config}, std::invalid_argument);
+  config = {};
+  config.max_margin_multiplier = 0.5;
+  EXPECT_THROW(ValidatedEstimator{config}, std::invalid_argument);
+}
+
+TEST(SensingEstimator, MedianVoteRejectsAWildMinoritySensor) {
+  EstimatorConfig config;
+  config.validate = true;
+  ValidatedEstimator estimator(config);
+  const auto key = make_channel(ChannelKind::kServiceArrival, 0);
+  const auto est = estimator.update(key, readings({100.0, 5e6, 101.0}), 0.0);
+  EXPECT_DOUBLE_EQ(est.value, 101.0);  // lower median of {100, 101, 5e6}
+}
+
+TEST(SensingEstimator, RangeGateFallsBackToLastKnownGood) {
+  EstimatorConfig config;
+  config.validate = true;
+  config.use_median = false;
+  ValidatedEstimator estimator(config);
+  const auto key = make_channel(ChannelKind::kServiceArrival, 0);
+
+  EXPECT_DOUBLE_EQ(estimator.update(key, readings({200.0}, 0.0), 0.0).value,
+                   200.0);
+  const auto est = estimator.update(key, readings({-5.0}, 60.0), 60.0);
+  EXPECT_DOUBLE_EQ(est.value, 200.0);  // negative arrival rate is impossible
+  EXPECT_TRUE(est.degraded);
+  EXPECT_DOUBLE_EQ(est.age_s, 60.0);
+  EXPECT_EQ(estimator.rejected_range(), 1u);
+}
+
+TEST(SensingEstimator, DropoutFallsBackAndAgeGrows) {
+  ValidatedEstimator estimator;  // raw mode also holds last on dropout
+  const auto key = make_channel(ChannelKind::kServiceArrival, 0);
+  (void)estimator.update(key, readings({50.0}, 0.0), 0.0);
+  const auto est =
+      estimator.update(key, readings({0.0}, 120.0, /*valid=*/false), 120.0);
+  EXPECT_DOUBLE_EQ(est.value, 50.0);
+  EXPECT_DOUBLE_EQ(est.age_s, 120.0);
+  EXPECT_TRUE(est.degraded);
+  EXPECT_EQ(estimator.fallbacks(), 1u);
+}
+
+TEST(SensingEstimator, StuckDetectionTripsOnRepeatedMedians) {
+  EstimatorConfig config;
+  config.validate = true;
+  config.stuck_after = 3;
+  ValidatedEstimator estimator(config);
+  const auto key = make_channel(ChannelKind::kServiceArrival, 0);
+
+  EXPECT_FALSE(estimator.update(key, readings({70.0}, 0.0), 0.0).degraded);
+  EXPECT_FALSE(estimator.update(key, readings({70.0}, 60.0), 60.0).degraded);
+  const auto est = estimator.update(key, readings({70.0}, 120.0), 120.0);
+  EXPECT_TRUE(est.degraded);  // third bit-identical median -> stuck
+  EXPECT_EQ(estimator.rejected_stuck(), 1u);
+
+  // A changed value re-locks immediately.
+  EXPECT_FALSE(estimator.update(key, readings({71.0}, 180.0), 180.0).degraded);
+}
+
+TEST(SensingEstimator, StuckDetectionSkipsQuasiConstantChannels) {
+  EstimatorConfig config;
+  config.validate = true;
+  config.stuck_after = 3;
+  ValidatedEstimator estimator(config);
+  // Service demand is legitimately constant; bounds opt it out.
+  const auto key = make_channel(ChannelKind::kServiceDemand, 0);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(
+        estimator.update(key, readings({0.01}, i * 60.0), i * 60.0).degraded);
+  }
+  EXPECT_EQ(estimator.rejected_stuck(), 0u);
+}
+
+TEST(SensingEstimator, RateGateRejectsThenRelocksOnPersistentShift) {
+  EstimatorConfig config;
+  config.validate = true;
+  config.use_median = false;
+  config.rate_relock_after = 3;
+  ValidatedEstimator estimator(config);
+  // Zone temp slew bound is 2 C/s.
+  const auto key = make_channel(ChannelKind::kZoneTemp, 0);
+
+  (void)estimator.update(key, readings({22.0}, 0.0), 0.0);
+  // +58 C in one second beats the 2 C/s slew bound: reject, reject, then the
+  // third consecutive violation is treated as a persistent level shift.
+  EXPECT_TRUE(estimator.update(key, readings({80.0}, 1.0), 1.0).degraded);
+  EXPECT_TRUE(estimator.update(key, readings({80.0}, 2.0), 2.0).degraded);
+  EXPECT_EQ(estimator.rejected_rate(), 2u);
+  const auto relocked = estimator.update(key, readings({80.0}, 3.0), 3.0);
+  EXPECT_FALSE(relocked.degraded);
+  EXPECT_DOUBLE_EQ(relocked.value, 80.0);
+}
+
+TEST(SensingEstimator, EwmaSmoothsAndAlphaOneIsExact) {
+  EstimatorConfig config;
+  config.validate = true;
+  config.use_median = false;
+  config.ewma_alpha = 0.5;
+  ValidatedEstimator smoothing(config);
+  const auto key = make_channel(ChannelKind::kServiceArrival, 0);
+  (void)smoothing.update(key, readings({100.0}, 0.0), 0.0);
+  const auto est = smoothing.update(key, readings({200.0}, 60.0), 60.0);
+  EXPECT_DOUBLE_EQ(est.value, 150.0);
+
+  config.ewma_alpha = 1.0;
+  ValidatedEstimator exact(config);
+  (void)exact.update(key, readings({100.0}, 0.0), 0.0);
+  const double truth = 123.4567890123456789;
+  EXPECT_EQ(exact.update(key, readings({truth}, 60.0), 60.0).value, truth);
+}
+
+TEST(SensingEstimator, MarginMultiplierGrowsWithAgeAndCaps) {
+  EstimatorConfig config;
+  config.stale_margin_gain_per_s = 0.01;
+  config.max_margin_multiplier = 2.5;
+  ValidatedEstimator estimator(config);
+  EXPECT_EQ(estimator.margin_multiplier(0.0), 1.0);  // exactly 1 at age 0
+  EXPECT_DOUBLE_EQ(estimator.margin_multiplier(50.0), 1.5);
+  EXPECT_DOUBLE_EQ(estimator.margin_multiplier(1e6), 2.5);
+}
+
+}  // namespace

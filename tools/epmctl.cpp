@@ -18,6 +18,7 @@
 #include "core/units.h"
 #include "faults/fault_plan.h"
 #include "faults/storm.h"
+#include "sensing/scenario.h"
 #include "macro/coordinator.h"
 #include "macro/joint_policy.h"
 #include "macro/tiers.h"
@@ -48,6 +49,9 @@ int cmd_help() {
   epmctl faults       [--intensity X] [--hours H]       fault storm vs. graceful
                       [--plan SPEC] [--seed S]          degradation (SPEC:
                       [--servers N] [--no-policy]       "outage@3600+1200;crac:0@...")
+  epmctl sensing      [--intensity X] [--hours H]       degraded sensing/actuation:
+                      [--plan SPEC] [--seed S]          naive vs. hardened controller
+                      [--servers N]                     (validation + retry/backoff)
 
   --threads T applies to the commands with parallel backends (availability,
   replications); it defaults to the EPM_THREADS environment variable, else
@@ -359,6 +363,69 @@ int cmd_faults(const CliArgs& args) {
   return 0;
 }
 
+int cmd_sensing(const CliArgs& args) {
+  const double intensity = args.get("intensity", 1.0);
+  const double hours = args.get("hours", 4.0);
+  const auto seed = static_cast<std::uint64_t>(args.get("seed", std::int64_t{2009}));
+  const auto servers = static_cast<std::size_t>(args.get("servers", std::int64_t{64}));
+  const std::string plan_spec = args.get("plan", std::string{});
+  if (const int rc = check_unused(args)) return rc;
+  if (hours <= 0.0) return fail("--hours must be > 0");
+
+  sensing::DegradedScenarioConfig config;
+  config.servers_per_service = servers;
+  config.horizon_s = hours * 3600.0;
+  config.seed = seed;
+  const faults::FaultPlan plan =
+      plan_spec.empty()
+          ? sensing::make_sensing_fault_plan(intensity, config.horizon_s,
+                                             seed + 17, /*service_count=*/2)
+          : faults::FaultPlan::parse(plan_spec);
+
+  std::cout << "Sensing/actuation fault plan (" << plan.size() << " events";
+  if (plan_spec.empty()) std::cout << ", intensity " << fmt(intensity, 1);
+  std::cout << "):\n";
+  for (std::size_t i = 0; i < faults::kFaultTypeCount; ++i) {
+    const auto type = static_cast<faults::FaultType>(i);
+    if (const std::size_t n = plan.count(type)) {
+      std::cout << "  " << faults::to_string(type) << ": " << n << "\n";
+    }
+  }
+
+  Table table({"arm", "served", "SLA viol", "alarms", "max zone", "stale max",
+               "fallbacks", "retries", "failed"});
+  auto add_arm = [&](const char* name,
+                     const sensing::DegradedScenarioOutcome& out) {
+    table.add_row({name, fmt_percent(out.served_fraction(), 2),
+                   std::to_string(out.sla_violation_epochs),
+                   std::to_string(out.thermal_alarms),
+                   fmt(out.max_zone_temp_c, 1) + " C",
+                   fmt(out.max_estimate_age_s, 0) + " s",
+                   std::to_string(out.estimator_fallbacks),
+                   std::to_string(out.command_retries),
+                   std::to_string(out.commands_failed)});
+  };
+
+  config.hardened = false;
+  const auto naive = sensing::run_degraded_scenario(config, plan);
+  add_arm("naive", naive);
+  config.hardened = true;
+  const auto hardened = sensing::run_degraded_scenario(config, plan);
+  add_arm("hardened", hardened);
+  std::cout << table.render();
+
+  std::cout << "  invariants: naive "
+            << (naive.invariants_ok ? "clean" : "VIOLATED") << ", hardened "
+            << (hardened.invariants_ok ? "clean" : "VIOLATED") << " ("
+            << (naive.faults_conserved && hardened.faults_conserved
+                    ? "all faults conserved"
+                    : "CONSERVATION VIOLATED")
+            << ")\n";
+  if (!naive.invariants_ok) std::cout << naive.invariant_report;
+  if (!hardened.invariants_ok) std::cout << hardened.invariant_report;
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -373,8 +440,11 @@ int main(int argc, char** argv) {
     if (cmd == "availability") return cmd_availability(args);
     if (cmd == "replications") return cmd_replications(args);
     if (cmd == "faults") return cmd_faults(args);
+    if (cmd == "sensing") return cmd_sensing(args);
     return fail("unknown command '" + cmd + "' (see 'epmctl help')");
   } catch (const std::exception& e) {
     return fail(e.what());
+  } catch (...) {
+    return fail("unexpected non-standard exception");
   }
 }
