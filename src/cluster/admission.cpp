@@ -1,0 +1,136 @@
+#include "cluster/admission.h"
+
+#include <algorithm>
+
+#include "core/require.h"
+
+namespace epm::cluster {
+
+BoundedQueue::BoundedQueue(std::size_t capacity) : capacity_(capacity) {
+  require(capacity_ >= 1, "BoundedQueue: capacity must be at least 1");
+}
+
+bool BoundedQueue::try_push(std::uint32_t id, double now_s) {
+  if (entries_.size() >= capacity_) {
+    ++shed_;
+    return false;
+  }
+  entries_.push_back({id, now_s});
+  ++accepted_;
+  return true;
+}
+
+const BoundedQueue::Entry& BoundedQueue::front() const {
+  ensure(!entries_.empty(), "BoundedQueue: front() on empty queue");
+  return entries_.front();
+}
+
+void BoundedQueue::pop() {
+  ensure(!entries_.empty(), "BoundedQueue: pop() on empty queue");
+  entries_.pop_front();
+}
+
+TokenBucket::TokenBucket(TokenBucketConfig config)
+    : config_(config), tokens_(config.burst) {
+  require(config_.rate_per_s > 0.0, "TokenBucket: rate must be positive");
+  require(config_.burst >= 1.0, "TokenBucket: burst below one token");
+}
+
+void TokenBucket::refill(double dt_s) {
+  require(dt_s >= 0.0, "TokenBucket: negative refill interval");
+  tokens_ = std::min(config_.burst, tokens_ + config_.rate_per_s * dt_s);
+}
+
+bool TokenBucket::try_acquire() {
+  if (tokens_ >= 1.0) {
+    tokens_ -= 1.0;
+    ++admitted_;
+    return true;
+  }
+  ++denied_;
+  return false;
+}
+
+std::string to_string(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half-open";
+  }
+  return "?";
+}
+
+CircuitBreaker::CircuitBreaker(CircuitBreakerConfig config) : config_(config) {
+  require(config_.failure_ratio > 0.0 && config_.failure_ratio <= 1.0,
+          "CircuitBreaker: failure ratio outside (0, 1]");
+  require(config_.open_duration_s >= 0.0,
+          "CircuitBreaker: open duration must be non-negative");
+  require(config_.half_open_probes >= 1,
+          "CircuitBreaker: need at least one probe");
+  require(config_.close_after_healthy_epochs >= 1,
+          "CircuitBreaker: need at least one healthy epoch to close");
+}
+
+void CircuitBreaker::trip(double now_s) {
+  state_ = BreakerState::kOpen;
+  open_until_s_ = now_s + config_.open_duration_s;
+  healthy_epochs_ = 0;
+  ++trips_;
+}
+
+void CircuitBreaker::begin_epoch(double now_s) {
+  epoch_probes_ = 0;
+  if (state_ == BreakerState::kOpen && now_s >= open_until_s_) {
+    state_ = BreakerState::kHalfOpen;
+    healthy_epochs_ = 0;
+  }
+}
+
+bool CircuitBreaker::allow() {
+  switch (state_) {
+    case BreakerState::kClosed:
+      return true;
+    case BreakerState::kOpen:
+      ++rejected_;
+      return false;
+    case BreakerState::kHalfOpen:
+      if (epoch_probes_ < config_.half_open_probes) {
+        ++epoch_probes_;
+        ++probes_issued_;
+        return true;
+      }
+      ++rejected_;
+      return false;
+  }
+  return false;
+}
+
+void CircuitBreaker::on_epoch_end(std::uint64_t observations,
+                                  std::uint64_t failures, double now_s) {
+  switch (state_) {
+    case BreakerState::kClosed:
+      if (observations >= config_.min_volume && observations > 0 &&
+          static_cast<double>(failures) >=
+              config_.failure_ratio * static_cast<double>(observations)) {
+        trip(now_s);
+      }
+      break;
+    case BreakerState::kOpen:
+      break;  // only time (begin_epoch) moves an open breaker
+    case BreakerState::kHalfOpen:
+      if (failures > 0) {
+        trip(now_s);
+      } else if (observations > 0) {
+        if (++healthy_epochs_ >= config_.close_after_healthy_epochs) {
+          state_ = BreakerState::kClosed;
+        }
+      }
+      // No observations at all: stay half-open, keep probing.
+      break;
+  }
+}
+
+}  // namespace epm::cluster

@@ -1,0 +1,154 @@
+// Overload-defense primitives for the request path (paper §3: flash crowds
+// and login storms re-offer dropped load until an unprotected service is
+// permanently saturated).
+//
+// Three small deterministic building blocks compose into an admission
+// stack:
+//
+//   BoundedQueue    — a FIFO accept queue with a hard capacity; overflow is
+//                     shed explicitly (and counted) instead of growing the
+//                     backlog past the point where every queued request is
+//                     already stale by the time it is served.
+//   TokenBucket     — rate-based admission control ahead of the queue,
+//                     smoothing reconnect surges to what the fleet can
+//                     actually serve within the client timeout.
+//   CircuitBreaker  — closed -> open -> half-open failure breaker with a
+//                     deterministic per-epoch probe schedule, so clients
+//                     fail fast against a dark service instead of filling
+//                     the queue with doomed requests.
+//
+// Everything is plain arithmetic on caller-supplied time — no clocks, no
+// randomness — so a scenario replays bit-for-bit at any thread count.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <string>
+
+namespace epm::cluster {
+
+/// Bounded FIFO accept queue. Entries carry the admit timestamp so the
+/// server can tell how long a request waited (and whether the client has
+/// long since given up on it).
+class BoundedQueue {
+ public:
+  struct Entry {
+    std::uint32_t id = 0;
+    double admitted_s = 0.0;
+  };
+
+  explicit BoundedQueue(std::size_t capacity);
+
+  /// Accepts the request unless the queue is full; a full queue sheds it
+  /// (returns false) and counts the loss.
+  bool try_push(std::uint32_t id, double now_s);
+  /// Oldest queued request; queue must be non-empty.
+  const Entry& front() const;
+  void pop();
+
+  bool empty() const { return entries_.empty(); }
+  std::size_t size() const { return entries_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t accepted() const { return accepted_; }
+  /// Requests refused because the queue was at capacity.
+  std::uint64_t shed() const { return shed_; }
+
+ private:
+  std::size_t capacity_;
+  std::deque<Entry> entries_;
+  std::uint64_t accepted_ = 0;
+  std::uint64_t shed_ = 0;
+};
+
+struct TokenBucketConfig {
+  double rate_per_s = 1000.0;  ///< sustained admission rate
+  double burst = 1000.0;       ///< bucket depth (admissions above rate)
+};
+
+/// Deterministic token-bucket admission: refill() advances the bucket by
+/// elapsed time, try_acquire() spends one token per admitted request.
+class TokenBucket {
+ public:
+  explicit TokenBucket(TokenBucketConfig config);
+
+  void refill(double dt_s);
+  /// True (and one token spent) when a token is available.
+  bool try_acquire();
+
+  double tokens() const { return tokens_; }
+  std::uint64_t admitted() const { return admitted_; }
+  /// Requests refused for lack of a token.
+  std::uint64_t denied() const { return denied_; }
+  const TokenBucketConfig& config() const { return config_; }
+
+ private:
+  TokenBucketConfig config_;
+  double tokens_;
+  std::uint64_t admitted_ = 0;
+  std::uint64_t denied_ = 0;
+};
+
+enum class BreakerState {
+  kClosed,    ///< normal operation; outcomes are watched
+  kOpen,      ///< fail fast; nothing reaches the service
+  kHalfOpen,  ///< a bounded probe budget per epoch tests recovery
+};
+
+std::string to_string(BreakerState state);
+
+struct CircuitBreakerConfig {
+  /// Trip when failures/observations >= this over an epoch.
+  double failure_ratio = 0.5;
+  /// Epochs with fewer observations than this never trip the breaker.
+  std::uint64_t min_volume = 10;
+  /// Time spent open before probing (half-open) begins.
+  double open_duration_s = 5.0;
+  /// Admissions allowed per epoch while half-open.
+  std::uint64_t half_open_probes = 5;
+  /// Consecutive healthy half-open epochs (probes observed, none failed)
+  /// required to close.
+  std::size_t close_after_healthy_epochs = 2;
+};
+
+/// Per-cluster circuit breaker driven at control-epoch granularity:
+///
+///   begin_epoch(t)              -> open matures into half-open, probe
+///                                  budget resets
+///   allow()                     -> per-request verdict (deterministic)
+///   on_epoch_end(obs, fail, t)  -> closed trips on the failure ratio;
+///                                  half-open re-trips on any failure or
+///                                  closes after enough healthy epochs
+///
+/// While open, allow() is always false — the state machine cannot leak a
+/// request into a dark service (asserted by the property suite).
+class CircuitBreaker {
+ public:
+  explicit CircuitBreaker(CircuitBreakerConfig config);
+
+  void begin_epoch(double now_s);
+  bool allow();
+  void on_epoch_end(std::uint64_t observations, std::uint64_t failures,
+                    double now_s);
+
+  BreakerState state() const { return state_; }
+  std::uint64_t trips() const { return trips_; }
+  std::uint64_t probes_issued() const { return probes_issued_; }
+  /// Requests refused by allow() (open, or half-open past the budget).
+  std::uint64_t rejected() const { return rejected_; }
+  const CircuitBreakerConfig& config() const { return config_; }
+
+ private:
+  void trip(double now_s);
+
+  CircuitBreakerConfig config_;
+  BreakerState state_ = BreakerState::kClosed;
+  double open_until_s_ = 0.0;
+  std::uint64_t epoch_probes_ = 0;   ///< probes granted this epoch
+  std::size_t healthy_epochs_ = 0;   ///< consecutive healthy half-open epochs
+  std::uint64_t trips_ = 0;
+  std::uint64_t probes_issued_ = 0;
+  std::uint64_t rejected_ = 0;
+};
+
+}  // namespace epm::cluster

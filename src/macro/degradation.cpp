@@ -21,6 +21,30 @@ DegradationPolicy::DegradationPolicy(DegradationPolicyConfig config,
   require(config_.cooling_shed_fraction >= 0.0 &&
               config_.cooling_shed_fraction <= 1.0,
           "DegradationPolicy: cooling shed fraction outside [0,1]");
+  require(config_.overload_shed_fraction >= 0.0 &&
+              config_.overload_shed_fraction <= 1.0,
+          "DegradationPolicy: overload shed fraction outside [0,1]");
+  require(config_.overload_min_shed_rate_per_s >= 0.0,
+          "DegradationPolicy: overload shed-rate threshold must be >= 0");
+}
+
+void DegradationPolicy::observe_overload(const OverloadSignal& signal,
+                                         double now_s) {
+  last_overload_ = signal;
+  overload_active_ =
+      signal.breaker_open ||
+      signal.shed_rate_per_s > config_.overload_min_shed_rate_per_s;
+  if (log_) {
+    if (overload_active_ && !was_overload_) {
+      log_->record({now_s, DecisionKind::kLoadShedding, "",
+                    "overload defense engaged: shed batch tier for "
+                    "interactive headroom"});
+    } else if (!overload_active_ && was_overload_) {
+      log_->record({now_s, DecisionKind::kLoadShedding, "",
+                    "overload cleared: restore batch tier"});
+    }
+  }
+  was_overload_ = overload_active_;
 }
 
 bool DegradationPolicy::on_fault(const faults::FaultEvent& event, bool onset,
@@ -110,6 +134,15 @@ DegradationAction DegradationPolicy::react(double now_s,
     // stays a fraction and grows monotonically with either emergency.
     low = 1.0 - (1.0 - low) * (1.0 - shed);
     action.healthy_setpoint_delta_c = -config_.setpoint_drop_c * loss;
+  }
+
+  // Overload defense engaged (admission stack shedding / breaker open):
+  // hand batch capacity to the interactive tier so the reconnect/retry
+  // backlog drains within the client timeout. Composes multiplicatively
+  // with the power/cooling sheds, like those compose with each other.
+  if (overload_active_) {
+    auto& low = action.shed_scale[config_.low_tier_service];
+    low = 1.0 - (1.0 - low) * (1.0 - config_.overload_shed_fraction);
   }
 
   for (std::size_t s = 0; s < service_count_; ++s) {

@@ -50,6 +50,27 @@ struct DegradationPolicyConfig {
   bool throttle_on_power_emergency = true;
   /// Stop retiring servers while any fault is active.
   bool pause_consolidation = true;
+  /// Fraction of low-tier demand shed while the overload defense reports
+  /// congestion (breaker not closed, or shed rate above the threshold), so
+  /// brownout shedding and admission control compose instead of fighting:
+  /// batch capacity is handed to the interactive tier for retry-storm
+  /// recovery. Only engages once observe_overload() has been called — the
+  /// default figure paths never are, and are bit-identical.
+  double overload_shed_fraction = 1.0;
+  /// Shed rate (req/s refused by queue/bucket/breaker) above which the
+  /// overload posture engages even with the breaker closed.
+  double overload_min_shed_rate_per_s = 1.0;
+};
+
+/// Feedback from the cluster admission stack (bounded queue + token bucket
+/// + circuit breaker) into the macro layer, sampled once per control epoch.
+struct OverloadSignal {
+  /// True when the cluster breaker is open or probing (not closed).
+  bool breaker_open = false;
+  /// Requests per second refused by the admission stack this epoch.
+  double shed_rate_per_s = 0.0;
+  /// Re-offered (retry) attempts per second this epoch.
+  double retry_rate_per_s = 0.0;
 };
 
 /// What the facility loop should do this epoch.
@@ -85,8 +106,16 @@ class DegradationPolicy {
   /// ride-through at the present draw. Logs posture transitions.
   DegradationAction react(double now_s, double battery_ride_through_s);
 
+  /// Admission-stack feedback: while the signal reports congestion, react()
+  /// additionally sheds the low tier by overload_shed_fraction. Never
+  /// calling this leaves the policy exactly as before (goldens unchanged).
+  void observe_overload(const OverloadSignal& signal, double now_s);
+
   const DegradationPolicyConfig& config() const { return config_; }
   bool any_fault_active() const;
+  /// True while the last observed overload signal reported congestion.
+  bool overload_active() const { return overload_active_; }
+  const OverloadSignal& last_overload() const { return last_overload_; }
   std::size_t active_count(faults::FaultType type) const {
     return active_[static_cast<std::size_t>(type)];
   }
@@ -102,6 +131,9 @@ class DegradationPolicy {
   bool was_power_emergency_ = false;
   bool was_shedding_ = false;
   bool was_cooling_emergency_ = false;
+  bool overload_active_ = false;
+  bool was_overload_ = false;
+  OverloadSignal last_overload_{};
 };
 
 }  // namespace epm::macro

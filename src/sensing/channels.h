@@ -20,6 +20,8 @@ enum class ChannelKind : std::uint32_t {
   kServiceDemand,       ///< per-service mean service demand (s/req)
   kZoneTemp,            ///< per-zone inlet temperature (degC)
   kItPower,             ///< facility IT power draw (W)
+  kShedRate,            ///< per-service admission-stack shed rate (req/s)
+  kRetryRate,           ///< per-service re-offered (retry) rate (req/s)
 };
 
 /// Packed (kind, index) channel address.
@@ -76,6 +78,11 @@ constexpr ChannelBounds default_bounds(ChannelKind kind) {
       return {-20.0, 90.0, 2.0, true};  // degC; thermal mass limits slew
     case ChannelKind::kItPower:
       return {0.0, 1e9, 1e7, true};  // W
+    case ChannelKind::kShedRate:
+      // req/s; legitimately pinned at 0 (or a plateau) outside overload.
+      return {0.0, 1e7, 1e4, false};
+    case ChannelKind::kRetryRate:
+      return {0.0, 1e7, 1e4, false};  // req/s; zero whenever clients are happy
   }
   return {};
 }

@@ -115,6 +115,44 @@ void InvariantMonitor::check_scalar(const std::string& name, double value,
   }
 }
 
+void InvariantMonitor::check_request_flow(const RequestFlow& flow) {
+  ++checks_;
+  const double t = flow.time_s;
+  auto fmt = [](double v) {
+    std::ostringstream out;
+    out << v;
+    return out.str();
+  };
+  const double counts[] = {flow.offered, flow.served, flow.goodput,
+                           flow.intents, flow.retries};
+  for (double c : counts) {
+    if (!std::isfinite(c) || c < -1e-9) {
+      record("request-flow-counts", t, "non-finite or negative count " + fmt(c));
+      return;
+    }
+  }
+  if (flow.goodput > flow.served + 1e-9) {
+    record("goodput-within-served", t,
+           "goodput " + fmt(flow.goodput) + " > served " + fmt(flow.served));
+  }
+  if (flow.served > flow.offered + 1e-9) {
+    record("served-within-offered", t,
+           "served " + fmt(flow.served) + " > offered " + fmt(flow.offered));
+  }
+  if (std::abs(flow.offered - (flow.intents + flow.retries)) > 1e-6) {
+    record("retry-amplification", t,
+           "offered " + fmt(flow.offered) + " != intents " + fmt(flow.intents) +
+               " + retries " + fmt(flow.retries));
+  }
+}
+
+void InvariantMonitor::check_condition(const std::string& name, bool ok,
+                                       const std::string& detail,
+                                       double time_s) {
+  ++checks_;
+  if (!ok) record(name, time_s, detail);
+}
+
 std::string InvariantMonitor::report() const {
   std::ostringstream out;
   if (ok()) {

@@ -64,6 +64,27 @@ class InvariantMonitor {
   void check_scalar(const std::string& name, double value, double lo, double hi,
                     double time_s);
 
+  /// Closed-loop request-flow invariants: all counts finite and
+  /// non-negative, goodput <= served <= offered, and retries amplify
+  /// offered load consistently (offered == intents + retries, so
+  /// offered >= intents). Counts are cumulative request totals since the
+  /// start of the run — per-epoch served can legitimately exceed per-epoch
+  /// offered while a backlog drains.
+  struct RequestFlow {
+    double time_s = 0.0;
+    double offered = 0.0;   ///< attempts presented to the admission stack
+    double served = 0.0;    ///< completions (fresh + stale)
+    double goodput = 0.0;   ///< fresh completions (client still waiting)
+    double intents = 0.0;   ///< first attempts
+    double retries = 0.0;   ///< re-offered attempts
+  };
+  void check_request_flow(const RequestFlow& flow);
+
+  /// Records a violation under `name` unless `ok` — the escape hatch for
+  /// model-specific conservation checks (e.g. the retry-budget ledger).
+  void check_condition(const std::string& name, bool ok,
+                       const std::string& detail, double time_s);
+
   bool ok() const { return violation_count_ == 0; }
   std::size_t checks() const { return checks_; }
   std::size_t violation_count() const { return violation_count_; }

@@ -70,6 +70,14 @@ class TelemetryStore {
   /// (they were never produced, so nothing is stored).
   void record_dropout(std::uint64_t count) { dropped_samples_ += count; }
 
+  /// Overload-defense accounting (closed-loop workloads): requests refused
+  /// by the admission stack, intents abandoned by clients, and re-offered
+  /// retry attempts. Counters, not series — the per-epoch rates flow
+  /// through the sensor plane as kShedRate/kRetryRate channels.
+  void record_shed(std::uint64_t count) { shed_requests_ += count; }
+  void record_abandoned(std::uint64_t count) { abandoned_requests_ += count; }
+  void record_retried(std::uint64_t count) { retried_requests_ += count; }
+
   /// Parallel bulk ingest: partitions `samples` by shard, then lets each
   /// worker apply whole shards (one shard is never split across threads, so
   /// no locking is needed and per-series order is the input order). Requires
@@ -86,6 +94,12 @@ class TelemetryStore {
   std::uint64_t degraded_samples() const { return degraded_samples_; }
   /// Samples lost to sensor dropouts (never stored).
   std::uint64_t dropped_samples() const { return dropped_samples_; }
+  /// Requests refused by the admission stack (queue/bucket/breaker).
+  std::uint64_t shed_requests() const { return shed_requests_; }
+  /// Client intents abandoned after exhausting their retry budget.
+  std::uint64_t abandoned_requests() const { return abandoned_requests_; }
+  /// Re-offered (retry) attempts beyond each intent's first.
+  std::uint64_t retried_requests() const { return retried_requests_; }
   /// Series lookup; throws for unknown keys.
   const MultiScaleSeries& series(CounterKey key) const;
   bool contains(CounterKey key) const {
@@ -109,6 +123,9 @@ class TelemetryStore {
   std::uint64_t total_samples_ = 0;
   std::uint64_t degraded_samples_ = 0;
   std::uint64_t dropped_samples_ = 0;
+  std::uint64_t shed_requests_ = 0;
+  std::uint64_t abandoned_requests_ = 0;
+  std::uint64_t retried_requests_ = 0;
   std::size_t daily_level_ = 0;
   std::size_t hourly_level_ = 0;
 };

@@ -1,0 +1,301 @@
+#include "workload/client_population.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/require.h"
+
+namespace epm::workload {
+namespace {
+
+constexpr double kNever = std::numeric_limits<double>::infinity();
+
+/// Uniform double in [0, 1) from a SplitMix64 stream.
+double uniform01(SplitMix64& rng) {
+  return static_cast<double>(rng.next() >> 11) * 0x1.0p-53;
+}
+
+double exponential(SplitMix64& rng, double mean) {
+  return -mean * std::log1p(-uniform01(rng));
+}
+
+}  // namespace
+
+std::string to_string(RetryBackoff backoff) {
+  switch (backoff) {
+    case RetryBackoff::kImmediate:
+      return "immediate";
+    case RetryBackoff::kFixed:
+      return "fixed";
+    case RetryBackoff::kExponential:
+      return "exponential";
+  }
+  return "?";
+}
+
+RetryBackoff retry_backoff_from_string(const std::string& token) {
+  if (token == "immediate") return RetryBackoff::kImmediate;
+  if (token == "fixed") return RetryBackoff::kFixed;
+  if (token == "exponential") return RetryBackoff::kExponential;
+  throw std::invalid_argument("unknown retry backoff '" + token + "'");
+}
+
+ClientPopulation::ClientPopulation(ClientPopulationConfig config)
+    : config_(config) {
+  require(config_.clients > 0, "ClientPopulation: no clients");
+  require(config_.think_time_s > 0.0, "ClientPopulation: think time must be positive");
+  require(config_.request_timeout_s > 0.0,
+          "ClientPopulation: request timeout must be positive");
+  require(config_.reconnect_spread_s > 0.0,
+          "ClientPopulation: reconnect spread must be positive");
+  require(config_.start_spread_s >= 0.0,
+          "ClientPopulation: start spread must be non-negative");
+  require(config_.retry.max_attempts >= 1,
+          "ClientPopulation: need at least one attempt");
+  require(config_.retry.base_delay_s >= 0.0 && config_.retry.max_delay_s >= 0.0,
+          "ClientPopulation: retry delays must be non-negative");
+  require(config_.retry.multiplier >= 1.0,
+          "ClientPopulation: retry multiplier below 1");
+  require(config_.retry.jitter_frac >= 0.0 && config_.retry.jitter_frac < 1.0,
+          "ClientPopulation: jitter fraction outside [0, 1)");
+  require(config_.retry.abandon_cooldown_s >= 0.0,
+          "ClientPopulation: cooldown must be non-negative");
+
+  SplitMix64 seeder(config_.seed);
+  disconnect_rng_ = SplitMix64(seeder.next());
+  clients_.resize(config_.clients);
+  for (std::uint32_t id = 0; id < clients_.size(); ++id) {
+    Client& client = clients_[id];
+    client.rng = SplitMix64(seeder.next());
+    const double due = config_.start_spread_s > 0.0
+                           ? exponential(client.rng, config_.start_spread_s)
+                           : 0.0;
+    client.state = State::kThinking;
+    schedule(id, State::kThinking, due);
+  }
+}
+
+void ClientPopulation::enter_state(std::uint32_t id, State state) {
+  Client& client = clients_[id];
+  if (client.state == State::kWaiting) --waiting_count_;
+  if (client.state == State::kBackoff) --backoff_count_;
+  if (client.state == State::kLost) --lost_count_;
+  client.state = state;
+  if (state == State::kWaiting) ++waiting_count_;
+  if (state == State::kBackoff) ++backoff_count_;
+  if (state == State::kLost) ++lost_count_;
+}
+
+void ClientPopulation::schedule(std::uint32_t id, State state, double due_s) {
+  Client& client = clients_[id];
+  enter_state(id, state);
+  client.due_s = due_s;
+  client.token = next_token_++;
+  if (state == State::kLost) return;  // never scheduled again
+  HeapEntry entry{due_s, id, client.token};
+  if (state == State::kWaiting) {
+    deadline_heap_.push(entry);
+  } else {
+    due_heap_.push(entry);
+  }
+}
+
+double ClientPopulation::jitter(Client& client) const {
+  const double j = config_.retry.jitter_frac;
+  if (j <= 0.0) return 1.0;
+  return 1.0 - j + 2.0 * j * uniform01(client.rng);
+}
+
+double ClientPopulation::backoff_delay_s(Client& client) const {
+  const RetryPolicyConfig& retry = config_.retry;
+  switch (retry.backoff) {
+    case RetryBackoff::kImmediate:
+      return 0.0;
+    case RetryBackoff::kFixed:
+      return retry.base_delay_s * jitter(client);
+    case RetryBackoff::kExponential: {
+      // client.attempt counts the attempt that just failed (>= 1).
+      const double exponent = static_cast<double>(client.attempt - 1);
+      const double raw =
+          retry.base_delay_s * std::pow(retry.multiplier, exponent);
+      return std::min(raw, retry.max_delay_s) * jitter(client);
+    }
+  }
+  return 0.0;
+}
+
+const std::vector<std::uint32_t>& ClientPopulation::collect_due(double t0,
+                                                                double dt) {
+  require(dt > 0.0, "ClientPopulation: epoch must be positive");
+  batch_.clear();
+  const double end = t0 + dt;
+  while (!due_heap_.empty() && due_heap_.top().due_s < end) {
+    const HeapEntry entry = due_heap_.top();
+    due_heap_.pop();
+    Client& client = clients_[entry.id];
+    if (client.token != entry.token) continue;  // superseded entry
+    // A thinking or cooled-down client starts a fresh intent; a backoff
+    // client re-offers its failed one.
+    if (client.state == State::kBackoff) {
+      ++ledger_.retries;
+    } else {
+      client.attempt = 0;
+      ++ledger_.intents;
+    }
+    ++client.attempt;
+    ++ledger_.attempts;
+    // In limbo until the caller answers with on_rejected/on_admitted; the
+    // attempt is in flight, so it counts as waiting with no deadline yet.
+    enter_state(entry.id, State::kWaiting);
+    client.due_s = kNever;
+    client.token = next_token_++;
+    batch_.push_back(entry.id);
+  }
+  return batch_;
+}
+
+void ClientPopulation::fail_attempt(std::uint32_t id, double now_s) {
+  Client& client = clients_[id];
+  if (client.attempt >= config_.retry.max_attempts) {
+    ++ledger_.abandoned;
+    if (config_.retry.abandon_cooldown_s > 0.0) {
+      schedule(id, State::kCooldown,
+               now_s + config_.retry.abandon_cooldown_s * jitter(client));
+    } else {
+      schedule(id, State::kLost, kNever);
+    }
+    return;
+  }
+  schedule(id, State::kBackoff, now_s + backoff_delay_s(client));
+}
+
+void ClientPopulation::on_rejected(std::uint32_t id, double now_s) {
+  require(id < clients_.size(), "ClientPopulation: client id out of range");
+  ensure(clients_[id].state == State::kWaiting,
+         "ClientPopulation: rejected a client with no attempt in flight");
+  ++ledger_.rejected;
+  fail_attempt(id, now_s);
+}
+
+void ClientPopulation::on_admitted(std::uint32_t id, double now_s) {
+  require(id < clients_.size(), "ClientPopulation: client id out of range");
+  ensure(clients_[id].state == State::kWaiting,
+         "ClientPopulation: admitted a client with no attempt in flight");
+  schedule(id, State::kWaiting, now_s + config_.request_timeout_s);
+}
+
+void ClientPopulation::on_served(std::uint32_t id, double now_s) {
+  require(id < clients_.size(), "ClientPopulation: client id out of range");
+  Client& client = clients_[id];
+  if (client.state != State::kWaiting) {
+    // The client gave up on this attempt long ago; the service's work on it
+    // was wasted — the defining loss of a retry storm.
+    ++ledger_.stale_served;
+    return;
+  }
+  ++ledger_.served;
+  client.attempt = 0;
+  schedule(id, State::kThinking,
+           now_s + exponential(client.rng, config_.think_time_s));
+}
+
+void ClientPopulation::expire_timeouts(double now_s) {
+  while (!deadline_heap_.empty() && deadline_heap_.top().due_s <= now_s) {
+    const HeapEntry entry = deadline_heap_.top();
+    deadline_heap_.pop();
+    Client& client = clients_[entry.id];
+    if (client.token != entry.token || client.state != State::kWaiting) {
+      continue;  // served (or disconnected) before the deadline
+    }
+    ++ledger_.timed_out;
+    fail_attempt(entry.id, now_s);
+  }
+}
+
+void ClientPopulation::disconnect_client(std::uint32_t id, double now_s) {
+  Client& client = clients_[id];
+  switch (client.state) {
+    case State::kWaiting:
+      ++ledger_.dropped;
+      ++ledger_.disconnected_intents;
+      break;
+    case State::kBackoff:
+      ++ledger_.retry_cancelled;
+      ++ledger_.disconnected_intents;
+      break;
+    case State::kThinking:
+    case State::kCooldown:
+      break;
+    case State::kLost:
+      return;  // gone for good; no session to drop
+  }
+  ++ledger_.disconnects;
+  client.attempt = 0;
+  // Session re-establishment: reconnects arrive with exponential spread, so
+  // the aggregate login surge decays like the Fig. 3 flash-crowd spikes.
+  schedule(id, State::kThinking,
+           now_s + exponential(client.rng, config_.reconnect_spread_s));
+}
+
+void ClientPopulation::disconnect_all(double now_s) {
+  for (std::uint32_t id = 0; id < clients_.size(); ++id) {
+    disconnect_client(id, now_s);
+  }
+}
+
+void ClientPopulation::disconnect_fraction(double fraction, double now_s) {
+  require(fraction >= 0.0 && fraction <= 1.0,
+          "ClientPopulation: disconnect fraction outside [0, 1]");
+  if (fraction >= 1.0) {
+    disconnect_all(now_s);  // no draws: the full-outage path stays stream-stable
+    return;
+  }
+  for (std::uint32_t id = 0; id < clients_.size(); ++id) {
+    if (uniform01(disconnect_rng_) < fraction) {
+      disconnect_client(id, now_s);
+    }
+  }
+}
+
+bool ClientPopulation::conservation_ok() const {
+  return conservation_report().empty();
+}
+
+std::string ClientPopulation::conservation_report() const {
+  const ClientLedger& led = ledger_;
+  const auto waiting = static_cast<std::uint64_t>(waiting_count_);
+  const auto backoff = static_cast<std::uint64_t>(backoff_count_);
+  std::ostringstream out;
+  if (led.attempts !=
+      led.served + led.rejected + led.timed_out + led.dropped + waiting) {
+    out << "attempts " << led.attempts << " != served " << led.served
+        << " + rejected " << led.rejected << " + timed_out " << led.timed_out
+        << " + dropped " << led.dropped << " + waiting " << waiting;
+    return out.str();
+  }
+  if (led.attempts != led.intents + led.retries) {
+    out << "attempts " << led.attempts << " != intents " << led.intents
+        << " + retries " << led.retries;
+    return out.str();
+  }
+  if (led.rejected + led.timed_out !=
+      led.retries + backoff + led.retry_cancelled + led.abandoned) {
+    out << "failures " << led.rejected + led.timed_out << " != retries "
+        << led.retries << " + backoff " << backoff << " + cancelled "
+        << led.retry_cancelled << " + abandoned " << led.abandoned;
+    return out.str();
+  }
+  if (led.intents != led.served + led.abandoned + led.disconnected_intents +
+                         waiting + backoff) {
+    out << "intents " << led.intents << " != served " << led.served
+        << " + abandoned " << led.abandoned << " + disconnected "
+        << led.disconnected_intents << " + in-flight " << waiting + backoff;
+    return out.str();
+  }
+  return {};
+}
+
+}  // namespace epm::workload

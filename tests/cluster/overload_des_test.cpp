@@ -1,0 +1,145 @@
+// The overload-mode DES has no stability precondition — utilization > 1 is
+// the point. Its closed-form anchor is the M/M/n/K loss queue: in overload
+// the blocking probability and accepted throughput stay finite, and the
+// finite-horizon DES must land on them within sampling tolerance.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "cluster/queueing.h"
+#include "cluster/request_des.h"
+
+namespace epm::cluster {
+namespace {
+
+TEST(MmnkBlocking, MatchesMm1kClosedForm) {
+  // M/M/1/K: P_block = (1 - rho) rho^K / (1 - rho^(K+1)), K = total jobs.
+  // rho = 2, one server, no waiting room (K = 1): p ~ {1, 2} -> 2/3.
+  EXPECT_NEAR(mmnk_blocking_probability(2.0, 1, 0), 2.0 / 3.0, 1e-12);
+  // rho = 2, one waiting slot (K = 2): p ~ {1, 2, 4} -> 4/7.
+  EXPECT_NEAR(mmnk_blocking_probability(2.0, 1, 1), 4.0 / 7.0, 1e-12);
+  // Critically loaded rho = 1, K = 5: all states equally likely -> 1/6.
+  EXPECT_NEAR(mmnk_blocking_probability(1.0, 1, 4), 1.0 / 6.0, 1e-12);
+}
+
+TEST(MmnkBlocking, ZeroWaitingRoomIsErlangB) {
+  // 10 erlangs offered to 12 trunks: Erlang-B = 0.11973 (same anchor as the
+  // erlang_c test, which divides this value out of its own recurrence).
+  EXPECT_NEAR(mmnk_blocking_probability(10.0, 12, 0), 0.11973, 5e-5);
+  EXPECT_DOUBLE_EQ(mmnk_blocking_probability(0.0, 4, 8), 0.0);
+}
+
+TEST(MmnkBlocking, DeepOverloadSaturatesAtServiceCapacity) {
+  // lambda >> n mu: accepted throughput pins at n mu; blocking -> 1 - n/a.
+  const double lambda = 5000.0;
+  const double mu = 10.0;
+  EXPECT_NEAR(mmnk_throughput_per_s(lambda, mu, 8, 32), 8.0 * mu, 0.01);
+  // The normalized recurrence must survive absurd offered loads without
+  // overflow (naive factorial sums blow past 1e308 immediately here).
+  const double p = mmnk_blocking_probability(1e6, 4, 1000);
+  EXPECT_GT(p, 0.999);
+  EXPECT_LE(p, 1.0);
+}
+
+TEST(MmnkBlocking, MoreWaitingRoomNeverIncreasesBlocking) {
+  double prev = 1.0;
+  for (std::size_t k = 0; k <= 64; k += 8) {
+    const double p = mmnk_blocking_probability(6.0, 4, k);
+    EXPECT_LE(p, prev + 1e-15);
+    prev = p;
+  }
+}
+
+TEST(MmnkBlocking, RejectsBadArguments) {
+  EXPECT_THROW(mmnk_blocking_probability(1.0, 0, 4), std::invalid_argument);
+  EXPECT_THROW(mmnk_blocking_probability(-1.0, 2, 4), std::invalid_argument);
+  EXPECT_THROW(mmnk_throughput_per_s(10.0, 0.0, 2, 4), std::invalid_argument);
+}
+
+OverloadDesConfig overload_config() {
+  OverloadDesConfig config;
+  config.arrival_rate_per_s = 300.0;  // rho = 300 / (4 * 20) = 3.75
+  config.mean_service_s = 0.05;
+  config.servers = 4;
+  config.queue_capacity = 16;
+  config.distribution = ServiceDistribution::kExponential;
+  config.horizon_s = 2000.0;
+  config.seed = 20260805;
+  return config;
+}
+
+TEST(OverloadDes, ShedFractionMatchesMmnkInOverload) {
+  const OverloadDesConfig config = overload_config();
+  const OverloadDesResult result = simulate_overload(config);
+  const double offered = config.arrival_rate_per_s * config.mean_service_s;
+  const double p_block =
+      mmnk_blocking_probability(offered, config.servers, config.queue_capacity);
+  // ~600k arrivals: the empirical shed fraction sits within a few tenths of
+  // a percent of the closed form.
+  EXPECT_GT(result.offered, 500000u);
+  EXPECT_NEAR(result.shed_fraction(), p_block, 0.005);
+  EXPECT_EQ(result.offered, result.admitted + result.shed);
+}
+
+TEST(OverloadDes, GoodputMatchesMmnkAcceptedThroughput) {
+  OverloadDesConfig config = overload_config();
+  // In deep overload with a bounded queue, sojourn is bounded by
+  // (servers + K) * mean_service / servers = 0.25 s; a 1 s deadline makes
+  // every completion goodput, so goodput == accepted throughput.
+  config.deadline_s = 1.0;
+  const OverloadDesResult result = simulate_overload(config);
+  const double mu = 1.0 / config.mean_service_s;
+  const double accepted = mmnk_throughput_per_s(
+      config.arrival_rate_per_s, mu, config.servers, config.queue_capacity);
+  EXPECT_NEAR(result.throughput_per_s, accepted, accepted * 0.02);
+  EXPECT_NEAR(result.goodput_per_s, accepted, accepted * 0.02);
+  EXPECT_EQ(result.goodput, result.completed);
+  // All four servers pinned busy the whole horizon.
+  EXPECT_GT(result.utilization, 0.99);
+  EXPECT_LE(result.utilization, 1.0 + 1e-9);
+}
+
+TEST(OverloadDes, TightDeadlineSplitsGoodputFromThroughput) {
+  OverloadDesConfig config = overload_config();
+  // Mean sojourn in deep overload ~ (K + n) / (n mu) = 0.25 s: a deadline
+  // below that discards most completions from goodput but none from
+  // throughput.
+  config.deadline_s = 0.1;
+  const OverloadDesResult result = simulate_overload(config);
+  EXPECT_LT(result.goodput, result.completed / 2);
+  EXPECT_GT(result.goodput, 0u);
+  EXPECT_DOUBLE_EQ(result.goodput_per_s,
+                   static_cast<double>(result.goodput) / config.horizon_s);
+}
+
+TEST(OverloadDes, PureLossModeMatchesErlangB) {
+  OverloadDesConfig config = overload_config();
+  config.queue_capacity = 0;
+  const OverloadDesResult result = simulate_overload(config);
+  const double offered = config.arrival_rate_per_s * config.mean_service_s;
+  const double erlang_b =
+      mmnk_blocking_probability(offered, config.servers, 0);
+  EXPECT_NEAR(result.shed_fraction(), erlang_b, 0.005);
+  // No waiting room: every admitted request's sojourn is pure service time.
+  EXPECT_NEAR(result.response_s.mean(), config.mean_service_s,
+              config.mean_service_s * 0.05);
+}
+
+TEST(OverloadDes, DeterministicUnderSeed) {
+  const OverloadDesConfig config = overload_config();
+  const OverloadDesResult a = simulate_overload(config);
+  const OverloadDesResult b = simulate_overload(config);
+  EXPECT_EQ(a.offered, b.offered);
+  EXPECT_EQ(a.shed, b.shed);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_DOUBLE_EQ(a.response_s.mean(), b.response_s.mean());
+  EXPECT_DOUBLE_EQ(a.utilization, b.utilization);
+
+  OverloadDesConfig reseeded = config;
+  reseeded.seed += 1;
+  const OverloadDesResult c = simulate_overload(reseeded);
+  EXPECT_NE(a.shed, c.shed);
+}
+
+}  // namespace
+}  // namespace epm::cluster

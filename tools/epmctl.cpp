@@ -17,6 +17,7 @@
 #include "core/table.h"
 #include "core/units.h"
 #include "faults/fault_plan.h"
+#include "faults/retry_storm.h"
 #include "faults/storm.h"
 #include "sensing/scenario.h"
 #include "macro/coordinator.h"
@@ -52,6 +53,9 @@ int cmd_help() {
   epmctl sensing      [--intensity X] [--hours H]       degraded sensing/actuation:
                       [--plan SPEC] [--seed S]          naive vs. hardened controller
                       [--servers N]                     (validation + retry/backoff)
+  epmctl retrystorm   [--outage S] [--policy P]         closed-loop retry storm:
+                      [--clients N] [--seed S]          naive vs. defended admission
+                                                        (P: immediate|fixed|exponential)
 
   --threads T applies to the commands with parallel backends (availability,
   replications); it defaults to the EPM_THREADS environment variable, else
@@ -426,6 +430,70 @@ int cmd_sensing(const CliArgs& args) {
   return 0;
 }
 
+int cmd_retrystorm(const CliArgs& args) {
+  const double outage_s = args.get("outage", 120.0);
+  const std::string policy = args.get("policy", std::string{"immediate"});
+  const auto clients = static_cast<std::size_t>(
+      args.get("clients", std::int64_t{20000}));
+  const auto seed = static_cast<std::uint64_t>(args.get("seed", std::int64_t{7}));
+  if (const int rc = check_unused(args)) return rc;
+  if (outage_s <= 0.0) return fail("--outage must be > 0 seconds");
+  if (clients == 0) return fail("--clients must be > 0");
+  workload::RetryBackoff backoff;
+  try {
+    backoff = workload::retry_backoff_from_string(policy);
+  } catch (const std::exception&) {
+    return fail("unknown --policy '" + policy +
+                "' (immediate|fixed|exponential)");
+  }
+
+  Table table({"arm", "prefault", "end offered", "end goodput", "recovery",
+               "metastable", "trips", "shed", "stale"});
+  auto run_arm = [&](bool defended) {
+    faults::RetryStormConfig config =
+        faults::make_reference_retry_storm_config(backoff, outage_s, defended);
+    config.clients.clients = clients;
+    config.clients.seed = seed;
+    const auto out = faults::run_retry_storm(config);
+    table.add_row(
+        {defended ? "defended" : "naive", fmt(out.prefault_goodput_rps, 0) + "/s",
+         fmt(out.end_offered_rps, 0) + "/s", fmt(out.end_goodput_rps, 0) + "/s",
+         out.recovered ? fmt(out.recovery_s, 0) + " s" : "never",
+         out.metastable ? "YES" : "no", std::to_string(out.breaker_trips),
+         std::to_string(out.shed_breaker + out.shed_bucket + out.shed_queue),
+         std::to_string(out.served_stale)});
+    return out;
+  };
+
+  std::cout << "Retry storm: " << clients << " clients, " << policy
+            << " backoff, " << fmt(outage_s, 0) << " s outage:\n";
+  const auto naive = run_arm(false);
+  const auto defended = run_arm(true);
+  std::cout << table.render();
+
+  const bool ledgers_clean = naive.conservation_ok && naive.invariants_ok &&
+                             defended.conservation_ok && defended.invariants_ok;
+  std::cout << "  defense "
+            << (defended.recovered
+                    ? "recovered " + fmt(defended.recovery_s, 0) +
+                          " s after the outage cleared"
+                    : "FAILED TO RECOVER")
+            << "; naive arm "
+            << (naive.metastable ? "metastable (offered " +
+                                       fmt(naive.end_offered_rps, 0) +
+                                       "/s still above capacity)"
+                                 : naive.recovered ? "recovered" : "degraded")
+            << "; ledgers "
+            << (ledgers_clean ? "clean" : "VIOLATED") << "\n";
+  if (!naive.conservation_ok) std::cout << "  naive: " << naive.conservation_report << "\n";
+  if (!defended.conservation_ok) {
+    std::cout << "  defended: " << defended.conservation_report << "\n";
+  }
+  if (!naive.invariants_ok) std::cout << naive.invariant_report;
+  if (!defended.invariants_ok) std::cout << defended.invariant_report;
+  return defended.recovered && ledgers_clean ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -441,6 +509,7 @@ int main(int argc, char** argv) {
     if (cmd == "replications") return cmd_replications(args);
     if (cmd == "faults") return cmd_faults(args);
     if (cmd == "sensing") return cmd_sensing(args);
+    if (cmd == "retrystorm") return cmd_retrystorm(args);
     return fail("unknown command '" + cmd + "' (see 'epmctl help')");
   } catch (const std::exception& e) {
     return fail(e.what());
