@@ -1,0 +1,23 @@
+// EXP-V: DES-kernel throughput — calendar queue vs binary heap.
+//
+// Emits BENCH_kernel.json (one record per section, see kernel_bench.h) and
+// exits non-zero when the calendar backend fails the relative >= 3x hold-
+// model gate, so the Release CI lane enforces the kernel's perf claim on
+// every build without depending on absolute machine speed.
+#include <cstdio>
+
+#include "core/cli_args.h"
+#include "kernel_bench.h"
+
+int main(int argc, char** argv) {
+  epm::CliArgs args(argc, argv);
+  epm::bench::KernelBenchConfig config;
+  config.threads = args.threads();
+  config.seed = static_cast<std::uint64_t>(
+      args.get("seed", static_cast<std::int64_t>(42)));
+
+  std::printf("==== EXP-V: DES kernel throughput (seed %llu) ====\n",
+              static_cast<unsigned long long>(config.seed));
+  const auto outcome = epm::bench::run_kernel_bench(config);
+  return outcome.gate_ok ? 0 : 1;
+}

@@ -1,0 +1,248 @@
+// DES-kernel throughput microbench, shared by bench/exp_kernel_throughput
+// and `epmctl kernelbench`.
+//
+// Five measured sections (events/sec each, appended to BENCH_kernel.json):
+//
+//   kernel_schedule_fire   schedule N one-shots, drain them — with --threads
+//                          independent simulator instances in parallel
+//   kernel_schedule_cancel schedule N, cancel every other one, drain
+//   kernel_periodic        P periodic timers swept over a long horizon
+//   kernel_hold_*          the classic hold model (pop one, push one at
+//                          now + Exp(1), steady queue size), run A/B on the
+//                          calendar-queue and binary-heap backends
+//   kernel_retry_storm_1m  a 1M-client retry-storm slice (SoA population +
+//                          batch completion scheduling, end to end)
+//
+// The pass/fail gate is *relative*: the calendar backend must beat the
+// binary-heap backend by `min_hold_speedup` on the hold model inside the
+// same run, so the verdict does not depend on machine speed.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <chrono>
+#include <cmath>
+#include <vector>
+
+#include "bench_report.h"
+#include "core/parallel.h"
+#include "core/rng.h"
+#include "faults/retry_storm.h"
+#include "sim/simulator.h"
+
+namespace epm::bench {
+
+struct KernelBenchConfig {
+  std::size_t threads = 1;
+  std::uint64_t seed = 42;
+  double min_hold_speedup = 3.0;
+  /// Hold-model resident queue size and hold operations per backend. The
+  /// resident set is deliberately large (the paper's "millions of users"
+  /// regime): the binary heap pays O(log n) cache-missing sift passes per
+  /// hold there, while the calendar queue stays O(1).
+  std::size_t hold_resident = 1 << 21;
+  std::size_t hold_ops = 1 << 21;
+  /// Hold-model repetitions per backend (best-of-N wall time, interleaved).
+  std::size_t hold_reps = 3;
+  /// One-shot events per schedule-fire/cancel section (per thread).
+  std::size_t oneshot_events = 1 << 20;
+  /// Periodic timers and firings for the periodic section.
+  std::size_t periodic_timers = 1 << 12;
+  std::size_t periodic_firings = 1 << 20;
+  /// Clients in the retry-storm slice; 0 skips the section (tests).
+  std::size_t storm_clients = 1'000'000;
+};
+
+struct KernelBenchOutcome {
+  double hold_calendar_eps = 0.0;  ///< hold-model events/sec, calendar queue
+  double hold_heap_eps = 0.0;      ///< hold-model events/sec, binary heap
+  double hold_speedup = 0.0;
+  bool gate_ok = false;
+};
+
+namespace detail {
+
+inline double now_wall_s() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch()).count();
+}
+
+inline double exp_draw(SplitMix64& rng) {
+  const double u = static_cast<double>(rng.next() >> 11) * 0x1.0p-53;
+  return -std::log1p(-u);
+}
+
+/// Self-perpetuating hold event: firing draws Exp(1) and schedules its own
+/// successor, so the queue holds `resident` events at all times. 24-byte
+/// capture: inline for EventFn, heap-boxed by the baseline's std::function.
+template <typename Sim>
+struct HoldEvent {
+  Sim* sim;
+  SplitMix64* rng;
+  std::size_t* remaining;
+  void operator()() const {
+    if (*remaining == 0) return;
+    --*remaining;
+    sim->schedule_at(sim->now() + exp_draw(*rng), HoldEvent{*this});
+  }
+};
+
+template <typename Sim>
+double hold_model_wall_s(std::size_t resident, std::size_t ops,
+                         std::uint64_t seed, std::size_t* fired_out) {
+  Sim sim;
+  SplitMix64 rng(seed);
+  std::size_t remaining = ops;
+  for (std::size_t i = 0; i < resident; ++i) {
+    sim.schedule_at(exp_draw(rng),
+                    HoldEvent<Sim>{&sim, &rng, &remaining});
+  }
+  const double t0 = now_wall_s();
+  std::size_t fired = 0;
+  while (sim.step()) ++fired;
+  const double wall = now_wall_s() - t0;
+  if (fired_out != nullptr) *fired_out = fired;
+  return wall;
+}
+
+}  // namespace detail
+
+inline KernelBenchOutcome run_kernel_bench(const KernelBenchConfig& config) {
+  // Default the report to BENCH_kernel.json unless the caller already chose
+  // a destination (or suppressed it with "-").
+  ::setenv("EPM_BENCH_REPORT", "BENCH_kernel.json", /*overwrite=*/0);
+  KernelBenchOutcome out;
+
+  // -- schedule-fire, one independent simulator instance per thread --------
+  {
+    ThreadPool pool(resolve_thread_count(
+        static_cast<std::int64_t>(config.threads)));
+    std::vector<std::size_t> fired(config.threads, 0);
+    const double t0 = detail::now_wall_s();
+    pool.parallel_for(config.threads, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        sim::Simulator sim;
+        SplitMix64 rng(config.seed + i);
+        std::size_t count = 0;
+        for (std::size_t e = 0; e < config.oneshot_events; ++e) {
+          sim.schedule_at(detail::exp_draw(rng) * 100.0,
+                          [&count] { ++count; });
+        }
+        sim.run_all();
+        fired[i] = count;
+      }
+    });
+    const double wall = detail::now_wall_s() - t0;
+    double items = 0.0;
+    for (const std::size_t f : fired) items += static_cast<double>(f);
+    append_bench_record({"kernel_schedule_fire", config.threads, wall, items});
+    std::printf("  schedule-fire    %10.0f events/s (%zu thread%s)\n",
+                items / wall, config.threads, config.threads == 1 ? "" : "s");
+  }
+
+  // -- schedule-cancel -----------------------------------------------------
+  {
+    sim::Simulator sim;
+    SplitMix64 rng(config.seed);
+    std::vector<sim::EventHandle> handles;
+    handles.reserve(config.oneshot_events);
+    std::size_t count = 0;
+    const double t0 = detail::now_wall_s();
+    for (std::size_t e = 0; e < config.oneshot_events; ++e) {
+      handles.push_back(sim.schedule_at(detail::exp_draw(rng) * 100.0,
+                                        [&count] { ++count; }));
+    }
+    for (std::size_t e = 0; e < handles.size(); e += 2) sim.cancel(handles[e]);
+    sim.run_all();
+    const double wall = detail::now_wall_s() - t0;
+    const auto items = static_cast<double>(config.oneshot_events);
+    append_bench_record({"kernel_schedule_cancel", 1, wall, items});
+    std::printf("  schedule-cancel  %10.0f events/s (half cancelled)\n",
+                items / wall);
+  }
+
+  // -- periodic ------------------------------------------------------------
+  {
+    sim::Simulator sim;
+    SplitMix64 rng(config.seed);
+    std::size_t count = 0;
+    for (std::size_t p = 0; p < config.periodic_timers; ++p) {
+      sim.schedule_periodic(detail::exp_draw(rng), 0.5 + detail::exp_draw(rng),
+                            [&count] { ++count; });
+    }
+    const double t0 = detail::now_wall_s();
+    while (count < config.periodic_firings && sim.step()) {
+    }
+    const double wall = detail::now_wall_s() - t0;
+    append_bench_record({"kernel_periodic", 1, wall,
+                         static_cast<double>(count)});
+    std::printf("  periodic         %10.0f events/s (%zu timers)\n",
+                static_cast<double>(count) / wall, config.periodic_timers);
+  }
+
+  // -- hold model, calendar vs binary heap (the gate) ----------------------
+  {
+    // Interleaved best-of-N: both hold runs are DRAM-resident at this size,
+    // so a noisy co-tenant can slow either arm by 2x. The minimum wall time
+    // per backend measures unhindered kernel speed and keeps the A/B ratio
+    // stable across loaded machines.
+    std::size_t fired = 0;
+    double cal_wall = 0.0;
+    double heap_wall = 0.0;
+    for (int rep = 0; rep < static_cast<int>(config.hold_reps); ++rep) {
+      const double cal = detail::hold_model_wall_s<sim::CalendarSimulator>(
+          config.hold_resident, config.hold_ops, config.seed, &fired);
+      cal_wall = rep == 0 ? cal : std::min(cal_wall, cal);
+      const double heap = detail::hold_model_wall_s<sim::HeapSimulator>(
+          config.hold_resident, config.hold_ops, config.seed, &fired);
+      heap_wall = rep == 0 ? heap : std::min(heap_wall, heap);
+    }
+    out.hold_calendar_eps = static_cast<double>(fired) / cal_wall;
+    append_bench_record({"kernel_hold_calendar", 1, cal_wall,
+                         static_cast<double>(fired)});
+    out.hold_heap_eps = static_cast<double>(fired) / heap_wall;
+    append_bench_record({"kernel_hold_heap", 1, heap_wall,
+                         static_cast<double>(fired)});
+
+    out.hold_speedup = out.hold_calendar_eps / out.hold_heap_eps;
+    std::printf("  hold calendar    %10.0f events/s (%zu resident)\n",
+                out.hold_calendar_eps, config.hold_resident);
+    std::printf("  hold binary-heap %10.0f events/s\n", out.hold_heap_eps);
+  }
+
+  // -- 1M-client retry-storm slice -----------------------------------------
+  if (config.storm_clients > 0) {
+    faults::RetryStormConfig storm;
+    storm.clients.clients = config.storm_clients;
+    storm.clients.seed = config.seed;
+    storm.horizon_s = 30.0;
+    storm.epoch_s = 1.0;
+    storm.outage_start_s = 10.0;
+    storm.outage_duration_s = 5.0;
+    storm.recovery_window_epochs = 2;
+    // Scale capacity with the population (20k reference clients -> 1000 rps)
+    // so the slice exercises a loaded-but-stable service.
+    const double scale =
+        static_cast<double>(config.storm_clients) / 20000.0;
+    storm.service_capacity_rps = 1000.0 * scale;
+    storm.batch_rps = 300.0 * scale;
+    storm.naive_queue_capacity = static_cast<std::size_t>(120000.0 * scale);
+    const double t0 = detail::now_wall_s();
+    const auto outcome = faults::run_retry_storm(storm);
+    const double wall = detail::now_wall_s() - t0;
+    const auto items = static_cast<double>(outcome.attempts);
+    append_bench_record({"kernel_retry_storm_1m", 1, wall, items});
+    std::printf("  retry-storm 1M   %10.0f attempts/s (%llu attempts)\n",
+                items / wall,
+                static_cast<unsigned long long>(outcome.attempts));
+  }
+
+  out.gate_ok = out.hold_speedup >= config.min_hold_speedup;
+  std::printf("  hold speedup     %9.2fx calendar vs heap (gate: >= %.1fx) %s\n",
+              out.hold_speedup, config.min_hold_speedup,
+              out.gate_ok ? "PASS" : "FAIL");
+  return out;
+}
+
+}  // namespace epm::bench

@@ -8,6 +8,7 @@
 
 #include "core/parallel.h"
 #include "core/require.h"
+#include "sim/simulator.h"
 
 namespace epm::cluster {
 namespace {
@@ -63,7 +64,11 @@ RequestDesResult run_fcfs(const RequestDesConfig& config) {
   RequestDesResult result;
   std::multiset<double> free_at;  // per-server next-free times
   for (std::size_t s = 0; s < config.servers; ++s) free_at.insert(0.0);
-  std::multiset<double> in_system;  // departure times of jobs in the system
+  // Jobs in the system, tracked by kernel departure events instead of a
+  // departure-time multiset: each admitted job schedules a calendar event at
+  // its finish time whose inline closure decrements the counter.
+  sim::Simulator timeline;
+  std::size_t in_system = 0;
 
   double t = 0.0;
   double busy_time = 0.0;
@@ -71,12 +76,10 @@ RequestDesResult run_fcfs(const RequestDesConfig& config) {
   for (std::size_t i = 0; i < total; ++i) {
     t += arrivals_rng.exponential(config.arrival_rate_per_s);
     // Depart everything that finished before this arrival.
-    while (!in_system.empty() && *in_system.begin() <= t) {
-      in_system.erase(in_system.begin());
-    }
+    timeline.run_until(t);
     const bool measured = i >= config.warmup_requests;
     if (measured) {
-      result.queue_depth.add(static_cast<double>(in_system.size()));
+      result.queue_depth.add(static_cast<double>(in_system));
     }
     const double earliest_free = *free_at.begin();
     free_at.erase(free_at.begin());
@@ -84,7 +87,8 @@ RequestDesResult run_fcfs(const RequestDesConfig& config) {
     const double service = sampler.next();
     const double finish = start + service;
     free_at.insert(finish);
-    in_system.insert(finish);
+    ++in_system;
+    timeline.schedule_at(finish, [&in_system] { --in_system; });
     busy_time += service;
     if (measured) {
       result.response_s.add(finish - t);
@@ -228,17 +232,17 @@ OverloadDesResult simulate_overload(const OverloadDesConfig& config) {
   OverloadDesResult result;
   std::multiset<double> free_at;  // per-server next-free times
   for (std::size_t s = 0; s < config.servers; ++s) free_at.insert(0.0);
-  std::multiset<double> in_system;  // departure times of admitted jobs
+  // Occupancy via kernel departure events (see run_fcfs).
+  sim::Simulator timeline;
+  std::size_t in_system = 0;
   const std::size_t room = config.servers + config.queue_capacity;
 
   double busy_time = 0.0;
   double t = arrivals_rng.exponential(config.arrival_rate_per_s);
   while (t <= config.horizon_s) {
-    while (!in_system.empty() && *in_system.begin() <= t) {
-      in_system.erase(in_system.begin());
-    }
+    timeline.run_until(t);
     ++result.offered;
-    if (in_system.size() >= room) {
+    if (in_system >= room) {
       ++result.shed;
     } else {
       ++result.admitted;
@@ -248,7 +252,8 @@ OverloadDesResult simulate_overload(const OverloadDesConfig& config) {
       const double service = sampler.next();
       const double finish = start + service;
       free_at.insert(finish);
-      in_system.insert(finish);
+      ++in_system;
+      timeline.schedule_at(finish, [&in_system] { --in_system; });
       busy_time += std::max(0.0, std::min(finish, config.horizon_s) -
                                      std::min(start, config.horizon_s));
       if (finish <= config.horizon_s) {

@@ -47,27 +47,8 @@ OnlineStats TimeSeries::stats_between(double t0_s, double t1_s) const {
   return s;
 }
 
-TimeSeries TimeSeries::downsample(
-    std::size_t factor, const std::function<double(const double*, std::size_t)>& agg) const {
-  require(factor > 0, "TimeSeries::downsample: factor must be positive");
-  TimeSeries out(start_s_, step_s_ * static_cast<double>(factor));
-  out.reserve((values_.size() + factor - 1) / factor);
-  for (std::size_t i = 0; i < values_.size(); i += factor) {
-    const std::size_t n = std::min(factor, values_.size() - i);
-    out.push_back(agg(values_.data() + i, n));
-  }
-  return out;
-}
-
 TimeSeries TimeSeries::downsample_mean(std::size_t factor) const {
   return downsample(factor, mean_of);
-}
-
-TimeSeries TimeSeries::map(const std::function<double(double)>& f) const {
-  TimeSeries out(start_s_, step_s_);
-  out.reserve(values_.size());
-  for (double v : values_) out.push_back(f(v));
-  return out;
 }
 
 TimeSeries TimeSeries::operator+(const TimeSeries& other) const {

@@ -3,11 +3,13 @@
 // harnesses.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
-#include <functional>
 #include <string>
+#include <type_traits>
 #include <vector>
 
+#include "core/require.h"
 #include "core/stats.h"
 
 namespace epm {
@@ -45,13 +47,35 @@ class TimeSeries {
 
   /// Downsamples by an integer factor, aggregating each group with `agg`
   /// (e.g. mean of each group). A trailing partial group is aggregated too.
-  TimeSeries downsample(std::size_t factor,
-                        const std::function<double(const double*, std::size_t)>& agg) const;
+  /// Takes the callable by template so per-group calls inline (telemetry
+  /// post-processing runs this over every channel; a std::function here put
+  /// an indirect call in every group).
+  template <typename Agg,
+            typename = std::enable_if_t<std::is_invocable_r_v<
+                double, Agg&, const double*, std::size_t>>>
+  TimeSeries downsample(std::size_t factor, Agg&& agg) const {
+    require(factor > 0, "TimeSeries::downsample: factor must be positive");
+    TimeSeries out(start_s_, step_s_ * static_cast<double>(factor));
+    out.reserve((values_.size() + factor - 1) / factor);
+    for (std::size_t i = 0; i < values_.size(); i += factor) {
+      const std::size_t n = std::min(factor, values_.size() - i);
+      out.push_back(agg(values_.data() + i, n));
+    }
+    return out;
+  }
   /// Convenience mean-downsampling.
   TimeSeries downsample_mean(std::size_t factor) const;
 
-  /// Element-wise map into a new series with the same timing.
-  TimeSeries map(const std::function<double(double)>& f) const;
+  /// Element-wise map into a new series with the same timing; template for
+  /// the same per-point inlining reason as downsample().
+  template <typename F,
+            typename = std::enable_if_t<std::is_invocable_r_v<double, F&, double>>>
+  TimeSeries map(F&& f) const {
+    TimeSeries out(start_s_, step_s_);
+    out.reserve(values_.size());
+    for (double v : values_) out.push_back(f(v));
+    return out;
+  }
   /// Element-wise sum; series must have identical timing and length.
   TimeSeries operator+(const TimeSeries& other) const;
   /// Scales every value.

@@ -7,6 +7,7 @@
 #include "core/require.h"
 #include "macro/decision_log.h"
 #include "sensing/channels.h"
+#include "sim/simulator.h"
 #include "telemetry/store.h"
 
 namespace epm::faults {
@@ -80,6 +81,11 @@ RetryStormOutcome run_retry_storm(const RetryStormConfig& config) {
   const double outage_end_s =
       config.outage_start_s + config.outage_duration_s;
   bool sessions_dropped = false;
+  // Completion timeline: the queue drain stages one inline EventFn per
+  // completed request, batch-scheduled at the epoch end (one bucket lookup
+  // for the whole batch) and fired in FIFO order by the seq tiebreak.
+  sim::Simulator completions;
+  std::vector<sim::EventFn> completion_batch;
   double serve_carry = 0.0;
   double batch_shed_frac = 0.0;  // from last epoch's policy reaction
   double interactive_capacity_rps =
@@ -142,12 +148,18 @@ RetryStormOutcome run_retry_storm(const RetryStormConfig& config) {
     const auto fresh0 = population.ledger().served;
     const auto stale0 = population.ledger().stale_served;
     double credit = serve_carry + interactive_capacity_rps * dt;
+    completion_batch.clear();
     while (credit >= 1.0 && !queue.empty()) {
-      population.on_served(queue.front().id, t1);
+      const std::uint32_t id = queue.front().id;
+      completion_batch.emplace_back(
+          [&population, id, t1] { population.on_served(id, t1); });
       queue.pop();
       credit -= 1.0;
     }
     serve_carry = queue.empty() ? 0.0 : credit;
+    completions.schedule_batch_at(t1, completion_batch.begin(),
+                                  completion_batch.end());
+    completions.run_until(t1);
 
     // 4. Client deadlines fire after this epoch's completions.
     const auto expired0 = population.ledger().timed_out;

@@ -1,0 +1,234 @@
+// Allocation-free event callables for the DES kernel.
+//
+// The kernel's hot path fires millions of closures; std::function heap-
+// allocates any capture larger than its tiny internal buffer and copies it
+// on every priority_queue pop. EventFn replaces it with a move-only callable
+// whose captures live inline (up to kInlineSize bytes) — the common case for
+// event closures, which capture a context pointer plus a couple of ids — so
+// scheduling an event touches no allocator at all. Oversized closures are
+// boxed out-of-line, either on the global heap or, when scheduled through a
+// Simulator, in that simulator's ClosureArena: a size-class freelist that
+// recycles closure blocks for the lifetime of the run.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace epm::sim {
+
+/// Size-class freelist allocator for oversized event closures. Blocks are
+/// carved from chunked slabs and recycled on release, so a steady-state
+/// simulation reuses the same few cache-warm blocks instead of hammering
+/// malloc. Blocks larger than the biggest class fall through to operator new.
+/// The arena must outlive every closure allocated from it (the Simulator
+/// owns both, and destroys its events first).
+class ClosureArena {
+ public:
+  ClosureArena() = default;
+  ClosureArena(const ClosureArena&) = delete;
+  ClosureArena& operator=(const ClosureArena&) = delete;
+
+  void* allocate(std::size_t bytes) {
+    const std::size_t cls = size_class(bytes);
+    if (cls == kClassCount) return ::operator new(bytes);
+    if (free_[cls] == nullptr) refill(cls);
+    FreeBlock* block = free_[cls];
+    free_[cls] = block->next;
+    return block;
+  }
+
+  void release(void* p, std::size_t bytes) noexcept {
+    const std::size_t cls = size_class(bytes);
+    if (cls == kClassCount) {
+      ::operator delete(p);
+      return;
+    }
+    auto* block = static_cast<FreeBlock*>(p);
+    block->next = free_[cls];
+    free_[cls] = block;
+  }
+
+  /// Slab bytes currently reserved (diagnostics / tests).
+  std::size_t reserved_bytes() const { return chunks_.size() * kChunkBytes; }
+
+ private:
+  struct FreeBlock {
+    FreeBlock* next;
+  };
+  static constexpr std::size_t kClassSizes[] = {64, 128, 256, 512, 1024};
+  static constexpr std::size_t kClassCount =
+      sizeof(kClassSizes) / sizeof(kClassSizes[0]);
+  static constexpr std::size_t kChunkBytes = 16 * 1024;
+
+  static std::size_t size_class(std::size_t bytes) {
+    for (std::size_t c = 0; c < kClassCount; ++c) {
+      if (bytes <= kClassSizes[c]) return c;
+    }
+    return kClassCount;
+  }
+
+  void refill(std::size_t cls) {
+    chunks_.push_back(std::make_unique<std::byte[]>(kChunkBytes));
+    std::byte* base = chunks_.back().get();
+    const std::size_t block = kClassSizes[cls];
+    for (std::size_t off = 0; off + block <= kChunkBytes; off += block) {
+      release(base + off, block);
+    }
+  }
+
+  std::vector<std::unique_ptr<std::byte[]>> chunks_;
+  FreeBlock* free_[kClassCount] = {};
+};
+
+/// Move-only `void()` callable with inline storage for small captures.
+/// Construction from a callable is explicit so that overload sets taking
+/// both EventFn and std::function stay unambiguous.
+class EventFn {
+ public:
+  /// Captures at most this large (and no stricter than pointer-aligned) are
+  /// stored inline; everything bigger or over-aligned is boxed out-of-line.
+  static constexpr std::size_t kInlineSize = 48;
+  static constexpr std::size_t kInlineAlign = alignof(double);
+
+  EventFn() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, EventFn> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  explicit EventFn(F&& fn) {
+    emplace(std::forward<F>(fn), nullptr);
+  }
+
+  /// Boxes `fn` in `arena` when it does not fit inline (the Simulator's
+  /// schedule path); small captures still go inline with no allocation.
+  template <typename F>
+  static EventFn with_arena(ClosureArena& arena, F&& fn) {
+    EventFn out;
+    out.emplace(std::forward<F>(fn), &arena);
+    return out;
+  }
+
+  EventFn(EventFn&& other) noexcept { move_from(other); }
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+  ~EventFn() { reset(); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+  void operator()() { ops_->invoke(buf_); }
+
+  /// True when the capture lives inline (diagnostics / tests).
+  bool is_inline() const { return ops_ != nullptr && ops_->inline_storage; }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* self);
+    /// Move-constructs into raw `dst` storage and destroys `src`.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void* self) noexcept;
+    bool inline_storage;
+  };
+
+  template <typename F>
+  static constexpr bool fits_inline() {
+    return sizeof(F) <= kInlineSize && alignof(F) <= kInlineAlign;
+  }
+
+  template <typename F>
+  struct InlineModel {
+    static void invoke(void* self) { (*std::launder(static_cast<F*>(self)))(); }
+    static void relocate(void* dst, void* src) noexcept {
+      F* from = std::launder(static_cast<F*>(src));
+      ::new (dst) F(std::move(*from));
+      from->~F();
+    }
+    static void destroy(void* self) noexcept {
+      std::launder(static_cast<F*>(self))->~F();
+    }
+    static constexpr Ops ops{&invoke, &relocate, &destroy, true};
+  };
+
+  struct Boxed {
+    void* obj;
+    ClosureArena* arena;  ///< nullptr => plain operator new/delete
+  };
+
+  template <typename F>
+  struct BoxedModel {
+    static void invoke(void* self) {
+      (*static_cast<F*>(std::launder(static_cast<Boxed*>(self))->obj))();
+    }
+    static void relocate(void* dst, void* src) noexcept {
+      ::new (dst) Boxed(*std::launder(static_cast<Boxed*>(src)));
+    }
+    static void destroy(void* self) noexcept {
+      Boxed* box = std::launder(static_cast<Boxed*>(self));
+      F* obj = static_cast<F*>(box->obj);
+      if (box->arena != nullptr) {
+        obj->~F();
+        box->arena->release(obj, sizeof(F));
+      } else {
+        delete obj;
+      }
+    }
+    static constexpr Ops ops{&invoke, &relocate, &destroy, false};
+  };
+
+  template <typename F>
+  void emplace(F&& fn, ClosureArena* arena) {
+    using D = std::decay_t<F>;
+    if constexpr (fits_inline<D>()) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(fn));
+      ops_ = &InlineModel<D>::ops;
+    } else {
+      static_assert(alignof(D) <= alignof(std::max_align_t),
+                    "EventFn: over-aligned captures are not supported");
+      Boxed box;
+      if (arena != nullptr) {
+        void* raw = arena->allocate(sizeof(D));
+        box.obj = ::new (raw) D(std::forward<F>(fn));
+        box.arena = arena;
+      } else {
+        box.obj = new D(std::forward<F>(fn));
+        box.arena = nullptr;
+      }
+      ::new (static_cast<void*>(buf_)) Boxed(box);
+      ops_ = &BoxedModel<D>::ops;
+    }
+  }
+
+  void move_from(EventFn& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(buf_, other.buf_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  // ops_ precedes the buffer, and the buffer is only pointer-aligned, so a
+  // Node's hot fire-path bytes (timestamp, status, ops pointer, the first
+  // capture words) pack into one cache line.
+  const Ops* ops_ = nullptr;
+  alignas(kInlineAlign) std::byte buf_[kInlineSize];
+};
+
+}  // namespace epm::sim

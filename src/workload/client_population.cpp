@@ -66,36 +66,38 @@ ClientPopulation::ClientPopulation(ClientPopulationConfig config)
 
   SplitMix64 seeder(config_.seed);
   disconnect_rng_ = SplitMix64(seeder.next());
-  clients_.resize(config_.clients);
-  for (std::uint32_t id = 0; id < clients_.size(); ++id) {
-    Client& client = clients_[id];
-    client.rng = SplitMix64(seeder.next());
+  const std::size_t n = config_.clients;
+  state_.assign(n, State::kThinking);
+  attempt_.assign(n, 0);
+  token_.assign(n, 0);
+  due_s_.assign(n, 0.0);
+  rng_.reserve(n);
+  for (std::uint32_t id = 0; id < n; ++id) {
+    rng_.emplace_back(seeder.next());
     const double due = config_.start_spread_s > 0.0
-                           ? exponential(client.rng, config_.start_spread_s)
+                           ? exponential(rng_[id], config_.start_spread_s)
                            : 0.0;
-    client.state = State::kThinking;
     schedule(id, State::kThinking, due);
   }
 }
 
 void ClientPopulation::enter_state(std::uint32_t id, State state) {
-  Client& client = clients_[id];
-  if (client.state == State::kWaiting) --waiting_count_;
-  if (client.state == State::kBackoff) --backoff_count_;
-  if (client.state == State::kLost) --lost_count_;
-  client.state = state;
+  const State prev = state_[id];
+  if (prev == State::kWaiting) --waiting_count_;
+  if (prev == State::kBackoff) --backoff_count_;
+  if (prev == State::kLost) --lost_count_;
+  state_[id] = state;
   if (state == State::kWaiting) ++waiting_count_;
   if (state == State::kBackoff) ++backoff_count_;
   if (state == State::kLost) ++lost_count_;
 }
 
 void ClientPopulation::schedule(std::uint32_t id, State state, double due_s) {
-  Client& client = clients_[id];
   enter_state(id, state);
-  client.due_s = due_s;
-  client.token = next_token_++;
+  due_s_[id] = due_s;
+  token_[id] = next_token_++;
   if (state == State::kLost) return;  // never scheduled again
-  HeapEntry entry{due_s, id, client.token};
+  HeapEntry entry{due_s, id, token_[id]};
   if (state == State::kWaiting) {
     deadline_heap_.push(entry);
   } else {
@@ -103,25 +105,25 @@ void ClientPopulation::schedule(std::uint32_t id, State state, double due_s) {
   }
 }
 
-double ClientPopulation::jitter(Client& client) const {
+double ClientPopulation::jitter(std::uint32_t id) {
   const double j = config_.retry.jitter_frac;
   if (j <= 0.0) return 1.0;
-  return 1.0 - j + 2.0 * j * uniform01(client.rng);
+  return 1.0 - j + 2.0 * j * uniform01(rng_[id]);
 }
 
-double ClientPopulation::backoff_delay_s(Client& client) const {
+double ClientPopulation::backoff_delay_s(std::uint32_t id) {
   const RetryPolicyConfig& retry = config_.retry;
   switch (retry.backoff) {
     case RetryBackoff::kImmediate:
       return 0.0;
     case RetryBackoff::kFixed:
-      return retry.base_delay_s * jitter(client);
+      return retry.base_delay_s * jitter(id);
     case RetryBackoff::kExponential: {
-      // client.attempt counts the attempt that just failed (>= 1).
-      const double exponent = static_cast<double>(client.attempt - 1);
+      // attempt_[id] counts the attempt that just failed (>= 1).
+      const double exponent = static_cast<double>(attempt_[id] - 1);
       const double raw =
           retry.base_delay_s * std::pow(retry.multiplier, exponent);
-      return std::min(raw, retry.max_delay_s) * jitter(client);
+      return std::min(raw, retry.max_delay_s) * jitter(id);
     }
   }
   return 0.0;
@@ -135,79 +137,76 @@ const std::vector<std::uint32_t>& ClientPopulation::collect_due(double t0,
   while (!due_heap_.empty() && due_heap_.top().due_s < end) {
     const HeapEntry entry = due_heap_.top();
     due_heap_.pop();
-    Client& client = clients_[entry.id];
-    if (client.token != entry.token) continue;  // superseded entry
+    const std::uint32_t id = entry.id;
+    if (token_[id] != entry.token) continue;  // superseded entry
     // A thinking or cooled-down client starts a fresh intent; a backoff
     // client re-offers its failed one.
-    if (client.state == State::kBackoff) {
+    if (state_[id] == State::kBackoff) {
       ++ledger_.retries;
     } else {
-      client.attempt = 0;
+      attempt_[id] = 0;
       ++ledger_.intents;
     }
-    ++client.attempt;
+    ++attempt_[id];
     ++ledger_.attempts;
     // In limbo until the caller answers with on_rejected/on_admitted; the
     // attempt is in flight, so it counts as waiting with no deadline yet.
-    enter_state(entry.id, State::kWaiting);
-    client.due_s = kNever;
-    client.token = next_token_++;
-    batch_.push_back(entry.id);
+    enter_state(id, State::kWaiting);
+    due_s_[id] = kNever;
+    token_[id] = next_token_++;
+    batch_.push_back(id);
   }
   return batch_;
 }
 
 void ClientPopulation::fail_attempt(std::uint32_t id, double now_s) {
-  Client& client = clients_[id];
-  if (client.attempt >= config_.retry.max_attempts) {
+  if (attempt_[id] >= config_.retry.max_attempts) {
     ++ledger_.abandoned;
     if (config_.retry.abandon_cooldown_s > 0.0) {
       schedule(id, State::kCooldown,
-               now_s + config_.retry.abandon_cooldown_s * jitter(client));
+               now_s + config_.retry.abandon_cooldown_s * jitter(id));
     } else {
       schedule(id, State::kLost, kNever);
     }
     return;
   }
-  schedule(id, State::kBackoff, now_s + backoff_delay_s(client));
+  schedule(id, State::kBackoff, now_s + backoff_delay_s(id));
 }
 
 void ClientPopulation::on_rejected(std::uint32_t id, double now_s) {
-  require(id < clients_.size(), "ClientPopulation: client id out of range");
-  ensure(clients_[id].state == State::kWaiting,
+  require(id < state_.size(), "ClientPopulation: client id out of range");
+  ensure(state_[id] == State::kWaiting,
          "ClientPopulation: rejected a client with no attempt in flight");
   ++ledger_.rejected;
   fail_attempt(id, now_s);
 }
 
 void ClientPopulation::on_admitted(std::uint32_t id, double now_s) {
-  require(id < clients_.size(), "ClientPopulation: client id out of range");
-  ensure(clients_[id].state == State::kWaiting,
+  require(id < state_.size(), "ClientPopulation: client id out of range");
+  ensure(state_[id] == State::kWaiting,
          "ClientPopulation: admitted a client with no attempt in flight");
   schedule(id, State::kWaiting, now_s + config_.request_timeout_s);
 }
 
 void ClientPopulation::on_served(std::uint32_t id, double now_s) {
-  require(id < clients_.size(), "ClientPopulation: client id out of range");
-  Client& client = clients_[id];
-  if (client.state != State::kWaiting) {
+  require(id < state_.size(), "ClientPopulation: client id out of range");
+  if (state_[id] != State::kWaiting) {
     // The client gave up on this attempt long ago; the service's work on it
     // was wasted — the defining loss of a retry storm.
     ++ledger_.stale_served;
     return;
   }
   ++ledger_.served;
-  client.attempt = 0;
+  attempt_[id] = 0;
   schedule(id, State::kThinking,
-           now_s + exponential(client.rng, config_.think_time_s));
+           now_s + exponential(rng_[id], config_.think_time_s));
 }
 
 void ClientPopulation::expire_timeouts(double now_s) {
   while (!deadline_heap_.empty() && deadline_heap_.top().due_s <= now_s) {
     const HeapEntry entry = deadline_heap_.top();
     deadline_heap_.pop();
-    Client& client = clients_[entry.id];
-    if (client.token != entry.token || client.state != State::kWaiting) {
+    if (token_[entry.id] != entry.token || state_[entry.id] != State::kWaiting) {
       continue;  // served (or disconnected) before the deadline
     }
     ++ledger_.timed_out;
@@ -216,8 +215,7 @@ void ClientPopulation::expire_timeouts(double now_s) {
 }
 
 void ClientPopulation::disconnect_client(std::uint32_t id, double now_s) {
-  Client& client = clients_[id];
-  switch (client.state) {
+  switch (state_[id]) {
     case State::kWaiting:
       ++ledger_.dropped;
       ++ledger_.disconnected_intents;
@@ -233,15 +231,15 @@ void ClientPopulation::disconnect_client(std::uint32_t id, double now_s) {
       return;  // gone for good; no session to drop
   }
   ++ledger_.disconnects;
-  client.attempt = 0;
+  attempt_[id] = 0;
   // Session re-establishment: reconnects arrive with exponential spread, so
   // the aggregate login surge decays like the Fig. 3 flash-crowd spikes.
   schedule(id, State::kThinking,
-           now_s + exponential(client.rng, config_.reconnect_spread_s));
+           now_s + exponential(rng_[id], config_.reconnect_spread_s));
 }
 
 void ClientPopulation::disconnect_all(double now_s) {
-  for (std::uint32_t id = 0; id < clients_.size(); ++id) {
+  for (std::uint32_t id = 0; id < state_.size(); ++id) {
     disconnect_client(id, now_s);
   }
 }
@@ -253,7 +251,7 @@ void ClientPopulation::disconnect_fraction(double fraction, double now_s) {
     disconnect_all(now_s);  // no draws: the full-outage path stays stream-stable
     return;
   }
-  for (std::uint32_t id = 0; id < clients_.size(); ++id) {
+  for (std::uint32_t id = 0; id < state_.size(); ++id) {
     if (uniform01(disconnect_rng_) < fraction) {
       disconnect_client(id, now_s);
     }

@@ -157,14 +157,6 @@ class ClientPopulation {
     kLost,      ///< abandoned forever (no cooldown)
   };
 
-  struct Client {
-    State state = State::kThinking;
-    std::uint32_t attempt = 0;  ///< attempts issued in the current intent
-    std::uint64_t token = 0;    ///< matches the live heap entry
-    double due_s = 0.0;
-    SplitMix64 rng{0};
-  };
-
   struct HeapEntry {
     double due_s;
     std::uint32_t id;
@@ -179,13 +171,24 @@ class ClientPopulation {
 
   void schedule(std::uint32_t id, State state, double due_s);
   void fail_attempt(std::uint32_t id, double now_s);
-  double backoff_delay_s(Client& client) const;
-  double jitter(Client& client) const;
+  double backoff_delay_s(std::uint32_t id);
+  double jitter(std::uint32_t id);
   void enter_state(std::uint32_t id, State state);
   void disconnect_client(std::uint32_t id, double now_s);
 
   ClientPopulationConfig config_;
-  std::vector<Client> clients_;
+
+  // Client state, structure-of-arrays: the epoch sweep (collect_due /
+  // expire_timeouts / disconnect loops) touches one field across many
+  // clients, so parallel arrays stream linearly instead of striding over
+  // 40-byte AoS records. Heap entries carry an id into these arrays plus
+  // the (due, token) snapshot needed for ordering and staleness checks.
+  std::vector<State> state_;
+  std::vector<std::uint32_t> attempt_;  ///< attempts in the current intent
+  std::vector<std::uint64_t> token_;    ///< matches the live heap entry
+  std::vector<double> due_s_;
+  std::vector<SplitMix64> rng_;
+
   MinHeap due_heap_;       ///< thinking / backoff / cooldown clients
   MinHeap deadline_heap_;  ///< waiting clients keyed by their deadline
   std::vector<std::uint32_t> batch_;

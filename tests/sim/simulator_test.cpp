@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <chrono>
+#include <utility>
 #include <vector>
 
 namespace epm::sim {
@@ -141,9 +143,9 @@ TEST(Simulator, NestedSchedulingDuringRun) {
 }
 
 TEST(Simulator, MassCancellationStress) {
-  // 10k periodic events cancelled up front: the hash-set tombstone lookup
-  // makes the drain O(1) per event where the old linear scan was O(n),
-  // turning this from minutes into milliseconds.
+  // 10k periodic events cancelled up front: cancellation is an O(1) status
+  // flip and the drain skips dead entries in O(1) each, where a linear
+  // queue scan per cancel was O(n) — minutes instead of milliseconds.
   using clock = std::chrono::steady_clock;
   const auto start = clock::now();
 
@@ -164,6 +166,142 @@ TEST(Simulator, MassCancellationStress) {
 
   const std::chrono::duration<double> wall = clock::now() - start;
   EXPECT_LT(wall.count(), 2.0);
+}
+
+TEST(Simulator, PendingExactAcrossCancelThenDrain) {
+  // Regression: pending() must drop at cancel() time and stay exact while
+  // the cancelled calendar entries drain lazily through the freelist.
+  Simulator sim;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 100; ++i) {
+    handles.push_back(sim.schedule_at(1.0 + i, [] {}));
+  }
+  for (int i = 0; i < 100; i += 2) sim.cancel(handles[i]);
+  EXPECT_EQ(sim.pending(), 50u);
+  sim.run_until(50.5);  // drains a mix of live and cancelled entries
+  EXPECT_EQ(sim.pending(), 25u);
+  sim.run_all();
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulator, SelfCancelFromCallbackKeepsPendingExact) {
+  Simulator sim;
+  EventHandle h;
+  h = sim.schedule_at(1.0, [&] { sim.cancel(h); });  // fires, then self-cancels
+  sim.schedule_at(2.0, [] {});
+  sim.run_until(1.0);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run_all();
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulator, CancelAfterFireIsNoop) {
+  Simulator sim;
+  int fired = 0;
+  auto h = sim.schedule_at(1.0, [&] { ++fired; });
+  sim.schedule_at(3.0, [&] { ++fired; });
+  sim.run_until(2.0);
+  sim.cancel(h);  // already fired; must not disturb accounting
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run_all();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulator, RecycledSlotIgnoresStaleHandle) {
+  // A handle kept across its event's firing must never cancel the unrelated
+  // event that later reuses the slot (generation counters).
+  Simulator sim;
+  auto stale = sim.schedule_at(1.0, [] {});
+  sim.run_all();
+  int fired = 0;
+  sim.schedule_at(2.0, [&] { ++fired; });  // recycles the freed slot
+  sim.cancel(stale);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run_all();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, BatchKeepsFifoOrderAtOneTimestamp) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(5.0, [&] { order.push_back(-1); });  // scheduled first
+  std::vector<EventFn> batch;
+  for (int i = 0; i < 8; ++i) {
+    batch.emplace_back(EventFn{[&order, i] { order.push_back(i); }});
+  }
+  sim.schedule_batch_at(5.0, batch.begin(), batch.end());
+  sim.schedule_at(5.0, [&] { order.push_back(99); });  // scheduled last
+  sim.run_all();
+  EXPECT_EQ(order, (std::vector<int>{-1, 0, 1, 2, 3, 4, 5, 6, 7, 99}));
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulator, OversizedCaptureRoutesThroughArena) {
+  Simulator sim;
+  std::array<double, 16> payload{};  // 128 bytes: over EventFn::kInlineSize
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<double>(i);
+  }
+  double sum = 0.0;
+  sim.schedule_at(1.0, [payload, &sum] {
+    for (const double v : payload) sum += v;
+  });
+  sim.run_all();
+  EXPECT_DOUBLE_EQ(sum, 120.0);
+}
+
+TEST(EventFn, InlineAndBoxedCapturesBothInvoke) {
+  int hits = 0;
+  EventFn small{[&hits] { ++hits; }};
+  EXPECT_TRUE(small.is_inline());
+  small();
+
+  std::array<char, 256> big{};
+  big[0] = 1;
+  EventFn boxed{[big, &hits] { hits += big[0]; }};
+  EXPECT_FALSE(boxed.is_inline());
+  boxed();
+  EXPECT_EQ(hits, 2);
+
+  EventFn moved = std::move(boxed);  // boxed pointer relocates, no re-copy
+  moved();
+  EXPECT_EQ(hits, 3);
+  EXPECT_FALSE(static_cast<bool>(boxed));  // NOLINT(bugprone-use-after-move)
+}
+
+TEST(ClosureArena, RecyclesBlocksThroughFreelist) {
+  ClosureArena arena;
+  void* a = arena.allocate(100);  // 128-byte class
+  arena.release(a, 100);
+  void* b = arena.allocate(100);
+  EXPECT_EQ(a, b);  // freelist handed back the same block
+  arena.release(b, 100);
+  EXPECT_GT(arena.reserved_bytes(), 0u);
+}
+
+TEST(CalendarSimulator, WheelGrowsWithOccupancy) {
+  CalendarSimulator sim;
+  const std::size_t initial = sim.bucket_count();
+  for (int i = 0; i < 100000; ++i) {
+    sim.schedule_at(static_cast<double>(i) * 1e-3, [] {});
+  }
+  EXPECT_GT(sim.bucket_count(), initial);
+  EXPECT_GT(sim.bucket_width_s(), 0.0);
+  sim.run_all();
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(CalendarSimulator, FarFutureEventsFireInOrder) {
+  // Events far beyond the wheel horizon sit in the overflow tier and must
+  // still interleave correctly with near-future events as the wheel rebases.
+  CalendarSimulator sim;
+  std::vector<double> times;
+  for (const double t : {1e9, 1.0, 1e6, 2.0, 5e8, 1e3}) {
+    sim.schedule_at(t, [&times, &sim] { times.push_back(sim.now()); });
+  }
+  sim.run_all();
+  EXPECT_EQ(times, (std::vector<double>{1.0, 2.0, 1e3, 1e6, 5e8, 1e9}));
 }
 
 TEST(Simulator, StepExecutesExactlyOne) {

@@ -11,6 +11,7 @@
 #include <iostream>
 #include <string>
 
+#include "bench/kernel_bench.h"
 #include "cluster/request_des.h"
 #include "cluster/service_cluster.h"
 #include "core/cli_args.h"
@@ -56,6 +57,9 @@ int cmd_help() {
   epmctl retrystorm   [--outage S] [--policy P]         closed-loop retry storm:
                       [--clients N] [--seed S]          naive vs. defended admission
                                                         (P: immediate|fixed|exponential)
+  epmctl kernelbench  [--threads T] [--seed S]          DES-kernel throughput micro-
+                                                        bench; exits non-zero if the
+                                                        calendar queue misses its gate
 
   --threads T applies to the commands with parallel backends (availability,
   replications); it defaults to the EPM_THREADS environment variable, else
@@ -494,6 +498,22 @@ int cmd_retrystorm(const CliArgs& args) {
   return defended.recovered && ledgers_clean ? 0 : 1;
 }
 
+int cmd_kernelbench(const CliArgs& args) {
+  bench::KernelBenchConfig config;
+  config.threads = args.threads();
+  config.seed = static_cast<std::uint64_t>(args.get("seed", std::int64_t{42}));
+  if (const int rc = check_unused(args)) return rc;
+
+  std::cout << "DES kernel throughput (seed " << config.seed << "):\n";
+  const auto outcome = bench::run_kernel_bench(config);
+  if (!outcome.gate_ok) {
+    return fail("calendar queue missed its hold-model gate (" +
+                fmt(outcome.hold_speedup, 2) + "x < " +
+                fmt(config.min_hold_speedup, 1) + "x)");
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -510,6 +530,7 @@ int main(int argc, char** argv) {
     if (cmd == "faults") return cmd_faults(args);
     if (cmd == "sensing") return cmd_sensing(args);
     if (cmd == "retrystorm") return cmd_retrystorm(args);
+    if (cmd == "kernelbench") return cmd_kernelbench(args);
     return fail("unknown command '" + cmd + "' (see 'epmctl help')");
   } catch (const std::exception& e) {
     return fail(e.what());
