@@ -15,9 +15,22 @@ int main(int argc, char** argv) {
   config.threads = args.threads();
   config.seed = static_cast<std::uint64_t>(
       args.get("seed", static_cast<std::int64_t>(42)));
+  // --smoke: the reduced CI configuration — a 100k-client storm under a
+  // loose absolute wall ceiling instead of the full 1M A/B + 10M sections,
+  // so the Release lane catches order-of-magnitude regressions in the epoch
+  // engine without paying the full bench on every push.
+  if (args.get_switch("smoke")) {
+    config.storm_clients = 100'000;
+    config.storm_reps = 1;
+    config.min_storm_speedup = 0.0;  // relative gate needs the full size
+    config.max_storm_wall_s = 5.0;
+    config.sweep_clients = 100'000;
+    config.storm_10m_clients = 0;
+  }
 
-  std::printf("==== EXP-V: DES kernel throughput (seed %llu) ====\n",
-              static_cast<unsigned long long>(config.seed));
+  std::printf("==== EXP-V: DES kernel throughput (seed %llu%s) ====\n",
+              static_cast<unsigned long long>(config.seed),
+              args.get_switch("smoke") ? ", smoke" : "");
   const auto outcome = epm::bench::run_kernel_bench(config);
   return outcome.gate_ok ? 0 : 1;
 }

@@ -10,24 +10,40 @@ BoundedQueue::BoundedQueue(std::size_t capacity) : capacity_(capacity) {
   require(capacity_ >= 1, "BoundedQueue: capacity must be at least 1");
 }
 
+void BoundedQueue::grow() {
+  // Double the ring (start at 64 slots) and unroll the wrapped contents
+  // into the front of the new storage.
+  const std::size_t new_slots = ring_.empty() ? 64 : ring_.size() * 2;
+  std::vector<Entry> next(new_slots);
+  for (std::size_t i = 0; i < size_; ++i) {
+    next[i] = ring_[(head_ + i) & mask_];
+  }
+  ring_ = std::move(next);
+  mask_ = new_slots - 1;
+  head_ = 0;
+}
+
 bool BoundedQueue::try_push(std::uint32_t id, double now_s) {
-  if (entries_.size() >= capacity_) {
+  if (size_ >= capacity_) {
     ++shed_;
     return false;
   }
-  entries_.push_back({id, now_s});
+  if (size_ == ring_.size()) grow();
+  ring_[(head_ + size_) & mask_] = {id, now_s};
+  ++size_;
   ++accepted_;
   return true;
 }
 
 const BoundedQueue::Entry& BoundedQueue::front() const {
-  ensure(!entries_.empty(), "BoundedQueue: front() on empty queue");
-  return entries_.front();
+  ensure(size_ > 0, "BoundedQueue: front() on empty queue");
+  return ring_[head_];
 }
 
 void BoundedQueue::pop() {
-  ensure(!entries_.empty(), "BoundedQueue: pop() on empty queue");
-  entries_.pop_front();
+  ensure(size_ > 0, "BoundedQueue: pop() on empty queue");
+  head_ = (head_ + 1) & mask_;
+  --size_;
 }
 
 TokenBucket::TokenBucket(TokenBucketConfig config)

@@ -13,16 +13,31 @@ namespace epm {
 
 /// SplitMix64: tiny, high-quality 64-bit mixer. Used to expand one user seed
 /// into many stream seeds and to seed Xoshiro state.
+///
+/// The generator is a pure function of its counter: the k-th output after
+/// seeding with `s` is `mix(s + k * kGamma)`. Batch consumers (the epoch
+/// engine's block draws) exploit this by carrying raw counter states in
+/// flat arrays and advancing whole blocks branch-free; `next()` on an
+/// equivalent SplitMix64 produces the identical stream bit-for-bit
+/// (asserted by the stream-equivalence regression test).
 class SplitMix64 {
  public:
+  static constexpr std::uint64_t kGamma = 0x9e3779b97f4a7c15ULL;
+
   explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
 
-  std::uint64_t next() {
-    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+  /// The stateless finalizer: one stream step is mix(state += kGamma).
+  static std::uint64_t mix(std::uint64_t z) {
     z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
     z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
     return z ^ (z >> 31);
   }
+
+  std::uint64_t next() { return mix(state_ += kGamma); }
+
+  /// Raw counter state, for block-draw consumers that advance streams in
+  /// flat arrays and need to round-trip through a SplitMix64.
+  std::uint64_t state() const { return state_; }
 
  private:
   std::uint64_t state_;

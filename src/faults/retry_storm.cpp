@@ -4,11 +4,13 @@
 #include <cmath>
 #include <vector>
 
+#include "core/arena.h"
 #include "core/require.h"
 #include "macro/decision_log.h"
 #include "sensing/channels.h"
 #include "sim/simulator.h"
 #include "telemetry/store.h"
+#include "workload/client_population_legacy.h"
 
 namespace epm::faults {
 namespace {
@@ -22,9 +24,13 @@ double window_mean(const std::vector<double>& series, std::size_t end,
   return sum / static_cast<double>(end - lo);
 }
 
-}  // namespace
-
-RetryStormOutcome run_retry_storm(const RetryStormConfig& config) {
+/// The epoch driver, generic over the population engine. Population must
+/// expose the ClientPopulation drive protocol plus a kBatchServe constant:
+/// batch-serve engines get one arena-backed completion cohort per epoch
+/// (a single kernel event), per-serve engines get the PR 5 shape — one
+/// inline EventFn per completion, batch-scheduled at the epoch end.
+template <typename Population>
+RetryStormOutcome run_retry_storm_impl(const RetryStormConfig& config) {
   require(config.epoch_s > 0.0, "RetryStorm: epoch must be positive");
   require(config.service_capacity_rps > 0.0,
           "RetryStorm: service capacity must be positive");
@@ -50,7 +56,7 @@ RetryStormOutcome run_retry_storm(const RetryStormConfig& config) {
   require(outage_start_epoch / 2 + window <= outage_start_epoch,
           "RetryStorm: outage starts too early for a pre-fault SLA window");
 
-  workload::ClientPopulation population(config.clients);
+  Population population(config.clients);
   cluster::BoundedQueue queue(config.defense.enabled
                                   ? config.defense.queue_capacity
                                   : config.naive_queue_capacity);
@@ -81,11 +87,14 @@ RetryStormOutcome run_retry_storm(const RetryStormConfig& config) {
   const double outage_end_s =
       config.outage_start_s + config.outage_duration_s;
   bool sessions_dropped = false;
-  // Completion timeline: the queue drain stages one inline EventFn per
-  // completed request, batch-scheduled at the epoch end (one bucket lookup
-  // for the whole batch) and fired in FIFO order by the seq tiebreak.
+  // Completion timeline. Batch-serve engines stage the epoch's completion
+  // cohort as one arena-backed id span delivered by a single kernel event;
+  // per-serve engines stage one inline EventFn per completed request,
+  // batch-scheduled at the epoch end (one bucket lookup for the whole
+  // batch) and fired in FIFO order by the seq tiebreak.
   sim::Simulator completions;
   std::vector<sim::EventFn> completion_batch;
+  EpochArena cohort_arena;
   double serve_carry = 0.0;
   double batch_shed_frac = 0.0;  // from last epoch's policy reaction
   double interactive_capacity_rps =
@@ -148,17 +157,40 @@ RetryStormOutcome run_retry_storm(const RetryStormConfig& config) {
     const auto fresh0 = population.ledger().served;
     const auto stale0 = population.ledger().stale_served;
     double credit = serve_carry + interactive_capacity_rps * dt;
-    completion_batch.clear();
-    while (credit >= 1.0 && !queue.empty()) {
-      const std::uint32_t id = queue.front().id;
-      completion_batch.emplace_back(
-          [&population, id, t1] { population.on_served(id, t1); });
-      queue.pop();
-      credit -= 1.0;
+    if constexpr (Population::kBatchServe) {
+      // One id span for the whole cohort, reused epoch over epoch via the
+      // arena; the single event keeps the kernel O(1) per epoch instead of
+      // O(completions).
+      cohort_arena.reset();
+      const std::size_t budget =
+          std::min(static_cast<std::size_t>(credit), queue.size());
+      std::uint32_t* cohort = cohort_arena.alloc<std::uint32_t>(budget);
+      std::size_t cohort_n = 0;
+      while (credit >= 1.0 && !queue.empty()) {
+        cohort[cohort_n++] = queue.front().id;
+        queue.pop();
+        credit -= 1.0;
+      }
+      serve_carry = queue.empty() ? 0.0 : credit;
+      if (cohort_n > 0) {
+        sim::EventFn event{[&population, cohort, cohort_n, t1] {
+          population.on_served_batch(cohort, cohort_n, t1);
+        }};
+        completions.schedule_batch_at(t1, &event, &event + 1);
+      }
+    } else {
+      completion_batch.clear();
+      while (credit >= 1.0 && !queue.empty()) {
+        const std::uint32_t id = queue.front().id;
+        completion_batch.emplace_back(
+            [&population, id, t1] { population.on_served(id, t1); });
+        queue.pop();
+        credit -= 1.0;
+      }
+      serve_carry = queue.empty() ? 0.0 : credit;
+      completions.schedule_batch_at(t1, completion_batch.begin(),
+                                    completion_batch.end());
     }
-    serve_carry = queue.empty() ? 0.0 : credit;
-    completions.schedule_batch_at(t1, completion_batch.begin(),
-                                  completion_batch.end());
     completions.run_until(t1);
 
     // 4. Client deadlines fire after this epoch's completions.
@@ -301,6 +333,16 @@ RetryStormOutcome run_retry_storm(const RetryStormConfig& config) {
   out.invariant_report = monitor.report();
   out.decision_counts = log.counts_by_kind();
   return out;
+}
+
+}  // namespace
+
+RetryStormOutcome run_retry_storm(const RetryStormConfig& config) {
+  return run_retry_storm_impl<workload::ClientPopulation>(config);
+}
+
+RetryStormOutcome run_retry_storm_legacy(const RetryStormConfig& config) {
+  return run_retry_storm_impl<workload::LegacyClientPopulation>(config);
 }
 
 RetryStormConfig make_reference_retry_storm_config(

@@ -126,7 +126,16 @@ struct RetryStormOutcome {
   }
 };
 
+/// Runs the scenario on the vectorized epoch engine
+/// (workload::ClientPopulation): arena-backed completion cohorts delivered
+/// as one batch-scheduled kernel event per epoch.
 RetryStormOutcome run_retry_storm(const RetryStormConfig& config);
+
+/// Same scenario on the PR 5 heap engine (workload::LegacyClientPopulation)
+/// with one kernel event per completion — the faithful A/B baseline the
+/// kernel bench gates against. Outcomes are bit-identical to
+/// run_retry_storm by construction (asserted by the equivalence suite).
+RetryStormOutcome run_retry_storm_legacy(const RetryStormConfig& config);
 
 /// Reference scenario: 20k clients against a 1000 req/s shared service with
 /// a 300 req/s batch tier. `defended` enables the admission stack and the

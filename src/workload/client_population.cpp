@@ -6,6 +6,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/parallel.h"
 #include "core/require.h"
 
 namespace epm::workload {
@@ -13,13 +14,29 @@ namespace {
 
 constexpr double kNever = std::numeric_limits<double>::infinity();
 
-/// Uniform double in [0, 1) from a SplitMix64 stream.
+/// One SplitMix64 stream step over a raw counter state: uniform in [0, 1).
+/// Bit-identical to uniform01(SplitMix64&) in the legacy engine — the
+/// stream-equivalence regression test pins this.
+double unit_draw(std::uint64_t& state) {
+  return static_cast<double>(SplitMix64::mix(state += SplitMix64::kGamma) >>
+                             11) *
+         0x1.0p-53;
+}
+
+double exponential_draw(std::uint64_t& state, double mean) {
+  return -mean * std::log1p(-unit_draw(state));
+}
+
+/// Uniform double in [0, 1) from a SplitMix64 object (the shared
+/// disconnect-selection stream, which must advance in id order).
 double uniform01(SplitMix64& rng) {
   return static_cast<double>(rng.next() >> 11) * 0x1.0p-53;
 }
 
-double exponential(SplitMix64& rng, double mean) {
-  return -mean * std::log1p(-uniform01(rng));
+/// Multiplicative jitter factor in [1 - j, 1 + j). Callers gate the draw on
+/// j > 0 (draw_on_retry_ / draw_on_cooldown_) to match the legacy stream.
+double jitter_draw(std::uint64_t& state, double j) {
+  return 1.0 - j + 2.0 * j * unit_draw(state);
 }
 
 }  // namespace
@@ -43,229 +60,33 @@ RetryBackoff retry_backoff_from_string(const std::string& token) {
   throw std::invalid_argument("unknown retry backoff '" + token + "'");
 }
 
-ClientPopulation::ClientPopulation(ClientPopulationConfig config)
-    : config_(config) {
-  require(config_.clients > 0, "ClientPopulation: no clients");
-  require(config_.think_time_s > 0.0, "ClientPopulation: think time must be positive");
-  require(config_.request_timeout_s > 0.0,
+void validate_client_population_config(const ClientPopulationConfig& config) {
+  require(config.clients > 0, "ClientPopulation: no clients");
+  require(config.think_time_s > 0.0,
+          "ClientPopulation: think time must be positive");
+  require(config.request_timeout_s > 0.0,
           "ClientPopulation: request timeout must be positive");
-  require(config_.reconnect_spread_s > 0.0,
+  require(config.reconnect_spread_s > 0.0,
           "ClientPopulation: reconnect spread must be positive");
-  require(config_.start_spread_s >= 0.0,
+  require(config.start_spread_s >= 0.0,
           "ClientPopulation: start spread must be non-negative");
-  require(config_.retry.max_attempts >= 1,
+  require(config.retry.max_attempts >= 1,
           "ClientPopulation: need at least one attempt");
-  require(config_.retry.base_delay_s >= 0.0 && config_.retry.max_delay_s >= 0.0,
+  require(config.retry.base_delay_s >= 0.0 && config.retry.max_delay_s >= 0.0,
           "ClientPopulation: retry delays must be non-negative");
-  require(config_.retry.multiplier >= 1.0,
+  require(config.retry.multiplier >= 1.0,
           "ClientPopulation: retry multiplier below 1");
-  require(config_.retry.jitter_frac >= 0.0 && config_.retry.jitter_frac < 1.0,
+  require(config.retry.jitter_frac >= 0.0 && config.retry.jitter_frac < 1.0,
           "ClientPopulation: jitter fraction outside [0, 1)");
-  require(config_.retry.abandon_cooldown_s >= 0.0,
+  require(config.retry.abandon_cooldown_s >= 0.0,
           "ClientPopulation: cooldown must be non-negative");
-
-  SplitMix64 seeder(config_.seed);
-  disconnect_rng_ = SplitMix64(seeder.next());
-  const std::size_t n = config_.clients;
-  state_.assign(n, State::kThinking);
-  attempt_.assign(n, 0);
-  token_.assign(n, 0);
-  due_s_.assign(n, 0.0);
-  rng_.reserve(n);
-  for (std::uint32_t id = 0; id < n; ++id) {
-    rng_.emplace_back(seeder.next());
-    const double due = config_.start_spread_s > 0.0
-                           ? exponential(rng_[id], config_.start_spread_s)
-                           : 0.0;
-    schedule(id, State::kThinking, due);
-  }
 }
 
-void ClientPopulation::enter_state(std::uint32_t id, State state) {
-  const State prev = state_[id];
-  if (prev == State::kWaiting) --waiting_count_;
-  if (prev == State::kBackoff) --backoff_count_;
-  if (prev == State::kLost) --lost_count_;
-  state_[id] = state;
-  if (state == State::kWaiting) ++waiting_count_;
-  if (state == State::kBackoff) ++backoff_count_;
-  if (state == State::kLost) ++lost_count_;
-}
-
-void ClientPopulation::schedule(std::uint32_t id, State state, double due_s) {
-  enter_state(id, state);
-  due_s_[id] = due_s;
-  token_[id] = next_token_++;
-  if (state == State::kLost) return;  // never scheduled again
-  HeapEntry entry{due_s, id, token_[id]};
-  if (state == State::kWaiting) {
-    deadline_heap_.push(entry);
-  } else {
-    due_heap_.push(entry);
-  }
-}
-
-double ClientPopulation::jitter(std::uint32_t id) {
-  const double j = config_.retry.jitter_frac;
-  if (j <= 0.0) return 1.0;
-  return 1.0 - j + 2.0 * j * uniform01(rng_[id]);
-}
-
-double ClientPopulation::backoff_delay_s(std::uint32_t id) {
-  const RetryPolicyConfig& retry = config_.retry;
-  switch (retry.backoff) {
-    case RetryBackoff::kImmediate:
-      return 0.0;
-    case RetryBackoff::kFixed:
-      return retry.base_delay_s * jitter(id);
-    case RetryBackoff::kExponential: {
-      // attempt_[id] counts the attempt that just failed (>= 1).
-      const double exponent = static_cast<double>(attempt_[id] - 1);
-      const double raw =
-          retry.base_delay_s * std::pow(retry.multiplier, exponent);
-      return std::min(raw, retry.max_delay_s) * jitter(id);
-    }
-  }
-  return 0.0;
-}
-
-const std::vector<std::uint32_t>& ClientPopulation::collect_due(double t0,
-                                                                double dt) {
-  require(dt > 0.0, "ClientPopulation: epoch must be positive");
-  batch_.clear();
-  const double end = t0 + dt;
-  while (!due_heap_.empty() && due_heap_.top().due_s < end) {
-    const HeapEntry entry = due_heap_.top();
-    due_heap_.pop();
-    const std::uint32_t id = entry.id;
-    if (token_[id] != entry.token) continue;  // superseded entry
-    // A thinking or cooled-down client starts a fresh intent; a backoff
-    // client re-offers its failed one.
-    if (state_[id] == State::kBackoff) {
-      ++ledger_.retries;
-    } else {
-      attempt_[id] = 0;
-      ++ledger_.intents;
-    }
-    ++attempt_[id];
-    ++ledger_.attempts;
-    // In limbo until the caller answers with on_rejected/on_admitted; the
-    // attempt is in flight, so it counts as waiting with no deadline yet.
-    enter_state(id, State::kWaiting);
-    due_s_[id] = kNever;
-    token_[id] = next_token_++;
-    batch_.push_back(id);
-  }
-  return batch_;
-}
-
-void ClientPopulation::fail_attempt(std::uint32_t id, double now_s) {
-  if (attempt_[id] >= config_.retry.max_attempts) {
-    ++ledger_.abandoned;
-    if (config_.retry.abandon_cooldown_s > 0.0) {
-      schedule(id, State::kCooldown,
-               now_s + config_.retry.abandon_cooldown_s * jitter(id));
-    } else {
-      schedule(id, State::kLost, kNever);
-    }
-    return;
-  }
-  schedule(id, State::kBackoff, now_s + backoff_delay_s(id));
-}
-
-void ClientPopulation::on_rejected(std::uint32_t id, double now_s) {
-  require(id < state_.size(), "ClientPopulation: client id out of range");
-  ensure(state_[id] == State::kWaiting,
-         "ClientPopulation: rejected a client with no attempt in flight");
-  ++ledger_.rejected;
-  fail_attempt(id, now_s);
-}
-
-void ClientPopulation::on_admitted(std::uint32_t id, double now_s) {
-  require(id < state_.size(), "ClientPopulation: client id out of range");
-  ensure(state_[id] == State::kWaiting,
-         "ClientPopulation: admitted a client with no attempt in flight");
-  schedule(id, State::kWaiting, now_s + config_.request_timeout_s);
-}
-
-void ClientPopulation::on_served(std::uint32_t id, double now_s) {
-  require(id < state_.size(), "ClientPopulation: client id out of range");
-  if (state_[id] != State::kWaiting) {
-    // The client gave up on this attempt long ago; the service's work on it
-    // was wasted — the defining loss of a retry storm.
-    ++ledger_.stale_served;
-    return;
-  }
-  ++ledger_.served;
-  attempt_[id] = 0;
-  schedule(id, State::kThinking,
-           now_s + exponential(rng_[id], config_.think_time_s));
-}
-
-void ClientPopulation::expire_timeouts(double now_s) {
-  while (!deadline_heap_.empty() && deadline_heap_.top().due_s <= now_s) {
-    const HeapEntry entry = deadline_heap_.top();
-    deadline_heap_.pop();
-    if (token_[entry.id] != entry.token || state_[entry.id] != State::kWaiting) {
-      continue;  // served (or disconnected) before the deadline
-    }
-    ++ledger_.timed_out;
-    fail_attempt(entry.id, now_s);
-  }
-}
-
-void ClientPopulation::disconnect_client(std::uint32_t id, double now_s) {
-  switch (state_[id]) {
-    case State::kWaiting:
-      ++ledger_.dropped;
-      ++ledger_.disconnected_intents;
-      break;
-    case State::kBackoff:
-      ++ledger_.retry_cancelled;
-      ++ledger_.disconnected_intents;
-      break;
-    case State::kThinking:
-    case State::kCooldown:
-      break;
-    case State::kLost:
-      return;  // gone for good; no session to drop
-  }
-  ++ledger_.disconnects;
-  attempt_[id] = 0;
-  // Session re-establishment: reconnects arrive with exponential spread, so
-  // the aggregate login surge decays like the Fig. 3 flash-crowd spikes.
-  schedule(id, State::kThinking,
-           now_s + exponential(rng_[id], config_.reconnect_spread_s));
-}
-
-void ClientPopulation::disconnect_all(double now_s) {
-  for (std::uint32_t id = 0; id < state_.size(); ++id) {
-    disconnect_client(id, now_s);
-  }
-}
-
-void ClientPopulation::disconnect_fraction(double fraction, double now_s) {
-  require(fraction >= 0.0 && fraction <= 1.0,
-          "ClientPopulation: disconnect fraction outside [0, 1]");
-  if (fraction >= 1.0) {
-    disconnect_all(now_s);  // no draws: the full-outage path stays stream-stable
-    return;
-  }
-  for (std::uint32_t id = 0; id < state_.size(); ++id) {
-    if (uniform01(disconnect_rng_) < fraction) {
-      disconnect_client(id, now_s);
-    }
-  }
-}
-
-bool ClientPopulation::conservation_ok() const {
-  return conservation_report().empty();
-}
-
-std::string ClientPopulation::conservation_report() const {
-  const ClientLedger& led = ledger_;
-  const auto waiting = static_cast<std::uint64_t>(waiting_count_);
-  const auto backoff = static_cast<std::uint64_t>(backoff_count_);
+std::string client_conservation_report(const ClientLedger& led,
+                                       std::size_t waiting_count,
+                                       std::size_t backoff_count) {
+  const auto waiting = static_cast<std::uint64_t>(waiting_count);
+  const auto backoff = static_cast<std::uint64_t>(backoff_count);
   std::ostringstream out;
   if (led.attempts !=
       led.served + led.rejected + led.timed_out + led.dropped + waiting) {
@@ -294,6 +115,380 @@ std::string ClientPopulation::conservation_report() const {
     return out.str();
   }
   return {};
+}
+
+ClientPopulation::ClientPopulation(ClientPopulationConfig config)
+    : config_(config) {
+  validate_client_population_config(config_);
+  const std::size_t resolved =
+      resolve_thread_count(static_cast<std::int64_t>(config_.threads));
+  if (resolved > 1) pool_ = std::make_unique<ThreadPool>(resolved);
+
+  // Stream layout matches the legacy engine's sequential seeder exactly:
+  // seeder draw 1 seeds the disconnect-selection stream, draw id + 2 seeds
+  // client id. SplitMix64 is a pure function of its counter, so client
+  // seeds come from the closed form instead of a serial seeder walk.
+  SplitMix64 seeder(config_.seed);
+  disconnect_rng_ = SplitMix64(seeder.next());
+
+  const std::size_t n = config_.clients;
+  state_.assign(n, State::kThinking);
+  attempt_.assign(n, 0);
+  due_s_.assign(n, 0.0);
+  rng_.resize(n);
+
+  const RetryPolicyConfig& retry = config_.retry;
+  // Pre-jitter exponential-backoff delays, computed with the identical
+  // expression the legacy per-event std::pow path used (bit-equality).
+  const std::size_t table_len = std::min<std::size_t>(retry.max_attempts, 64);
+  delay_table_.assign(table_len + 1, 0.0);
+  for (std::size_t a = 1; a <= table_len; ++a) {
+    const double exponent = static_cast<double>(a - 1);
+    const double raw = retry.base_delay_s * std::pow(retry.multiplier, exponent);
+    delay_table_[a] = std::min(raw, retry.max_delay_s);
+  }
+  draw_on_retry_ =
+      retry.backoff != RetryBackoff::kImmediate && retry.jitter_frac > 0.0;
+  draw_on_cooldown_ = retry.jitter_frac > 0.0;
+
+  const double spread = config_.start_spread_s;
+  for_shards([&](std::size_t s) {
+    const std::size_t hi = shard_end(s);
+    for (std::size_t id = shard_begin(s); id < hi; ++id) {
+      rng_[id] = SplitMix64::mix(
+          config_.seed + (static_cast<std::uint64_t>(id) + 2) *
+                             SplitMix64::kGamma);
+      due_s_[id] = spread > 0.0 ? exponential_draw(rng_[id], spread) : 0.0;
+    }
+  });
+}
+
+ClientPopulation::~ClientPopulation() = default;
+
+template <typename Fn>
+void ClientPopulation::for_shards(Fn&& fn) {
+  if (pool_) {
+    pool_->parallel_for(kShards, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t s = begin; s < end; ++s) fn(s);
+    });
+  } else {
+    for (std::size_t s = 0; s < kShards; ++s) fn(s);
+  }
+}
+
+void ClientPopulation::apply_tally(const Tally& t) {
+  ledger_.intents += t.intents;
+  ledger_.attempts += t.attempts;
+  ledger_.retries += t.retries;
+  ledger_.timed_out += t.timed_out;
+  ledger_.abandoned += t.abandoned;
+  ledger_.dropped += t.dropped;
+  ledger_.retry_cancelled += t.retry_cancelled;
+  ledger_.disconnected_intents += t.disconnected_intents;
+  ledger_.disconnects += t.disconnects;
+  waiting_count_ = static_cast<std::size_t>(
+      static_cast<std::int64_t>(waiting_count_) + t.waiting_delta);
+  backoff_count_ = static_cast<std::size_t>(
+      static_cast<std::int64_t>(backoff_count_) + t.backoff_delta);
+  lost_count_ = static_cast<std::size_t>(
+      static_cast<std::int64_t>(lost_count_) + t.lost_delta);
+}
+
+const std::vector<std::uint32_t>& ClientPopulation::collect_due(double t0,
+                                                                double dt) {
+  require(dt > 0.0, "ClientPopulation: epoch must be positive");
+  batch_.clear();
+  const double end = t0 + dt;
+
+  // Shard spans come out of the arena serially (it is not thread-safe);
+  // workers then fill disjoint spans.
+  arena_.reset();
+  std::array<Candidate*, kShards> spans;
+  for (std::size_t s = 0; s < kShards; ++s) {
+    spans[s] = arena_.alloc<Candidate>(shard_end(s) - shard_begin(s));
+  }
+  std::array<std::size_t, kShards> counts{};
+  std::array<Tally, kShards> tallies{};
+
+  for_shards([&](std::size_t s) {
+    Tally& t = tallies[s];
+    Candidate* out = spans[s];
+    std::size_t found = 0;
+    const std::size_t hi = shard_end(s);
+    for (std::size_t id = shard_begin(s); id < hi; ++id) {
+      const State st = state_[id];
+      if (st == State::kWaiting || st == State::kLost) continue;
+      const double due = due_s_[id];
+      if (due >= end) continue;
+      // A thinking or cooled-down client starts a fresh intent; a backoff
+      // client re-offers its failed one.
+      if (st == State::kBackoff) {
+        ++t.retries;
+        --t.backoff_delta;
+        ++attempt_[id];
+      } else {
+        attempt_[id] = 1;
+        ++t.intents;
+      }
+      ++t.attempts;
+      ++t.waiting_delta;
+      // In limbo until the caller answers with on_rejected/on_admitted; the
+      // attempt is in flight, so it counts as waiting with no deadline yet.
+      state_[id] = State::kWaiting;
+      due_s_[id] = kNever;
+      out[found++] = Candidate{due, static_cast<std::uint32_t>(id)};
+    }
+    std::sort(out, out + found, [](const Candidate& a, const Candidate& b) {
+      if (a.due_s != b.due_s) return a.due_s < b.due_s;
+      return a.id < b.id;
+    });
+    counts[s] = found;
+  });
+
+  std::size_t total = 0;
+  for (std::size_t s = 0; s < kShards; ++s) {
+    apply_tally(tallies[s]);
+    total += counts[s];
+  }
+
+  // Deterministic k-way merge of the sorted shard spans reproduces the
+  // legacy heap's (due, id) pop order exactly — the property suite
+  // checksums batch order, so this is contractual, not cosmetic.
+  struct Head {
+    double due_s;
+    std::uint32_t id;
+    std::uint32_t shard;
+  };
+  const auto later = [](const Head& a, const Head& b) {
+    if (a.due_s != b.due_s) return a.due_s > b.due_s;
+    return a.id > b.id;
+  };
+  batch_.reserve(total);
+  std::array<std::size_t, kShards> pos{};
+  Head heap[kShards];
+  std::size_t heads = 0;
+  for (std::uint32_t s = 0; s < kShards; ++s) {
+    if (counts[s] > 0) {
+      heap[heads++] = Head{spans[s][0].due_s, spans[s][0].id, s};
+    }
+  }
+  std::make_heap(heap, heap + heads, later);
+  while (heads > 0) {
+    std::pop_heap(heap, heap + heads, later);
+    const Head head = heap[heads - 1];
+    batch_.push_back(head.id);
+    const std::size_t next = ++pos[head.shard];
+    if (next < counts[head.shard]) {
+      const Candidate& cand = spans[head.shard][next];
+      heap[heads - 1] = Head{cand.due_s, cand.id, head.shard};
+      std::push_heap(heap, heap + heads, later);
+    } else {
+      --heads;
+    }
+  }
+  return batch_;
+}
+
+double ClientPopulation::base_backoff_s(std::uint32_t attempt) const {
+  const RetryPolicyConfig& retry = config_.retry;
+  switch (retry.backoff) {
+    case RetryBackoff::kImmediate:
+      return 0.0;
+    case RetryBackoff::kFixed:
+      return retry.base_delay_s;
+    case RetryBackoff::kExponential: {
+      if (attempt < delay_table_.size()) return delay_table_[attempt];
+      const double exponent = static_cast<double>(attempt - 1);
+      const double raw = retry.base_delay_s * std::pow(retry.multiplier, exponent);
+      return std::min(raw, retry.max_delay_s);
+    }
+  }
+  return 0.0;
+}
+
+void ClientPopulation::fail_attempt(std::uint32_t id, double now_s,
+                                    Tally& t) {
+  const double j = config_.retry.jitter_frac;
+  --t.waiting_delta;
+  if (attempt_[id] >= config_.retry.max_attempts) {
+    ++t.abandoned;
+    if (config_.retry.abandon_cooldown_s > 0.0) {
+      const double jit = draw_on_cooldown_ ? jitter_draw(rng_[id], j) : 1.0;
+      state_[id] = State::kCooldown;
+      due_s_[id] = now_s + config_.retry.abandon_cooldown_s * jit;
+    } else {
+      state_[id] = State::kLost;
+      due_s_[id] = kNever;
+      ++t.lost_delta;
+    }
+    return;
+  }
+  const double jit = draw_on_retry_ ? jitter_draw(rng_[id], j) : 1.0;
+  state_[id] = State::kBackoff;
+  due_s_[id] = now_s + base_backoff_s(attempt_[id]) * jit;
+  ++t.backoff_delta;
+}
+
+void ClientPopulation::on_rejected(std::uint32_t id, double now_s) {
+  require(id < state_.size(), "ClientPopulation: client id out of range");
+  ensure(state_[id] == State::kWaiting,
+         "ClientPopulation: rejected a client with no attempt in flight");
+  ++ledger_.rejected;
+  Tally t;
+  fail_attempt(id, now_s, t);
+  apply_tally(t);
+}
+
+void ClientPopulation::on_admitted(std::uint32_t id, double now_s) {
+  require(id < state_.size(), "ClientPopulation: client id out of range");
+  ensure(state_[id] == State::kWaiting,
+         "ClientPopulation: admitted a client with no attempt in flight");
+  due_s_[id] = now_s + config_.request_timeout_s;
+}
+
+void ClientPopulation::on_served(std::uint32_t id, double now_s) {
+  require(id < state_.size(), "ClientPopulation: client id out of range");
+  if (state_[id] != State::kWaiting) {
+    // The client gave up on this attempt long ago; the service's work on it
+    // was wasted — the defining loss of a retry storm.
+    ++ledger_.stale_served;
+    return;
+  }
+  ++ledger_.served;
+  --waiting_count_;
+  attempt_[id] = 0;
+  state_[id] = State::kThinking;
+  due_s_[id] = now_s + exponential_draw(rng_[id], config_.think_time_s);
+}
+
+void ClientPopulation::on_served_batch(const std::uint32_t* ids,
+                                       std::size_t count, double now_s) {
+  if (count == 0) return;
+  // `ids` must not point into this population's arena: the classify pass
+  // below resets it. (The retry-storm driver keeps cohorts in its own.)
+  arena_.reset();
+  std::uint32_t* fresh = arena_.alloc<std::uint32_t>(count);
+  std::size_t n_fresh = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint32_t id = ids[i];
+    require(id < state_.size(), "ClientPopulation: client id out of range");
+    if (state_[id] != State::kWaiting) {
+      ++ledger_.stale_served;
+      continue;
+    }
+    ++ledger_.served;
+    attempt_[id] = 0;
+    state_[id] = State::kThinking;
+    fresh[n_fresh++] = id;
+  }
+  waiting_count_ -= n_fresh;
+  // Think-time draws as one branch-free block over the raw counter states.
+  const double mean = config_.think_time_s;
+  for (std::size_t i = 0; i < n_fresh; ++i) {
+    const std::uint32_t id = fresh[i];
+    due_s_[id] = now_s + exponential_draw(rng_[id], mean);
+  }
+}
+
+void ClientPopulation::expire_timeouts(double now_s) {
+  std::array<Tally, kShards> tallies{};
+  for_shards([&](std::size_t s) {
+    Tally& t = tallies[s];
+    const std::size_t hi = shard_end(s);
+    for (std::size_t id = shard_begin(s); id < hi; ++id) {
+      // Limbo clients (due = inf) and admitted clients with a live deadline
+      // both fail the due test; only expired waiters fall through.
+      if (state_[id] != State::kWaiting || due_s_[id] > now_s) continue;
+      ++t.timed_out;
+      fail_attempt(static_cast<std::uint32_t>(id), now_s, t);
+    }
+  });
+  for (const Tally& t : tallies) apply_tally(t);
+}
+
+void ClientPopulation::disconnect_client(std::uint32_t id, double now_s) {
+  Tally t;
+  switch (state_[id]) {
+    case State::kWaiting:
+      ++t.dropped;
+      ++t.disconnected_intents;
+      --t.waiting_delta;
+      break;
+    case State::kBackoff:
+      ++t.retry_cancelled;
+      ++t.disconnected_intents;
+      --t.backoff_delta;
+      break;
+    case State::kThinking:
+    case State::kCooldown:
+      break;
+    case State::kLost:
+      return;  // gone for good; no session to drop
+  }
+  ++t.disconnects;
+  attempt_[id] = 0;
+  // Session re-establishment: reconnects arrive with exponential spread, so
+  // the aggregate login surge decays like the Fig. 3 flash-crowd spikes.
+  state_[id] = State::kThinking;
+  due_s_[id] = now_s + exponential_draw(rng_[id], config_.reconnect_spread_s);
+  apply_tally(t);
+}
+
+void ClientPopulation::disconnect_all(double now_s) {
+  std::array<Tally, kShards> tallies{};
+  for_shards([&](std::size_t s) {
+    Tally& t = tallies[s];
+    const std::size_t hi = shard_end(s);
+    for (std::size_t id = shard_begin(s); id < hi; ++id) {
+      switch (state_[id]) {
+        case State::kWaiting:
+          ++t.dropped;
+          ++t.disconnected_intents;
+          --t.waiting_delta;
+          break;
+        case State::kBackoff:
+          ++t.retry_cancelled;
+          ++t.disconnected_intents;
+          --t.backoff_delta;
+          break;
+        case State::kThinking:
+        case State::kCooldown:
+          break;
+        case State::kLost:
+          continue;  // gone for good; no session to drop
+      }
+      ++t.disconnects;
+      attempt_[id] = 0;
+      state_[id] = State::kThinking;
+      due_s_[id] =
+          now_s + exponential_draw(rng_[id], config_.reconnect_spread_s);
+    }
+  });
+  for (const Tally& t : tallies) apply_tally(t);
+}
+
+void ClientPopulation::disconnect_fraction(double fraction, double now_s) {
+  require(fraction >= 0.0 && fraction <= 1.0,
+          "ClientPopulation: disconnect fraction outside [0, 1]");
+  if (fraction >= 1.0) {
+    disconnect_all(now_s);  // no draws: the full-outage path stays stream-stable
+    return;
+  }
+  // Serial by necessity: the selection draws come from one shared stream
+  // that must advance in id order to stay bit-compatible.
+  for (std::uint32_t id = 0; id < state_.size(); ++id) {
+    if (uniform01(disconnect_rng_) < fraction) {
+      disconnect_client(id, now_s);
+    }
+  }
+}
+
+bool ClientPopulation::conservation_ok() const {
+  return conservation_report().empty();
+}
+
+std::string ClientPopulation::conservation_report() const {
+  return client_conservation_report(ledger_, waiting_count_, backoff_count_);
 }
 
 }  // namespace epm::workload

@@ -14,17 +14,35 @@
 // into a surge of session re-establishment load whose exponential-spread
 // arrival matches the Fig. 3 login-spike shape.
 //
+// The engine is the vectorized epoch sweep introduced for the 10M-client
+// regime: client state lives in flat SoA arrays (state / attempt / due /
+// raw SplitMix64 counter), each epoch operation is a linear sweep over
+// fixed client-range shards (parallelizable on a core::ThreadPool, merged
+// in deterministic shard order, bit-identical at any thread count), RNG is
+// drawn as branch-free block transforms over the raw counter states, and
+// per-epoch scratch comes from an EpochArena instead of the heap. The
+// per-event heap engine it replaced is preserved as
+// LegacyClientPopulation (client_population_legacy.h) for the in-run A/B
+// bench; the equivalence suite asserts both engines produce bit-identical
+// attempt streams and ledgers.
+//
 // Everything is per-client and seeded, so a population replayed against the
 // same service responses reproduces the same attempt stream bit-for-bit.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
-#include <queue>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "core/arena.h"
 #include "core/rng.h"
+
+namespace epm {
+class ThreadPool;
+}
 
 namespace epm::workload {
 
@@ -71,6 +89,11 @@ struct ClientPopulationConfig {
   double start_spread_s = 40.0;
   RetryPolicyConfig retry;
   std::uint64_t seed = 7;
+  /// Worker threads for the sharded epoch sweeps: 1 (default) sweeps
+  /// serially, 0 resolves EPM_THREADS / hardware_concurrency, N >= 2 runs
+  /// the fixed shard partition on an internal ThreadPool. Results are
+  /// bit-identical at every value.
+  std::size_t threads = 1;
 };
 
 /// Lifetime counters. Attempts and intents are conserved (see
@@ -91,16 +114,40 @@ struct ClientLedger {
   std::uint64_t disconnects = 0;    ///< client-sessions dropped by outages
 };
 
+/// Throws std::invalid_argument on an unusable configuration (shared by the
+/// sweep engine and the legacy heap engine).
+void validate_client_population_config(const ClientPopulationConfig& config);
+
+/// Human-readable account of the first violated conservation identity over
+/// a ledger plus the instantaneous waiting/backoff occupancy; "" when all
+/// four identities hold. Shared by both engines.
+std::string client_conservation_report(const ClientLedger& ledger,
+                                       std::size_t waiting,
+                                       std::size_t backoff);
+
 /// A deterministic population of logical clients driven at epoch
 /// granularity by a service loop:
 ///
 ///   1. collect_due(t, dt)      -> attempt batch for this epoch
 ///   2. on_rejected/on_admitted -> admission verdict per attempt
-///   3. (service drains queue)  -> on_served per completion
+///   3. (service drains queue)  -> on_served / on_served_batch per completion
 ///   4. expire_timeouts(t + dt) -> client deadlines fire, retries scheduled
 class ClientPopulation {
  public:
+  /// Completion cohorts can be delivered as one batch per epoch
+  /// (on_served_batch), letting the driver schedule a single kernel event
+  /// per cohort instead of one per completion.
+  static constexpr bool kBatchServe = true;
+
+  /// Fixed client-range shard partition for the parallel sweeps. Constant —
+  /// never derived from the thread count — so per-shard work, and therefore
+  /// every merged result, is identical at 1, 2, or 64 threads.
+  static constexpr std::size_t kShards = 64;
+
   explicit ClientPopulation(ClientPopulationConfig config);
+  ~ClientPopulation();
+  ClientPopulation(const ClientPopulation&) = delete;
+  ClientPopulation& operator=(const ClientPopulation&) = delete;
 
   /// Clients whose next action falls in [t0, t0 + dt), in deterministic
   /// (due time, id) order. Each returned id has issued one attempt at t0;
@@ -116,6 +163,10 @@ class ClientPopulation {
   /// Service completion. Fresh (intent completed, client thinks again) if
   /// the client is still waiting; stale work otherwise.
   void on_served(std::uint32_t id, double now_s);
+  /// Batch completion: equivalent to on_served(ids[i], now_s) for i in
+  /// order, with the think-time draws performed as one RNG block.
+  void on_served_batch(const std::uint32_t* ids, std::size_t count,
+                       double now_s);
 
   /// Fires client deadlines: waiting clients whose timeout passed fail the
   /// attempt and back off per policy. Call once per epoch, after draining.
@@ -157,44 +208,75 @@ class ClientPopulation {
     kLost,      ///< abandoned forever (no cooldown)
   };
 
-  struct HeapEntry {
+  /// (due, id) candidate produced by the collect sweep; spans of these are
+  /// sorted per shard and k-way merged into the global batch order.
+  struct Candidate {
     double due_s;
     std::uint32_t id;
-    std::uint64_t token;
-    bool operator>(const HeapEntry& other) const {
-      if (due_s != other.due_s) return due_s > other.due_s;
-      return id > other.id;
-    }
   };
-  using MinHeap =
-      std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>;
 
-  void schedule(std::uint32_t id, State state, double due_s);
-  void fail_attempt(std::uint32_t id, double now_s);
-  double backoff_delay_s(std::uint32_t id);
-  double jitter(std::uint32_t id);
-  void enter_state(std::uint32_t id, State state);
+  /// Per-shard counter ledger for one sweep, merged in shard order.
+  struct Tally {
+    std::uint64_t intents = 0;
+    std::uint64_t attempts = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t timed_out = 0;
+    std::uint64_t abandoned = 0;
+    std::int64_t waiting_delta = 0;
+    std::int64_t backoff_delta = 0;
+    std::int64_t lost_delta = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t retry_cancelled = 0;
+    std::uint64_t disconnected_intents = 0;
+    std::uint64_t disconnects = 0;
+  };
+
+  std::size_t shard_begin(std::size_t shard) const {
+    return shard * config_.clients / kShards;
+  }
+  std::size_t shard_end(std::size_t shard) const {
+    return (shard + 1) * config_.clients / kShards;
+  }
+
+  /// Runs fn(shard) for every shard — on the pool when one exists, serially
+  /// otherwise. Shards touch disjoint client ranges and disjoint tally
+  /// slots, so the parallel execution is race-free by construction.
+  template <typename Fn>
+  void for_shards(Fn&& fn);
+
+  /// Backoff delay (before jitter) after failing attempt `attempt` — the
+  /// table/mask replacement for the per-event std::pow in the legacy path.
+  double base_backoff_s(std::uint32_t attempt) const;
+  /// Attempt failure shared by the timeout sweep and on_rejected; updates
+  /// the given tally instead of global counters.
+  void fail_attempt(std::uint32_t id, double now_s, Tally& tally);
+  void apply_tally(const Tally& tally);
   void disconnect_client(std::uint32_t id, double now_s);
 
   ClientPopulationConfig config_;
+  std::unique_ptr<ThreadPool> pool_;  ///< null when sweeping serially
+  EpochArena arena_;
 
-  // Client state, structure-of-arrays: the epoch sweep (collect_due /
-  // expire_timeouts / disconnect loops) touches one field across many
-  // clients, so parallel arrays stream linearly instead of striding over
-  // 40-byte AoS records. Heap entries carry an id into these arrays plus
-  // the (due, token) snapshot needed for ordering and staleness checks.
+  // Client state, structure-of-arrays: every sweep touches one field across
+  // many clients, so parallel arrays stream linearly. rng_ holds the raw
+  // SplitMix64 counter per client; draws advance it by kGamma and mix,
+  // which block loops do branch-free (and bit-identically to a SplitMix64
+  // object — the stream-equivalence regression test pins this).
   std::vector<State> state_;
-  std::vector<std::uint32_t> attempt_;  ///< attempts in the current intent
-  std::vector<std::uint64_t> token_;    ///< matches the live heap entry
+  std::vector<std::uint32_t> attempt_;
   std::vector<double> due_s_;
-  std::vector<SplitMix64> rng_;
+  std::vector<std::uint64_t> rng_;
 
-  MinHeap due_heap_;       ///< thinking / backoff / cooldown clients
-  MinHeap deadline_heap_;  ///< waiting clients keyed by their deadline
+  /// delay_table_[a] = capped pre-jitter delay after failing attempt a
+  /// (exponential policy); attempts past the table fall back to the same
+  /// closed form.
+  std::vector<double> delay_table_;
+  bool draw_on_retry_ = false;     ///< retry backoff consumes a jitter draw
+  bool draw_on_cooldown_ = false;  ///< abandon-to-cooldown consumes one
+
   std::vector<std::uint32_t> batch_;
   ClientLedger ledger_;
   SplitMix64 disconnect_rng_{0};
-  std::uint64_t next_token_ = 1;
   std::size_t waiting_count_ = 0;
   std::size_t backoff_count_ = 0;
   std::size_t lost_count_ = 0;
