@@ -1,12 +1,15 @@
-// EXP-V: DES-kernel throughput — calendar queue vs binary heap.
+// EXP-V: DES-kernel throughput — calendar queue vs binary heap, plus the
+// federated fleet A/B (see federation_bench.h).
 //
 // Emits BENCH_kernel.json (one record per section, see kernel_bench.h) and
 // exits non-zero when the calendar backend fails the relative >= 3x hold-
-// model gate, so the Release CI lane enforces the kernel's perf claim on
-// every build without depending on absolute machine speed.
+// model gate or the federation fails its >= 1.8x shard-parallelism gate,
+// so the Release CI lane enforces the kernel's perf claims on every build
+// without depending on absolute machine speed.
 #include <cstdio>
 
 #include "core/cli_args.h"
+#include "federation_bench.h"
 #include "kernel_bench.h"
 
 int main(int argc, char** argv) {
@@ -15,10 +18,12 @@ int main(int argc, char** argv) {
   config.threads = args.threads();
   config.seed = static_cast<std::uint64_t>(
       args.get("seed", static_cast<std::int64_t>(42)));
-  // --smoke: the reduced CI configuration — a 100k-client storm under a
-  // loose absolute wall ceiling instead of the full 1M A/B + 10M sections,
-  // so the Release lane catches order-of-magnitude regressions in the epoch
-  // engine without paying the full bench on every push.
+  epm::bench::FederationBenchConfig fed_config;
+  fed_config.seed = config.seed;
+  // --smoke: the reduced CI configuration — a 100k-client storm and a
+  // 40k-client fleet under loose absolute wall ceilings instead of the full
+  // 1M A/B + 10M sections, so the Release lane catches order-of-magnitude
+  // regressions without paying the full bench on every push.
   if (args.get_switch("smoke")) {
     config.storm_clients = 100'000;
     config.storm_reps = 1;
@@ -26,11 +31,16 @@ int main(int argc, char** argv) {
     config.max_storm_wall_s = 5.0;
     config.sweep_clients = 100'000;
     config.storm_10m_clients = 0;
+    fed_config.clients_per_dc = 10'000;
+    fed_config.reps = 1;
+    fed_config.min_federation_speedup = 0.0;  // small worlds are barrier-bound
+    fed_config.max_federated_wall_s = 10.0;
   }
 
   std::printf("==== EXP-V: DES kernel throughput (seed %llu%s) ====\n",
               static_cast<unsigned long long>(config.seed),
               args.get_switch("smoke") ? ", smoke" : "");
   const auto outcome = epm::bench::run_kernel_bench(config);
-  return outcome.gate_ok ? 0 : 1;
+  const auto fed_outcome = epm::bench::run_federation_bench(fed_config);
+  return outcome.gate_ok && fed_outcome.gate_ok ? 0 : 1;
 }

@@ -1,0 +1,48 @@
+// Remote work references for cross-datacenter request routing.
+//
+// When a datacenter forwards an attempt to a peer (geo re-route of a login
+// storm, outage ride-through), the peer's admission stack must carry enough
+// identity to route the completion back: which datacenter owns the client,
+// and the client id inside that datacenter's population. Both fit one
+// uint32 — the same id type cluster::BoundedQueue already stores — by
+// packing the owner in the top bits:
+//
+//   [ owner : 4 bits | client id : 28 bits ]
+//
+// so remote entries flow through the existing admission/queue machinery
+// unchanged, with zero extra bytes per queued request. 28 bits bounds a
+// datacenter population at ~268M clients (two orders above the 10M-scale
+// engine targets) and 4 bits bounds a fleet at 16 datacenters.
+#pragma once
+
+#include <cstdint>
+
+#include "core/require.h"
+
+namespace epm::cluster {
+
+inline constexpr std::uint32_t kRemoteRefIdBits = 28;
+inline constexpr std::uint32_t kRemoteRefMaxId =
+    (std::uint32_t{1} << kRemoteRefIdBits) - 1;
+inline constexpr std::uint32_t kRemoteRefMaxOwner =
+    (std::uint32_t{1} << (32 - kRemoteRefIdBits)) - 1;
+
+/// Packs (owner datacenter, client id) into one queueable uint32.
+inline std::uint32_t pack_remote_ref(std::uint32_t owner_dc,
+                                     std::uint32_t client_id) {
+  require(owner_dc <= kRemoteRefMaxOwner,
+          "pack_remote_ref: owner datacenter exceeds the 4-bit fleet bound");
+  require(client_id <= kRemoteRefMaxId,
+          "pack_remote_ref: client id exceeds the 28-bit population bound");
+  return (owner_dc << kRemoteRefIdBits) | client_id;
+}
+
+inline std::uint32_t remote_ref_owner(std::uint32_t ref) {
+  return ref >> kRemoteRefIdBits;
+}
+
+inline std::uint32_t remote_ref_client(std::uint32_t ref) {
+  return ref & kRemoteRefMaxId;
+}
+
+}  // namespace epm::cluster

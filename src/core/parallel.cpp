@@ -37,6 +37,8 @@ ThreadPool::ThreadPool(std::size_t threads) {
   }
 }
 
+bool ThreadPool::on_worker_thread() const { return t_worker_pool == this; }
+
 ThreadPool::~ThreadPool() {
   {
     std::lock_guard<std::mutex> lock(mu_);

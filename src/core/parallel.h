@@ -56,6 +56,13 @@ class ThreadPool {
 
   std::size_t thread_count() const { return workers_.size(); }
 
+  /// True when the calling thread is one of this pool's workers, i.e. the
+  /// caller is executing inside a task submitted to this pool. Lets layered
+  /// engines (the sharded DES federation runs shard windows on a pool)
+  /// reject re-entrant driving with a domain-specific error instead of the
+  /// generic nested-parallel_for one.
+  bool on_worker_thread() const;
+
   using ChunkFn = std::function<void(std::size_t begin, std::size_t end)>;
 
   /// Runs `chunk(begin, end)` over a partition of [0, n). Chunks are

@@ -1,0 +1,605 @@
+#include "faults/fleet_storm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <utility>
+
+#include "cluster/remote_ref.h"
+#include "core/require.h"
+#include "faults/retry_storm_engine.h"  // retry_storm_window_mean
+
+namespace epm::faults {
+
+namespace {
+
+/// One datacenter's state. Heap-allocated (stable address: event callbacks
+/// capture raw pointers) and touched only by events on its own shard —
+/// forward/response arrivals execute on the destination shard, so during a
+/// federation window each FleetDc belongs to exactly one worker.
+struct FleetDc {
+  std::size_t index;
+  std::size_t shard;
+  workload::ClientPopulation population;
+  cluster::BoundedQueue queue;
+  cluster::TokenBucket bucket;
+  cluster::CircuitBreaker breaker;
+  /// inbox[src]: forwarded refs arrived since the last epoch boundary.
+  /// Drained in src order at begin_epoch, so admission order never depends
+  /// on physical arrival interleaving — the fabric-equality condition.
+  std::vector<std::vector<std::uint32_t>> inbox;
+  std::vector<std::vector<std::uint32_t>> fwd;   ///< [peer] epoch staging
+  std::vector<std::vector<std::uint32_t>> resp;  ///< [owner] cohort scratch
+  std::vector<std::uint32_t> cohort;             ///< refs served this epoch
+  std::vector<std::uint32_t> local_ids;
+  std::vector<std::size_t> peers;  ///< other dcs, rotation starting index+1
+  std::size_t rr_peer = 0;
+  double reroute_acc = 0.0;
+  double serve_carry = 0.0;
+  bool sessions_dropped = false;
+
+  // Cumulative counters.
+  std::uint64_t dark = 0;
+  std::uint64_t shed_breaker = 0;
+  std::uint64_t shed_bucket = 0;
+  std::uint64_t shed_queue = 0;
+  std::uint64_t forwarded = 0;
+  std::uint64_t arrived = 0;  ///< refs landed in our inbox
+  std::uint64_t remote_admitted = 0;
+  std::uint64_t remote_served = 0;
+  std::uint64_t remote_shed = 0;
+  std::uint64_t responses_received = 0;
+  std::size_t max_queue_depth = 0;
+
+  // Phase-A snapshot consumed by phase B of the same epoch.
+  workload::ClientLedger led0;
+  std::uint64_t dark0 = 0;
+  std::uint64_t shed0 = 0;
+  std::uint64_t fresh0 = 0;
+  std::uint64_t stale0 = 0;
+  std::uint64_t expired0 = 0;
+
+  // Per-epoch series for the recovery verdict.
+  std::vector<double> offered_rate;
+  std::vector<double> goodput_rate;
+  std::vector<double> failure_rate;
+
+  FleetDc(std::size_t idx, std::size_t shard_idx, const FleetStormConfig& cfg,
+          workload::ClientPopulationConfig pop_cfg, std::size_t dcs)
+      : index(idx),
+        shard(shard_idx),
+        population(std::move(pop_cfg)),
+        queue(cfg.defense.enabled ? cfg.defense.queue_capacity
+                                  : cfg.naive_queue_capacity),
+        bucket(cfg.defense.bucket),
+        breaker(cfg.defense.breaker),
+        inbox(dcs),
+        fwd(dcs),
+        resp(dcs) {
+    for (std::size_t p = 1; p < dcs; ++p) peers.push_back((idx + p) % dcs);
+  }
+};
+
+class FleetWorld {
+ public:
+  FleetWorld(const FleetStormConfig& config, sim::Fabric& fabric)
+      : config_(config), fabric_(fabric), net_(make_fleet_network(config)) {
+    const std::size_t dcs = config.sites.size();
+    require(config.clients.clients <=
+                static_cast<std::size_t>(cluster::kRemoteRefMaxId) + 1,
+            "FleetStorm: per-datacenter population exceeds the 28-bit "
+            "remote-ref id bound");
+    require(config.epoch_s > 0.0, "FleetStorm: epoch must be positive");
+    require(config.service_capacity_rps > 0.0,
+            "FleetStorm: service capacity must be positive");
+    require(config.outage_dc < dcs, "FleetStorm: outage_dc out of range");
+    require(config.outage_start_s > 0.0 && config.outage_duration_s > 0.0,
+            "FleetStorm: outage must have positive start and duration");
+    require(config.horizon_s >
+                config.outage_start_s + config.outage_duration_s,
+            "FleetStorm: horizon must extend past the outage");
+    require(config.reroute_fraction >= 0.0 && config.reroute_fraction <= 1.0,
+            "FleetStorm: reroute fraction outside [0, 1]");
+    require(config.sla_goodput_fraction > 0.0 &&
+                config.sla_goodput_fraction <= 1.0,
+            "FleetStorm: SLA fraction outside (0, 1]");
+    require(config.recovery_window_epochs >= 1,
+            "FleetStorm: recovery window must be at least one epoch");
+    if (!config.defense.enabled) {
+      require(config.naive_queue_capacity >= 1,
+              "FleetStorm: naive queue capacity must be at least 1");
+    }
+    require(fabric.shard_count() >= 1 && dcs % fabric.shard_count() == 0,
+            "FleetStorm: fabric shard count must divide the datacenter "
+            "count (contiguous groups)");
+
+    dt_ = config.epoch_s;
+    epochs_ = static_cast<std::size_t>(std::ceil(config.horizon_s / dt_));
+    outage_start_epoch_ =
+        static_cast<std::size_t>(config.outage_start_s / dt_);
+    require(outage_start_epoch_ / 2 + config.recovery_window_epochs <=
+                outage_start_epoch_,
+            "FleetStorm: outage starts too early for a pre-fault SLA window");
+    outage_end_s_ = config.outage_start_s + config.outage_duration_s;
+
+    const std::size_t per_shard = dcs / fabric.shard_count();
+    for (std::size_t d = 0; d < dcs; ++d) {
+      workload::ClientPopulationConfig pop = config.clients;
+      pop.seed += d;  // distinct but reproducible per-datacenter streams
+      dcs_.push_back(
+          std::make_unique<FleetDc>(d, d / per_shard, config, pop, dcs));
+    }
+  }
+
+  FleetStormOutcome run() {
+    for (std::size_t d = 0; d < dcs_.size(); ++d) {
+      FleetWorld* w = this;
+      fabric_.kernel(dcs_[d]->shard).schedule_at(
+          0.0, [w, d] { w->drive(d, 0); });
+    }
+    events_run_ = fabric_.run_until(static_cast<double>(epochs_) * dt_);
+    return finish();
+  }
+
+ private:
+  /// Epoch driver for datacenter d: end_epoch(e-1) then begin_epoch(e),
+  /// both at t = e*dt. The epoch's completion cohort is scheduled *inside*
+  /// begin_epoch, i.e. before the next driver — at every boundary the
+  /// same-timestamp FIFO fires the cohort first, replaying the serial
+  /// storm's loop order. drive(epochs) only closes the final epoch.
+  void drive(std::size_t d, std::size_t e) {
+    if (e > 0) end_epoch(d, e - 1);
+    if (e >= epochs_) return;
+    begin_epoch(d, e);
+    FleetWorld* w = this;
+    fabric_.kernel(dcs_[d]->shard)
+        .schedule_at(static_cast<double>(e + 1) * dt_,
+                     [w, d, e] { w->drive(d, e + 1); });
+  }
+
+  /// Deterministic fractional re-route: no randomness, an accumulator
+  /// forwards exactly reroute_fraction of eligible attempts, spread
+  /// round-robin over the peers. Returns true when the attempt was staged.
+  bool try_forward(FleetDc& dc, std::uint32_t id) {
+    if (dc.peers.empty() || config_.reroute_fraction <= 0.0) return false;
+    dc.reroute_acc += config_.reroute_fraction;
+    if (dc.reroute_acc < 1.0) return false;
+    dc.reroute_acc -= 1.0;
+    const std::size_t peer = dc.peers[dc.rr_peer];
+    dc.rr_peer = (dc.rr_peer + 1) % dc.peers.size();
+    dc.fwd[peer].push_back(
+        cluster::pack_remote_ref(static_cast<std::uint32_t>(dc.index), id));
+    ++dc.forwarded;
+    return true;
+  }
+
+  /// Ships the epoch's staged forwards, one message per peer, arriving one
+  /// latency floor later. The arrival appends to the peer's src-indexed
+  /// inbox; nothing else, so same-timestamp arrivals commute.
+  void flush_forwards(FleetDc& dc) {
+    for (std::size_t peer = 0; peer < dcs_.size(); ++peer) {
+      if (dc.fwd[peer].empty()) continue;
+      FleetDc* dst = dcs_[peer].get();
+      fabric_.send(dc.shard, dst->shard, net_.latency_floor_s(dc.index, peer),
+                   [dst, src = dc.index, batch = dc.fwd[peer]] {
+                     auto& box = dst->inbox[src];
+                     box.insert(box.end(), batch.begin(), batch.end());
+                     dst->arrived += batch.size();
+                   });
+      dc.fwd[peer].clear();
+    }
+  }
+
+  void begin_epoch(std::size_t d, std::size_t e) {
+    FleetDc& dc = *dcs_[d];
+    const double t0 = static_cast<double>(e) * dt_;
+    const double t1 = t0 + dt_;
+    const bool dark = d == config_.outage_dc &&
+                      t0 >= config_.outage_start_s && t0 < outage_end_s_;
+    const bool defended = config_.defense.enabled;
+
+    if (dark && !dc.sessions_dropped) {
+      dc.population.disconnect_all(t0);
+      dc.sessions_dropped = true;
+    }
+    if (defended) {
+      dc.breaker.begin_epoch(t0);
+      dc.bucket.refill(dt_);
+    }
+
+    dc.led0 = dc.population.ledger();
+    dc.dark0 = dc.dark;
+    dc.shed0 = dc.shed_breaker + dc.shed_bucket + dc.shed_queue;
+    dc.fresh0 = dc.led0.served;
+    dc.stale0 = dc.led0.stale_served;
+    dc.expired0 = dc.led0.timed_out;
+
+    // 1. Forwarded work that arrived during the previous epoch, in source
+    // order. It carried its admission verdict at the owner already, so a
+    // loss here is resolved by the owner's client timeout — only the token
+    // bucket and the queue gate it (the breaker protects local clients
+    // against a dark *local* service, which this work has already left).
+    for (std::size_t src = 0; src < dcs_.size(); ++src) {
+      for (const std::uint32_t ref : dc.inbox[src]) {
+        if (dark || (defended && !dc.bucket.try_acquire()) ||
+            !dc.queue.try_push(ref, t0)) {
+          ++dc.remote_shed;
+        } else {
+          ++dc.remote_admitted;
+        }
+      }
+      dc.inbox[src].clear();
+    }
+
+    // 2. Local attempts due this epoch, through the admission stack. A dark
+    // service forwards (ride-through) what the re-route budget allows and
+    // fails the rest; queue overflow likewise forwards before shedding.
+    for (const std::uint32_t id : dc.population.collect_due(t0, dt_)) {
+      if (dark) {
+        if (try_forward(dc, id)) {
+          dc.population.on_admitted(id, t0);
+        } else {
+          ++dc.dark;
+          dc.population.on_rejected(id, t0);
+        }
+      } else if (defended && !dc.breaker.allow()) {
+        ++dc.shed_breaker;
+        dc.population.on_rejected(id, t0);
+      } else if (defended && !dc.bucket.try_acquire()) {
+        ++dc.shed_bucket;
+        dc.population.on_rejected(id, t0);
+      } else if (!dc.queue.try_push(
+                     cluster::pack_remote_ref(
+                         static_cast<std::uint32_t>(d), id),
+                     t0)) {
+        if (try_forward(dc, id)) {
+          dc.population.on_admitted(id, t0);
+        } else {
+          ++dc.shed_queue;
+          dc.population.on_rejected(id, t0);
+        }
+      } else {
+        dc.population.on_admitted(id, t0);
+      }
+    }
+    flush_forwards(dc);
+    dc.max_queue_depth = std::max(dc.max_queue_depth, dc.queue.size());
+
+    // 3. Drain the accept queue FIFO within the epoch's service credit;
+    // the completion cohort lands at the epoch end. Fractional credit
+    // carries over only while the server is backlogged.
+    double credit = dark ? 0.0
+                         : dc.serve_carry +
+                               config_.service_capacity_rps * dt_;
+    dc.cohort.clear();
+    while (credit >= 1.0 && !dc.queue.empty()) {
+      dc.cohort.push_back(dc.queue.front().id);
+      dc.queue.pop();
+      credit -= 1.0;
+    }
+    dc.serve_carry = (dark || dc.queue.empty()) ? 0.0 : credit;
+    if (!dc.cohort.empty()) {
+      FleetWorld* w = this;
+      fabric_.kernel(dc.shard)
+          .schedule_at(t1, [w, d, t1, cohort = dc.cohort] {
+            w->complete(d, t1, cohort);
+          });
+    }
+  }
+
+  /// Fires the epoch's completion cohort on datacenter d: local ids are
+  /// served in one batch; forwarded work is answered with one response
+  /// message per owner, arriving one latency floor later. Each forwarded
+  /// attempt lives in exactly one peer's queue, so same-timestamp response
+  /// events touch disjoint waiting clients and commute.
+  void complete(std::size_t d, double t1,
+                const std::vector<std::uint32_t>& cohort) {
+    FleetDc& dc = *dcs_[d];
+    dc.local_ids.clear();
+    for (auto& r : dc.resp) r.clear();
+    for (const std::uint32_t ref : cohort) {
+      const std::uint32_t owner = cluster::remote_ref_owner(ref);
+      if (owner == d) {
+        dc.local_ids.push_back(cluster::remote_ref_client(ref));
+      } else {
+        dc.resp[owner].push_back(cluster::remote_ref_client(ref));
+      }
+    }
+    if (!dc.local_ids.empty()) {
+      dc.population.on_served_batch(dc.local_ids.data(), dc.local_ids.size(),
+                                    t1);
+    }
+    for (std::size_t owner = 0; owner < dcs_.size(); ++owner) {
+      if (dc.resp[owner].empty()) continue;
+      dc.remote_served += dc.resp[owner].size();
+      const double lat = net_.latency_floor_s(d, owner);
+      FleetDc* op = dcs_[owner].get();
+      fabric_.send(dc.shard, op->shard, lat,
+                   [op, ids = dc.resp[owner], t = t1 + lat] {
+                     op->responses_received += ids.size();
+                     for (const std::uint32_t id : ids) {
+                       op->population.on_served(id, t);
+                     }
+                   });
+    }
+  }
+
+  void end_epoch(std::size_t d, std::size_t e) {
+    FleetDc& dc = *dcs_[d];
+    const double t1 = static_cast<double>(e) * dt_ + dt_;
+    dc.population.expire_timeouts(t1);
+
+    const auto& led1 = dc.population.ledger();
+    const std::uint64_t fresh_delta = led1.served - dc.fresh0;
+    const std::uint64_t stale_delta = led1.stale_served - dc.stale0;
+    const std::uint64_t expired_delta = led1.timed_out - dc.expired0;
+    const std::uint64_t dark_delta = dc.dark - dc.dark0;
+    const std::uint64_t shed_delta =
+        dc.shed_breaker + dc.shed_bucket + dc.shed_queue - dc.shed0;
+
+    dc.offered_rate.push_back(
+        static_cast<double>(led1.attempts - dc.led0.attempts) / dt_);
+    dc.goodput_rate.push_back(static_cast<double>(fresh_delta) / dt_);
+    dc.failure_rate.push_back(
+        static_cast<double>(stale_delta + expired_delta + shed_delta +
+                            dark_delta) /
+        dt_);
+
+    if (config_.defense.enabled) {
+      // Breaker verdict from downstream outcomes, as in the single-DC
+      // storm: completions (fresh/stale), client timeouts, dark failures.
+      // Deliberate sheds do not trip it.
+      const std::uint64_t observed =
+          dark_delta + fresh_delta + stale_delta + expired_delta;
+      dc.breaker.on_epoch_end(observed, observed - fresh_delta, t1);
+    }
+  }
+
+  FleetStormOutcome finish() {
+    FleetStormOutcome out;
+    out.epochs = epochs_;
+    const std::size_t window = config_.recovery_window_epochs;
+    const std::size_t clear_epoch = std::min(
+        epochs_, static_cast<std::size_t>(std::ceil(outage_end_s_ / dt_)));
+
+    std::uint64_t intents = 0;
+    std::uint64_t fresh = 0;
+    std::uint64_t arrived = 0;
+    std::uint64_t drained = 0;
+    std::uint64_t inboxed = 0;
+    std::uint64_t responses_sent = 0;
+    std::uint64_t responses_received = 0;
+    bool ok = true;
+    std::string report;
+    const auto violation = [&](std::string what) {
+      ok = false;
+      if (report.empty()) report = std::move(what);
+    };
+
+    for (const auto& dcp : dcs_) {
+      const FleetDc& dc = *dcp;
+      ensure(dc.offered_rate.size() == epochs_,
+             "FleetStorm: epoch series incomplete — driver chain broken");
+      FleetDcOutcome o;
+      o.site = config_.sites[dc.index].name;
+      const auto& led = dc.population.ledger();
+      o.intents = led.intents;
+      o.attempts = led.attempts;
+      o.retries = led.retries;
+      o.served_fresh = led.served;
+      o.served_stale = led.stale_served;
+      o.timed_out = led.timed_out;
+      o.abandoned = led.abandoned;
+      o.dark_failures = dc.dark;
+      o.shed_breaker = dc.shed_breaker;
+      o.shed_bucket = dc.shed_bucket;
+      o.shed_queue = dc.shed_queue;
+      o.forwarded = dc.forwarded;
+      o.remote_admitted = dc.remote_admitted;
+      o.remote_served = dc.remote_served;
+      o.remote_shed = dc.remote_shed;
+      o.max_queue_depth = dc.max_queue_depth;
+      o.breaker_trips = dc.breaker.trips();
+
+      o.prefault_goodput_rps = retry_storm_window_mean(
+          dc.goodput_rate, outage_start_epoch_,
+          outage_start_epoch_ - outage_start_epoch_ / 2);
+      const double sla_rps =
+          config_.sla_goodput_fraction * o.prefault_goodput_rps;
+      const double fail_budget_rps =
+          (1.0 - config_.sla_goodput_fraction) * o.prefault_goodput_rps;
+      std::size_t healthy_run = 0;
+      for (std::size_t e = clear_epoch; e < epochs_ && !o.recovered; ++e) {
+        const bool healthy = dc.goodput_rate[e] >= sla_rps &&
+                             dc.failure_rate[e] <= fail_budget_rps;
+        healthy_run = healthy ? healthy_run + 1 : 0;
+        if (healthy_run >= window) {
+          o.recovered = true;
+          o.recovery_s = static_cast<double>(e + 1) * dt_ - outage_end_s_;
+        }
+      }
+      o.end_offered_rps =
+          retry_storm_window_mean(dc.offered_rate, epochs_, window);
+      o.end_goodput_rps =
+          retry_storm_window_mean(dc.goodput_rate, epochs_, window);
+      o.conservation_ok = dc.population.conservation_ok();
+      o.conservation_report = dc.population.conservation_report();
+      if (!o.conservation_ok) violation(o.site + ": " + o.conservation_report);
+
+      intents += o.intents;
+      fresh += o.served_fresh;
+      out.forwarded += dc.forwarded;
+      out.remote_served += dc.remote_served;
+      out.remote_shed += dc.remote_shed;
+      arrived += dc.arrived;
+      drained += dc.remote_admitted + dc.remote_shed;
+      for (const auto& box : dc.inbox) inboxed += box.size();
+      responses_sent += dc.remote_served;
+      responses_received += dc.responses_received;
+      out.dcs.push_back(std::move(o));
+    }
+
+    // Fleet flow identities. Every ref that landed in an inbox was drained
+    // or is still in the inbox; what was forwarded but has not landed (and
+    // every response not yet received) is in flight in the fabric — both
+    // gaps must be non-negative. A federation that loses or duplicates a
+    // mailbox message breaks one of these.
+    if (arrived != drained + inboxed) {
+      violation("fleet flow: arrived refs != drained + inboxed");
+    }
+    if (out.forwarded < arrived) {
+      violation("fleet flow: more refs arrived than were forwarded");
+    }
+    if (responses_sent < responses_received) {
+      violation("fleet flow: more responses received than sent");
+    }
+
+    out.fleet_goodput_fraction =
+        intents > 0
+            ? static_cast<double>(fresh) / static_cast<double>(intents)
+            : 1.0;
+    out.conservation_ok = ok;
+    out.conservation_report = report;
+    out.events_run = events_run_;
+    out.events_pending = fabric_.pending();
+    return out;
+  }
+
+  const FleetStormConfig& config_;
+  sim::Fabric& fabric_;
+  network::InterDcNetwork net_;
+  double dt_ = 1.0;
+  std::size_t epochs_ = 0;
+  std::size_t outage_start_epoch_ = 0;
+  double outage_end_s_ = 0.0;
+  std::vector<std::unique_ptr<FleetDc>> dcs_;
+  std::size_t events_run_ = 0;
+};
+
+}  // namespace
+
+network::InterDcNetwork make_fleet_network(const FleetStormConfig& config) {
+  require(config.sites.size() >= 2,
+          "FleetStorm: need at least two datacenters");
+  require(config.sites.size() <=
+              static_cast<std::size_t>(cluster::kRemoteRefMaxOwner) + 1,
+          "FleetStorm: fleet exceeds the 4-bit remote-ref owner bound");
+  std::vector<network::InterDcSite> sites;
+  sites.reserve(config.sites.size());
+  for (const auto& s : config.sites) {
+    sites.push_back({s.name, s.latitude_deg, s.longitude_deg});
+  }
+  return network::InterDcNetwork(std::move(sites),
+                                 config.latency_detour_factor,
+                                 config.min_latency_floor_s);
+}
+
+sim::ShardedConfig make_fleet_sharded_config(const network::InterDcNetwork& net,
+                                             std::size_t shards,
+                                             std::size_t threads) {
+  require(shards >= 1, "make_fleet_sharded_config: need at least one shard");
+  require(net.site_count() % shards == 0,
+          "make_fleet_sharded_config: shard count must divide the "
+          "datacenter count");
+  sim::ShardedConfig cfg;
+  cfg.shards = shards;
+  cfg.threads = threads;
+  if (shards == 1) return cfg;  // no cross-shard constraint to derive
+  const std::size_t group = net.site_count() / shards;
+  cfg.lookahead_s.assign(shards * shards, 0.0);
+  for (std::size_t a = 0; a < shards; ++a) {
+    for (std::size_t b = 0; b < shards; ++b) {
+      if (a == b) continue;
+      double floor = std::numeric_limits<double>::infinity();
+      for (std::size_t i = a * group; i < (a + 1) * group; ++i) {
+        for (std::size_t j = b * group; j < (b + 1) * group; ++j) {
+          floor = std::min(floor, net.latency_floor_s(i, j));
+        }
+      }
+      cfg.lookahead_s[a * shards + b] = floor;
+    }
+  }
+  return cfg;
+}
+
+FleetStormOutcome run_fleet_storm(const FleetStormConfig& config,
+                                  sim::Fabric& fabric) {
+  FleetWorld world(config, fabric);
+  return world.run();
+}
+
+bool fleet_storm_outcomes_equal(const FleetStormOutcome& a,
+                                const FleetStormOutcome& b) {
+  if (a.dcs.size() != b.dcs.size()) return false;
+  for (std::size_t i = 0; i < a.dcs.size(); ++i) {
+    const FleetDcOutcome& x = a.dcs[i];
+    const FleetDcOutcome& y = b.dcs[i];
+    const bool same =
+        x.site == y.site && x.intents == y.intents &&
+        x.attempts == y.attempts && x.retries == y.retries &&
+        x.served_fresh == y.served_fresh && x.served_stale == y.served_stale &&
+        x.timed_out == y.timed_out && x.abandoned == y.abandoned &&
+        x.dark_failures == y.dark_failures &&
+        x.shed_breaker == y.shed_breaker && x.shed_bucket == y.shed_bucket &&
+        x.shed_queue == y.shed_queue && x.forwarded == y.forwarded &&
+        x.remote_admitted == y.remote_admitted &&
+        x.remote_served == y.remote_served && x.remote_shed == y.remote_shed &&
+        x.prefault_goodput_rps == y.prefault_goodput_rps &&
+        x.end_offered_rps == y.end_offered_rps &&
+        x.end_goodput_rps == y.end_goodput_rps &&
+        x.recovered == y.recovered && x.recovery_s == y.recovery_s &&
+        x.max_queue_depth == y.max_queue_depth &&
+        x.breaker_trips == y.breaker_trips &&
+        x.conservation_ok == y.conservation_ok;
+    if (!same) return false;
+  }
+  return a.epochs == b.epochs && a.forwarded == b.forwarded &&
+         a.remote_served == b.remote_served &&
+         a.remote_shed == b.remote_shed &&
+         a.fleet_goodput_fraction == b.fleet_goodput_fraction &&
+         a.conservation_ok == b.conservation_ok &&
+         a.events_run == b.events_run &&
+         a.events_pending == b.events_pending;
+}
+
+FleetStormConfig make_reference_fleet_storm_config(std::size_t dcs,
+                                                   std::size_t clients_per_dc,
+                                                   std::uint64_t seed) {
+  require(clients_per_dc >= 1,
+          "make_reference_fleet_storm_config: need at least one client");
+  FleetStormConfig config;
+  config.sites = macro::make_reference_fleet_sites(dcs);
+  config.clients.clients = clients_per_dc;
+  config.clients.seed = seed;
+  config.clients.think_time_s = 40.0;
+  config.clients.start_spread_s = 40.0;
+  config.clients.request_timeout_s = 4.0;
+  // Fast enough reconnect spread that the post-outage surge lands inside
+  // the 120 s horizon.
+  config.clients.reconnect_spread_s = 15.0;
+  // Capacity sized ~25% above each datacenter's steady-state demand
+  // (clients / think time), mirroring the single-DC reference scenario.
+  const double demand =
+      static_cast<double>(clients_per_dc) / config.clients.think_time_s;
+  const double capacity = std::max(100.0, demand * 1.25);
+  config.service_capacity_rps = capacity;
+  config.defense.enabled = true;
+  config.defense.bucket = {0.9 * capacity, 0.9 * capacity};
+  // Worst-case sojourn below the 4 s client timeout.
+  config.defense.queue_capacity =
+      static_cast<std::size_t>(capacity * 1.8) + 1;
+  config.epoch_s = 1.0;
+  config.horizon_s = 120.0;
+  config.outage_dc = 0;
+  config.outage_start_s = 30.0;
+  config.outage_duration_s = 20.0;
+  config.reroute_fraction = 1.0;
+  config.latency_detour_factor = 1.3;
+  config.min_latency_floor_s = 1e-3;
+  config.sla_goodput_fraction = 0.9;
+  config.recovery_window_epochs = 10;
+  return config;
+}
+
+}  // namespace epm::faults

@@ -5,7 +5,19 @@
 namespace epm::faults {
 
 FaultInjector::FaultInjector(sim::Simulator& sim, FaultPlan plan)
-    : sim_(sim), plan_(std::move(plan)) {
+    : FaultInjector(
+          ScheduleHook([&sim](double when_s,
+                              std::function<void(double)> edge) {
+            sim.schedule_at(when_s,
+                            [&sim, edge = std::move(edge)] { edge(sim.now()); });
+          }),
+          std::move(plan)) {}
+
+FaultInjector::FaultInjector(ScheduleHook schedule, FaultPlan plan)
+    : schedule_(std::move(schedule)), plan_(std::move(plan)) {
+  if (!schedule_) {
+    throw std::invalid_argument("FaultInjector: null schedule hook");
+  }
   records_.reserve(plan_.size());
   for (const auto& event : plan_.events()) {
     FaultRecord record;
@@ -31,10 +43,10 @@ void FaultInjector::arm() {
   armed_ = true;
   for (std::size_t i = 0; i < records_.size(); ++i) {
     const FaultEvent& event = records_[i].event;
-    sim_.schedule_at(event.start_s,
-                     [this, i] { deliver(i, true, sim_.now()); });
-    sim_.schedule_at(event.end_s(),
-                     [this, i] { deliver(i, false, sim_.now()); });
+    schedule_(event.start_s,
+              [this, i](double now_s) { deliver(i, true, now_s); });
+    schedule_(event.end_s(),
+              [this, i](double now_s) { deliver(i, false, now_s); });
   }
 }
 

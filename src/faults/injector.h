@@ -35,7 +35,25 @@ struct FaultRecord {
 
 class FaultInjector {
  public:
+  /// Schedules `edge(now_s)` at absolute simulated time `when_s` on
+  /// whatever clock the injector was bound to.
+  using ScheduleHook =
+      std::function<void(double when_s, std::function<void(double now_s)> edge)>;
+
+  /// Binds the plan to one kernel. Kept as the common-case constructor, but
+  /// note it captures *that specific* Simulator — under the sharded
+  /// federation a world has several kernels, and a plan armed against the
+  /// wrong one would deliver edges on another datacenter's clock (the
+  /// latent single-kernel assumption PR 7 removed). Delegates to the hook
+  /// constructor below.
   FaultInjector(sim::Simulator& sim, FaultPlan plan);
+
+  /// Binds the plan to an arbitrary scheduler — a federation shard, a
+  /// fabric, or a test double. arm() schedules every edge through the hook,
+  /// and the hook supplies the observation clock (`now_s`), so two
+  /// injectors armed on two shards of one sim::ShardedSimulator each see
+  /// their own kernel's time.
+  FaultInjector(ScheduleHook schedule, FaultPlan plan);
 
   /// Registers a subscriber; must be called before arm().
   void subscribe(FaultHandler handler);
@@ -66,7 +84,7 @@ class FaultInjector {
  private:
   void deliver(std::size_t index, bool onset, double now_s);
 
-  sim::Simulator& sim_;
+  ScheduleHook schedule_;
   FaultPlan plan_;
   std::vector<FaultHandler> handlers_;
   std::vector<FaultRecord> records_;

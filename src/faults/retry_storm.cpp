@@ -1,338 +1,31 @@
 #include "faults/retry_storm.h"
 
-#include <algorithm>
-#include <cmath>
-#include <vector>
+#include <cstddef>
+#include <memory>
 
-#include "core/arena.h"
-#include "core/require.h"
-#include "macro/decision_log.h"
-#include "sensing/channels.h"
+#include "faults/retry_storm_engine.h"
+#include "sim/sharded_simulator.h"
 #include "sim/simulator.h"
-#include "telemetry/store.h"
 #include "workload/client_population_legacy.h"
 
 namespace epm::faults {
 namespace {
 
-double window_mean(const std::vector<double>& series, std::size_t end,
-                   std::size_t window) {
-  const std::size_t lo = end > window ? end - window : 0;
-  if (end <= lo) return 0.0;
-  double sum = 0.0;
-  for (std::size_t i = lo; i < end; ++i) sum += series[i];
-  return sum / static_cast<double>(end - lo);
-}
-
-/// The epoch driver, generic over the population engine. Population must
-/// expose the ClientPopulation drive protocol plus a kBatchServe constant:
-/// batch-serve engines get one arena-backed completion cohort per epoch
-/// (a single kernel event), per-serve engines get the PR 5 shape — one
-/// inline EventFn per completion, batch-scheduled at the epoch end.
+/// The serial runner: a plain epoch loop over the phase-split engine with a
+/// private completion kernel — the exact PR 4-6 execution shape (the engine
+/// is verbatim code motion from the old monolithic loop, so outcomes are
+/// bit-identical to every checked-in anchor).
 template <typename Population>
 RetryStormOutcome run_retry_storm_impl(const RetryStormConfig& config) {
-  require(config.epoch_s > 0.0, "RetryStorm: epoch must be positive");
-  require(config.service_capacity_rps > 0.0,
-          "RetryStorm: service capacity must be positive");
-  require(config.batch_rps >= 0.0 &&
-              config.batch_rps < config.service_capacity_rps,
-          "RetryStorm: batch tier must leave interactive capacity");
-  require(config.outage_start_s > 0.0 && config.outage_duration_s > 0.0,
-          "RetryStorm: outage must have positive start and duration");
-  require(config.horizon_s >
-              config.outage_start_s + config.outage_duration_s,
-          "RetryStorm: horizon must extend past the outage");
-  require(config.sla_goodput_fraction > 0.0 &&
-              config.sla_goodput_fraction <= 1.0,
-          "RetryStorm: SLA fraction outside (0, 1]");
-  require(config.recovery_window_epochs >= 1,
-          "RetryStorm: recovery window must be at least one epoch");
-  const double dt = config.epoch_s;
-  const auto epochs =
-      static_cast<std::size_t>(std::ceil(config.horizon_s / dt));
-  const auto window = config.recovery_window_epochs;
-  const auto outage_start_epoch =
-      static_cast<std::size_t>(config.outage_start_s / dt);
-  require(outage_start_epoch / 2 + window <= outage_start_epoch,
-          "RetryStorm: outage starts too early for a pre-fault SLA window");
-
-  Population population(config.clients);
-  cluster::BoundedQueue queue(config.defense.enabled
-                                  ? config.defense.queue_capacity
-                                  : config.naive_queue_capacity);
-  cluster::TokenBucket bucket(config.defense.bucket);
-  cluster::CircuitBreaker breaker(config.defense.breaker);
-
-  macro::DecisionLog log;
-  macro::DegradationPolicy policy(config.policy, /*service_count=*/2, &log);
-
-  sensing::SensorPlaneConfig sensor_config = config.sensors;
-  sensor_config.fault_domains = 1;
-  sensing::SensorPlane sensors(sensor_config);
-  sensing::ValidatedEstimator estimator(config.estimator);
-  sensing::InvariantMonitor monitor(config.invariants);
-  telemetry::TelemetryStore telemetry;
-  const auto shed_channel =
-      sensing::make_channel(sensing::ChannelKind::kShedRate, 0);
-  const auto retry_channel =
-      sensing::make_channel(sensing::ChannelKind::kRetryRate, 0);
-  const auto shed_key = telemetry::make_key(0, 1);
-  const auto retry_key = telemetry::make_key(0, 2);
-
-  RetryStormOutcome out;
-  std::vector<double> offered_rate(epochs, 0.0);
-  std::vector<double> goodput_rate(epochs, 0.0);
-  std::vector<double> failure_rate(epochs, 0.0);
-
-  const double outage_end_s =
-      config.outage_start_s + config.outage_duration_s;
-  bool sessions_dropped = false;
-  // Completion timeline. Batch-serve engines stage the epoch's completion
-  // cohort as one arena-backed id span delivered by a single kernel event;
-  // per-serve engines stage one inline EventFn per completed request,
-  // batch-scheduled at the epoch end (one bucket lookup for the whole
-  // batch) and fired in FIFO order by the seq tiebreak.
+  RetryStormEngine<Population> engine(config);
   sim::Simulator completions;
-  std::vector<sim::EventFn> completion_batch;
-  EpochArena cohort_arena;
-  double serve_carry = 0.0;
-  double batch_shed_frac = 0.0;  // from last epoch's policy reaction
-  double interactive_capacity_rps =
-      config.service_capacity_rps - config.batch_rps;
-
-  for (std::size_t e = 0; e < epochs; ++e) {
-    const double t0 = static_cast<double>(e) * dt;
-    const double t1 = t0 + dt;
-    const bool outage = t0 >= config.outage_start_s && t0 < outage_end_s;
-
-    // Outage onset: every session drops; reconnects spread out like the
-    // Fig. 3 login spike.
-    if (outage && !sessions_dropped) {
-      population.disconnect_all(t0);
-      sessions_dropped = true;
-    }
-
-    if (config.defense.enabled) {
-      breaker.begin_epoch(t0);
-      bucket.refill(dt);
-    }
-
-    // Snapshot ledger deltas for this epoch's breaker/telemetry accounting.
-    const auto led0 = population.ledger();
-    std::uint64_t dark = 0;
-    std::uint64_t shed_breaker = 0;
-    std::uint64_t shed_bucket = 0;
-    std::uint64_t shed_queue = 0;
-
-    // 1. Client attempts due this epoch, through the admission stack.
-    for (const std::uint32_t id : population.collect_due(t0, dt)) {
-      if (config.defense.enabled && !breaker.allow()) {
-        ++shed_breaker;
-        population.on_rejected(id, t0);
-      } else if (outage) {
-        ++dark;  // reached a dark service: connection failure
-        population.on_rejected(id, t0);
-      } else if (config.defense.enabled && !bucket.try_acquire()) {
-        ++shed_bucket;
-        population.on_rejected(id, t0);
-      } else if (!queue.try_push(id, t0)) {
-        ++shed_queue;
-        population.on_rejected(id, t0);
-      } else {
-        population.on_admitted(id, t0);
-      }
-    }
-    out.max_queue_depth = std::max(out.max_queue_depth, queue.size());
-
-    // 2. Interactive capacity: total minus the surviving batch tier (the
-    // macro overload posture sheds batch to make headroom).
-    const double batch_served_rps =
-        outage ? 0.0 : config.batch_rps * (1.0 - batch_shed_frac);
-    interactive_capacity_rps =
-        outage ? 0.0 : config.service_capacity_rps - batch_served_rps;
-
-    // 3. Drain the accept queue FIFO; completions land at the epoch end.
-    // Fractional credit carries over only while the server is backlogged
-    // (an idle server cannot bank capacity).
-    const auto fresh0 = population.ledger().served;
-    const auto stale0 = population.ledger().stale_served;
-    double credit = serve_carry + interactive_capacity_rps * dt;
-    if constexpr (Population::kBatchServe) {
-      // One id span for the whole cohort, reused epoch over epoch via the
-      // arena; the single event keeps the kernel O(1) per epoch instead of
-      // O(completions).
-      cohort_arena.reset();
-      const std::size_t budget =
-          std::min(static_cast<std::size_t>(credit), queue.size());
-      std::uint32_t* cohort = cohort_arena.alloc<std::uint32_t>(budget);
-      std::size_t cohort_n = 0;
-      while (credit >= 1.0 && !queue.empty()) {
-        cohort[cohort_n++] = queue.front().id;
-        queue.pop();
-        credit -= 1.0;
-      }
-      serve_carry = queue.empty() ? 0.0 : credit;
-      if (cohort_n > 0) {
-        sim::EventFn event{[&population, cohort, cohort_n, t1] {
-          population.on_served_batch(cohort, cohort_n, t1);
-        }};
-        completions.schedule_batch_at(t1, &event, &event + 1);
-      }
-    } else {
-      completion_batch.clear();
-      while (credit >= 1.0 && !queue.empty()) {
-        const std::uint32_t id = queue.front().id;
-        completion_batch.emplace_back(
-            [&population, id, t1] { population.on_served(id, t1); });
-        queue.pop();
-        credit -= 1.0;
-      }
-      serve_carry = queue.empty() ? 0.0 : credit;
-      completions.schedule_batch_at(t1, completion_batch.begin(),
-                                    completion_batch.end());
-    }
-    completions.run_until(t1);
-
-    // 4. Client deadlines fire after this epoch's completions.
-    const auto expired0 = population.ledger().timed_out;
-    population.expire_timeouts(t1);
-
-    const auto& led1 = population.ledger();
-    const auto fresh_delta = led1.served - fresh0;
-    const auto stale_delta = led1.stale_served - stale0;
-    const auto expired_delta = led1.timed_out - expired0;
-    const auto retry_delta = led1.retries - led0.retries;
-    const auto abandoned_delta = led1.abandoned - led0.abandoned;
-    const std::uint64_t shed_delta = shed_breaker + shed_bucket + shed_queue;
-
-    // 5. Breaker verdict from downstream outcomes: completions, client
-    // timeouts, and dark failures. The stack's own sheds are deliberate and
-    // must not trip it.
-    if (config.defense.enabled) {
-      const std::uint64_t observed =
-          dark + fresh_delta + stale_delta + expired_delta;
-      breaker.on_epoch_end(observed, observed - fresh_delta, t1);
-    }
-
-    // 6. Shed/retry telemetry through the sensor plane, and the overload
-    // signal (from the *estimated* rates, like every macro observation)
-    // into the degradation policy for next epoch's posture.
-    const double shed_rps = static_cast<double>(shed_delta) / dt;
-    const double retry_rps = static_cast<double>(retry_delta) / dt;
-    telemetry.record_shed(shed_delta);
-    telemetry.record_retried(retry_delta);
-    telemetry.record_abandoned(abandoned_delta);
-    macro::OverloadSignal signal;
-    signal.breaker_open =
-        config.defense.enabled &&
-        breaker.state() != cluster::BreakerState::kClosed;
-    {
-      const auto readings = sensors.sample(shed_channel, shed_rps, t1);
-      if (!readings.front().valid) {
-        telemetry.record_dropout(1);
-      } else {
-        telemetry.append(shed_key, t1, readings.front().value,
-                         readings.front().degraded);
-      }
-      signal.shed_rate_per_s = estimator.update(shed_channel, readings, t1).value;
-    }
-    {
-      const auto readings = sensors.sample(retry_channel, retry_rps, t1);
-      if (!readings.front().valid) {
-        telemetry.record_dropout(1);
-      } else {
-        telemetry.append(retry_key, t1, readings.front().value,
-                         readings.front().degraded);
-      }
-      signal.retry_rate_per_s =
-          estimator.update(retry_channel, readings, t1).value;
-    }
-    if (config.policy_enabled) {
-      policy.observe_overload(signal, t1);
-      const auto action =
-          policy.react(t1, /*battery_ride_through_s=*/1e12);
-      batch_shed_frac = action.shed_scale[config.policy.low_tier_service];
-    }
-
-    // 7. Invariants: cumulative flow identities and the retry-budget
-    // conservation ledger, every epoch.
-    sensing::InvariantMonitor::RequestFlow flow;
-    flow.time_s = t1;
-    flow.offered = static_cast<double>(led1.attempts);
-    flow.served = static_cast<double>(led1.served + led1.stale_served);
-    flow.goodput = static_cast<double>(led1.served);
-    flow.intents = static_cast<double>(led1.intents);
-    flow.retries = static_cast<double>(led1.retries);
-    monitor.check_request_flow(flow);
-    monitor.check_condition("retry-budget-conservation",
-                            population.conservation_ok(),
-                            population.conservation_report(), t1);
-
-    const auto attempts_delta = led1.attempts - led0.attempts;
-    offered_rate[e] = static_cast<double>(attempts_delta) / dt;
-    goodput_rate[e] = static_cast<double>(fresh_delta) / dt;
-    failure_rate[e] =
-        static_cast<double>(stale_delta + expired_delta + shed_delta + dark) /
-        dt;
-    out.dark_failures += dark;
-    out.shed_breaker += shed_breaker;
-    out.shed_bucket += shed_bucket;
-    out.shed_queue += shed_queue;
-    ++out.epochs;
+  const double dt = engine.epoch_s();
+  for (std::size_t e = 0; e < engine.epochs(); ++e) {
+    engine.begin_epoch(e, completions);
+    completions.run_until(static_cast<double>(e) * dt + dt);
+    engine.end_epoch(e);
   }
-
-  // Pre-fault SLA basis: steady-state goodput over the half of the warm
-  // period closest to the outage.
-  out.prefault_goodput_rps =
-      window_mean(goodput_rate, outage_start_epoch,
-                  outage_start_epoch - outage_start_epoch / 2);
-  const double sla_rps =
-      config.sla_goodput_fraction * out.prefault_goodput_rps;
-  const double fail_budget_rps =
-      (1.0 - config.sla_goodput_fraction) * out.prefault_goodput_rps;
-
-  // Recovery: the first run of `window` consecutive healthy epochs after
-  // the outage clears.
-  const auto clear_epoch =
-      std::min(epochs, static_cast<std::size_t>(std::ceil(outage_end_s / dt)));
-  std::size_t healthy_run = 0;
-  for (std::size_t e = clear_epoch; e < epochs && !out.recovered; ++e) {
-    const bool healthy =
-        goodput_rate[e] >= sla_rps && failure_rate[e] <= fail_budget_rps;
-    healthy_run = healthy ? healthy_run + 1 : 0;
-    if (healthy_run >= window) {
-      out.recovered = true;
-      out.recovery_s = static_cast<double>(e + 1) * dt - outage_end_s;
-    }
-  }
-
-  out.end_offered_rps = window_mean(offered_rate, epochs, window);
-  out.end_goodput_rps = window_mean(goodput_rate, epochs, window);
-  out.end_interactive_capacity_rps = interactive_capacity_rps;
-  out.metastable =
-      !out.recovered && out.end_offered_rps > out.end_interactive_capacity_rps;
-
-  const auto& led = population.ledger();
-  out.intents = led.intents;
-  out.attempts = led.attempts;
-  out.retries = led.retries;
-  out.served_fresh = led.served;
-  out.served_stale = led.stale_served;
-  out.timed_out = led.timed_out;
-  out.abandoned = led.abandoned;
-  out.breaker_trips = breaker.trips();
-  out.breaker_probes = breaker.probes_issued();
-  out.telemetry_samples = telemetry.total_samples();
-  out.telemetry_shed = telemetry.shed_requests();
-  out.telemetry_retried = telemetry.retried_requests();
-  out.telemetry_abandoned = telemetry.abandoned_requests();
-  out.conservation_ok = population.conservation_ok();
-  out.conservation_report = population.conservation_report();
-  out.invariants_ok = monitor.ok();
-  out.invariant_violations = monitor.violation_count();
-  out.invariant_report = monitor.report();
-  out.decision_counts = log.counts_by_kind();
-  return out;
+  return engine.finish();
 }
 
 }  // namespace
@@ -343,6 +36,62 @@ RetryStormOutcome run_retry_storm(const RetryStormConfig& config) {
 
 RetryStormOutcome run_retry_storm_legacy(const RetryStormConfig& config) {
   return run_retry_storm_impl<workload::LegacyClientPopulation>(config);
+}
+
+struct FederatedRetryStorm::Impl {
+  explicit Impl(const RetryStormConfig& config) : engine(config) {}
+  RetryStormEngine<workload::ClientPopulation> engine;
+};
+
+FederatedRetryStorm::FederatedRetryStorm(const RetryStormConfig& config,
+                                         sim::ShardedSimulator& fed,
+                                         std::size_t shard)
+    : impl_(std::make_unique<Impl>(config)) {
+  auto* eng = &impl_->engine;
+  sim::Simulator* kernel = &fed.shard(shard);
+  const double dt = eng->epoch_s();
+  const std::size_t epochs = eng->epochs();
+  end_s_ = static_cast<double>(epochs) * dt;
+
+  // Driver event chain: D(e) fires at t = e*dt and runs phase B of epoch
+  // e-1, then phase A of epoch e, then schedules D(e+1). Because phase A
+  // schedules epoch e's completion cohort at (e+1)*dt BEFORE D(e+1) is
+  // pushed, the kernel's same-timestamp FIFO fires the cohort first — the
+  // serial loop's "completions.run_until(t1); end_epoch(e)" order, replayed
+  // event-by-event. D(epochs) closes the final epoch.
+  struct Driver {
+    RetryStormEngine<workload::ClientPopulation>* eng;
+    sim::Simulator* kernel;
+    double dt;
+    std::size_t epochs;
+    void operator()(std::size_t e) {
+      if (e > 0) eng->end_epoch(e - 1);
+      if (e >= epochs) return;
+      eng->begin_epoch(e, *kernel);
+      kernel->schedule_at(static_cast<double>(e) * dt + dt,
+                          [self = *this, e]() mutable { self(e + 1); });
+    }
+  };
+  kernel->schedule_at(0.0, [driver = Driver{eng, kernel, dt, epochs}]() mutable {
+    driver(0);
+  });
+}
+
+FederatedRetryStorm::~FederatedRetryStorm() = default;
+
+RetryStormOutcome FederatedRetryStorm::finish() {
+  ensure(impl_ != nullptr, "FederatedRetryStorm: finish() called twice");
+  RetryStormOutcome out = impl_->engine.finish();
+  impl_.reset();
+  return out;
+}
+
+RetryStormOutcome run_retry_storm_federated(const RetryStormConfig& config,
+                                            sim::ShardedSimulator& fed,
+                                            std::size_t shard) {
+  FederatedRetryStorm storm(config, fed, shard);
+  fed.run_until(storm.end_s());
+  return storm.finish();
 }
 
 RetryStormConfig make_reference_retry_storm_config(

@@ -22,6 +22,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "cluster/admission.h"
@@ -30,6 +31,10 @@
 #include "sensing/invariants.h"
 #include "sensing/sensor_plane.h"
 #include "workload/client_population.h"
+
+namespace epm::sim {
+class ShardedSimulator;
+}
 
 namespace epm::faults {
 
@@ -136,6 +141,41 @@ RetryStormOutcome run_retry_storm(const RetryStormConfig& config);
 /// kernel bench gates against. Outcomes are bit-identical to
 /// run_retry_storm by construction (asserted by the equivalence suite).
 RetryStormOutcome run_retry_storm_legacy(const RetryStormConfig& config);
+
+/// The same scenario executed event-by-event on shard `shard` of a
+/// federation: the epoch loop becomes a driver-event chain on that shard's
+/// kernel (see retry_storm_engine.h), so a 1-shard federation replays
+/// run_retry_storm bit-identically — the "degenerate federation" golden
+/// invariant — and independent storms on different shards of one
+/// ShardedSimulator run concurrently without perturbing each other.
+RetryStormOutcome run_retry_storm_federated(const RetryStormConfig& config,
+                                            sim::ShardedSimulator& fed,
+                                            std::size_t shard);
+
+/// The armed-but-not-run form of run_retry_storm_federated: construction
+/// schedules the scenario's driver-event chain on shard `shard` without
+/// advancing the federation, so several storms can share one
+/// ShardedSimulator and run concurrently (one per shard — the parallel arm
+/// of the kernel_federation bench). Drive the federation to at least
+/// end_s(), then call finish() exactly once.
+class FederatedRetryStorm {
+ public:
+  FederatedRetryStorm(const RetryStormConfig& config,
+                      sim::ShardedSimulator& fed, std::size_t shard);
+  FederatedRetryStorm(const FederatedRetryStorm&) = delete;
+  FederatedRetryStorm& operator=(const FederatedRetryStorm&) = delete;
+  ~FederatedRetryStorm();
+
+  /// Simulated time at which the scenario's last driver event fires.
+  double end_s() const { return end_s_; }
+  /// Post-run summary; requires the federation to have run past end_s().
+  RetryStormOutcome finish();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  double end_s_ = 0.0;
+};
 
 /// Reference scenario: 20k clients against a 1000 req/s shared service with
 /// a 300 req/s batch tier. `defended` enables the admission stack and the

@@ -173,4 +173,40 @@ GeoDecision GeoCoordinator::route_single_home(double global_rate_per_s,
   return decision;
 }
 
+std::vector<SiteConfig> make_reference_fleet_sites(std::size_t count) {
+  require(count >= 2 && count <= 6,
+          "make_reference_fleet_sites: count must be in [2, 6]");
+  struct Ref {
+    const char* name;
+    double lat, lon;     // degrees
+    double price;        // $/kWh
+    double user_lat_s;   // one-way user->site latency
+    bool economizer;
+  };
+  // Ordered so any prefix stays geographically spread (the first four span
+  // both US coasts plus Europe and Asia — the 4-DC reference fleet).
+  static constexpr Ref kRefs[6] = {
+      {"pnw", 45.60, -121.18, 0.07, 0.030, true},     // The Dalles, OR
+      {"virginia", 39.04, -77.49, 0.09, 0.015, true}, // Ashburn, VA
+      {"ireland", 53.33, -6.25, 0.11, 0.045, true},   // Dublin
+      {"singapore", 1.35, 103.82, 0.13, 0.090, false},
+      {"saopaulo", -23.55, -46.63, 0.12, 0.075, false},
+      {"tokyo", 35.68, 139.69, 0.14, 0.080, false},
+  };
+  std::vector<SiteConfig> sites;
+  sites.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    SiteConfig site;
+    site.name = kRefs[i].name;
+    site.servers = 1000;
+    site.plant.has_economizer = kRefs[i].economizer;
+    site.electricity_price_per_kwh = kRefs[i].price;
+    site.network_latency_s = kRefs[i].user_lat_s;
+    site.latitude_deg = kRefs[i].lat;
+    site.longitude_deg = kRefs[i].lon;
+    sites.push_back(std::move(site));
+  }
+  return sites;
+}
+
 }  // namespace epm::macro

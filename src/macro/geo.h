@@ -31,7 +31,17 @@ struct SiteConfig {
   double electricity_price_per_kwh = 0.10;
   /// One-way network latency from the user population to this site.
   double network_latency_s = 0.02;
+  /// Site coordinates, used to derive inter-site latency floors (and from
+  /// them the federation's conservative lookahead — see network/interdc.h).
+  double latitude_deg = 0.0;
+  double longitude_deg = 0.0;
 };
+
+/// Reference fleet for multi-datacenter experiments: up to six real-world
+/// site locations (Pacific Northwest, Virginia, Ireland, Singapore, São
+/// Paulo, Tokyo) with climate/price/latency parameters in the same spirit
+/// as the three-site geo-routing study. `count` in [2, 6].
+std::vector<SiteConfig> make_reference_fleet_sites(std::size_t count);
 
 struct GeoPolicyConfig {
   /// End-to-end mean latency objective: 2x network + queueing response.

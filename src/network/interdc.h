@@ -1,0 +1,76 @@
+// Inter-datacenter network latency floors -> conservative lookahead.
+//
+// The paper's geo-coordination challenge (§3.2) moves load between sites
+// over wide-area links, and physics gives those links a hard property the
+// federation kernel exploits: a minimum one-way propagation delay. No
+// cross-datacenter interaction — re-routed requests, replication traffic,
+// grid-event notifications — can take effect at a remote site sooner than
+// the speed-of-light floor of the path. That floor IS the conservative
+// lookahead of sim::ShardedSimulator: a shard executing events at time t
+// is guaranteed no inbound message for any time before t + floor.
+//
+// The model here is deliberately minimal: a validated per-pair matrix of
+// latency floors (seconds), with a great-circle helper to derive defaults
+// from site coordinates. Floors are *lower bounds*, so deriving them from
+// geometry (propagation at ~2/3 c in fiber, with a routing-detour factor)
+// is sound even when actual RTTs are far larger.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace epm::network {
+
+struct InterDcSite {
+  std::string name;
+  double latitude_deg = 0.0;
+  double longitude_deg = 0.0;
+};
+
+/// Great-circle distance in meters (spherical earth, R = 6371 km).
+double great_circle_m(double lat1_deg, double lon1_deg, double lat2_deg,
+                      double lon2_deg);
+
+/// Lower bound on one-way latency over `distance_m` of fiber:
+/// distance * detour_factor / (c * 2/3). detour_factor >= 1 accounts for
+/// routes not following the geodesic; it scales the floor up, which keeps
+/// the bound conservative for the *simulation* (a larger floor is a weaker
+/// claim about the network but the lookahead must still be a true minimum
+/// of the modeled message delays, which the federation enforces per send).
+double fiber_latency_floor_s(double distance_m, double detour_factor = 1.0);
+
+/// Validated matrix of inter-site one-way latency floors.
+class InterDcNetwork {
+ public:
+  /// Floors derived from site coordinates via great-circle fiber delay,
+  /// clamped below by `min_floor_s` (default 1 ms — even co-located DCs
+  /// cross at least a metro hop).
+  InterDcNetwork(std::vector<InterDcSite> sites, double detour_factor = 1.0,
+                 double min_floor_s = 1e-3);
+  /// Floors given explicitly, row-major `sites x sites`; off-diagonal
+  /// entries must be positive and finite.
+  InterDcNetwork(std::vector<InterDcSite> sites,
+                 std::vector<double> latency_floor_s);
+
+  std::size_t site_count() const { return sites_.size(); }
+  const InterDcSite& site(std::size_t i) const;
+
+  /// One-way latency floor from site src to site dst (seconds);
+  /// 0 for src == dst.
+  double latency_floor_s(std::size_t src, std::size_t dst) const;
+  /// Smallest off-diagonal floor: the federation's window width.
+  double min_latency_floor_s() const { return min_floor_s_; }
+
+  /// The matrix in the row-major layout ShardedConfig::lookahead_s takes.
+  const std::vector<double>& lookahead_matrix() const { return floors_; }
+
+ private:
+  void validate();
+
+  std::vector<InterDcSite> sites_;
+  std::vector<double> floors_;  ///< row-major sites x sites, diagonal 0
+  double min_floor_s_ = 0.0;
+};
+
+}  // namespace epm::network

@@ -1,0 +1,261 @@
+#include "sim/sharded_simulator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "core/require.h"
+
+namespace epm::sim {
+
+namespace {
+
+constexpr std::size_t kNoShard = static_cast<std::size_t>(-1);
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Which shard the calling thread is currently executing a window for.
+/// Set around each shard's run inside a window (worker threads and the
+/// serial inline path alike), so send() can verify that an event on shard
+/// i never impersonates another source — that would break both FIFO
+/// ordering and the lookahead proof.
+thread_local std::size_t t_current_shard = kNoShard;
+
+/// RAII so an exception thrown by an event callback cannot leave a worker
+/// thread permanently tagged with a stale shard id.
+struct ShardScope {
+  explicit ShardScope(std::size_t i) { t_current_shard = i; }
+  ~ShardScope() { t_current_shard = kNoShard; }
+};
+
+}  // namespace
+
+ShardedSimulator::ShardedSimulator(ShardedConfig config) {
+  require(config.shards >= 1, "ShardedSimulator: need at least one shard");
+  const std::size_t n = config.shards;
+
+  if (config.lookahead_s.empty()) {
+    require(n == 1 || config.uniform_lookahead_s > 0.0,
+            "ShardedSimulator: a multi-shard federation needs a positive "
+            "lookahead (the minimum inter-DC latency floor)");
+    lookahead_.assign(n * n, config.uniform_lookahead_s);
+  } else {
+    require(config.lookahead_s.size() == n * n,
+            "ShardedSimulator: lookahead matrix must be shards x shards");
+    lookahead_ = config.lookahead_s;
+  }
+  min_lookahead_s_ = kInf;
+  for (std::size_t src = 0; src < n; ++src) {
+    for (std::size_t dst = 0; dst < n; ++dst) {
+      if (src == dst) continue;
+      const double l = lookahead_[src * n + dst];
+      require(l > 0.0 && std::isfinite(l),
+              "ShardedSimulator: lookahead[" + std::to_string(src) + "][" +
+                  std::to_string(dst) + "] must be positive and finite");
+      min_lookahead_s_ = std::min(min_lookahead_s_, l);
+    }
+  }
+
+  shards_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto s = std::make_unique<Shard>();
+    s->outbox.resize(n);
+    shards_.push_back(std::move(s));
+  }
+
+  const std::size_t threads =
+      config.threads == 1 ? 1 : resolve_thread_count(
+                                    static_cast<std::int64_t>(config.threads));
+  if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
+}
+
+ShardedSimulator::~ShardedSimulator() = default;
+
+Simulator& ShardedSimulator::shard(std::size_t i) {
+  require(i < shards_.size(), "ShardedSimulator: shard index out of range");
+  return shards_[i]->sim;
+}
+
+const Simulator& ShardedSimulator::shard(std::size_t i) const {
+  require(i < shards_.size(), "ShardedSimulator: shard index out of range");
+  return shards_[i]->sim;
+}
+
+double ShardedSimulator::lookahead_s(std::size_t src, std::size_t dst) const {
+  require(src < shards_.size() && dst < shards_.size(),
+          "ShardedSimulator: shard index out of range");
+  if (src == dst) return kInf;
+  return lookahead_[src * shards_.size() + dst];
+}
+
+void ShardedSimulator::send(std::size_t src, std::size_t dst, double delay_s,
+                            EventFn fn) {
+  require(src < shards_.size() && dst < shards_.size(),
+          "ShardedSimulator: shard index out of range");
+  require(static_cast<bool>(fn), "ShardedSimulator: empty event function");
+  if (t_current_shard != kNoShard) {
+    ensure(t_current_shard == src,
+           "ShardedSimulator::send: an event executing on shard " +
+               std::to_string(t_current_shard) +
+               " tried to send as shard " + std::to_string(src) +
+               " — cross-shard sends must originate from their own kernel");
+  }
+  Shard& s = *shards_[src];
+  if (src == dst) {
+    // Loopback: an ordinary local schedule, no conservative constraint.
+    require(delay_s >= 0.0, "ShardedSimulator::send: negative delay");
+    s.sim.schedule_at(s.sim.now() + delay_s, std::move(fn));
+    return;
+  }
+  const double floor_s = lookahead_[src * shards_.size() + dst];
+  if (!(delay_s >= floor_s)) {
+    throw std::invalid_argument(
+        "ShardedSimulator::send: delay " + std::to_string(delay_s) +
+        " s is below the shard " + std::to_string(src) + " -> " +
+        std::to_string(dst) + " lookahead floor of " +
+        std::to_string(floor_s) +
+        " s; a conservative federation cannot deliver inside the window "
+        "other shards are already executing (raise the delay or lower the "
+        "configured inter-DC latency floor)");
+  }
+  s.outbox[dst].push_back(Message{s.sim.now() + delay_s, std::move(fn)});
+  ++s.sent;
+}
+
+void ShardedSimulator::check_run_entry() const {
+  ensure(!running_ && !(pool_ && pool_->on_worker_thread()),
+         "ShardedSimulator: run re-entered from inside an event callback "
+         "(drive the federation from one coordinator thread only)");
+}
+
+std::size_t ShardedSimulator::run_window(double stop_s, bool inclusive) {
+  running_ = true;
+  const std::size_t n = shards_.size();
+  auto chunk = [this, stop_s, inclusive](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      ShardScope scope(i);
+      Shard& s = *shards_[i];
+      s.window_ran =
+          inclusive ? s.sim.run_until(stop_s) : s.sim.run_before(stop_s);
+    }
+  };
+  try {
+    if (pool_) {
+      pool_->parallel_for(n, chunk);
+    } else {
+      chunk(0, n);
+    }
+  } catch (...) {
+    running_ = false;
+    throw;
+  }
+  running_ = false;
+  ++windows_run_;
+  std::size_t ran = 0;
+  for (const auto& s : shards_) ran += s->window_ran;
+  return ran;
+}
+
+std::size_t ShardedSimulator::deliver_all(double min_legal_when_s) {
+  std::size_t delivered = 0;
+  for (auto& src : shards_) {
+    for (std::size_t dst = 0; dst < shards_.size(); ++dst) {
+      auto& box = src->outbox[dst];
+      for (Message& m : box) {
+        ensure(m.when_s >= min_legal_when_s,
+               "ShardedSimulator: conservative horizon violated — a message "
+               "for t=" + std::to_string(m.when_s) +
+                   " arrived after the window ending at t=" +
+                   std::to_string(min_legal_when_s) + " was already executed");
+        shards_[dst]->sim.schedule_at(m.when_s, std::move(m.fn));
+        ++delivered;
+      }
+      box.clear();
+    }
+  }
+  return delivered;
+}
+
+std::size_t ShardedSimulator::run_until(double until_s) {
+  check_run_entry();
+  require(!std::isnan(until_s), "ShardedSimulator: run_until(NaN)");
+  if (shards_.size() == 1) {
+    // Degenerate federation: one kernel, no windows, no barriers — the
+    // event sequence is exactly the plain Simulator's.
+    const std::size_t ran = shards_[0]->sim.run_until(until_s);
+    horizon_s_ = std::max(horizon_s_, until_s);
+    now_s_ = std::max(now_s_, until_s);
+    return ran;
+  }
+  // Messages sent between runs (world setup, epoch glue) are still sitting
+  // in their outboxes: deliver them first, or a federation whose only work
+  // arrives via send() would see every queue empty and run nothing. Their
+  // timestamps are >= the committed horizon (clocks never precede it and
+  // off-diagonal floors are positive), so delivery is conservative-safe.
+  deliver_all(horizon_s_);
+  std::size_t ran = 0;
+  for (;;) {
+    double ng = kInf;
+    for (auto& s : shards_) ng = std::min(ng, s->sim.next_time());
+    if (!(ng <= until_s)) break;  // empty, or everything is beyond the horizon
+    const double w1 = ng + min_lookahead_s_;
+    if (w1 > until_s) {
+      // Final stretch: every event left in (ng, until_s] can only emit
+      // messages for t >= ng + L > until_s, so the whole remainder is one
+      // safe inclusive window.
+      ran += run_window(until_s, /*inclusive=*/true);
+      horizon_s_ = std::max(horizon_s_, until_s);
+      deliver_all(w1);
+      break;
+    }
+    ran += run_window(w1, /*inclusive=*/false);
+    horizon_s_ = std::max(horizon_s_, w1);
+    deliver_all(w1);
+  }
+  // Single-kernel run_until parity: clocks land on until_s even when no
+  // event sits exactly there.
+  for (auto& s : shards_) {
+    if (s->sim.now() < until_s) s->sim.run_until(until_s);
+  }
+  horizon_s_ = std::max(horizon_s_, until_s);
+  now_s_ = std::max(now_s_, until_s);
+  return ran;
+}
+
+std::size_t ShardedSimulator::run_all() {
+  check_run_entry();
+  if (shards_.size() == 1) {
+    const std::size_t ran = shards_[0]->sim.run_all();
+    now_s_ = std::max(now_s_, shards_[0]->sim.now());
+    horizon_s_ = std::max(horizon_s_, now_s_);
+    return ran;
+  }
+  deliver_all(horizon_s_);  // setup-time sends (see run_until)
+  std::size_t ran = 0;
+  for (;;) {
+    double ng = kInf;
+    for (auto& s : shards_) ng = std::min(ng, s->sim.next_time());
+    if (ng == kInf) break;  // every queue and mailbox is empty
+    const double w1 = ng + min_lookahead_s_;
+    ran += run_window(w1, /*inclusive=*/false);
+    horizon_s_ = std::max(horizon_s_, w1);
+    deliver_all(w1);
+  }
+  for (auto& s : shards_) now_s_ = std::max(now_s_, s->sim.now());
+  horizon_s_ = std::max(horizon_s_, now_s_);
+  return ran;
+}
+
+std::size_t ShardedSimulator::pending() const {
+  std::size_t total = 0;
+  for (const auto& s : shards_) total += s->sim.pending();
+  return total;
+}
+
+std::uint64_t ShardedSimulator::messages_sent() const {
+  std::uint64_t total = 0;
+  for (const auto& s : shards_) total += s->sent;
+  return total;
+}
+
+}  // namespace epm::sim

@@ -1,0 +1,188 @@
+// Conservative parallel DES federation, sharded by datacenter/zone.
+//
+// The paper's elastic-power vision spans whole fleets (§3.2 geo-distributed
+// coordination), but a multi-datacenter world on one event queue serializes
+// everything through a single kernel. This module federates N independent
+// calendar-queue kernels (one per shard — in practice one per datacenter)
+// and exchanges cross-shard events (geo re-routes, replication traffic,
+// grid events) through deterministic per-(src,dst) FIFO mailboxes.
+//
+// Synchronization protocol: **barrier-synchronized bounded-lag windows**
+// (Lubachevsky-style), NOT null messages — see DESIGN.md for the rationale.
+// Each round the coordinator computes the global next event time
+//
+//     ng = min over shards of shard.next_time()
+//
+// and lets every shard run, in parallel on a ThreadPool, all events with
+// timestamp strictly inside the window [ng, ng + L), where L is the minimum
+// cross-shard lookahead — the smallest inter-datacenter network latency
+// floor. Conservative safety: an event at time t >= ng can only emit a
+// cross-shard message with delivery time >= t + L >= ng + L, i.e. beyond
+// the window, so no message ever arrives for a time range a shard has
+// already executed. At the barrier the coordinator drains the mailboxes
+// serially in (src, dst, send-order) order, which pins the destination
+// kernel's sequence numbers — and therefore every same-timestamp tie —
+// independently of thread count. Results are bit-identical at any
+// shard/thread count by construction.
+//
+// Determinism contract (same bar as every subsystem in this repo):
+//   * within a window, a shard touches only its own kernel and its own
+//     outbox row — no shared mutable state, no locks, no atomics;
+//   * window boundaries are a pure function of event timestamps and the
+//     lookahead matrix — never of wall-clock or thread scheduling;
+//   * mailbox drain order is (src shard asc, dst shard asc, append order),
+//     fixed regardless of which worker ran which shard.
+//
+// A 1-shard federation degenerates to a plain `sim::Simulator` executing
+// the identical event sequence ("degenerate federation" invariant — golden
+// tests replay fig1-fig4 and the retry-storm scenario anchors through it).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/parallel.h"
+#include "sim/event_fn.h"
+#include "sim/simulator.h"
+
+namespace epm::sim {
+
+struct ShardedConfig {
+  /// Number of shards (federated kernels); one per datacenter/zone.
+  std::size_t shards = 1;
+  /// Worker threads driving shard windows: 1 = serial (default, runs inline
+  /// with no pool), 0 = default_thread_count(), n>1 = a pool of n.
+  std::size_t threads = 1;
+  /// Uniform cross-shard lookahead floor (seconds), used when the full
+  /// matrix below is empty. Must be > 0 when shards > 1: this is the
+  /// minimum inter-datacenter network latency, and the conservative
+  /// window width derives from it.
+  double uniform_lookahead_s = 0.0;
+  /// Optional full lookahead matrix, row-major `shards x shards`;
+  /// entry [src*shards + dst] is the minimum delay of any src->dst
+  /// message. Diagonal entries are ignored (loopback sends are ordinary
+  /// local schedules). Every off-diagonal entry must be positive and
+  /// finite.
+  std::vector<double> lookahead_s;
+};
+
+/// N federated event kernels with conservative windowed synchronization.
+///
+/// Thread rules: between runs, any single thread may touch any shard.
+/// During a run, an event callback executing on shard i may touch only
+/// shard(i) (schedule/cancel on its own kernel) and may emit cross-shard
+/// traffic only through send(i, dst, ...). Re-entering run_until()/run_all()
+/// from an event callback throws.
+class ShardedSimulator {
+ public:
+  explicit ShardedSimulator(ShardedConfig config);
+  ShardedSimulator(const ShardedSimulator&) = delete;
+  ShardedSimulator& operator=(const ShardedSimulator&) = delete;
+  ~ShardedSimulator();
+
+  std::size_t shard_count() const { return shards_.size(); }
+  std::size_t thread_count() const {
+    return pool_ ? pool_->thread_count() : 1;
+  }
+
+  /// Direct access to shard i's kernel, for world construction and for
+  /// shard-local scheduling from that shard's own event callbacks.
+  Simulator& shard(std::size_t i);
+  const Simulator& shard(std::size_t i) const;
+
+  /// Lookahead floor for src->dst messages (+infinity for src == dst,
+  /// where no conservative constraint applies).
+  double lookahead_s(std::size_t src, std::size_t dst) const;
+  /// Minimum off-diagonal lookahead — the conservative window width.
+  /// +infinity for a single-shard federation (no windows needed).
+  double min_lookahead_s() const { return min_lookahead_s_; }
+
+  /// Global committed time: the latest run_until() horizon (or the final
+  /// event time after run_all()).
+  double now() const { return now_s_; }
+  /// Completed execution horizon: every shard has executed every event
+  /// strictly before this time. Advances at each window barrier.
+  double horizon_s() const { return horizon_s_; }
+
+  /// Cross-shard message: schedules `fn` on shard `dst` at
+  /// `shard(src).now() + delay_s`. Callable during setup (any src) or from
+  /// an event callback on shard `src` itself. For src != dst, `delay_s`
+  /// must be >= lookahead_s(src, dst) — an undersized delay is rejected
+  /// with std::invalid_argument, because delivering it could land inside
+  /// the window other shards are concurrently executing. src == dst is a
+  /// loopback (an ordinary local schedule; any delay >= 0).
+  ///
+  /// Messages append to a per-(src,dst) FIFO mailbox and are scheduled on
+  /// the destination kernel at the next barrier; two messages on the same
+  /// (src,dst) pair with equal delivery timestamps fire in send order.
+  void send(std::size_t src, std::size_t dst, double delay_s, EventFn fn);
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, EventFn> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  void send(std::size_t src, std::size_t dst, double delay_s, F&& fn) {
+    // Plain EventFn construction, NOT the destination arena: the closure is
+    // built on the sending shard's thread, and ClosureArena is not
+    // thread-safe. Inline captures cost nothing; oversized ones heap-box.
+    send(src, dst, delay_s, EventFn(std::forward<F>(fn)));
+  }
+
+  /// Runs the federation until every shard's queue empties or the global
+  /// clock passes `until_s`; events at exactly `until_s` execute and every
+  /// shard's clock lands on `until_s` (single-kernel run_until parity).
+  /// Returns the number of events executed across all shards.
+  std::size_t run_until(double until_s);
+  /// Runs until every queue and mailbox is empty.
+  std::size_t run_all();
+
+  /// Pending events across all shards. Exact between runs (mailboxes are
+  /// always drained at barriers, so nothing is in flight).
+  std::size_t pending() const;
+
+  /// Diagnostics.
+  std::uint64_t windows_run() const { return windows_run_; }
+  std::uint64_t messages_sent() const;
+
+ private:
+  struct Message {
+    double when_s = 0.0;
+    EventFn fn;
+  };
+
+  /// One federated kernel plus its outgoing mailboxes. Heap-allocated so
+  /// shards never share cache lines through the owning vector.
+  struct Shard {
+    Simulator sim;
+    /// outbox[dst]: messages appended by this shard's window execution,
+    /// drained serially at the barrier. Only this shard's worker writes
+    /// here during a window.
+    std::vector<std::vector<Message>> outbox;
+    std::uint64_t sent = 0;
+    std::size_t window_ran = 0;
+  };
+
+  /// Runs one window on every shard (parallel when a pool exists).
+  /// `inclusive` windows use run_until (events at exactly `stop_s` fire and
+  /// clocks advance to it — the final stretch of a run_until call);
+  /// exclusive windows use run_before. Returns events executed.
+  std::size_t run_window(double stop_s, bool inclusive);
+  /// Drains every mailbox into its destination kernel in (src, dst,
+  /// append) order. `min_legal_when_s` is the conservative bound every
+  /// message must satisfy; a violation is a protocol bug and throws.
+  std::size_t deliver_all(double min_legal_when_s);
+  void check_run_entry() const;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<double> lookahead_;  ///< row-major shards x shards
+  double min_lookahead_s_ = 0.0;
+  std::unique_ptr<ThreadPool> pool_;  ///< null when threads == 1
+  double now_s_ = 0.0;
+  double horizon_s_ = 0.0;
+  bool running_ = false;
+  std::uint64_t windows_run_ = 0;
+};
+
+}  // namespace epm::sim

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <iterator>
+#include <limits>
 
 #include "core/require.h"
 
@@ -333,6 +334,19 @@ std::size_t CalendarSimulator::run_until(double until_s) {
   return ran;
 }
 
+std::size_t CalendarSimulator::run_before(double until_s) {
+  std::size_t ran = 0;
+  while (ensure_head() && cur_[cur_pos_].when_s < until_s) {
+    if (step()) ++ran;
+  }
+  return ran;
+}
+
+double CalendarSimulator::next_time() {
+  if (!ensure_head()) return std::numeric_limits<double>::infinity();
+  return cur_[cur_pos_].when_s;
+}
+
 std::size_t CalendarSimulator::run_all() {
   std::size_t ran = 0;
   while (step()) ++ran;
@@ -446,6 +460,22 @@ std::size_t HeapSimulator::run_until(double until_s) {
   }
   if (now_s_ < until_s) now_s_ = until_s;
   return ran;
+}
+
+std::size_t HeapSimulator::run_before(double until_s) {
+  std::size_t ran = 0;
+  for (;;) {
+    drain_cancelled_top();
+    if (queue_.empty() || queue_.top().when_s >= until_s) break;
+    if (step()) ++ran;
+  }
+  return ran;
+}
+
+double HeapSimulator::next_time() {
+  drain_cancelled_top();
+  return queue_.empty() ? std::numeric_limits<double>::infinity()
+                        : queue_.top().when_s;
 }
 
 std::size_t HeapSimulator::run_all() {

@@ -124,10 +124,22 @@ class CalendarSimulator {
   /// Runs until the event queue empties or the clock passes `until_s`.
   /// Events at exactly `until_s` execute. Returns the number of events run.
   std::size_t run_until(double until_s);
+  /// Runs every event with timestamp strictly before `until_s` and stops,
+  /// WITHOUT advancing the clock to `until_s` (now() stays at the last fired
+  /// event). This is the half-open window primitive the sharded federation
+  /// kernel runs between barriers: events at exactly `until_s` belong to the
+  /// next window, where cross-shard arrivals carrying that timestamp have
+  /// already been delivered.
+  std::size_t run_before(double until_s);
   /// Runs until the queue is empty.
   std::size_t run_all();
   /// Executes the single next event, if any; returns whether one ran.
   bool step();
+
+  /// Timestamp of the next pending event, or +infinity when the queue is
+  /// empty. Non-const: peeking settles the calendar head (merges late adds,
+  /// drains cancelled entries), which never changes what fires next.
+  double next_time();
 
   /// Number of events currently pending. Cancelled events leave this count
   /// immediately (their slots are recycled when their calendar entries
@@ -273,8 +285,14 @@ class HeapSimulator {
 
   void cancel(EventHandle handle);
   std::size_t run_until(double until_s);
+  /// Half-open mirror of run_until: fires events strictly before `until_s`
+  /// and leaves now() at the last fired event (see CalendarSimulator).
+  std::size_t run_before(double until_s);
   std::size_t run_all();
   bool step();
+  /// Next pending timestamp or +infinity; drains cancelled tombstones off
+  /// the heap top so a dead entry never masquerades as the head.
+  double next_time();
   std::size_t pending() const { return queue_.size() - cancelled_.size(); }
 
  private:

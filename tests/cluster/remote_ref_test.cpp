@@ -1,0 +1,44 @@
+// Packed remote work references (owner datacenter + client id in one
+// uint32) — the identity cross-datacenter forwards carry through the
+// existing admission queues.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "cluster/remote_ref.h"
+
+namespace epm::cluster {
+namespace {
+
+TEST(RemoteRef, RoundTripsEveryFieldCombination) {
+  for (std::uint32_t owner = 0; owner <= kRemoteRefMaxOwner; ++owner) {
+    for (const std::uint32_t id :
+         {0u, 1u, 12345u, kRemoteRefMaxId - 1, kRemoteRefMaxId}) {
+      const std::uint32_t ref = pack_remote_ref(owner, id);
+      EXPECT_EQ(remote_ref_owner(ref), owner);
+      EXPECT_EQ(remote_ref_client(ref), id);
+    }
+  }
+}
+
+TEST(RemoteRef, LocalIdsAreOwnerZeroRefs) {
+  // A plain client id (owner 0) packs to itself, so local queue entries
+  // need no translation when a datacenter starts forwarding.
+  EXPECT_EQ(pack_remote_ref(0, 777u), 777u);
+  EXPECT_EQ(remote_ref_owner(777u), 0u);
+  EXPECT_EQ(remote_ref_client(777u), 777u);
+}
+
+TEST(RemoteRef, BoundsAreEnforced) {
+  EXPECT_THROW(pack_remote_ref(kRemoteRefMaxOwner + 1, 0),
+               std::invalid_argument);
+  EXPECT_THROW(pack_remote_ref(0, kRemoteRefMaxId + 1),
+               std::invalid_argument);
+  // The documented geometry: 4 owner bits, 28 id bits.
+  EXPECT_EQ(kRemoteRefMaxOwner, 15u);
+  EXPECT_EQ(kRemoteRefMaxId, (1u << 28) - 1);
+}
+
+}  // namespace
+}  // namespace epm::cluster

@@ -1,0 +1,109 @@
+// Inter-datacenter latency floors: the physics layer the federation's
+// conservative lookahead is derived from.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "network/interdc.h"
+
+namespace epm::network {
+namespace {
+
+constexpr double kEarthRadiusM = 6.371e6;
+constexpr double kPi = 3.14159265358979323846;
+
+TEST(InterDc, GreatCircleKnownDistances) {
+  // Coincident points.
+  EXPECT_EQ(great_circle_m(45.0, -120.0, 45.0, -120.0), 0.0);
+  // One degree of longitude along the equator: 2*pi*R / 360.
+  EXPECT_NEAR(great_circle_m(0.0, 0.0, 0.0, 1.0),
+              2.0 * kPi * kEarthRadiusM / 360.0, 1.0);
+  // Pole to pole: half the circumference.
+  EXPECT_NEAR(great_circle_m(90.0, 0.0, -90.0, 0.0), kPi * kEarthRadiusM,
+              1.0);
+  // Symmetric in its endpoints.
+  EXPECT_EQ(great_circle_m(45.6, -121.2, 39.0, -77.5),
+            great_circle_m(39.0, -77.5, 45.6, -121.2));
+  // Antimeridian wrap: 10 degrees across the date line equals 10 degrees
+  // anywhere else on the equator.
+  EXPECT_NEAR(great_circle_m(0.0, 175.0, 0.0, -175.0),
+              great_circle_m(0.0, 0.0, 0.0, 10.0), 1e-3);
+}
+
+TEST(InterDc, FiberFloorFormula) {
+  // distance * detour / (2/3 c).
+  const double c = 2.99792458e8;
+  EXPECT_NEAR(fiber_latency_floor_s(1.0e6, 1.0), 1.0e6 / (c * 2.0 / 3.0),
+              1e-15);
+  EXPECT_NEAR(fiber_latency_floor_s(1.0e6, 1.3),
+              1.3 * fiber_latency_floor_s(1.0e6, 1.0), 1e-15);
+  EXPECT_EQ(fiber_latency_floor_s(0.0, 2.0), 0.0);
+  EXPECT_THROW(fiber_latency_floor_s(-1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(fiber_latency_floor_s(1.0, 0.9), std::invalid_argument);
+}
+
+TEST(InterDc, DerivedNetworkHasSymmetricClampedFloors) {
+  const std::vector<InterDcSite> sites = {
+      {"pnw", 45.60, -121.18},
+      {"virginia", 39.04, -77.49},
+      {"metro-twin", 45.60, -121.19},  // ~1 km away: exercises the clamp
+  };
+  const InterDcNetwork net(sites, 1.3, 1e-3);
+  ASSERT_EQ(net.site_count(), 3u);
+  EXPECT_EQ(net.site(0).name, "pnw");
+
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      if (i == j) {
+        EXPECT_EQ(net.latency_floor_s(i, j), 0.0);
+      } else {
+        EXPECT_EQ(net.latency_floor_s(i, j), net.latency_floor_s(j, i));
+        EXPECT_GE(net.latency_floor_s(i, j), 1e-3);
+      }
+    }
+  }
+  // The metro pair hits the clamp exactly; the transcontinental pair is a
+  // physics-derived floor well above it.
+  EXPECT_EQ(net.latency_floor_s(0, 2), 1e-3);
+  EXPECT_GT(net.latency_floor_s(0, 1), 0.015);
+  EXPECT_EQ(net.min_latency_floor_s(), 1e-3);
+
+  // lookahead_matrix() is the row-major layout ShardedConfig takes.
+  const std::vector<double>& m = net.lookahead_matrix();
+  ASSERT_EQ(m.size(), 9u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_EQ(m[i * 3 + j], net.latency_floor_s(i, j));
+    }
+  }
+}
+
+TEST(InterDc, ExplicitMatrixValidation) {
+  const std::vector<InterDcSite> sites = {{"a", 0.0, 0.0}, {"b", 0.0, 1.0}};
+  // Valid explicit matrix round-trips.
+  const InterDcNetwork net(sites, {0.0, 0.02, 0.03, 0.0});
+  EXPECT_EQ(net.latency_floor_s(0, 1), 0.02);
+  EXPECT_EQ(net.latency_floor_s(1, 0), 0.03);
+  EXPECT_EQ(net.min_latency_floor_s(), 0.02);
+
+  EXPECT_THROW(InterDcNetwork(sites, {0.0, 0.02, 0.03}),  // wrong size
+               std::invalid_argument);
+  EXPECT_THROW(InterDcNetwork(sites, {0.0, 0.0, 0.03, 0.0}),  // zero floor
+               std::invalid_argument);
+  EXPECT_THROW(InterDcNetwork(sites, {0.0, -0.1, 0.03, 0.0}),  // negative
+               std::invalid_argument);
+  EXPECT_THROW(InterDcNetwork(sites, {0.1, 0.02, 0.03, 0.0}),  // diagonal != 0
+               std::invalid_argument);
+  EXPECT_THROW(InterDcNetwork({}, 1.0, 1e-3), std::invalid_argument);
+  EXPECT_THROW(InterDcNetwork(sites, 1.3, 0.0),  // non-positive clamp
+               std::invalid_argument);
+  EXPECT_THROW(InterDcNetwork({{"", 0.0, 0.0}, {"b", 0.0, 1.0}}, 1.3, 1e-3),
+               std::invalid_argument);  // unnamed site
+  EXPECT_THROW(net.latency_floor_s(0, 2), std::invalid_argument);
+  EXPECT_THROW(net.site(5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace epm::network

@@ -13,6 +13,7 @@
 
 #include "bench/kernel_bench.h"
 #include "cluster/request_des.h"
+#include "faults/fleet_storm.h"
 #include "cluster/service_cluster.h"
 #include "core/cli_args.h"
 #include "core/table.h"
@@ -63,6 +64,12 @@ int cmd_help() {
                                                         --smoke = reduced 100k-client
                                                         CI configuration (skips the
                                                         1M A/B and 10M sections)
+  epmctl federation   [--dcs N] [--clients N]           multi-datacenter retry-storm
+                      [--shards S] [--threads T]        fleet on the sharded federation,
+                      [--seed S] [--smoke]              conformance-checked bit-for-bit
+                                                        against the single-kernel run;
+                                                        exits non-zero on divergence.
+                                                        --smoke = reduced CI population
 
   --threads T applies to the commands with parallel backends (availability,
   replications); it defaults to the EPM_THREADS environment variable, else
@@ -525,6 +532,72 @@ int cmd_kernelbench(const CliArgs& args) {
   return 0;
 }
 
+int cmd_federation(const CliArgs& args) {
+  const bool smoke = args.get_switch("smoke");
+  const auto dcs = static_cast<std::size_t>(args.get("dcs", std::int64_t{4}));
+  const auto clients = static_cast<std::size_t>(
+      args.get("clients", std::int64_t{smoke ? 2'000 : 20'000}));
+  auto shards = static_cast<std::size_t>(args.get("shards", std::int64_t{0}));
+  const auto seed = static_cast<std::uint64_t>(args.get("seed", std::int64_t{2009}));
+  const std::size_t threads = args.threads();
+  if (const int rc = check_unused(args)) return rc;
+  if (shards == 0) shards = dcs;
+  if (dcs < 2 || dcs > 6) return fail("--dcs must be 2..6");
+  if (clients == 0) return fail("--clients must be > 0");
+  if (shards > dcs || dcs % shards != 0) {
+    return fail("--shards must divide --dcs");
+  }
+
+  const faults::FleetStormConfig config =
+      faults::make_reference_fleet_storm_config(dcs, clients, seed);
+  const network::InterDcNetwork net = faults::make_fleet_network(config);
+
+  sim::ShardedSimulator fed(
+      faults::make_fleet_sharded_config(net, shards, threads));
+  sim::ShardedFabric fabric(fed);
+  const auto outcome = faults::run_fleet_storm(config, fabric);
+
+  // Conformance: the identical world on one kernel must agree bit-for-bit.
+  sim::SingleKernelFabric single(config.sites.size());
+  const auto truth = faults::run_fleet_storm(config, single);
+  const bool match = faults::fleet_storm_outcomes_equal(outcome, truth);
+
+  std::cout << "Federated fleet storm: " << dcs << " datacenters x " << clients
+            << " clients on " << shards << " shard" << (shards == 1 ? "" : "s")
+            << " (" << threads << " thread" << (threads == 1 ? "" : "s")
+            << "), outage at '" << config.sites[config.outage_dc].name
+            << "':\n";
+  Table table({"datacenter", "intents", "fresh", "stale", "timed out",
+               "forwarded", "remote served", "recovery"});
+  for (const auto& dc : outcome.dcs) {
+    table.add_row({dc.site, std::to_string(dc.intents),
+                   std::to_string(dc.served_fresh),
+                   std::to_string(dc.served_stale),
+                   std::to_string(dc.timed_out), std::to_string(dc.forwarded),
+                   std::to_string(dc.remote_served),
+                   dc.recovered ? fmt(dc.recovery_s, 0) + " s" : "never"});
+  }
+  std::cout << table.render();
+
+  std::cout << "  fleet goodput:   "
+            << fmt_percent(outcome.fleet_goodput_fraction, 1) << " ("
+            << outcome.forwarded << " forwards, " << outcome.remote_served
+            << " served remotely, " << outcome.remote_shed << " shed)\n"
+            << "  federation:      " << fed.windows_run() << " windows, "
+            << fed.messages_sent() << " cross-shard messages, lookahead "
+            << fmt(net.min_latency_floor_s() * 1e3, 1) << " ms\n"
+            << "  conformance:     "
+            << (match ? "bit-identical to the single-kernel run"
+                      : "DIVERGED FROM THE SINGLE-KERNEL RUN")
+            << "\n  ledgers:         "
+            << (outcome.conservation_ok ? "clean" : "VIOLATED") << "\n";
+  if (!outcome.conservation_ok) std::cout << outcome.conservation_report;
+  if (!match || !outcome.conservation_ok) {
+    return fail("federation conformance check failed");
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -542,6 +615,7 @@ int main(int argc, char** argv) {
     if (cmd == "sensing") return cmd_sensing(args);
     if (cmd == "retrystorm") return cmd_retrystorm(args);
     if (cmd == "kernelbench") return cmd_kernelbench(args);
+    if (cmd == "federation") return cmd_federation(args);
     return fail("unknown command '" + cmd + "' (see 'epmctl help')");
   } catch (const std::exception& e) {
     return fail(e.what());
