@@ -18,7 +18,7 @@ namespace {
 
 const char* kTypeTokens[kFaultTypeCount] = {
     "crash", "psu", "crac", "derate", "sensor-drop", "sensor-stuck",
-    "outage", "surge", "sensor-noise", "actuator-fail",
+    "outage", "surge", "sensor-noise", "actuator-fail", "region-loss",
 };
 
 void validate_event(const FaultEvent& event) {
@@ -270,6 +270,42 @@ std::size_t FaultPlan::count(FaultType type) const {
     }
   }
   return n;
+}
+
+void FaultPlan::validate_targets(std::size_t service_count,
+                                 std::size_t crac_count) const {
+  const auto reject = [](const FaultEvent& event, const char* kind,
+                         std::size_t count) {
+    throw std::invalid_argument(
+        "fault entry '" + faults::to_string(event.type) + ":" +
+        std::to_string(event.target) + "@" + std::to_string(event.start_s) +
+        "' targets unknown " + kind + " " + std::to_string(event.target) +
+        " (facility has " + std::to_string(count) + ")");
+  };
+  for (const auto& event : events_) {
+    switch (event.type) {
+      case FaultType::kServerCrash:
+      case FaultType::kPsuTrip:
+      case FaultType::kSensorDropout:
+      case FaultType::kSensorStuck:
+      case FaultType::kSensorNoise:
+      case FaultType::kFlashCrowd:
+        if (event.target >= service_count) {
+          reject(event, "service", service_count);
+        }
+        break;
+      case FaultType::kCracFailure:
+      case FaultType::kCoolingDerate:
+        if (event.target >= crac_count) {
+          reject(event, "CRAC unit", crac_count);
+        }
+        break;
+      case FaultType::kUtilityOutage:
+      case FaultType::kActuatorFail:
+      case FaultType::kRegionLoss:
+        break;  // facility- or fleet-wide; no index to check
+    }
+  }
 }
 
 std::string FaultPlan::to_string() const {

@@ -73,6 +73,15 @@ class FaultPlan {
   double horizon_s() const;
   std::size_t count(FaultType type) const;
 
+  /// Rejects events whose target index is outside the facility: service-
+  /// indexed types (crash, psu, sensor faults, surge) must target
+  /// [0, service_count) and CRAC-indexed types (crac, derate) must target
+  /// [0, crac_count). Throws std::invalid_argument with a one-line
+  /// diagnostic naming the offending entry. Outages and region losses are
+  /// facility/fleet-wide and carry no target to validate.
+  void validate_targets(std::size_t service_count,
+                        std::size_t crac_count) const;
+
   /// Round-trips through parse().
   std::string to_string() const;
   /// Order-sensitive 64-bit digest over every event field; two plans with

@@ -38,6 +38,11 @@ struct FleetDc {
   double reroute_acc = 0.0;
   double serve_carry = 0.0;
   bool sessions_dropped = false;
+  /// avoid[dc]: active broadcast disruptions at that peer, maintained by
+  /// commutative ++/-- arrival events. Nonzero steers forwards elsewhere
+  /// (only consulted when grid_broadcasts is on).
+  std::vector<std::uint32_t> avoid;
+  std::uint64_t grid_signals = 0;  ///< broadcast edges received
 
   // Cumulative counters.
   std::uint64_t dark = 0;
@@ -76,7 +81,8 @@ struct FleetDc {
         breaker(cfg.defense.breaker),
         inbox(dcs),
         fwd(dcs),
-        resp(dcs) {
+        resp(dcs),
+        avoid(dcs, 0) {
     for (std::size_t p = 1; p < dcs; ++p) peers.push_back((idx + p) % dcs);
   }
 };
@@ -99,6 +105,16 @@ class FleetWorld {
     require(config.horizon_s >
                 config.outage_start_s + config.outage_duration_s,
             "FleetStorm: horizon must extend past the outage");
+    for (const FleetDisruption& dis : config.disruptions) {
+      require(dis.dc < dcs, "FleetStorm: disruption dc out of range");
+      require(dis.start_s > 0.0 && dis.duration_s > 0.0,
+              "FleetStorm: disruption must have positive start and duration");
+      require(dis.capacity_factor >= 0.0 && dis.capacity_factor <= 1.0 &&
+                  std::isfinite(dis.capacity_factor),
+              "FleetStorm: disruption capacity factor outside [0, 1]");
+      require(config.horizon_s > dis.end_s(),
+              "FleetStorm: horizon must extend past every disruption");
+    }
     require(config.reroute_fraction >= 0.0 && config.reroute_fraction <= 1.0,
             "FleetStorm: reroute fraction outside [0, 1]");
     require(config.sla_goodput_fraction > 0.0 &&
@@ -116,12 +132,21 @@ class FleetWorld {
 
     dt_ = config.epoch_s;
     epochs_ = static_cast<std::size_t>(std::ceil(config.horizon_s / dt_));
-    outage_start_epoch_ =
-        static_cast<std::size_t>(config.outage_start_s / dt_);
+    // The pre-fault window ends at the FIRST disturbance (legacy outage or
+    // any disruption); recovery is judged from the LAST clear. With no
+    // disruptions both collapse to the legacy outage bounds.
+    double first_start_s = config.outage_start_s;
+    double last_end_s = config.outage_start_s + config.outage_duration_s;
+    for (const FleetDisruption& dis : config.disruptions) {
+      first_start_s = std::min(first_start_s, dis.start_s);
+      last_end_s = std::max(last_end_s, dis.end_s());
+    }
+    outage_start_epoch_ = static_cast<std::size_t>(first_start_s / dt_);
     require(outage_start_epoch_ / 2 + config.recovery_window_epochs <=
                 outage_start_epoch_,
             "FleetStorm: outage starts too early for a pre-fault SLA window");
     outage_end_s_ = config.outage_start_s + config.outage_duration_s;
+    last_clear_s_ = last_end_s;
 
     const std::size_t per_shard = dcs / fabric.shard_count();
     for (std::size_t d = 0; d < dcs; ++d) {
@@ -137,6 +162,18 @@ class FleetWorld {
       FleetWorld* w = this;
       fabric_.kernel(dcs_[d]->shard).schedule_at(
           0.0, [w, d] { w->drive(d, 0); });
+    }
+    // Defended fleets hear the grid: every broadcast disruption announces
+    // its onset and clear to the peers, one latency floor later. The ++/--
+    // arrivals commute, so the fabric-equality argument is untouched; with
+    // broadcasts off (or no disruptions) nothing is scheduled and the
+    // legacy event sequence is bit-identical.
+    if (config_.grid_broadcasts) {
+      for (const FleetDisruption& dis : config_.disruptions) {
+        if (!dis.broadcast) continue;
+        schedule_broadcast(dis.dc, dis.start_s, +1);
+        schedule_broadcast(dis.dc, dis.end_s(), -1);
+      }
     }
     events_run_ = fabric_.run_until(static_cast<double>(epochs_) * dt_);
     return finish();
@@ -158,6 +195,28 @@ class FleetWorld {
                      [w, d, e] { w->drive(d, e + 1); });
   }
 
+  /// Announces a disruption edge: an event on the home shard at `when_s`
+  /// sends one counter message per peer.
+  void schedule_broadcast(std::size_t home, double when_s, int delta) {
+    FleetWorld* w = this;
+    fabric_.kernel(dcs_[home]->shard).schedule_at(when_s, [w, home, delta] {
+      FleetDc& src = *w->dcs_[home];
+      for (const std::size_t peer : src.peers) {
+        FleetDc* p = w->dcs_[peer].get();
+        w->fabric_.send(src.shard, p->shard,
+                        w->net_.latency_floor_s(home, peer),
+                        [p, home, delta] {
+                          if (delta > 0) {
+                            ++p->avoid[home];
+                          } else if (p->avoid[home] > 0) {
+                            --p->avoid[home];
+                          }
+                          ++p->grid_signals;
+                        });
+      }
+    });
+  }
+
   /// Deterministic fractional re-route: no randomness, an accumulator
   /// forwards exactly reroute_fraction of eligible attempts, spread
   /// round-robin over the peers. Returns true when the attempt was staged.
@@ -166,8 +225,15 @@ class FleetWorld {
     dc.reroute_acc += config_.reroute_fraction;
     if (dc.reroute_acc < 1.0) return false;
     dc.reroute_acc -= 1.0;
-    const std::size_t peer = dc.peers[dc.rr_peer];
-    dc.rr_peer = (dc.rr_peer + 1) % dc.peers.size();
+    // Steer around peers with an active broadcast disruption. With nothing
+    // avoided k == 0 and this is exactly the legacy rotation (pick rr_peer,
+    // advance by one).
+    const std::size_t n = dc.peers.size();
+    std::size_t k = 0;
+    while (k < n && dc.avoid[dc.peers[(dc.rr_peer + k) % n]] != 0) ++k;
+    if (k == n) k = 0;  // every peer degraded: plain rotation beats nothing
+    const std::size_t peer = dc.peers[(dc.rr_peer + k) % n];
+    dc.rr_peer = (dc.rr_peer + k + 1) % n;
     dc.fwd[peer].push_back(
         cluster::pack_remote_ref(static_cast<std::uint32_t>(dc.index), id));
     ++dc.forwarded;
@@ -195,13 +261,26 @@ class FleetWorld {
     FleetDc& dc = *dcs_[d];
     const double t0 = static_cast<double>(e) * dt_;
     const double t1 = t0 + dt_;
-    const bool dark = d == config_.outage_dc &&
-                      t0 >= config_.outage_start_s && t0 < outage_end_s_;
+    const bool legacy_dark = d == config_.outage_dc &&
+                             t0 >= config_.outage_start_s &&
+                             t0 < outage_end_s_;
+    double factor = 1.0;
+    bool drop_wanted = legacy_dark;
+    for (const FleetDisruption& dis : config_.disruptions) {
+      if (dis.dc != d || t0 < dis.start_s || t0 >= dis.end_s()) continue;
+      factor *= dis.capacity_factor;
+      if (dis.drop_sessions) drop_wanted = true;
+    }
+    const bool dark = legacy_dark || factor == 0.0;
     const bool defended = config_.defense.enabled;
 
-    if (dark && !dc.sessions_dropped) {
+    if (dark && drop_wanted && !dc.sessions_dropped) {
       dc.population.disconnect_all(t0);
       dc.sessions_dropped = true;
+    } else if (!dark && dc.sessions_dropped) {
+      // Re-arm for a later disruption; a no-op under the legacy single
+      // outage, where dark never returns.
+      dc.sessions_dropped = false;
     }
     if (defended) {
       dc.breaker.begin_epoch(t0);
@@ -269,9 +348,11 @@ class FleetWorld {
     // 3. Drain the accept queue FIFO within the epoch's service credit;
     // the completion cohort lands at the epoch end. Fractional credit
     // carries over only while the server is backlogged.
+    // Brownouts scale the epoch's service credit; factor == 1.0 multiplies
+    // exactly (IEEE identity), keeping disruption-free runs bit-identical.
     double credit = dark ? 0.0
                          : dc.serve_carry +
-                               config_.service_capacity_rps * dt_;
+                               config_.service_capacity_rps * factor * dt_;
     dc.cohort.clear();
     while (credit >= 1.0 && !dc.queue.empty()) {
       dc.cohort.push_back(dc.queue.front().id);
@@ -361,7 +442,7 @@ class FleetWorld {
     out.epochs = epochs_;
     const std::size_t window = config_.recovery_window_epochs;
     const std::size_t clear_epoch = std::min(
-        epochs_, static_cast<std::size_t>(std::ceil(outage_end_s_ / dt_)));
+        epochs_, static_cast<std::size_t>(std::ceil(last_clear_s_ / dt_)));
 
     std::uint64_t intents = 0;
     std::uint64_t fresh = 0;
@@ -401,6 +482,7 @@ class FleetWorld {
       o.remote_shed = dc.remote_shed;
       o.max_queue_depth = dc.max_queue_depth;
       o.breaker_trips = dc.breaker.trips();
+      o.grid_signals = dc.grid_signals;
 
       o.prefault_goodput_rps = retry_storm_window_mean(
           dc.goodput_rate, outage_start_epoch_,
@@ -416,13 +498,15 @@ class FleetWorld {
         healthy_run = healthy ? healthy_run + 1 : 0;
         if (healthy_run >= window) {
           o.recovered = true;
-          o.recovery_s = static_cast<double>(e + 1) * dt_ - outage_end_s_;
+          o.recovery_s = static_cast<double>(e + 1) * dt_ - last_clear_s_;
         }
       }
       o.end_offered_rps =
           retry_storm_window_mean(dc.offered_rate, epochs_, window);
       o.end_goodput_rps =
           retry_storm_window_mean(dc.goodput_rate, epochs_, window);
+      out.fleet_prefault_goodput_rps += o.prefault_goodput_rps;
+      out.fleet_end_goodput_rps += o.end_goodput_rps;
       o.conservation_ok = dc.population.conservation_ok();
       o.conservation_report = dc.population.conservation_report();
       if (!o.conservation_ok) violation(o.site + ": " + o.conservation_report);
@@ -472,7 +556,8 @@ class FleetWorld {
   double dt_ = 1.0;
   std::size_t epochs_ = 0;
   std::size_t outage_start_epoch_ = 0;
-  double outage_end_s_ = 0.0;
+  double outage_end_s_ = 0.0;   ///< legacy scripted outage clear
+  double last_clear_s_ = 0.0;   ///< latest clear over outage + disruptions
   std::vector<std::unique_ptr<FleetDc>> dcs_;
   std::size_t events_run_ = 0;
 };
@@ -548,6 +633,7 @@ bool fleet_storm_outcomes_equal(const FleetStormOutcome& a,
         x.prefault_goodput_rps == y.prefault_goodput_rps &&
         x.end_offered_rps == y.end_offered_rps &&
         x.end_goodput_rps == y.end_goodput_rps &&
+        x.grid_signals == y.grid_signals &&
         x.recovered == y.recovered && x.recovery_s == y.recovery_s &&
         x.max_queue_depth == y.max_queue_depth &&
         x.breaker_trips == y.breaker_trips &&
@@ -558,9 +644,39 @@ bool fleet_storm_outcomes_equal(const FleetStormOutcome& a,
          a.remote_served == b.remote_served &&
          a.remote_shed == b.remote_shed &&
          a.fleet_goodput_fraction == b.fleet_goodput_fraction &&
+         a.fleet_prefault_goodput_rps == b.fleet_prefault_goodput_rps &&
+         a.fleet_end_goodput_rps == b.fleet_end_goodput_rps &&
          a.conservation_ok == b.conservation_ok &&
          a.events_run == b.events_run &&
          a.events_pending == b.events_pending;
+}
+
+std::vector<FleetDisruption> to_fleet_disruptions(
+    const std::vector<ExpandedDcFault>& expanded) {
+  std::vector<FleetDisruption> out;
+  out.reserve(expanded.size());
+  for (const ExpandedDcFault& x : expanded) {
+    FleetDisruption dis;
+    dis.dc = x.dc;
+    dis.start_s = x.onset_s;
+    dis.duration_s = x.clear_s - x.onset_s;
+    dis.broadcast = true;
+    switch (x.kind) {
+      case GridEventKind::kOutage:
+        dis.capacity_factor = 0.0;
+        dis.drop_sessions = true;
+        break;
+      case GridEventKind::kBrownout:
+        dis.capacity_factor = 1.0 - std::clamp(x.severity, 0.0, 1.0);
+        break;
+      case GridEventKind::kPriceSpike:
+      case GridEventKind::kDemandResponse:
+        dis.capacity_factor = 1.0;  // elastic-power signal, no capacity loss
+        break;
+    }
+    out.push_back(dis);
+  }
+  return out;
 }
 
 FleetStormConfig make_reference_fleet_storm_config(std::size_t dcs,

@@ -44,6 +44,7 @@
 #include <string>
 #include <vector>
 
+#include "faults/fault_domain.h"
 #include "faults/retry_storm.h"
 #include "macro/geo.h"
 #include "network/interdc.h"
@@ -52,6 +53,27 @@
 #include "workload/client_population.h"
 
 namespace epm::faults {
+
+/// One datacenter's share of a correlated grid event (the expansion of a
+/// fault-domain draw — see faults/fault_domain.h). Composes with the legacy
+/// scripted outage: capacity factors of overlapping disruptions multiply.
+struct FleetDisruption {
+  std::size_t dc = 0;
+  double start_s = 0.0;
+  double duration_s = 0.0;
+  /// Remaining service-capacity fraction while active: 0 = dark (outage),
+  /// (0, 1) = brownout, 1 = signal-only (price spike / demand response).
+  double capacity_factor = 1.0;
+  /// Drop every session at onset (reconnect storm), as the legacy outage
+  /// does. Typically true for outages, false for brownouts.
+  bool drop_sessions = false;
+  /// Announce onset/clear to every peer one latency floor later; peers with
+  /// grid_broadcasts enabled then steer forwards away from this datacenter
+  /// while the disruption is active.
+  bool broadcast = false;
+
+  double end_s() const { return start_s + duration_s; }
+};
 
 struct FleetStormConfig {
   /// One entry per datacenter (coordinates feed the latency floors); size
@@ -86,6 +108,15 @@ struct FleetStormConfig {
   /// Per-datacenter recovery verdict, as in the single-DC storm.
   double sla_goodput_fraction = 0.9;
   std::size_t recovery_window_epochs = 10;
+  /// Correlated grid-event disruptions on top of the legacy outage (empty =
+  /// the legacy scenario, bit-identical). The pre-fault SLA window ends at
+  /// the earliest of any disruption/outage start; recovery is judged from
+  /// the latest clear.
+  std::vector<FleetDisruption> disruptions;
+  /// Defended-fleet behavior: honor broadcast disruptions by steering
+  /// forwards away from the affected datacenter while it is degraded. Off =
+  /// naive arm (forwards round-robin blindly into the fault domain).
+  bool grid_broadcasts = false;
 };
 
 /// Per-datacenter slice of the outcome: the single-DC storm's client-side
@@ -111,6 +142,8 @@ struct FleetDcOutcome {
   double prefault_goodput_rps = 0.0;
   double end_offered_rps = 0.0;
   double end_goodput_rps = 0.0;
+  /// Grid onset/clear broadcasts received from peers.
+  std::uint64_t grid_signals = 0;
   bool recovered = false;
   double recovery_s = 0.0;
   std::size_t max_queue_depth = 0;
@@ -128,6 +161,10 @@ struct FleetStormOutcome {
   std::uint64_t remote_shed = 0;
   /// Fresh completions / intents over the whole fleet.
   double fleet_goodput_fraction = 0.0;
+  /// Fleet-summed pre-fault and end-of-run goodput (req/s) — the chaos
+  /// harness' recovery gate compares these.
+  double fleet_prefault_goodput_rps = 0.0;
+  double fleet_end_goodput_rps = 0.0;
   /// Every population's retry-budget ledger conserved AND the fleet flow
   /// identity holds: forwards == drained (admitted + shed) + still in
   /// flight at the horizon.
@@ -162,6 +199,13 @@ FleetStormOutcome run_fleet_storm(const FleetStormConfig& config,
 /// compared are required to be bit-identical, not merely close).
 bool fleet_storm_outcomes_equal(const FleetStormOutcome& a,
                                 const FleetStormOutcome& b);
+
+/// Maps expanded fault-domain events onto fleet disruptions: outage ->
+/// dark + session drop, brownout -> capacity 1 - severity, price-spike and
+/// demand-response -> signal-only. Every disruption broadcasts its
+/// onset/clear (whether peers listen is config.grid_broadcasts).
+std::vector<FleetDisruption> to_fleet_disruptions(
+    const std::vector<ExpandedDcFault>& expanded);
 
 /// Reference fleet scenario: `dcs` datacenters from
 /// macro::make_reference_fleet_sites, `clients_per_dc` clients each,

@@ -43,6 +43,11 @@ struct FaultState {
       case FaultType::kUtilityOutage:
         outage_active += onset ? 1 : -1;
         return true;
+      case FaultType::kRegionLoss:
+        // At facility scope a regional grid loss is a utility outage; the
+        // correlation across sites lives in the fleet layer (fault_domain).
+        outage_active += onset ? 1 : -1;
+        return true;
       case FaultType::kFlashCrowd:
         surge_excess[event.target % surge_excess.size()] +=
             sign * std::max(0.0, event.severity - 1.0);
@@ -69,6 +74,9 @@ StormOutcome run_fault_storm(const StormConfig& config, const FaultPlan& plan) {
   macro::Facility facility(config.facility);
   const std::size_t services = facility.service_count();
   const std::size_t cracs = facility.room().crac_count();
+  // A fat-fingered plan (crash on service 7 of a 2-service facility) must
+  // fail loudly before the injector arms anything.
+  plan.validate_targets(services, cracs);
   const double epoch_s = facility.epoch_s();
 
   sim::Simulator sim;

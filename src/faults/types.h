@@ -24,9 +24,10 @@ enum class FaultType {
   kFlashCrowd,       ///< login-storm demand surge on one service
   kSensorNoise,      ///< a sensing domain's readings gain Gaussian noise
   kActuatorFail,     ///< actuation commands fail with probability = severity
+  kRegionLoss,       ///< correlated regional grid loss (fault-domain fan-out)
 };
 
-inline constexpr std::size_t kFaultTypeCount = 10;
+inline constexpr std::size_t kFaultTypeCount = 11;
 
 /// Short stable token, e.g. "crash", "outage", "surge"; used by the
 /// FaultPlan text syntax and by reports.

@@ -26,6 +26,9 @@ DegradationPolicy::DegradationPolicy(DegradationPolicyConfig config,
           "DegradationPolicy: overload shed fraction outside [0,1]");
   require(config_.overload_min_shed_rate_per_s >= 0.0,
           "DegradationPolicy: overload shed-rate threshold must be >= 0");
+  require(config_.region_loss_reroute_fraction >= 0.0 &&
+              config_.region_loss_reroute_fraction <= 1.0,
+          "DegradationPolicy: region-loss reroute fraction outside [0,1]");
 }
 
 void DegradationPolicy::observe_overload(const OverloadSignal& signal,
@@ -77,6 +80,7 @@ bool DegradationPolicy::on_fault(const faults::FaultEvent& event, bool onset,
     case faults::FaultType::kServerCrash:
     case faults::FaultType::kPsuTrip:
     case faults::FaultType::kFlashCrowd:
+    case faults::FaultType::kRegionLoss:
       return true;
     case faults::FaultType::kSensorDropout:
     case faults::FaultType::kSensorStuck:
@@ -136,6 +140,26 @@ DegradationAction DegradationPolicy::react(double now_s,
     action.healthy_setpoint_delta_c = -config_.setpoint_drop_c * loss;
   }
 
+  // Region emergency: every nearby site shares the lost grid feed, so the
+  // posture is the severest tier — evacuate interactive traffic to remote
+  // regions, shed the batch tier outright, throttle, and raise setpoints to
+  // stretch whatever ride-through the UPS has left. Composes on top of the
+  // power/cooling tiers (max, not sum — fractions stay fractions).
+  action.region_emergency =
+      active_[static_cast<std::size_t>(faults::FaultType::kRegionLoss)] > 0;
+  if (action.region_emergency) {
+    action.shed_scale[config_.low_tier_service] = 1.0;
+    for (std::size_t s = 0; s < service_count_; ++s) {
+      if (s != config_.low_tier_service) {
+        action.reroute_scale[s] = std::max(
+            action.reroute_scale[s], config_.region_loss_reroute_fraction);
+      }
+    }
+    action.throttle = config_.throttle_on_power_emergency;
+    action.setpoint_delta_c =
+        std::max(action.setpoint_delta_c, config_.setpoint_raise_c);
+  }
+
   // Overload defense engaged (admission stack shedding / breaker open):
   // hand batch capacity to the interactive tier so the reconnect/retry
   // backlog drains within the client timeout. Composes multiplicatively
@@ -165,6 +189,13 @@ DegradationAction DegradationPolicy::react(double now_s,
       log_->record({now_s, DecisionKind::kCoolingControl, "",
                     "raise CRAC setpoints for ride-through"});
     }
+    if (action.region_emergency && !was_region_emergency_) {
+      log_->record({now_s, DecisionKind::kLoadBalancing, "",
+                    "region emergency: evacuate interactive to remote "
+                    "regions"});
+      log_->record({now_s, DecisionKind::kLoadShedding, "",
+                    "region emergency: shed batch tier outright"});
+    }
     if (action.cooling_emergency && !was_cooling_emergency_) {
       log_->record({now_s, DecisionKind::kLoadShedding, "",
                     "cooling emergency: shed low tier heat"});
@@ -181,6 +212,7 @@ DegradationAction DegradationPolicy::react(double now_s,
   was_shedding_ = shedding;
   was_power_emergency_ = action.power_emergency;
   was_cooling_emergency_ = action.cooling_emergency;
+  was_region_emergency_ = action.region_emergency;
   return action;
 }
 

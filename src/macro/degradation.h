@@ -60,6 +60,11 @@ struct DegradationPolicyConfig {
   /// Shed rate (req/s refused by queue/bucket/breaker) above which the
   /// overload posture engages even with the breaker closed.
   double overload_min_shed_rate_per_s = 1.0;
+  /// Fraction of interactive demand evacuated to peer sites while a
+  /// kRegionLoss fault is active — the region-emergency tier. A regional
+  /// grid loss means every nearby site is dark too, so the default
+  /// evacuates everything to remote regions and fully sheds the batch tier.
+  double region_loss_reroute_fraction = 1.0;
 };
 
 /// Feedback from the cluster admission stack (bounded queue + token bucket
@@ -83,6 +88,9 @@ struct DegradationAction {
   std::vector<double> reroute_scale;
   bool power_emergency = false;
   bool cooling_emergency = false;
+  /// Active kRegionLoss fault: the severest tier — full interactive
+  /// evacuation, batch fully shed, throttle, consolidation paused.
+  bool region_emergency = false;
   bool consolidation_paused = false;
   bool throttle = false;
   /// Delta on every CRAC's return setpoint (positive during power
@@ -131,6 +139,7 @@ class DegradationPolicy {
   bool was_power_emergency_ = false;
   bool was_shedding_ = false;
   bool was_cooling_emergency_ = false;
+  bool was_region_emergency_ = false;
   bool overload_active_ = false;
   bool was_overload_ = false;
   OverloadSignal last_overload_{};

@@ -30,6 +30,9 @@ DegradedScenarioOutcome run_degraded_scenario(
       macro::make_reference_facility(config.servers_per_service));
   const std::size_t services = facility.service_count();
   const double epoch_s = facility.epoch_s();
+  // Sensing targets are sensor domains, one per service plus the plant
+  // domain — a fat-fingered plan beyond that must fail before arming.
+  plan.validate_targets(services + 1, facility.room().crac_count());
 
   sim::Simulator sim;
   faults::FaultInjector injector(sim, plan);

@@ -60,6 +60,9 @@ ShardedSimulator::ShardedSimulator(ShardedConfig config) {
   for (std::size_t i = 0; i < n; ++i) {
     auto s = std::make_unique<Shard>();
     s->outbox.resize(n);
+    s->parked.resize(n);
+    s->pair_index.assign(n, 0);
+    s->down_floor.assign(n, 0.0);
     shards_.push_back(std::move(s));
   }
 
@@ -118,8 +121,117 @@ void ShardedSimulator::send(std::size_t src, std::size_t dst, double delay_s,
         "other shards are already executing (raise the delay or lower the "
         "configured inter-DC latency floor)");
   }
-  s.outbox[dst].push_back(Message{s.sim.now() + delay_s, std::move(fn)});
+  Message m;
+  m.fn = std::move(fn);
+  route_message(src, dst, s.sim.now() + delay_s, std::move(m));
+}
+
+void ShardedSimulator::send_tagged(std::size_t src, std::size_t dst,
+                                   double delay_s, std::uint64_t tag,
+                                   std::vector<std::uint64_t> payload) {
+  require(src < shards_.size() && dst < shards_.size(),
+          "ShardedSimulator: shard index out of range");
+  if (t_current_shard != kNoShard) {
+    ensure(t_current_shard == src,
+           "ShardedSimulator::send_tagged: an event executing on shard " +
+               std::to_string(t_current_shard) + " tried to send as shard " +
+               std::to_string(src));
+  }
+  require(static_cast<bool>(tagged_delivery_),
+          "ShardedSimulator::send_tagged: no tagged-delivery hook installed");
+  Shard& s = *shards_[src];
+  if (src == dst) {
+    // Loopback: hand straight to the hook on the calling shard — it only
+    // touches this shard's state, exactly like a local schedule.
+    require(delay_s >= 0.0, "ShardedSimulator::send_tagged: negative delay");
+    tagged_delivery_(dst, s.sim.now() + delay_s, tag, payload);
+    return;
+  }
+  const double floor_s = lookahead_[src * shards_.size() + dst];
+  if (!(delay_s >= floor_s)) {
+    throw std::invalid_argument(
+        "ShardedSimulator::send_tagged: delay " + std::to_string(delay_s) +
+        " s is below the shard " + std::to_string(src) + " -> " +
+        std::to_string(dst) + " lookahead floor of " +
+        std::to_string(floor_s) + " s");
+  }
+  Message m;
+  m.tagged = true;
+  m.tag = tag;
+  m.payload = std::move(payload);
+  route_message(src, dst, s.sim.now() + delay_s, std::move(m));
+}
+
+void ShardedSimulator::set_tagged_delivery(TaggedDelivery hook) {
+  require(static_cast<bool>(hook),
+          "ShardedSimulator: empty tagged-delivery hook");
+  tagged_delivery_ = std::move(hook);
+}
+
+void ShardedSimulator::set_link_plan(const network::InterDcLinkPlan* plan) {
+  if (plan != nullptr) {
+    require(plan->site_count() == shards_.size(),
+            "ShardedSimulator: link plan site count must equal the shard "
+            "count");
+  }
+  require(messages_parked() == 0,
+          "ShardedSimulator: cannot swap the link plan while messages are "
+          "parked behind a partition (heal and drain first)");
+  link_plan_ = plan;
+}
+
+void ShardedSimulator::route_message(std::size_t src, std::size_t dst,
+                                     double when_s, Message m) {
+  Shard& s = *shards_[src];
+  const std::uint64_t index = s.pair_index[dst]++;
   ++s.sent;
+  if (link_plan_ != nullptr && !link_plan_->pristine()) {
+    const double send_s = s.sim.now();
+    const network::LinkDelivery dv =
+        link_plan_->adjust(src, dst, send_s, when_s, index);
+    if (!dv.deliverable) {
+      auto& queue = s.parked[dst];
+      if (queue.size() >= link_plan_->policy().parked_capacity) {
+        throw std::runtime_error(
+            "ShardedSimulator: partition mailbox " + std::to_string(src) +
+            " -> " + std::to_string(dst) + " full (" +
+            std::to_string(queue.size()) +
+            " parked messages); heal the link or raise "
+            "LinkPolicy::parked_capacity");
+      }
+      Parked p;
+      p.send_s = send_s;
+      p.nominal_when_s = when_s;
+      p.pair_index = index;
+      p.fn = std::move(m.fn);
+      p.tagged = m.tagged;
+      p.tag = m.tag;
+      p.payload = std::move(m.payload);
+      queue.push_back(std::move(p));
+      return;
+    }
+    when_s = dv.when_s;
+    if (dv.redeliveries > 0) ++s.redelivered;
+    // Per-pair delivery-order floor: while a link plan is attached, the
+    // (src, dst) channel behaves like one ordered connection — a message
+    // sent later never undercuts an earlier one's delivery time, even when
+    // the earlier one went through the lossy/partition redelivery path.
+    when_s = std::max(when_s, s.down_floor[dst]);
+    s.down_floor[dst] = when_s;
+  }
+  m.when_s = when_s;
+  s.outbox[dst].push_back(std::move(m));
+}
+
+void ShardedSimulator::deliver_message(std::size_t dst, double when_s,
+                                       Message& m) {
+  if (m.tagged) {
+    ensure(static_cast<bool>(tagged_delivery_),
+           "ShardedSimulator: tagged message with no delivery hook");
+    tagged_delivery_(dst, when_s, m.tag, m.payload);
+  } else {
+    shards_[dst]->sim.schedule_at(when_s, std::move(m.fn));
+  }
 }
 
 void ShardedSimulator::check_run_entry() const {
@@ -156,8 +268,46 @@ std::size_t ShardedSimulator::run_window(double stop_s, bool inclusive) {
   return ran;
 }
 
-std::size_t ShardedSimulator::deliver_all(double min_legal_when_s) {
+std::size_t ShardedSimulator::drain_parked(double min_legal_when_s) {
+  if (link_plan_ == nullptr) return 0;
   std::size_t delivered = 0;
+  for (std::size_t src = 0; src < shards_.size(); ++src) {
+    Shard& s = *shards_[src];
+    for (std::size_t dst = 0; dst < shards_.size(); ++dst) {
+      auto& queue = s.parked[dst];
+      while (!queue.empty()) {
+        Parked& p = queue.front();
+        const network::LinkDelivery dv = link_plan_->adjust(
+            src, dst, p.send_s, p.nominal_when_s, p.pair_index);
+        // Still inside an open partition window: the whole queue was sent
+        // later (per-shard send times are nondecreasing), so stop here and
+        // keep the FIFO intact.
+        if (!dv.deliverable) break;
+        double when = std::max(dv.when_s, s.down_floor[dst]);
+        s.down_floor[dst] = when;
+        if (dv.redeliveries > 0) ++s.redelivered;
+        ensure(when >= min_legal_when_s,
+               "ShardedSimulator: a healed link released a message for t=" +
+                   std::to_string(when) +
+                   " inside the already-executed horizon t=" +
+                   std::to_string(min_legal_when_s) +
+                   " — heal() must be called with end_s >= horizon_s()");
+        Message m;
+        m.fn = std::move(p.fn);
+        m.tagged = p.tagged;
+        m.tag = p.tag;
+        m.payload = std::move(p.payload);
+        queue.pop_front();
+        deliver_message(dst, when, m);
+        ++delivered;
+      }
+    }
+  }
+  return delivered;
+}
+
+std::size_t ShardedSimulator::deliver_all(double min_legal_when_s) {
+  std::size_t delivered = drain_parked(min_legal_when_s);
   for (auto& src : shards_) {
     for (std::size_t dst = 0; dst < shards_.size(); ++dst) {
       auto& box = src->outbox[dst];
@@ -167,7 +317,7 @@ std::size_t ShardedSimulator::deliver_all(double min_legal_when_s) {
                "for t=" + std::to_string(m.when_s) +
                    " arrived after the window ending at t=" +
                    std::to_string(min_legal_when_s) + " was already executed");
-        shards_[dst]->sim.schedule_at(m.when_s, std::move(m.fn));
+        deliver_message(dst, m.when_s, m);
         ++delivered;
       }
       box.clear();
@@ -256,6 +406,109 @@ std::uint64_t ShardedSimulator::messages_sent() const {
   std::uint64_t total = 0;
   for (const auto& s : shards_) total += s->sent;
   return total;
+}
+
+std::uint64_t ShardedSimulator::messages_parked() const {
+  std::uint64_t total = 0;
+  for (const auto& s : shards_) {
+    for (const auto& queue : s->parked) total += queue.size();
+  }
+  return total;
+}
+
+std::uint64_t ShardedSimulator::messages_redelivered() const {
+  std::uint64_t total = 0;
+  for (const auto& s : shards_) total += s->redelivered;
+  return total;
+}
+
+namespace {
+/// Section magic for the federation's own snapshot payload ("fedr").
+constexpr std::uint32_t kFederationMagic = 0x66656472;
+constexpr std::uint32_t kFederationVersion = 1;
+}  // namespace
+
+void ShardedSimulator::save_state(SnapshotWriter& w) const {
+  ensure(!running_, "ShardedSimulator: save_state during a run");
+  const std::size_t n = shards_.size();
+  for (const auto& s : shards_) {
+    for (const auto& box : s->outbox) {
+      ensure(box.empty(),
+             "ShardedSimulator: save_state with undelivered mailbox messages "
+             "(snapshot only at a window barrier, between runs)");
+    }
+  }
+  w.begin_section(kFederationMagic, kFederationVersion);
+  w.write_u64(static_cast<std::uint64_t>(n));
+  w.write_f64(now_s_);
+  w.write_f64(horizon_s_);
+  w.write_u64(windows_run_);
+  for (const auto& s : shards_) {
+    w.write_u64(s->sent);
+    w.write_u64(s->redelivered);
+    for (std::size_t dst = 0; dst < n; ++dst) w.write_u64(s->pair_index[dst]);
+    for (std::size_t dst = 0; dst < n; ++dst) w.write_f64(s->down_floor[dst]);
+    for (std::size_t dst = 0; dst < n; ++dst) {
+      const auto& queue = s->parked[dst];
+      w.write_u64(static_cast<std::uint64_t>(queue.size()));
+      for (const Parked& p : queue) {
+        if (!p.tagged) {
+          throw std::runtime_error(
+              "ShardedSimulator: a parked closure message cannot be "
+              "serialized — worlds that snapshot under partitions must use "
+              "send_tagged for cross-shard traffic");
+        }
+        w.write_f64(p.send_s);
+        w.write_f64(p.nominal_when_s);
+        w.write_u64(p.pair_index);
+        w.write_u64(p.tag);
+        w.write_payload(p.payload);
+      }
+    }
+  }
+}
+
+void ShardedSimulator::restore_state(SnapshotReader& r) {
+  ensure(!running_, "ShardedSimulator: restore_state during a run");
+  r.expect_section(kFederationMagic, kFederationVersion);
+  const std::uint64_t n = r.read_u64();
+  require(n == shards_.size(),
+          "ShardedSimulator: snapshot has " + std::to_string(n) +
+              " shards but this federation has " +
+              std::to_string(shards_.size()));
+  const double now = r.read_f64();
+  const double horizon = r.read_f64();
+  require(std::isfinite(now) && std::isfinite(horizon) && horizon <= now,
+          "ShardedSimulator: snapshot clock/horizon corrupt");
+  now_s_ = now;
+  horizon_s_ = horizon;
+  windows_run_ = r.read_u64();
+  for (auto& sp : shards_) {
+    Shard& s = *sp;
+    s.sent = r.read_u64();
+    s.redelivered = r.read_u64();
+    for (std::size_t dst = 0; dst < shards_.size(); ++dst) {
+      s.pair_index[dst] = r.read_u64();
+    }
+    for (std::size_t dst = 0; dst < shards_.size(); ++dst) {
+      s.down_floor[dst] = r.read_f64();
+    }
+    for (std::size_t dst = 0; dst < shards_.size(); ++dst) {
+      auto& queue = s.parked[dst];
+      queue.clear();
+      const std::uint64_t count = r.read_u64();
+      for (std::uint64_t i = 0; i < count; ++i) {
+        Parked p;
+        p.send_s = r.read_f64();
+        p.nominal_when_s = r.read_f64();
+        p.pair_index = r.read_u64();
+        p.tagged = true;
+        p.tag = r.read_u64();
+        p.payload = r.read_payload();
+        queue.push_back(std::move(p));
+      }
+    }
+  }
 }
 
 }  // namespace epm::sim

@@ -40,13 +40,17 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <memory>
 #include <utility>
 #include <vector>
 
 #include "core/parallel.h"
+#include "network/interdc_link.h"
 #include "sim/event_fn.h"
 #include "sim/simulator.h"
+#include "sim/snapshot.h"
 
 namespace epm::sim {
 
@@ -130,6 +134,36 @@ class ShardedSimulator {
     send(src, dst, delay_s, EventFn(std::forward<F>(fn)));
   }
 
+  /// Cross-shard message carried as serializable data instead of a closure:
+  /// at delivery time the tagged-delivery hook (set_tagged_delivery) runs
+  /// with (dst, when_s, tag, payload) — typically scheduling the record into
+  /// the destination shard's TaggedKernel. Tagged messages survive
+  /// save_state/restore_state even while parked behind a partition, which
+  /// closures cannot. Same lookahead/FIFO contract as send(); loopback
+  /// (src == dst) invokes the hook immediately on the calling shard.
+  void send_tagged(std::size_t src, std::size_t dst, double delay_s,
+                   std::uint64_t tag, std::vector<std::uint64_t> payload);
+  /// Installs the tagged-delivery hook. Required before any send_tagged
+  /// delivery. Called serially at barriers (and inline for loopback sends
+  /// on the sending shard's thread); it must touch only the destination
+  /// shard's state.
+  using TaggedDelivery = std::function<void(
+      std::size_t dst, double when_s, std::uint64_t tag,
+      const std::vector<std::uint64_t>& payload)>;
+  void set_tagged_delivery(TaggedDelivery hook);
+
+  /// Attaches a degraded-link plan (non-owning; must outlive the runs and
+  /// have site_count() == shard_count()). Every cross-shard message is then
+  /// adjusted by the plan: slowed/lossy windows defer its delivery time
+  /// (a pure function of the send — bit-identical at any thread count),
+  /// closed partition windows defer it through the jittered-exponential
+  /// redelivery schedule, and open partition windows park it in a bounded
+  /// per-(src,dst) FIFO queue until InterDcLinkPlan::heal() closes the
+  /// window (heal between runs, at or beyond horizon_s()). Parked messages
+  /// drain in FIFO order at the next barrier; exceeding the policy's
+  /// parked_capacity throws std::runtime_error.
+  void set_link_plan(const network::InterDcLinkPlan* plan);
+
   /// Runs the federation until every shard's queue empties or the global
   /// clock passes `until_s`; events at exactly `until_s` execute and every
   /// shard's clock lands on `until_s` (single-kernel run_until parity).
@@ -139,17 +173,50 @@ class ShardedSimulator {
   std::size_t run_all();
 
   /// Pending events across all shards. Exact between runs (mailboxes are
-  /// always drained at barriers, so nothing is in flight).
+  /// always drained at barriers, so nothing is in flight). Parked messages
+  /// behind an open partition are NOT pending events — see
+  /// messages_parked().
   std::size_t pending() const;
 
   /// Diagnostics.
   std::uint64_t windows_run() const { return windows_run_; }
   std::uint64_t messages_sent() const;
+  /// Messages currently parked behind open partition windows.
+  std::uint64_t messages_parked() const;
+  /// Messages whose delivery went through at least one redelivery attempt
+  /// (closed partition windows and lossy losses).
+  std::uint64_t messages_redelivered() const;
+
+  /// Serializes the federation's own state — clocks, window/send counters,
+  /// per-pair message indices, redelivery FIFO floors, and every parked
+  /// tagged message — into the snapshot. The shard kernels' contents are
+  /// saved separately (TaggedKernel::save per shard). Throws
+  /// std::runtime_error if a parked closure (non-tagged) message exists.
+  void save_state(SnapshotWriter& w) const;
+  /// Restores what save_state wrote into a federation with the same shard
+  /// count. Call after restoring each shard's TaggedKernel.
+  void restore_state(SnapshotReader& r);
 
  private:
   struct Message {
     double when_s = 0.0;
     EventFn fn;
+    bool tagged = false;
+    std::uint64_t tag = 0;
+    std::vector<std::uint64_t> payload;
+  };
+
+  /// A message parked behind an open partition window: delivery is
+  /// recomputed from these coordinates once the link heals, so the
+  /// adjustment stays a pure function of the send.
+  struct Parked {
+    double send_s = 0.0;
+    double nominal_when_s = 0.0;
+    std::uint64_t pair_index = 0;
+    EventFn fn;
+    bool tagged = false;
+    std::uint64_t tag = 0;
+    std::vector<std::uint64_t> payload;
   };
 
   /// One federated kernel plus its outgoing mailboxes. Heap-allocated so
@@ -160,9 +227,32 @@ class ShardedSimulator {
     /// drained serially at the barrier. Only this shard's worker writes
     /// here during a window.
     std::vector<std::vector<Message>> outbox;
+    /// parked[dst]: FIFO queue of messages sent during an open partition,
+    /// drained at the first barrier after the link heals. Appended by this
+    /// shard's worker, drained serially at barriers.
+    std::vector<std::deque<Parked>> parked;
+    /// pair_index[dst]: messages ever sent on this (src, dst) pair — the
+    /// per-message coordinate of the link plan's deterministic draws.
+    std::vector<std::uint64_t> pair_index;
+    /// down_floor[dst]: monotone floor on redelivered deliveries, so a
+    /// partition's backlog drains in send order (per-pair FIFO) even though
+    /// each message draws its own jittered backoff.
+    std::vector<double> down_floor;
     std::uint64_t sent = 0;
+    std::uint64_t redelivered = 0;
     std::size_t window_ran = 0;
   };
+
+  /// Applies the link plan to a cross-shard message; pushes it to the
+  /// outbox or parks it. `when_s` is the nominal delivery time.
+  void route_message(std::size_t src, std::size_t dst, double when_s,
+                     Message m);
+  /// Schedules one delivered message on its destination (closure or tagged
+  /// hook).
+  void deliver_message(std::size_t dst, double when_s, Message& m);
+  /// Drains parked messages that became deliverable (healed links) at a
+  /// barrier, in (src, dst, FIFO) order. Returns messages delivered.
+  std::size_t drain_parked(double min_legal_when_s);
 
   /// Runs one window on every shard (parallel when a pool exists).
   /// `inclusive` windows use run_until (events at exactly `stop_s` fire and
@@ -179,6 +269,8 @@ class ShardedSimulator {
   std::vector<double> lookahead_;  ///< row-major shards x shards
   double min_lookahead_s_ = 0.0;
   std::unique_ptr<ThreadPool> pool_;  ///< null when threads == 1
+  const network::InterDcLinkPlan* link_plan_ = nullptr;  ///< non-owning
+  TaggedDelivery tagged_delivery_;
   double now_s_ = 0.0;
   double horizon_s_ = 0.0;
   bool running_ = false;

@@ -353,6 +353,29 @@ std::size_t CalendarSimulator::run_all() {
   return ran;
 }
 
+void CalendarSimulator::restore_clock(double now_s) {
+  require(std::isfinite(now_s) && now_s >= 0.0,
+          "Simulator: restore_clock needs a finite time >= 0");
+  require(live_count_ == 0,
+          "Simulator: restore_clock requires an idle kernel (pending() == 0)");
+  // pending() == 0 still leaves cancelled entries parked in the calendar;
+  // sweep their slots back to the freelist before touching the geometry.
+  for (std::uint32_t slot = 0; slot < slot_capacity_; ++slot) {
+    if (node(slot).status == Status::kCancelled) free_slot(slot);
+  }
+  for (auto& bucket : buckets_) bucket.clear();
+  cur_.clear();
+  cur_pos_ = 0;
+  cur_adds_.clear();
+  while (!overflow_.empty()) overflow_.pop();
+  wheel_count_ = 0;
+  next_bucket_ = 0;
+  double base = std::floor(now_s / width_s_) * width_s_;
+  if (!(base <= now_s) || !std::isfinite(base)) base = now_s;
+  base_s_ = base;
+  now_s_ = now_s;
+}
+
 // ---------------------------------------------------------------------------
 // HeapSimulator (the pre-calendar baseline)
 // ---------------------------------------------------------------------------
@@ -482,6 +505,16 @@ std::size_t HeapSimulator::run_all() {
   std::size_t ran = 0;
   while (step()) ++ran;
   return ran;
+}
+
+void HeapSimulator::restore_clock(double now_s) {
+  require(std::isfinite(now_s) && now_s >= 0.0,
+          "Simulator: restore_clock needs a finite time >= 0");
+  require(pending() == 0,
+          "Simulator: restore_clock requires an idle kernel (pending() == 0)");
+  queue_ = {};  // only cancelled tombstones remain; drop them with the heap
+  cancelled_.clear();
+  now_s_ = now_s;
 }
 
 }  // namespace epm::sim

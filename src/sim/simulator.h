@@ -141,6 +141,13 @@ class CalendarSimulator {
   /// drains cancelled entries), which never changes what fires next.
   double next_time();
 
+  /// Snapshot-restore support: moves the clock to `now_s` (any finite value
+  /// >= 0, forwards or backwards). Requires an idle kernel — pending() must
+  /// be 0. Lingering cancelled calendar entries are swept back to the
+  /// freelist and the wheel is re-based at the new clock, so the kernel is
+  /// exactly as ready to schedule as a fresh one.
+  void restore_clock(double now_s);
+
   /// Number of events currently pending. Cancelled events leave this count
   /// immediately (their slots are recycled when their calendar entries
   /// drain), so the count is exact at every instant — including after
@@ -293,6 +300,10 @@ class HeapSimulator {
   /// Next pending timestamp or +infinity; drains cancelled tombstones off
   /// the heap top so a dead entry never masquerades as the head.
   double next_time();
+  /// Snapshot-restore support, mirroring CalendarSimulator::restore_clock:
+  /// requires pending() == 0, drops any cancelled tombstones, and sets the
+  /// clock.
+  void restore_clock(double now_s);
   std::size_t pending() const { return queue_.size() - cancelled_.size(); }
 
  private:

@@ -1,0 +1,175 @@
+// Degraded inter-DC links: window semantics, overlap rejection, heal
+// errors, and the purity/monotonicity contract of adjust() that the
+// federation's bit-identical determinism rests on.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <stdexcept>
+
+#include "network/interdc_link.h"
+
+namespace epm::network {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(InterDcLink, PristinePlanLeavesDeliveriesAlone) {
+  InterDcLinkPlan plan(3);
+  EXPECT_TRUE(plan.pristine());
+  const LinkDelivery d = plan.adjust(0, 1, 10.0, 10.5, 0);
+  EXPECT_TRUE(d.deliverable);
+  EXPECT_DOUBLE_EQ(10.5, d.when_s);
+  EXPECT_EQ(0U, d.redeliveries);
+}
+
+TEST(InterDcLink, SlowWindowStretchesPropagation) {
+  InterDcLinkPlan plan(2);
+  plan.slow(0, 1, 5.0, 20.0, 3.0);
+  // Send inside the window: 0.5 s of propagation becomes 1.5 s.
+  const LinkDelivery in = plan.adjust(0, 1, 10.0, 10.5, 0);
+  EXPECT_TRUE(in.deliverable);
+  EXPECT_DOUBLE_EQ(11.5, in.when_s);
+  EXPECT_EQ(0U, in.redeliveries);
+  // Send outside the window: untouched (the send time governs).
+  const LinkDelivery out = plan.adjust(0, 1, 20.0, 20.5, 1);
+  EXPECT_DOUBLE_EQ(20.5, out.when_s);
+}
+
+TEST(InterDcLink, LossyWindowDelaysButNeverLoses) {
+  LinkPolicy policy;
+  policy.jitter_frac = 0.0;
+  InterDcLinkPlan plan(2, policy);
+  plan.lose(0, 1, 0.0, 100.0, 1.0);  // every in-window attempt is lost
+  const LinkDelivery d = plan.adjust(0, 1, 10.0, 10.2, 0);
+  EXPECT_TRUE(d.deliverable);
+  // Certain loss walks the backoff ladder until the attempt clears the
+  // window end — delayed past it, but always delivered.
+  EXPECT_GE(d.when_s, 100.0);
+  EXPECT_GT(d.redeliveries, 0U);
+
+  InterDcLinkPlan lucky(2, policy);
+  lucky.lose(0, 1, 0.0, 100.0, 0.0);  // zero loss: nominal delivery
+  const LinkDelivery n = lucky.adjust(0, 1, 10.0, 10.2, 0);
+  EXPECT_DOUBLE_EQ(10.2, n.when_s);
+  EXPECT_EQ(0U, n.redeliveries);
+}
+
+TEST(InterDcLink, ClosedPartitionRedeliversAfterHealTime) {
+  InterDcLinkPlan plan(2);
+  plan.partition(0, 1, 10.0, 30.0);
+  const LinkDelivery d = plan.adjust(0, 1, 12.0, 12.05, 0);
+  EXPECT_TRUE(d.deliverable);
+  EXPECT_GE(d.when_s, 30.0);  // first attempt at/after the window end
+  EXPECT_GT(d.redeliveries, 0U);
+  // Delivery never precedes the nominal arrival even if the backoff walk
+  // lands exactly at the heal.
+  EXPECT_GE(d.when_s, 12.05);
+}
+
+TEST(InterDcLink, OpenPartitionParksUntilHealed) {
+  InterDcLinkPlan plan(2);
+  plan.partition(0, 1, 10.0);
+  EXPECT_FALSE(plan.partitioned_at(0, 1, 9.9));
+  EXPECT_TRUE(plan.partitioned_at(0, 1, 10.0));
+  EXPECT_FALSE(plan.partitioned_at(1, 0, 10.0));  // direction matters
+  const LinkDelivery d = plan.adjust(0, 1, 12.0, 12.05, 0);
+  EXPECT_FALSE(d.deliverable);
+
+  plan.heal(0, 1, 40.0);
+  EXPECT_FALSE(plan.partitioned_at(0, 1, 12.0));
+  const LinkDelivery healed = plan.adjust(0, 1, 12.0, 12.05, 0);
+  EXPECT_TRUE(healed.deliverable);
+  EXPECT_GE(healed.when_s, 40.0);
+}
+
+TEST(InterDcLink, OverlappingWindowsAreRejected) {
+  InterDcLinkPlan plan(2);
+  plan.slow(0, 1, 10.0, 20.0, 2.0);
+  EXPECT_THROW(plan.slow(0, 1, 15.0, 25.0, 2.0), std::invalid_argument);
+  EXPECT_THROW(plan.partition(0, 1, 19.0), std::invalid_argument);
+  EXPECT_THROW(plan.lose(0, 1, 0.0, 10.5, 0.1), std::invalid_argument);
+  // Touching windows are fine (half-open intervals).
+  EXPECT_NO_THROW(plan.slow(0, 1, 20.0, 25.0, 2.0));
+  // Same interval on the opposite direction is an independent link.
+  EXPECT_NO_THROW(plan.slow(1, 0, 10.0, 20.0, 2.0));
+}
+
+TEST(InterDcLink, HealErrors) {
+  InterDcLinkPlan plan(2);
+  // Nothing to heal.
+  EXPECT_THROW(plan.heal(0, 1, 40.0), std::invalid_argument);
+  // A closed partition is not healable either.
+  plan.partition(0, 1, 10.0, 30.0);
+  EXPECT_THROW(plan.heal(0, 1, 40.0), std::invalid_argument);
+  // Heal must follow the partition start.
+  plan.partition(0, 1, 50.0);
+  EXPECT_THROW(plan.heal(0, 1, 45.0), std::invalid_argument);
+  EXPECT_NO_THROW(plan.heal(0, 1, 60.0));
+}
+
+TEST(InterDcLink, InvalidWindowsAndPoliciesAreRejected) {
+  InterDcLinkPlan plan(2);
+  EXPECT_THROW(plan.slow(0, 0, 0.0, 1.0, 2.0), std::invalid_argument);
+  EXPECT_THROW(plan.slow(0, 2, 0.0, 1.0, 2.0), std::invalid_argument);
+  EXPECT_THROW(plan.slow(0, 1, 5.0, 5.0, 2.0), std::invalid_argument);
+  EXPECT_THROW(plan.slow(0, 1, 0.0, 1.0, 0.5), std::invalid_argument);
+  EXPECT_THROW(plan.slow(0, 1, 0.0, kInf, 2.0), std::invalid_argument);
+  EXPECT_THROW(plan.lose(0, 1, 0.0, kInf, 0.1), std::invalid_argument);
+  EXPECT_THROW(plan.lose(0, 1, 0.0, 1.0, 1.5), std::invalid_argument);
+
+  LinkPolicy bad;
+  bad.jitter_frac = 1.0;
+  EXPECT_THROW(InterDcLinkPlan(2, bad), std::invalid_argument);
+  bad = LinkPolicy{};
+  bad.backoff_cap_s = 0.01;  // below the redelivery timeout
+  EXPECT_THROW(InterDcLinkPlan(2, bad), std::invalid_argument);
+  bad = LinkPolicy{};
+  bad.parked_capacity = 0;
+  EXPECT_THROW(InterDcLinkPlan(2, bad), std::invalid_argument);
+}
+
+TEST(InterDcLink, AdjustIsPureAndNeverEarly) {
+  InterDcLinkPlan plan(3);
+  plan.slow(0, 1, 5.0, 15.0, 2.5);
+  plan.lose(0, 1, 20.0, 40.0, 0.5);
+  plan.partition(0, 1, 50.0, 70.0);
+  for (std::uint64_t msg = 0; msg < 64; ++msg) {
+    const double send = 0.5 * static_cast<double>(msg);
+    const double nominal = send + 0.05;
+    const LinkDelivery a = plan.adjust(0, 1, send, nominal, msg);
+    const LinkDelivery b = plan.adjust(0, 1, send, nominal, msg);
+    // Pure: byte-identical on every repeat, regardless of call order.
+    EXPECT_EQ(a.deliverable, b.deliverable);
+    EXPECT_EQ(a.when_s, b.when_s);
+    EXPECT_EQ(a.redeliveries, b.redeliveries);
+    // Never earlier than the nominal arrival.
+    if (a.deliverable) {
+      EXPECT_GE(a.when_s, nominal);
+    }
+  }
+  // Unrelated pairs are untouched (per-pair timelines are independent).
+  const LinkDelivery other = plan.adjust(0, 2, 10.0, 10.05, 0);
+  EXPECT_DOUBLE_EQ(10.05, other.when_s);
+}
+
+TEST(InterDcLink, RedeliveryJitterIsSeededPerMessage) {
+  LinkPolicy policy;
+  policy.jitter_frac = 0.5;
+  InterDcLinkPlan plan(2, policy);
+  plan.partition(0, 1, 10.0, 30.0);
+  // Distinct messages draw distinct jitter streams: their redelivery times
+  // differ, but each stays deterministic.
+  const LinkDelivery m0 = plan.adjust(0, 1, 12.0, 12.05, 0);
+  const LinkDelivery m1 = plan.adjust(0, 1, 12.0, 12.05, 1);
+  EXPECT_NE(m0.when_s, m1.when_s);
+  EXPECT_EQ(m0.when_s, plan.adjust(0, 1, 12.0, 12.05, 0).when_s);
+
+  LinkPolicy reseeded = policy;
+  reseeded.seed ^= 0xabcdef;
+  InterDcLinkPlan plan2(2, reseeded);
+  plan2.partition(0, 1, 10.0, 30.0);
+  EXPECT_NE(m0.when_s, plan2.adjust(0, 1, 12.0, 12.05, 0).when_s);
+}
+
+}  // namespace
+}  // namespace epm::network

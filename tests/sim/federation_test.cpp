@@ -27,11 +27,13 @@
 #include "faults/fault_plan.h"
 #include "faults/injector.h"
 #include "faults/retry_storm.h"
+#include "network/interdc_link.h"
 #include "repro/figures.h"
 #include "sensing/actuator_plane.h"
 #include "sim/fabric.h"
 #include "sim/sharded_simulator.h"
 #include "sim/simulator.h"
+#include "sim/snapshot.h"
 
 namespace epm::sim {
 namespace {
@@ -519,6 +521,262 @@ TEST(ShardedSimKernel, NextTimeSkipsCancelledOnCalendar) {
 
 TEST(ShardedSimKernel, NextTimeSkipsCancelledOnHeap) {
   next_time_skips_cancelled_events<HeapSimulator>();
+}
+
+// ---------------------------------------------------------------------------
+// Degraded links through the federation mailboxes
+// ---------------------------------------------------------------------------
+
+/// One tagged delivery as the hook observed it.
+struct TaggedLog {
+  std::size_t dst;
+  double when_s;
+  std::uint64_t tag;
+  std::vector<std::uint64_t> payload;
+
+  bool operator==(const TaggedLog& o) const {
+    return dst == o.dst && when_s == o.when_s && tag == o.tag &&
+           payload == o.payload;
+  }
+};
+
+ShardedConfig plan_config(std::size_t shards, std::size_t threads) {
+  ShardedConfig config;
+  config.shards = shards;
+  config.threads = threads;
+  config.uniform_lookahead_s = 0.05;
+  return config;
+}
+
+/// Runs a fixed tagged-message script (each shard sends to its successor
+/// throughout the degradation windows) and returns everything observable.
+struct PlanRunResult {
+  std::vector<TaggedLog> logs;
+  std::uint64_t sent = 0;
+  std::uint64_t redelivered = 0;
+  double now_s = 0.0;
+};
+
+PlanRunResult run_link_plan_script(const network::InterDcLinkPlan& plan,
+                                   std::size_t threads) {
+  const std::size_t shards = plan.site_count();
+  ShardedSimulator fed(plan_config(shards, threads));
+  PlanRunResult result;
+  // The hook runs serially at barriers, so one shared log is race-free.
+  fed.set_tagged_delivery([&result](std::size_t dst, double when_s,
+                                    std::uint64_t tag,
+                                    const std::vector<std::uint64_t>& p) {
+    result.logs.push_back({dst, when_s, tag, p});
+  });
+  fed.set_link_plan(&plan);
+  for (std::size_t s = 0; s < shards; ++s) {
+    for (std::uint64_t k = 0; k < 40; ++k) {
+      const double t = 0.05 + 0.1 * static_cast<double>(k);
+      fed.shard(s).schedule_at(t, [&fed, s, k, shards] {
+        fed.send_tagged(s, (s + 1) % shards, 0.06, 1,
+                        {static_cast<std::uint64_t>(s), k});
+      });
+    }
+  }
+  fed.run_all();
+  result.sent = fed.messages_sent();
+  result.redelivered = fed.messages_redelivered();
+  result.now_s = fed.now();
+  return result;
+}
+
+TEST(FederationLinkPlan, DegradedRunsAreConformantAcrossThreadCounts) {
+  network::InterDcLinkPlan plan(3);
+  plan.slow(0, 1, 0.5, 3.0, 3.0);
+  plan.lose(1, 2, 1.0, 4.0, 0.7);
+  plan.partition(2, 0, 2.0, 5.0);  // closed: redelivery, no parking
+  const PlanRunResult serial = run_link_plan_script(plan, 1);
+  EXPECT_EQ(120U, serial.sent);
+  EXPECT_EQ(120U, serial.logs.size());  // degraded, never dropped
+  EXPECT_GT(serial.redelivered, 0U);
+  for (const std::size_t threads : {2U, 8U}) {
+    const PlanRunResult threaded = run_link_plan_script(plan, threads);
+    EXPECT_EQ(serial.logs, threaded.logs) << "threads=" << threads;
+    EXPECT_EQ(serial.sent, threaded.sent);
+    EXPECT_EQ(serial.redelivered, threaded.redelivered);
+    EXPECT_EQ(serial.now_s, threaded.now_s);
+  }
+}
+
+TEST(FederationLinkPlan, AttachedPlanKeepsEachPairAnOrderedConnection) {
+  // With a plan attached the (src, dst) channel is one ordered connection:
+  // a later send never undercuts an earlier send's (possibly redelivered)
+  // delivery time, so per-pair FIFO holds even through lossy windows.
+  network::InterDcLinkPlan plan(2);
+  plan.lose(0, 1, 0.0, 6.0, 0.9);
+  const PlanRunResult run = run_link_plan_script(plan, 1);
+  double last_01 = 0.0;
+  std::uint64_t next_k = 0;
+  for (const TaggedLog& log : run.logs) {
+    if (log.dst != 1 || log.payload[0] != 0) continue;
+    EXPECT_GE(log.when_s, last_01);
+    last_01 = log.when_s;
+    EXPECT_EQ(next_k, log.payload[1]);  // strictly in send order
+    ++next_k;
+  }
+  EXPECT_EQ(40U, next_k);
+}
+
+TEST(FederationLinkPlan, OpenPartitionParksThenHealsInFifoOrder) {
+  network::InterDcLinkPlan plan(2);
+  plan.partition(0, 1, 1.0);
+  ShardedSimulator fed(plan_config(2, 1));
+  std::vector<TaggedLog> logs;
+  fed.set_tagged_delivery([&logs](std::size_t dst, double when_s,
+                                  std::uint64_t tag,
+                                  const std::vector<std::uint64_t>& p) {
+    logs.push_back({dst, when_s, tag, p});
+  });
+  fed.set_link_plan(&plan);
+  for (std::uint64_t k = 0; k < 5; ++k) {
+    const double t = 1.1 + 0.1 * static_cast<double>(k);
+    fed.shard(0).schedule_at(
+        t, [&fed, k] { fed.send_tagged(0, 1, 0.06, 7, {k}); });
+  }
+  fed.run_until(3.0);
+  EXPECT_EQ(5U, fed.messages_parked());
+  EXPECT_EQ(0U, fed.pending());  // parked messages are not pending events
+  EXPECT_TRUE(logs.empty());
+
+  plan.heal(0, 1, 5.0);  // at/beyond the committed horizon
+  fed.run_until(10.0);
+  EXPECT_EQ(0U, fed.messages_parked());
+  EXPECT_GE(fed.messages_redelivered(), 5U);
+  ASSERT_EQ(5U, logs.size());
+  double last = 0.0;
+  for (std::uint64_t k = 0; k < 5; ++k) {
+    EXPECT_EQ(k, logs[k].payload[0]);  // FIFO drain in send order
+    EXPECT_GE(logs[k].when_s, 5.0);    // nothing lands before the heal
+    EXPECT_GE(logs[k].when_s, last);
+    last = logs[k].when_s;
+  }
+}
+
+TEST(FederationLinkPlan, ParkedCapacityOverflowThrows) {
+  network::LinkPolicy policy;
+  policy.parked_capacity = 2;
+  network::InterDcLinkPlan plan(2, policy);
+  plan.partition(0, 1, 0.5);
+  ShardedSimulator fed(plan_config(2, 1));
+  fed.set_tagged_delivery([](std::size_t, double, std::uint64_t,
+                             const std::vector<std::uint64_t>&) {});
+  fed.set_link_plan(&plan);
+  for (std::uint64_t k = 0; k < 3; ++k) {
+    fed.shard(0).schedule_at(
+        1.0 + 0.1 * static_cast<double>(k),
+        [&fed, k] { fed.send_tagged(0, 1, 0.06, 7, {k}); });
+  }
+  EXPECT_THROW(fed.run_until(3.0), std::runtime_error);
+}
+
+TEST(FederationLinkPlan, SetLinkPlanRequirements) {
+  ShardedSimulator fed(plan_config(2, 1));
+  fed.set_tagged_delivery([](std::size_t, double, std::uint64_t,
+                             const std::vector<std::uint64_t>&) {});
+  network::InterDcLinkPlan wrong_size(3);
+  EXPECT_THROW(fed.set_link_plan(&wrong_size), std::invalid_argument);
+
+  // Swapping or detaching the plan while messages are parked would strand
+  // them: rejected.
+  network::InterDcLinkPlan plan(2);
+  plan.partition(0, 1, 0.5);
+  fed.set_link_plan(&plan);
+  fed.shard(0).schedule_at(1.0,
+                           [&fed] { fed.send_tagged(0, 1, 0.06, 7, {1}); });
+  fed.run_until(2.0);
+  ASSERT_EQ(1U, fed.messages_parked());
+  EXPECT_THROW(fed.set_link_plan(nullptr), std::invalid_argument);
+  network::InterDcLinkPlan other(2);
+  EXPECT_THROW(fed.set_link_plan(&other), std::invalid_argument);
+}
+
+TEST(FederationLinkPlan, HealInsideExecutedHorizonIsRejected) {
+  network::InterDcLinkPlan plan(2);
+  plan.partition(0, 1, 1.0);
+  ShardedSimulator fed(plan_config(2, 1));
+  fed.set_tagged_delivery([](std::size_t, double, std::uint64_t,
+                             const std::vector<std::uint64_t>&) {});
+  fed.set_link_plan(&plan);
+  fed.shard(0).schedule_at(1.5,
+                           [&fed] { fed.send_tagged(0, 1, 0.06, 7, {1}); });
+  fed.run_until(8.0);
+  ASSERT_EQ(1U, fed.messages_parked());
+  // The plan accepts the heal (it is after the partition start), but the
+  // federation must refuse to deliver into its already-executed horizon.
+  plan.heal(0, 1, 4.0);
+  EXPECT_THROW(fed.run_until(10.0), std::logic_error);
+}
+
+TEST(FederationLinkPlan, SaveStateCarriesParkedTaggedMessages) {
+  network::InterDcLinkPlan plan(2);
+  plan.partition(0, 1, 1.0);
+  ShardedSimulator fed(plan_config(2, 1));
+  fed.set_tagged_delivery([](std::size_t, double, std::uint64_t,
+                             const std::vector<std::uint64_t>&) {});
+  fed.set_link_plan(&plan);
+  for (std::uint64_t k = 0; k < 3; ++k) {
+    fed.shard(0).schedule_at(
+        1.1 + 0.1 * static_cast<double>(k),
+        [&fed, k] { fed.send_tagged(0, 1, 0.06, 7, {k}); });
+  }
+  fed.run_until(2.0);
+  ASSERT_EQ(3U, fed.messages_parked());
+  SnapshotWriter w;
+  fed.save_state(w);
+  const auto bytes = w.take();
+
+  // Rebuild from nothing, restore, heal, drain: the parked backlog crossed
+  // the snapshot and still arrives in FIFO order.
+  network::InterDcLinkPlan plan2(2);
+  plan2.partition(0, 1, 1.0);
+  ShardedSimulator fed2(plan_config(2, 1));
+  std::vector<TaggedLog> logs;
+  fed2.set_tagged_delivery([&logs](std::size_t dst, double when_s,
+                                   std::uint64_t tag,
+                                   const std::vector<std::uint64_t>& p) {
+    logs.push_back({dst, when_s, tag, p});
+  });
+  fed2.set_link_plan(&plan2);
+  SnapshotReader r(bytes);
+  fed2.restore_state(r);
+  EXPECT_TRUE(r.at_end());
+  EXPECT_DOUBLE_EQ(2.0, fed2.now());
+  EXPECT_EQ(3U, fed2.messages_parked());
+  EXPECT_EQ(fed.messages_sent(), fed2.messages_sent());
+  fed2.shard(0).restore_clock(2.0);
+  fed2.shard(1).restore_clock(2.0);
+
+  plan2.heal(0, 1, 5.0);
+  fed2.run_until(10.0);
+  EXPECT_EQ(0U, fed2.messages_parked());
+  ASSERT_EQ(3U, logs.size());
+  for (std::uint64_t k = 0; k < 3; ++k) {
+    EXPECT_EQ(k, logs[k].payload[0]);
+    EXPECT_GE(logs[k].when_s, 5.0);
+  }
+
+  // A federation with the wrong shard count refuses the snapshot.
+  ShardedSimulator fed3(plan_config(3, 1));
+  SnapshotReader r3(bytes);
+  EXPECT_THROW(fed3.restore_state(r3), std::invalid_argument);
+}
+
+TEST(FederationLinkPlan, SaveStateRejectsParkedClosureMessages) {
+  network::InterDcLinkPlan plan(2);
+  plan.partition(0, 1, 1.0);
+  ShardedSimulator fed(plan_config(2, 1));
+  fed.set_link_plan(&plan);
+  // A closure (untagged) message cannot be serialized once parked.
+  fed.shard(0).schedule_at(1.5, [&fed] { fed.send(0, 1, 0.06, [] {}); });
+  fed.run_until(2.0);
+  ASSERT_EQ(1U, fed.messages_parked());
+  SnapshotWriter w;
+  EXPECT_THROW(fed.save_state(w), std::runtime_error);
 }
 
 }  // namespace

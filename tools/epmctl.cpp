@@ -13,6 +13,7 @@
 
 #include "bench/kernel_bench.h"
 #include "cluster/request_des.h"
+#include "faults/chaos_fleet.h"
 #include "faults/fleet_storm.h"
 #include "cluster/service_cluster.h"
 #include "core/cli_args.h"
@@ -70,10 +71,21 @@ int cmd_help() {
                                                         against the single-kernel run;
                                                         exits non-zero on divergence.
                                                         --smoke = reduced CI population
+  epmctl chaos        [--dcs N] [--clients N]           chaos drills: correlated regional
+                      [--threads T] [--seed S]          outage recovery gate, kill-and-
+                      [--script SPEC] [--smoke]         restore bit-identical continuation,
+                                                        partition/heal zero-loss drill
+                                                        (SPEC: "outage:region/americas@
+                                                        32+16;brownout:feed/grid-eu@...")
 
   --threads T applies to the commands with parallel backends (availability,
   replications); it defaults to the EPM_THREADS environment variable, else
   the machine's hardware concurrency. Results never depend on T.
+
+  Exit codes: 0 success; 1 scenario verdict failed (e.g. the defended arm
+  did not recover); 2 usage error; 3 conformance/gate failure (federation
+  divergence, chaos gate, ledger violation — the failing seed/shards/threads
+  are printed); 4 runtime error (exception).
 )";
   return 0;
 }
@@ -81,6 +93,15 @@ int cmd_help() {
 int fail(const std::string& message) {
   std::cerr << "epmctl: " << message << "\n";
   return 2;
+}
+
+/// Conformance or gate failure (exit 3): a scenario ran but its determinism
+/// or resilience contract was violated. Prints the reproduction coordinates.
+int conformance_fail(const std::string& message, std::uint64_t seed,
+                     std::size_t shards, std::size_t threads) {
+  std::cerr << "epmctl: " << message << " (seed " << seed << ", shards "
+            << shards << ", threads " << threads << ")\n";
+  return 3;
 }
 
 int check_unused(const CliArgs& args) {
@@ -505,7 +526,11 @@ int cmd_retrystorm(const CliArgs& args) {
   }
   if (!naive.invariants_ok) std::cout << naive.invariant_report;
   if (!defended.invariants_ok) std::cout << defended.invariant_report;
-  return defended.recovered && ledgers_clean ? 0 : 1;
+  if (!ledgers_clean) {
+    return conformance_fail("retrystorm conservation/invariant ledgers violated",
+                            seed, 1, 1);
+  }
+  return defended.recovered ? 0 : 1;
 }
 
 int cmd_kernelbench(const CliArgs& args) {
@@ -593,7 +618,79 @@ int cmd_federation(const CliArgs& args) {
             << (outcome.conservation_ok ? "clean" : "VIOLATED") << "\n";
   if (!outcome.conservation_ok) std::cout << outcome.conservation_report;
   if (!match || !outcome.conservation_ok) {
-    return fail("federation conformance check failed");
+    return conformance_fail(
+        match ? "federation conservation ledgers violated"
+              : "federation diverged from the single-kernel run",
+        seed, shards, threads);
+  }
+  return 0;
+}
+
+int cmd_chaos(const CliArgs& args) {
+  const bool smoke = args.get_switch("smoke");
+  const auto dcs = static_cast<std::size_t>(args.get("dcs", std::int64_t{4}));
+  const auto clients = static_cast<std::size_t>(
+      args.get("clients", std::int64_t{smoke ? 2'000 : 20'000}));
+  const auto seed = static_cast<std::uint64_t>(args.get("seed", std::int64_t{42}));
+  const std::size_t threads = args.threads();
+  const std::string script =
+      args.get("script", faults::make_reference_grid_script());
+  if (const int rc = check_unused(args)) return rc;
+  if (dcs < 2 || dcs > 6) return fail("--dcs must be 2..6");
+  if (clients == 0) return fail("--clients must be > 0");
+
+  std::cout << "Chaos drills: " << dcs << " datacenters x " << clients
+            << " clients, grid script \"" << script << "\":\n";
+
+  // Drill 1: correlated regional grid event, defended vs naive recovery.
+  const auto rec = faults::run_chaos_recovery(dcs, clients, seed, script, 0.99);
+  Table recovery({"arm", "prefault", "end", "ratio", "signals", "recovered"});
+  for (const bool defended : {true, false}) {
+    const auto& arm = defended ? rec.defended : rec.naive;
+    recovery.add_row({defended ? "defended" : "naive",
+                      fmt(arm.fleet_prefault_goodput_rps, 1) + "/s",
+                      fmt(arm.fleet_end_goodput_rps, 1) + "/s",
+                      fmt(arm.ratio, 4), std::to_string(arm.grid_signals),
+                      arm.recovered ? "yes" : "NO"});
+  }
+  std::cout << recovery.render();
+
+  // Drill 2: kill-and-restore at this thread count.
+  faults::ChaosFleetConfig chaos;
+  chaos.dcs = dcs;
+  chaos.threads = threads;
+  const auto restore = faults::run_chaos_fleet_with_restore(chaos, 20.0, 35.0);
+  std::cout << "  kill-and-restore: snapshot " << restore.snapshot_bytes
+            << " bytes, continuation "
+            << (restore.identical ? "bit-identical" : "DIVERGED") << "\n";
+
+  // Drill 3: partition, park, heal, drain.
+  const auto part = faults::run_chaos_partition_drill(chaos, 15.0, 30.0, 32.0);
+  std::cout << "  partition drill:  " << part.parked_at_check
+            << " parked at check, " << part.redelivered << " redelivered, "
+            << (part.drained ? "drained" : "NOT DRAINED") << ", "
+            << (part.zero_loss ? "zero loss" : "LOST MESSAGES") << ", FIFO "
+            << (part.fifo_ok ? "intact" : "BROKEN") << "\n";
+
+  const bool ledgers = rec.defended.conservation_ok && rec.naive.conservation_ok;
+  std::cout << "  recovery gate:    defended "
+            << (rec.defended.recovered ? "recovers" : "FAILS") << " at "
+            << fmt_percent(rec.defended.ratio, 1) << ", naive "
+            << (rec.naive.recovered ? "RECOVERS TOO" : "fails") << " at "
+            << fmt_percent(rec.naive.ratio, 1) << " (threshold "
+            << fmt_percent(rec.threshold, 0) << ")\n  ledgers:          "
+            << (ledgers ? "clean" : "VIOLATED") << "\n";
+
+  if (!rec.gate_ok || !ledgers) {
+    return conformance_fail("chaos recovery gate failed", seed, dcs, threads);
+  }
+  if (!restore.identical) {
+    return conformance_fail("chaos restore continuation diverged", chaos.seed,
+                            dcs, threads);
+  }
+  if (!part.passed) {
+    return conformance_fail("chaos partition drill lost or reordered messages",
+                            chaos.seed, dcs, threads);
   }
   return 0;
 }
@@ -616,10 +713,13 @@ int main(int argc, char** argv) {
     if (cmd == "retrystorm") return cmd_retrystorm(args);
     if (cmd == "kernelbench") return cmd_kernelbench(args);
     if (cmd == "federation") return cmd_federation(args);
+    if (cmd == "chaos") return cmd_chaos(args);
     return fail("unknown command '" + cmd + "' (see 'epmctl help')");
   } catch (const std::exception& e) {
-    return fail(e.what());
+    std::cerr << "epmctl: runtime error: " << e.what() << "\n";
+    return 4;
   } catch (...) {
-    return fail("unexpected non-standard exception");
+    std::cerr << "epmctl: runtime error: unexpected non-standard exception\n";
+    return 4;
   }
 }
