@@ -1,0 +1,235 @@
+// Control-plane chaos harness: kill-the-leader drills for the survivable
+// macro control plane (macro/control_plane + sensing/fencing).
+//
+// The drive world is a small per-datacenter plant — powered servers, a
+// power-cap fraction, a CRAC setpoint — serving a deterministic demand curve
+// that ramps from base to peak mid-run. The control plane walks the fleet
+// through a staged eco-mode transition (caps tightened, setpoints raised,
+// servers powered down) and back out, so the mid-run state is exactly the
+// dangerous kind the paper warns about: half the fleet dark and throttled
+// while demand is about to double. Drills then kill, hang, or partition the
+// controllers mid-transition:
+//
+//   * leader-kill drill — the leader dies permanently while the eco-exit
+//     transition is half-issued. Defended arm: per-DC replicas, lease
+//     failover, journal replay, actuator fencing, dead-man safe state — the
+//     new leader completes the transition before the demand ramp and the
+//     fleet stays SLA- and thermally-clean. Naive arm: a single controller,
+//     no defenses — the unreached datacenters stay stuck in eco mode and
+//     violate at peak. The BENCH_controlplane gate demands defended end
+//     goodput >= 99% of pre-fault AND zero alarms while naive violates.
+//     Optionally a WAN partition isolates one datacenter through the
+//     failover window: its dead-man's switch must trip and revert it to
+//     safe defaults before the ramp.
+//
+//   * split-brain drill — the leader hangs (GC pause), a follower takes
+//     over, the old leader wakes and keeps acting under its stale lease
+//     token. Every one of its actuations must be fenced (zero double
+//     actuations) and it must step down on the first higher-token
+//     heartbeat.
+//
+//   * save/restore drill — lease, journal, fencing ledger, dead-man, and
+//     actuator state all serialize through sim/snapshot.h; a run restored
+//     mid-failover must finish bit-identical to the uninterrupted one.
+//
+// Determinism: all control messages travel the federation's tagged-message
+// path with a per-source-DC delay stagger (lookahead * (1 + (src+1) *
+// 2^-20)), so deliveries from different sources never tie at one timestamp
+// and the whole world is bit-identical at any shard/thread count — the
+// conformance sweep `epmctl controlplane` runs pins exactly that.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "network/interdc_link.h"
+
+namespace epm::faults {
+
+struct ControlChaosConfig {
+  std::size_t dcs = 4;     ///< datacenters (leader-kill drills need >= 3)
+  std::size_t shards = 0;  ///< federation shards; 0 = one per DC (must divide dcs)
+  std::size_t threads = 1;
+  double epoch_s = 0.5;         ///< control tick
+  double drive_until_s = 40.0;  ///< last tick strictly before this
+  double horizon_s = 42.0;      ///< slack so in-flight messages land
+  double lookahead_s = 0.05;
+
+  /// Lease failure detection (staggered per replica id) and the actuator
+  /// watchdog. deadman_ttl_s <= 0 disables the safe-state switch.
+  double lease_ttl_s = 2.0;
+  double lease_ttl_stagger_s = 0.5;
+  double deadman_ttl_s = 4.0;
+  std::uint64_t max_steps_per_tick = 2;  ///< transition staging width
+
+  /// Plant: capacity = active_servers * per_server_rps * cap_fraction.
+  std::uint64_t servers_per_dc = 20;
+  double per_server_rps = 50.0;
+  double base_demand_rps = 400.0;
+  double peak_demand_rps = 900.0;
+  double demand_rise_s = 20.0;
+  double demand_jitter = 0.1;  ///< per-epoch uniform +-10%
+
+  /// Thermal model: temp = setpoint + gain * min(demand/capacity, util_cap).
+  /// Safe setpoint never alarms even overloaded; eco setpoint alarms only
+  /// when the DC is left in eco under peak demand.
+  double safe_setpoint_c = 22.0;
+  double eco_setpoint_c = 27.0;
+  double alarm_temp_c = 31.0;
+  double temp_util_gain_c = 3.0;
+  double util_cap = 1.5;
+
+  /// Eco-mode transition program: enter at eco_enter_s (cap, setpoint,
+  /// fleet per DC), exit at eco_exit_s (fleet, setpoint, cap per DC,
+  /// rotated to start at DC 1 so DC 0 is still unreached when the
+  /// reference kill lands).
+  double eco_cap = 0.7;
+  double eco_active_frac = 0.7;
+  double eco_enter_s = 6.0;
+  double eco_exit_s = 12.0;
+
+  /// Arms: replicated = one controller replica per DC (false: single
+  /// controller at DC 0); fencing = actuator ledgers enforce; deadman =
+  /// safe-state watchdog armed.
+  bool replicated = true;
+  bool fencing = true;
+  bool deadman = true;
+
+  /// Controller fault schedule, FaultPlan text restricted to ctl-crash /
+  /// ctl-hang / ctl-restart entries targeting a replica (= DC) index.
+  std::string controller_faults;
+  /// Grid-event script (fault_domain syntax) expanded over the reference
+  /// domain tree: outage and ctl-kill events kill the controllers
+  /// co-located with the target's datacenters (capacity is untouched —
+  /// this world models the control-plane shadow of a grid event).
+  std::string grid_script;
+
+  /// Goodput windows: pre-fault = epochs before prefault_until_s, end =
+  /// the last end_window_s of the drive window.
+  double prefault_until_s = 12.0;
+  double end_window_s = 8.0;
+  std::uint64_t seed = 7;
+};
+
+struct ControlDcOutcome {
+  std::uint64_t epochs = 0;
+  double demand_total = 0.0;
+  double served_total = 0.0;
+  std::uint64_t sla_violation_epochs = 0;
+  std::uint64_t thermal_alarm_epochs = 0;
+  double max_temp_c = 0.0;
+  double prefault_demand = 0.0;
+  double prefault_served = 0.0;
+  double end_demand = 0.0;
+  double end_served = 0.0;
+  /// Actuator-side ledger counters.
+  std::uint64_t commands_applied = 0;
+  std::uint64_t fencing_rejections = 0;  ///< stale + duplicate, plane-side
+  std::uint64_t stale_rejected = 0;      ///< stale-token share of the above
+  std::uint64_t double_actuations = 0;  ///< MUST be 0 unless fencing is off
+  std::uint64_t stale_applied = 0;      ///< nonzero only with fencing off
+  std::uint64_t safe_state_trips = 0;
+  std::uint64_t heartbeats_seen = 0;
+};
+
+struct ControlReplicaOutcome {
+  bool hosted = false;  ///< naive arm hosts a replica only at DC 0
+  std::uint64_t claims = 0;
+  std::uint64_t depositions = 0;
+  std::uint64_t crashes = 0;
+  std::uint64_t stale_heartbeats = 0;
+  std::uint64_t commands_issued = 0;
+  std::uint64_t commands_replayed = 0;
+  std::uint64_t journal_entries = 0;
+  std::uint64_t journal_rejected_stale = 0;
+  std::uint64_t final_max_token = 0;
+  std::vector<std::uint64_t> claimed_tokens;
+};
+
+struct ControlChaosOutcome {
+  std::vector<ControlDcOutcome> dcs;
+  std::vector<ControlReplicaOutcome> replicas;
+  double final_now_s = 0.0;
+  std::size_t final_pending = 0;
+  std::uint64_t control_messages = 0;  ///< world-level sends (shard-invariant)
+  std::uint64_t max_token = 0;         ///< highest fencing token fleet-wide
+  /// Claimed lease tokens are globally unique and every token t claimed by
+  /// replica r satisfies t % replicas == r — at most one live lease per
+  /// epoch, by construction.
+  bool lease_unique_ok = false;
+  /// Zero double-actuations on every enforced ledger.
+  bool fencing_clean = false;
+  double fleet_prefault_frac = 0.0;  ///< served/demand in the pre-fault window
+  double fleet_end_frac = 0.0;       ///< served/demand in the end window
+  std::uint64_t total_sla_violations = 0;
+  std::uint64_t total_alarms = 0;
+  bool conservation_ok = false;
+  std::string report;
+};
+
+/// Exact equality — the conformance and restore drills demand bit-identical.
+bool control_outcomes_equal(const ControlChaosOutcome& a,
+                            const ControlChaosOutcome& b);
+
+/// Uninterrupted run. `plan` (optional, non-owning) degrades inter-DC links
+/// and requires shards == dcs (the link plan is indexed by shard).
+ControlChaosOutcome run_control_plane(
+    const ControlChaosConfig& config,
+    const network::InterDcLinkPlan* plan = nullptr);
+
+/// Save/restore drill (mirrors chaos_fleet): snapshot at a barrier, run on,
+/// destroy everything, rebuild from config, restore, finish — the restored
+/// outcome must equal the uninterrupted one exactly.
+struct ControlRestoreReport {
+  ControlChaosOutcome uninterrupted;
+  ControlChaosOutcome restored;
+  bool identical = false;
+  std::size_t snapshot_bytes = 0;
+};
+ControlRestoreReport run_control_plane_with_restore(
+    const ControlChaosConfig& config, double snapshot_at_s, double kill_at_s);
+
+/// The reference leader-kill drill: defended (replicas + fencing + journal
+/// + dead-man) vs naive (single controller, no defenses) under a permanent
+/// leader death mid-eco-exit; with_partition additionally cuts every link
+/// into DC 0 through the failover window, so DC 0's dead-man must revert it
+/// to safe state before the demand ramp.
+struct ControlLeaderKillReport {
+  ControlChaosOutcome defended;
+  ControlChaosOutcome naive;
+  double goodput_threshold = 0.99;
+  bool defended_clean = false;  ///< >= threshold goodput, 0 alarms, 0 SLA
+                                ///< violations, fencing clean, lease unique
+  bool naive_violates = false;  ///< naive fails goodput or alarms
+  bool gate_ok = false;         ///< defended_clean && naive_violates
+};
+ControlLeaderKillReport run_leader_kill_drill(std::size_t dcs,
+                                              std::size_t threads,
+                                              std::uint64_t seed,
+                                              bool with_partition);
+
+/// Split-brain drill: the leader hangs through a follower takeover, wakes
+/// with a stale lease, and keeps actuating until deposed. Passes when the
+/// stale commands were fenced (> 0 rejections), no double actuation
+/// happened anywhere, and the woken leader stepped down.
+struct ControlSplitBrainReport {
+  ControlChaosOutcome outcome;
+  std::uint64_t stale_fenced = 0;
+  std::uint64_t double_actuations = 0;
+  bool stale_leader_deposed = false;
+  bool passed = false;
+};
+ControlSplitBrainReport run_split_brain_drill(std::size_t dcs,
+                                              std::size_t threads,
+                                              std::uint64_t seed);
+
+/// Reference fault schedules for the drills above.
+std::string make_leader_kill_plan();   ///< permanent ctl-crash on DC 0
+std::string make_split_brain_plan();   ///< ctl-hang window on DC 0
+/// Regional grid event whose datacenters' co-located controllers die with
+/// it (a ctl-kill on the americas region).
+std::string make_reference_control_grid_script();
+
+}  // namespace epm::faults

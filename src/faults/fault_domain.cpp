@@ -20,10 +20,10 @@ constexpr std::size_t kDomainLevelCount = 4;
 const char* kLevelTokens[kDomainLevelCount] = {"feed", "region", "dc",
                                                "cluster"};
 
-constexpr std::size_t kGridEventKindCount = 4;
+constexpr std::size_t kGridEventKindCount = 5;
 const char* kKindTokens[kGridEventKindCount] = {"outage", "brownout",
                                                 "price-spike",
-                                                "demand-response"};
+                                                "demand-response", "ctl-kill"};
 
 std::string trim(const std::string& s) {
   std::size_t lo = 0;

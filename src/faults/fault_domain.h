@@ -25,7 +25,7 @@
 //
 //   plan   := entry (';' entry)*
 //   entry  := kind ':' level '/' name '@' start '+' duration ['x' severity]
-//   kind   := outage | brownout | price-spike | demand-response
+//   kind   := outage | brownout | price-spike | demand-response | ctl-kill
 //   level  := feed | region | dc | cluster
 //
 // Times are seconds. Example:
@@ -115,6 +115,12 @@ enum class GridEventKind : std::uint8_t {
   kBrownout,
   kPriceSpike,
   kDemandResponse,
+  /// Kills the macro controller replicas co-located with the target's
+  /// datacenters without touching serving capacity — the control plane goes
+  /// dark while the plant keeps running. (An outage implies this too: a
+  /// dark DC's controller dies with it; ctl-kill isolates the control-plane
+  /// loss.) No effect on worlds without a control plane.
+  kControllerKill,
 };
 
 std::string to_string(GridEventKind kind);

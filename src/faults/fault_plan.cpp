@@ -19,6 +19,7 @@ namespace {
 const char* kTypeTokens[kFaultTypeCount] = {
     "crash", "psu", "crac", "derate", "sensor-drop", "sensor-stuck",
     "outage", "surge", "sensor-noise", "actuator-fail", "region-loss",
+    "ctl-crash", "ctl-hang", "ctl-restart",
 };
 
 void validate_event(const FaultEvent& event) {
@@ -273,7 +274,8 @@ std::size_t FaultPlan::count(FaultType type) const {
 }
 
 void FaultPlan::validate_targets(std::size_t service_count,
-                                 std::size_t crac_count) const {
+                                 std::size_t crac_count,
+                                 std::size_t controller_count) const {
   const auto reject = [](const FaultEvent& event, const char* kind,
                          std::size_t count) {
     throw std::invalid_argument(
@@ -298,6 +300,14 @@ void FaultPlan::validate_targets(std::size_t service_count,
       case FaultType::kCoolingDerate:
         if (event.target >= crac_count) {
           reject(event, "CRAC unit", crac_count);
+        }
+        break;
+      case FaultType::kControllerCrash:
+      case FaultType::kControllerHang:
+      case FaultType::kControllerRestart:
+        if (controller_count != kAnyTarget &&
+            event.target >= controller_count) {
+          reject(event, "controller replica", controller_count);
         }
         break;
       case FaultType::kUtilityOutage:

@@ -12,7 +12,8 @@
 //   plan     := entry (';' entry)*
 //   entry    := type [':' target] '@' start '+' duration ['x' severity]
 //   type     := crash | psu | crac | derate | sensor-drop | sensor-stuck |
-//               outage | surge | sensor-noise | actuator-fail
+//               outage | surge | sensor-noise | actuator-fail | region-loss |
+//               ctl-crash | ctl-hang | ctl-restart
 //
 // Times are seconds. Example: "outage@3600+1200;crac:0@7200+1800;
 // surge:1@10000+300x3.0" — a 20-minute utility outage at t=1h, CRAC 0 down
@@ -76,11 +77,16 @@ class FaultPlan {
   /// Rejects events whose target index is outside the facility: service-
   /// indexed types (crash, psu, sensor faults, surge) must target
   /// [0, service_count) and CRAC-indexed types (crac, derate) must target
-  /// [0, crac_count). Throws std::invalid_argument with a one-line
-  /// diagnostic naming the offending entry. Outages and region losses are
-  /// facility/fleet-wide and carry no target to validate.
-  void validate_targets(std::size_t service_count,
-                        std::size_t crac_count) const;
+  /// [0, crac_count). Controller faults (ctl-crash / ctl-hang /
+  /// ctl-restart) target a datacenter's controller replica and must target
+  /// [0, controller_count) when a count is given; the default kAnyTarget
+  /// skips the check for worlds with no control plane. Throws
+  /// std::invalid_argument with a one-line diagnostic naming the offending
+  /// entry. Outages and region losses are facility/fleet-wide and carry no
+  /// target to validate.
+  static constexpr std::size_t kAnyTarget = static_cast<std::size_t>(-1);
+  void validate_targets(std::size_t service_count, std::size_t crac_count,
+                        std::size_t controller_count = kAnyTarget) const;
 
   /// Round-trips through parse().
   std::string to_string() const;

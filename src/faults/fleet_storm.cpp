@@ -673,6 +673,11 @@ std::vector<FleetDisruption> to_fleet_disruptions(
       case GridEventKind::kDemandResponse:
         dis.capacity_factor = 1.0;  // elastic-power signal, no capacity loss
         break;
+      case GridEventKind::kControllerKill:
+        // Control-plane-only loss: serving capacity is untouched; the
+        // control_chaos world maps this onto controller crash windows.
+        dis.capacity_factor = 1.0;
+        break;
     }
     out.push_back(dis);
   }

@@ -57,6 +57,10 @@ struct FaultState {
       case FaultType::kSensorNoise:
       case FaultType::kActuatorFail:
         return false;  // the sensing / actuation planes own these
+      case FaultType::kControllerCrash:
+      case FaultType::kControllerHang:
+      case FaultType::kControllerRestart:
+        return false;  // the macro control plane owns these
     }
     return false;
   }
@@ -129,6 +133,9 @@ StormOutcome run_fault_storm(const StormConfig& config, const FaultPlan& plan) {
         return true;
       case sensing::CommandKind::kZoneShare:
         facility.set_zone_share(command.target, command.values);
+        return true;
+      case sensing::CommandKind::kConsolidation:
+        // No migration machinery in the storm facility; ack the pause.
         return true;
     }
     return false;

@@ -25,9 +25,16 @@ enum class FaultType {
   kSensorNoise,      ///< a sensing domain's readings gain Gaussian noise
   kActuatorFail,     ///< actuation commands fail with probability = severity
   kRegionLoss,       ///< correlated regional grid loss (fault-domain fan-out)
+  kControllerCrash,  ///< a DC's macro controller replica dies (volatile state
+                     ///< lost; restarts from its durable journal at clear)
+  kControllerHang,   ///< a replica freezes (GC pause / livelock): it drops
+                     ///< traffic while hung and resumes with STALE state —
+                     ///< the split-brain source fencing must contain
+  kControllerRestart,///< planned controller bounce (maintenance reboot):
+                     ///< mechanically crash + restart over a short window
 };
 
-inline constexpr std::size_t kFaultTypeCount = 11;
+inline constexpr std::size_t kFaultTypeCount = 14;
 
 /// Short stable token, e.g. "crash", "outage", "surge"; used by the
 /// FaultPlan text syntax and by reports.

@@ -1,0 +1,114 @@
+#include "macro/control_plane/journal.h"
+
+#include <bit>
+
+#include "core/require.h"
+
+namespace epm::macro {
+namespace {
+
+constexpr std::uint32_t kJournalMagic = 0x6e72756a;  // "jurn"
+constexpr std::uint32_t kJournalVersion = 1;
+
+}  // namespace
+
+sim::TagPayload encode_command(const ControlCommand& cmd) {
+  return {cmd.uid,
+          cmd.seq,
+          cmd.token,
+          static_cast<std::uint64_t>(cmd.op),
+          static_cast<std::uint64_t>(cmd.dc),
+          std::bit_cast<std::uint64_t>(cmd.value),
+          static_cast<std::uint64_t>(cmd.program_step)};
+}
+
+ControlCommand decode_command(const sim::TagPayload& payload) {
+  require(payload.size() == 7, "control command payload must be 7 words");
+  ControlCommand cmd;
+  cmd.uid = payload[0];
+  cmd.seq = payload[1];
+  cmd.token = payload[2];
+  cmd.op = static_cast<ControlOp>(payload[3]);
+  cmd.dc = static_cast<std::uint32_t>(payload[4]);
+  cmd.value = std::bit_cast<double>(payload[5]);
+  cmd.program_step = static_cast<std::uint32_t>(payload[6]);
+  return cmd;
+}
+
+ControlCommand CommandJournal::append_new(std::uint64_t token, ControlOp op,
+                                          std::uint32_t dc, double value,
+                                          std::uint32_t program_step) {
+  require(next_seq_ < (1ULL << kJournalSeqBits),
+          "command journal seq overflow");
+  ControlCommand cmd;
+  cmd.seq = next_seq_++;
+  cmd.uid = (token << kJournalSeqBits) | cmd.seq;
+  cmd.token = token;
+  cmd.op = op;
+  cmd.dc = dc;
+  cmd.value = value;
+  cmd.program_step = program_step;
+  entries_.emplace(std::make_pair(cmd.seq, cmd.uid), cmd);
+  by_uid_.emplace(cmd.uid, cmd.seq);
+  if (token > max_token_) max_token_ = token;
+  return cmd;
+}
+
+bool CommandJournal::merge(const ControlCommand& cmd,
+                           std::uint64_t fence_token) {
+  if (cmd.token < fence_token) {
+    ++rejected_stale_;
+    return false;
+  }
+  if (by_uid_.count(cmd.uid) != 0) {
+    ++duplicates_;
+    return false;
+  }
+  entries_.emplace(std::make_pair(cmd.seq, cmd.uid), cmd);
+  by_uid_.emplace(cmd.uid, cmd.seq);
+  if (cmd.token > max_token_) max_token_ = cmd.token;
+  if (cmd.seq >= next_seq_) next_seq_ = cmd.seq + 1;
+  return true;
+}
+
+bool CommandJournal::has_program_step(std::uint32_t step) const {
+  for (const auto& [key, cmd] : entries_) {
+    if (cmd.program_step == step) return true;
+  }
+  return false;
+}
+
+std::vector<ControlCommand> CommandJournal::replay_order() const {
+  std::vector<ControlCommand> out;
+  out.reserve(entries_.size());
+  for (const auto& [key, cmd] : entries_) out.push_back(cmd);
+  return out;
+}
+
+void CommandJournal::save(sim::SnapshotWriter& w) const {
+  w.begin_section(kJournalMagic, kJournalVersion);
+  w.write_u64(next_seq_);
+  w.write_u64(max_token_);
+  w.write_u64(rejected_stale_);
+  w.write_u64(duplicates_);
+  w.write_u64(entries_.size());
+  for (const auto& [key, cmd] : entries_) w.write_payload(encode_command(cmd));
+}
+
+void CommandJournal::restore(sim::SnapshotReader& r) {
+  r.expect_section(kJournalMagic, kJournalVersion);
+  next_seq_ = r.read_u64();
+  max_token_ = r.read_u64();
+  rejected_stale_ = r.read_u64();
+  duplicates_ = r.read_u64();
+  const std::uint64_t count = r.read_u64();
+  entries_.clear();
+  by_uid_.clear();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const ControlCommand cmd = decode_command(r.read_payload());
+    entries_.emplace(std::make_pair(cmd.seq, cmd.uid), cmd);
+    by_uid_.emplace(cmd.uid, cmd.seq);
+  }
+}
+
+}  // namespace epm::macro

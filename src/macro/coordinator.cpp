@@ -84,6 +84,10 @@ bool MacroResourceManager::apply_command(const sensing::ActuatorCommand& command
     case sensing::CommandKind::kZoneShare:
       facility_.set_zone_share(command.target, command.values);
       return true;
+    case sensing::CommandKind::kConsolidation:
+      // Consolidation pausing is a control-plane concern; the storm facility
+      // has no migration machinery to pause, so acknowledge and move on.
+      return true;
   }
   return false;
 }

@@ -88,6 +88,10 @@ bool DegradationPolicy::on_fault(const faults::FaultEvent& event, bool onset,
       return false;  // the sensing plane's problem, not the coordinator's
     case faults::FaultType::kActuatorFail:
       return false;  // the actuator plane retries; nothing to shed for
+    case faults::FaultType::kControllerCrash:
+    case faults::FaultType::kControllerHang:
+    case faults::FaultType::kControllerRestart:
+      return false;  // the control plane's replicas handle their own deaths
   }
   return false;
 }

@@ -33,6 +33,8 @@ std::string to_string(CommandKind kind) {
       return "power-cap";
     case CommandKind::kZoneShare:
       return "zone-share";
+    case CommandKind::kConsolidation:
+      return "consolidation";
   }
   return "unknown";
 }
@@ -52,6 +54,7 @@ std::size_t actuation_domain(CommandKind kind) {
     case CommandKind::kFleetSize:
     case CommandKind::kPstate:
     case CommandKind::kPowerCap:
+    case CommandKind::kConsolidation:
       return 0;  // compute-management network
     case CommandKind::kCracSupply:
     case CommandKind::kCracReturnSetpoint:
@@ -144,6 +147,26 @@ std::uint64_t ActuatorPlane::issue(const ActuatorCommand& command,
   return pending.id;
 }
 
+std::uint64_t ActuatorPlane::issue_fenced(const ActuatorCommand& command,
+                                          double now_s, std::uint64_t token,
+                                          std::uint64_t uid) {
+  if (fencing_ != nullptr) {
+    const FencingVerdict verdict = fencing_->admit(token, uid);
+    if (verdict != FencingVerdict::kApplied) {
+      ++fencing_rejections_;
+      log(now_s,
+          std::string(verdict == FencingVerdict::kStaleToken
+                          ? "fenced stale "
+                          : "fenced duplicate ") +
+              to_string(command.kind) + ":" + std::to_string(command.target) +
+              " token " + std::to_string(token) + " uid " +
+              std::to_string(uid));
+      return 0;
+    }
+  }
+  return issue(command, now_s);
+}
+
 void ActuatorPlane::tick(double now_s) {
   for (auto it = pending_.begin(); it != pending_.end();) {
     if (now_s - it->issued_s >= config_.command_timeout_s) {
@@ -179,6 +202,68 @@ bool ActuatorPlane::on_fault(const faults::FaultEvent& event, bool onset,
     }
   }
   return true;
+}
+
+namespace {
+constexpr std::uint32_t kActuatorMagic = 0x74756361;  // "acut"
+constexpr std::uint32_t kActuatorVersion = 1;
+
+void write_f64_vec(sim::SnapshotWriter& w, const std::vector<double>& v) {
+  w.write_u64(v.size());
+  for (double x : v) w.write_f64(x);
+}
+
+std::vector<double> read_f64_vec(sim::SnapshotReader& r) {
+  std::vector<double> v(r.read_u64());
+  for (double& x : v) x = r.read_f64();
+  return v;
+}
+}  // namespace
+
+void ActuatorPlane::save(sim::SnapshotWriter& w) const {
+  w.begin_section(kActuatorMagic, kActuatorVersion);
+  w.write_u64(next_id_);
+  w.write_u64(issued_);
+  w.write_u64(acked_);
+  w.write_u64(failed_);
+  w.write_u64(retries_);
+  w.write_u64(superseded_);
+  w.write_u64(fencing_rejections_);
+  for (const auto& domain : fail_severity_) write_f64_vec(w, domain);
+  w.write_u64(pending_.size());
+  for (const PendingCommand& p : pending_) {
+    w.write_u32(static_cast<std::uint32_t>(p.command.kind));
+    w.write_u64(p.command.target);
+    w.write_f64(p.command.value);
+    write_f64_vec(w, p.command.values);
+    w.write_u64(p.id);
+    w.write_f64(p.issued_s);
+    w.write_f64(p.next_attempt_s);
+    w.write_u64(p.attempts);
+  }
+}
+
+void ActuatorPlane::restore(sim::SnapshotReader& r) {
+  r.expect_section(kActuatorMagic, kActuatorVersion);
+  next_id_ = r.read_u64();
+  issued_ = r.read_u64();
+  acked_ = r.read_u64();
+  failed_ = r.read_u64();
+  retries_ = r.read_u64();
+  superseded_ = r.read_u64();
+  fencing_rejections_ = r.read_u64();
+  for (auto& domain : fail_severity_) domain = read_f64_vec(r);
+  pending_.assign(r.read_u64(), PendingCommand{});
+  for (PendingCommand& p : pending_) {
+    p.command.kind = static_cast<CommandKind>(r.read_u32());
+    p.command.target = static_cast<std::size_t>(r.read_u64());
+    p.command.value = r.read_f64();
+    p.command.values = read_f64_vec(r);
+    p.id = r.read_u64();
+    p.issued_s = r.read_f64();
+    p.next_attempt_s = r.read_f64();
+    p.attempts = static_cast<std::size_t>(r.read_u64());
+  }
 }
 
 }  // namespace epm::sensing

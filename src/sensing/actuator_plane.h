@@ -22,6 +22,8 @@
 #include <vector>
 
 #include "faults/types.h"
+#include "sensing/fencing.h"
+#include "sim/snapshot.h"
 
 namespace epm::sensing {
 
@@ -32,6 +34,7 @@ enum class CommandKind : std::uint32_t {
   kCracReturnSetpoint,  ///< value = return setpoint for CRAC target
   kPowerCap,            ///< value = capping P-state for service target
   kZoneShare,           ///< values = zone share vector for service target
+  kConsolidation,       ///< value = 1 pause / 0 resume consolidation moves
 };
 
 std::string to_string(CommandKind kind);
@@ -79,6 +82,22 @@ class ActuatorPlane {
   /// command with the same (kind, target). Returns the command id.
   std::uint64_t issue(const ActuatorCommand& command, double now_s);
 
+  /// Attaches a fencing ledger (non-owning; must outlive the plane). Only
+  /// the fenced issue path consults it — the default issue() and therefore
+  /// every pre-control-plane caller is untouched.
+  void set_fencing(FencingLedger* ledger) { fencing_ = ledger; }
+
+  /// Control-plane issue path: admits (token, uid) through the attached
+  /// ledger first. A command from a deposed leader (stale token) or a
+  /// journal replay already applied (duplicate uid) never reaches the
+  /// actuator; returns 0 in that case, else behaves exactly like issue().
+  /// Without an attached ledger this is plain issue().
+  std::uint64_t issue_fenced(const ActuatorCommand& command, double now_s,
+                             std::uint64_t token, std::uint64_t uid);
+
+  /// Commands the fencing ledger refused (stale token + duplicate uid).
+  std::uint64_t fencing_rejections() const { return fencing_rejections_; }
+
   /// Retries pending commands whose backoff has elapsed; abandons commands
   /// past their timeout. Call once per control epoch.
   void tick(double now_s);
@@ -99,6 +118,12 @@ class ActuatorPlane {
   std::uint64_t superseded() const { return superseded_; }
   const ActuatorPlaneConfig& config() const { return config_; }
 
+  /// Serializes pending commands, active fault severities, and counters (the
+  /// attached fencing ledger serializes itself separately — it is shared
+  /// state, not plane state).
+  void save(sim::SnapshotWriter& w) const;
+  void restore(sim::SnapshotReader& r);
+
  private:
   struct PendingCommand {
     ActuatorCommand command;
@@ -116,6 +141,7 @@ class ActuatorPlane {
   ActuatorPlaneConfig config_;
   Applier applier_;
   Logger logger_;
+  FencingLedger* fencing_ = nullptr;  ///< non-owning; nullptr = unfenced
   std::vector<PendingCommand> pending_;
   /// Active kActuatorFail severities per actuation domain (kept individually
   /// so overlapping faults clear without floating-point residue).
@@ -126,6 +152,7 @@ class ActuatorPlane {
   std::uint64_t failed_ = 0;
   std::uint64_t retries_ = 0;
   std::uint64_t superseded_ = 0;
+  std::uint64_t fencing_rejections_ = 0;
 };
 
 }  // namespace epm::sensing

@@ -1,0 +1,90 @@
+#include "sensing/fencing.h"
+
+#include "core/require.h"
+
+namespace epm::sensing {
+namespace {
+
+constexpr std::uint32_t kFencingMagic = 0x636e6566;  // "fenc"
+constexpr std::uint32_t kFencingVersion = 1;
+constexpr std::uint32_t kDeadmanMagic = 0x6e616d64;  // "dman"
+constexpr std::uint32_t kDeadmanVersion = 1;
+
+}  // namespace
+
+FencingVerdict FencingLedger::admit(std::uint64_t token, std::uint64_t uid) {
+  const bool stale = token < max_token_;
+  const bool duplicate = applied_uids_.count(uid) != 0;
+  if (enforce_) {
+    if (stale) {
+      ++rejected_stale_;
+      return FencingVerdict::kStaleToken;
+    }
+    if (duplicate) {
+      ++suppressed_duplicates_;
+      return FencingVerdict::kDuplicate;
+    }
+  } else {
+    // Audit-only: count the harm, then apply anyway.
+    if (stale) ++stale_applied_;
+    if (duplicate) ++double_actuations_;
+  }
+  if (token > max_token_) max_token_ = token;
+  applied_uids_.insert(uid);
+  ++applied_;
+  return FencingVerdict::kApplied;
+}
+
+void FencingLedger::save(sim::SnapshotWriter& w) const {
+  w.begin_section(kFencingMagic, kFencingVersion);
+  w.write_u8(enforce_ ? 1 : 0);
+  w.write_u64(max_token_);
+  w.write_u64(applied_);
+  w.write_u64(rejected_stale_);
+  w.write_u64(suppressed_duplicates_);
+  w.write_u64(double_actuations_);
+  w.write_u64(stale_applied_);
+  sim::TagPayload uids(applied_uids_.begin(), applied_uids_.end());
+  w.write_payload(uids);
+}
+
+void FencingLedger::restore(sim::SnapshotReader& r) {
+  r.expect_section(kFencingMagic, kFencingVersion);
+  require((r.read_u8() != 0) == enforce_,
+          "fencing snapshot enforcement mode does not match the config");
+  max_token_ = r.read_u64();
+  applied_ = r.read_u64();
+  rejected_stale_ = r.read_u64();
+  suppressed_duplicates_ = r.read_u64();
+  double_actuations_ = r.read_u64();
+  stale_applied_ = r.read_u64();
+  const sim::TagPayload uids = r.read_payload();
+  applied_uids_ = std::set<std::uint64_t>(uids.begin(), uids.end());
+}
+
+bool DeadMansSwitch::expired(double now_s) {
+  if (!enabled() || tripped_) return false;
+  if (now_s - last_feed_s_ < ttl_s_) return false;
+  tripped_ = true;
+  ++trips_;
+  return true;
+}
+
+void DeadMansSwitch::save(sim::SnapshotWriter& w) const {
+  w.begin_section(kDeadmanMagic, kDeadmanVersion);
+  w.write_f64(ttl_s_);
+  w.write_f64(last_feed_s_);
+  w.write_u8(tripped_ ? 1 : 0);
+  w.write_u64(trips_);
+}
+
+void DeadMansSwitch::restore(sim::SnapshotReader& r) {
+  r.expect_section(kDeadmanMagic, kDeadmanVersion);
+  require(r.read_f64() == ttl_s_,
+          "dead-man snapshot TTL does not match the config");
+  last_feed_s_ = r.read_f64();
+  tripped_ = r.read_u8() != 0;
+  trips_ = r.read_u64();
+}
+
+}  // namespace epm::sensing

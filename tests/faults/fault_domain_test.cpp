@@ -171,6 +171,54 @@ TEST(DomainExpansion, MapsOntoFleetDisruptions) {
   for (const FleetDisruption& d : disruptions) EXPECT_TRUE(d.broadcast);
 }
 
+// The ctl-kill grid token (controller-kill at a fault domain): it parses
+// and round-trips like the power events, expands to every datacenter under
+// the domain with the same correlated staggers, and maps onto a
+// signal-only disruption — serving capacity is untouched, only the
+// co-located controllers die.
+TEST(DomainFaultPlan, ControllerKillRoundTripsAndExpands) {
+  const std::string spec =
+      "ctl-kill:region/americas@13+10;ctl-kill:dc/ireland@40+5";
+  const DomainFaultPlan plan = DomainFaultPlan::parse(spec);
+  ASSERT_EQ(2U, plan.size());
+  EXPECT_EQ(spec, plan.to_string());
+  EXPECT_EQ(GridEventKind::kControllerKill, plan.events()[0].kind);
+  EXPECT_EQ(GridEventKind::kControllerKill, plan.events()[1].kind);
+  EXPECT_EQ(DomainLevel::kRegion, plan.events()[0].level);
+  EXPECT_EQ("ireland", plan.events()[1].target);
+  EXPECT_EQ(DomainFaultPlan::parse(plan.to_string()).to_string(),
+            plan.to_string());
+
+  const FaultDomainTree tree = reference_tree(4);
+  DomainExpansionConfig config;
+  config.seed = 7;
+  const auto expanded = expand_to_datacenters(tree, plan, config);
+  // americas in the 4-DC reference fleet is pnw + virginia (DCs 0-1);
+  // ireland is DC 2.
+  ASSERT_EQ(3U, expanded.size());
+  std::vector<std::size_t> hit;
+  for (const ExpandedDcFault& f : expanded) {
+    hit.push_back(f.dc);
+    EXPECT_EQ(GridEventKind::kControllerKill, f.kind);
+  }
+  std::sort(hit.begin(), hit.end());
+  EXPECT_EQ((std::vector<std::size_t>{0, 1, 2}), hit);
+
+  // Signal-only on the fleet side: full capacity, no dropped sessions.
+  const auto disruptions = to_fleet_disruptions(expanded);
+  ASSERT_EQ(3U, disruptions.size());
+  for (const FleetDisruption& d : disruptions) {
+    EXPECT_DOUBLE_EQ(1.0, d.capacity_factor);
+    EXPECT_FALSE(d.drop_sessions);
+  }
+
+  // Near-miss tokens stay rejected.
+  EXPECT_THROW(DomainFaultPlan::parse("ctl-crash:region/americas@13+10"),
+               std::invalid_argument);
+  EXPECT_THROW(DomainFaultPlan::parse("ctlkill:region/americas@13+10"),
+               std::invalid_argument);
+}
+
 // Satellite regression: a fat-fingered fault plan must be rejected with a
 // one-line diagnostic before anything is armed, not silently fault nothing.
 TEST(FaultPlanTargets, UnknownTargetsRejectedBeforeInjection) {

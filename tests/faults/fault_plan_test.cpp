@@ -271,6 +271,78 @@ TEST(FaultPlan, StormPlanAlwaysContainsOutageAndCracCore) {
                std::invalid_argument);
 }
 
+// Controller fault tokens (the survivable-control-plane extension): the
+// three ctl-* types parse, print, and fingerprint like every other type,
+// and validate_targets checks the replica index against the controller
+// count when one is given.
+TEST(FaultPlan, ControllerTokensRoundTripAndValidate) {
+  const std::string spec =
+      "ctl-crash:0@13.25+40;ctl-hang:2@10.25+6;ctl-restart:1@30+0.5";
+  const FaultPlan plan = FaultPlan::parse(spec);
+  ASSERT_EQ(plan.size(), 3u);
+  EXPECT_EQ(plan.events()[0].type, FaultType::kControllerHang);  // sorted
+  EXPECT_EQ(plan.events()[1].type, FaultType::kControllerCrash);
+  EXPECT_EQ(plan.events()[2].type, FaultType::kControllerRestart);
+  EXPECT_EQ(plan.events()[0].target, 2u);
+  EXPECT_DOUBLE_EQ(plan.events()[1].start_s, 13.25);
+
+  const FaultPlan again = FaultPlan::parse(plan.to_string());
+  EXPECT_EQ(again.fingerprint(), plan.fingerprint());
+  EXPECT_EQ(again.to_string(), plan.to_string());
+
+  // Replica indices are validated only when a controller count is supplied:
+  // the default kAnyTarget keeps pre-control-plane callers unchanged.
+  EXPECT_NO_THROW(plan.validate_targets(8, 2));
+  EXPECT_NO_THROW(plan.validate_targets(8, 2, /*controller_count=*/3));
+  try {
+    plan.validate_targets(8, 2, /*controller_count=*/2);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string message = e.what();
+    EXPECT_NE(std::string::npos, message.find("controller replica"));
+    EXPECT_NE(std::string::npos, message.find("2"));
+    EXPECT_EQ(std::string::npos, message.find('\n'));  // one line
+  }
+  // Controller indices are NOT clamped by the service/CRAC counts.
+  EXPECT_NO_THROW(
+      FaultPlan::parse("ctl-crash:5@1+1").validate_targets(1, 1, 6));
+  EXPECT_THROW(FaultPlan::parse("ctl-crash:6@1+1").validate_targets(1, 1, 6),
+               std::invalid_argument);
+}
+
+// The malformed-entry corpus extends to the ctl-* tokens: near-miss type
+// names and structurally damaged controller entries are rejected with the
+// same diagnosable one-line messages as every other fault type.
+TEST(FaultPlan, ControllerTokenCorpusRejectsNearMisses) {
+  struct Case {
+    const char* spec;
+    const char* needle;
+  };
+  const Case corpus[] = {
+      {"ctl@0+60", "ctl"},                      // bare prefix is not a type
+      {"ctl-@0+60", "ctl-"},                    // empty suffix
+      {"ctl-kill:0@0+60", "ctl-kill"},          // grid-script token, not a
+                                                // FaultPlan type
+      {"ctl-crashh:0@0+60", "ctl-crashh"},      // trailing typo
+      {"ctlcrash:0@0+60", "ctlcrash"},          // missing dash
+      {"CTL-CRASH:0@0+60", "CTL-CRASH"},        // tokens are case-sensitive
+      {"ctl-crash:0@@0+60", "duplicate '@'"},
+      {"ctl-hang:0@10", "missing '+duration'"},
+      {"ctl-restart:-1@0+60", "'-1'"},
+      {"ctl-crash:0@10+0", "duration must be > 0"},
+  };
+  for (const auto& c : corpus) {
+    try {
+      (void)FaultPlan::parse(c.spec);
+      FAIL() << "accepted malformed spec: " << c.spec;
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(c.needle), std::string::npos)
+          << "spec '" << c.spec << "' threw '" << e.what()
+          << "' which does not mention '" << c.needle << "'";
+    }
+  }
+}
+
 TEST(FaultPlan, FingerprintIsSensitiveToEveryField) {
   const FaultPlan base = FaultPlan::parse("crash:0@100+60x0.2");
   EXPECT_NE(base.fingerprint(),

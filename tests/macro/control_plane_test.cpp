@@ -1,0 +1,356 @@
+// Unit tests for the survivable control plane's core: lease election
+// (epoch-partitioned tokens, staggered TTLs, crash/hang semantics), the
+// replicated command journal (idempotent merge, token fencing, replay
+// order), and the controller replica (staged program issuance, failover
+// replay).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "macro/control_plane/controller.h"
+#include "macro/control_plane/journal.h"
+#include "macro/control_plane/lease.h"
+#include "sim/snapshot.h"
+
+namespace epm::macro {
+namespace {
+
+LeaseConfig lease_config(std::uint64_t replicas, std::uint64_t id) {
+  LeaseConfig c;
+  c.replicas = replicas;
+  c.id = id;
+  c.ttl_s = 2.0;
+  c.ttl_stagger_s = 0.5;
+  c.initial_leader = 0;
+  return c;
+}
+
+TEST(LeaseState, SeededLeaderHeartbeatsFromTimeZero) {
+  LeaseState leader(lease_config(4, 0));
+  EXPECT_EQ(LeaseRole::kLeader, leader.role());
+  EXPECT_EQ(4U, leader.token());  // smallest positive token == 0 mod 4
+  EXPECT_EQ(LeaseAction::kHeartbeat, leader.tick(0.0));
+
+  LeaseState follower(lease_config(4, 1));
+  EXPECT_EQ(LeaseRole::kFollower, follower.role());
+  EXPECT_EQ(4U, follower.max_token_seen());
+  EXPECT_EQ(0U, follower.believed_leader());
+  EXPECT_EQ(LeaseAction::kNone, follower.tick(0.0));
+}
+
+TEST(LeaseState, StaggeredTtlElectsTheLowestFollowerFirst) {
+  LeaseState r1(lease_config(4, 1));
+  LeaseState r2(lease_config(4, 2));
+  // Last heartbeat at t = 1.0; r1's deadline is 2.5, r2's is 3.0.
+  r1.on_heartbeat(4, 0, 1.0);
+  r2.on_heartbeat(4, 0, 1.0);
+  EXPECT_EQ(LeaseAction::kNone, r1.tick(3.4));
+  EXPECT_EQ(LeaseAction::kClaimed, r1.tick(3.5));
+  EXPECT_EQ(5U, r1.token());  // next token above 4 congruent to 1 mod 4
+  EXPECT_TRUE(r1.is_leader());
+  // r1's claim heartbeat lands before r2's 4.0 deadline: r2 adopts it.
+  EXPECT_EQ(LeaseAction::kNone, r2.tick(3.9));
+  r2.on_heartbeat(5, 1, 3.95);
+  EXPECT_EQ(LeaseAction::kNone, r2.tick(4.1));
+  EXPECT_EQ(1U, r2.believed_leader());
+}
+
+TEST(LeaseState, TokensPartitionByReplicaModulus) {
+  // Even claiming blind, two replicas can never mint the same token.
+  LeaseState r1(lease_config(3, 1));
+  LeaseState r2(lease_config(3, 2));
+  ASSERT_EQ(LeaseAction::kClaimed, r1.tick(10.0));
+  ASSERT_EQ(LeaseAction::kClaimed, r2.tick(10.0));
+  EXPECT_NE(r1.token(), r2.token());
+  EXPECT_EQ(1U, r1.token() % 3);
+  EXPECT_EQ(2U, r2.token() % 3);
+  // The higher token deposes the lower on first contact.
+  if (r2.token() > r1.token()) {
+    r1.on_heartbeat(r2.token(), 2, 10.1);
+    EXPECT_EQ(LeaseRole::kFollower, r1.role());
+    EXPECT_EQ(1U, r1.depositions());
+    EXPECT_TRUE(r2.is_leader());
+  }
+}
+
+TEST(LeaseState, StaleHeartbeatsAreCountedAndIgnored) {
+  LeaseState r1(lease_config(4, 1));
+  r1.on_heartbeat(8, 0, 1.0);  // newer leader view
+  const double before = r1.last_heartbeat_s();
+  r1.on_heartbeat(4, 0, 2.0);  // stale token
+  EXPECT_EQ(1U, r1.stale_heartbeats());
+  EXPECT_EQ(before, r1.last_heartbeat_s());  // stale HBs never refresh TTL
+}
+
+TEST(LeaseState, CrashLosesVolatileStateAndRestartRejoinsFromJournal) {
+  LeaseState r0(lease_config(4, 0));
+  ASSERT_TRUE(r0.is_leader());
+  r0.crash();
+  EXPECT_EQ(LeaseRole::kCrashed, r0.role());
+  EXPECT_EQ(LeaseAction::kNone, r0.tick(100.0));
+  EXPECT_EQ(1U, r0.crashes());
+  // Restart: follower, fencing floor from the durable journal, full grace.
+  r0.restart(50.0, 12);
+  EXPECT_EQ(LeaseRole::kFollower, r0.role());
+  EXPECT_EQ(12U, r0.max_token_seen());
+  EXPECT_EQ(LeaseAction::kNone, r0.tick(51.0));
+  // Grace expired with no leader: claims above the journal token.
+  EXPECT_EQ(LeaseAction::kClaimed, r0.tick(52.5));
+  EXPECT_EQ(16U, r0.token());
+}
+
+TEST(LeaseState, HungLeaderWakesStaleAndIsDeposed) {
+  LeaseState r0(lease_config(4, 0));
+  ASSERT_TRUE(r0.is_leader());
+  r0.hang();
+  EXPECT_EQ(LeaseAction::kNone, r0.tick(5.0));
+  EXPECT_TRUE(r0.hung());
+  // A heartbeat delivered while hung is lost on the floor.
+  r0.on_heartbeat(5, 1, 5.5);
+  EXPECT_EQ(4U, r0.max_token_seen());
+  r0.resume();
+  // Woken, it still believes it leads — the split-brain window.
+  EXPECT_EQ(LeaseAction::kHeartbeat, r0.tick(6.0));
+  EXPECT_EQ(4U, r0.token());
+  // First higher-token heartbeat deposes it.
+  r0.on_heartbeat(5, 1, 6.1);
+  EXPECT_EQ(LeaseRole::kFollower, r0.role());
+  EXPECT_EQ(1U, r0.depositions());
+}
+
+TEST(LeaseState, SaveRestoreRoundTripsExactly) {
+  LeaseState a(lease_config(4, 1));
+  a.on_heartbeat(4, 0, 1.0);
+  ASSERT_EQ(LeaseAction::kClaimed, a.tick(9.0));
+  a.on_heartbeat(10, 2, 9.5);
+
+  sim::SnapshotWriter w;
+  a.save(w);
+  const std::vector<std::uint8_t> bytes = w.take();
+
+  LeaseState b(lease_config(4, 1));
+  sim::SnapshotReader r(bytes);
+  b.restore(r);
+  EXPECT_TRUE(r.at_end());
+  EXPECT_EQ(a.role(), b.role());
+  EXPECT_EQ(a.token(), b.token());
+  EXPECT_EQ(a.max_token_seen(), b.max_token_seen());
+  EXPECT_EQ(a.claimed_tokens(), b.claimed_tokens());
+  EXPECT_EQ(a.depositions(), b.depositions());
+  EXPECT_EQ(a.last_heartbeat_s(), b.last_heartbeat_s());
+
+  LeaseState wrong(lease_config(4, 2));
+  sim::SnapshotReader r2(bytes);
+  EXPECT_THROW(wrong.restore(r2), std::invalid_argument);
+}
+
+TEST(CommandJournal, UidBindsOriginTokenAndSurvivesRetokenedReplay) {
+  CommandJournal origin;
+  const ControlCommand cmd =
+      origin.append_new(7, ControlOp::kPowerCap, 2, 0.7, 0);
+  EXPECT_EQ((7ULL << kJournalSeqBits) | 0ULL, cmd.uid);
+  EXPECT_EQ(7U, origin.max_token());
+
+  // Replication to a peer, then a replay under a higher token: the uid is
+  // unchanged, so the merge is a duplicate, not a new command.
+  CommandJournal peer;
+  EXPECT_TRUE(peer.merge(cmd, 0));
+  ControlCommand replay = cmd;
+  replay.token = 11;
+  EXPECT_FALSE(peer.merge(replay, 0));
+  EXPECT_EQ(1U, peer.duplicates());
+  EXPECT_EQ(1U, peer.size());
+}
+
+TEST(CommandJournal, MergeFencesDeposedTokensAndAdvancesSeq) {
+  CommandJournal peer;
+  ControlCommand fresh;
+  fresh.uid = (9ULL << kJournalSeqBits) | 4ULL;
+  fresh.seq = 4;
+  fresh.token = 9;
+  EXPECT_TRUE(peer.merge(fresh, 9));
+
+  // A deposed leader's record (token below the fence) is rejected.
+  ControlCommand stale;
+  stale.uid = (5ULL << kJournalSeqBits) | 5ULL;
+  stale.seq = 5;
+  stale.token = 5;
+  EXPECT_FALSE(peer.merge(stale, 9));
+  EXPECT_EQ(1U, peer.rejected_stale());
+
+  // next_seq advanced past the merged record, so a new command here never
+  // collides with the replicated slot.
+  const ControlCommand next =
+      peer.append_new(9, ControlOp::kFleetActive, 0, 20.0, kAdHocStep);
+  EXPECT_EQ(5U, next.seq);
+}
+
+TEST(CommandJournal, ReplayOrderIsSeqOrderedAndRoundTrips) {
+  CommandJournal j;
+  j.append_new(3, ControlOp::kPowerCap, 0, 0.7, 0);
+  j.append_new(3, ControlOp::kCracSetpoint, 1, 27.0, 1);
+  j.append_new(3, ControlOp::kFleetActive, 2, 14.0, 2);
+  const std::vector<ControlCommand> order = j.replay_order();
+  ASSERT_EQ(3U, order.size());
+  EXPECT_EQ(0U, order[0].seq);
+  EXPECT_EQ(2U, order[2].seq);
+  EXPECT_TRUE(j.has_program_step(1));
+  EXPECT_FALSE(j.has_program_step(3));
+
+  sim::SnapshotWriter w;
+  j.save(w);
+  const std::vector<std::uint8_t> bytes = w.take();
+  CommandJournal back;
+  sim::SnapshotReader r(bytes);
+  back.restore(r);
+  EXPECT_TRUE(r.at_end());
+  ASSERT_EQ(3U, back.size());
+  const std::vector<ControlCommand> replayed = back.replay_order();
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(order[i].uid, replayed[i].uid);
+    EXPECT_EQ(order[i].value, replayed[i].value);
+    EXPECT_EQ(order[i].program_step, replayed[i].program_step);
+  }
+}
+
+TEST(CommandJournal, EncodeDecodeRoundTripsEveryField) {
+  ControlCommand cmd;
+  cmd.uid = (13ULL << kJournalSeqBits) | 7ULL;
+  cmd.seq = 7;
+  cmd.token = 15;
+  cmd.op = ControlOp::kPauseConsolidation;
+  cmd.dc = 3;
+  cmd.value = -0.0;  // signed-zero must survive bit-exactly
+  cmd.program_step = kAdHocStep;
+  const ControlCommand back = decode_command(encode_command(cmd));
+  EXPECT_EQ(cmd.uid, back.uid);
+  EXPECT_EQ(cmd.seq, back.seq);
+  EXPECT_EQ(cmd.token, back.token);
+  EXPECT_EQ(cmd.op, back.op);
+  EXPECT_EQ(cmd.dc, back.dc);
+  EXPECT_EQ(std::signbit(cmd.value), std::signbit(back.value));
+  EXPECT_EQ(cmd.program_step, back.program_step);
+}
+
+ControllerConfig controller_config(std::uint64_t replicas, std::uint64_t id,
+                                   std::uint64_t dcs) {
+  ControllerConfig c;
+  c.lease = lease_config(replicas, id);
+  c.lease.replicas = replicas;
+  c.datacenters = dcs;
+  c.max_steps_per_tick = 2;
+  return c;
+}
+
+std::vector<ProgramStep> two_phase_program() {
+  return {
+      {1.0, 0, ControlOp::kPowerCap, 0.7},
+      {1.0, 1, ControlOp::kPowerCap, 0.7},
+      {5.0, 0, ControlOp::kPowerCap, 1.0},
+      {5.0, 1, ControlOp::kPowerCap, 1.0},
+  };
+}
+
+TEST(ControllerReplica, LeaderIssuesDueStepsAtTheStagingWidth) {
+  ControllerReplica leader(controller_config(1, 0, 2), two_phase_program());
+  // t = 0: heartbeats only (no step due yet).
+  std::vector<Outbound> out = leader.tick(0.0);
+  ASSERT_EQ(2U, out.size());
+  EXPECT_EQ(OutboundKind::kHeartbeat, out[0].kind);
+
+  // t = 1: both phase-1 steps fit in one tick (width 2): two commands plus
+  // one journal replication each (to DC 1, the only peer index != 0).
+  out = leader.tick(1.0);
+  std::size_t commands = 0, records = 0;
+  for (const Outbound& msg : out) {
+    if (msg.kind == OutboundKind::kCommand) ++commands;
+    if (msg.kind == OutboundKind::kJournalRecord) ++records;
+  }
+  EXPECT_EQ(2U, commands);
+  EXPECT_EQ(2U, records);
+  EXPECT_EQ(2U, leader.commands_issued());
+  // Steps already journaled are not re-issued.
+  out = leader.tick(2.0);
+  for (const Outbound& msg : out) {
+    EXPECT_EQ(OutboundKind::kHeartbeat, msg.kind);
+  }
+}
+
+TEST(ControllerReplica, FailoverReplaysTheJournalUnderTheNewToken) {
+  // Old leader (replica 0 of 2) issues both phase-1 steps, replicating to
+  // its peer; the peer then takes over and must replay them.
+  ControllerReplica old_leader(controller_config(2, 0, 2),
+                               two_phase_program());
+  ControllerReplica successor(controller_config(2, 1, 2),
+                              two_phase_program());
+  for (const Outbound& msg : old_leader.tick(1.0)) {
+    if (msg.kind == OutboundKind::kJournalRecord) {
+      successor.on_journal_record(msg.cmd);
+    }
+  }
+  ASSERT_EQ(2U, successor.journal().size());
+
+  // TTL (2.0 + 1 * 0.5) expires with no heartbeat since t = 1.0... claim.
+  std::vector<Outbound> out = successor.tick(4.0);
+  std::size_t replayed = 0;
+  std::uint64_t new_token = 0;
+  std::uint64_t original_uids = 0;
+  for (const Outbound& msg : out) {
+    if (msg.kind != OutboundKind::kCommand) continue;
+    if (msg.cmd.program_step <= 1) {
+      ++replayed;
+      new_token = msg.cmd.token;
+      if (msg.cmd.uid >> kJournalSeqBits == 2U) ++original_uids;
+    }
+  }
+  EXPECT_EQ(2U, replayed);
+  EXPECT_EQ(2U, successor.commands_replayed());
+  EXPECT_EQ(successor.lease().token(), new_token);
+  // uids still carry the origin token (2 = replica 0's seed), not the new
+  // one — that is what makes the replay idempotent at the actuators.
+  EXPECT_EQ(2U, original_uids);
+}
+
+TEST(ControllerReplica, CrashedAndHungReplicasDropJournalRecords) {
+  ControllerReplica rep(controller_config(2, 1, 2), two_phase_program());
+  ControlCommand cmd;
+  cmd.uid = (2ULL << kJournalSeqBits) | 0ULL;
+  cmd.token = 2;
+  rep.hang();
+  rep.on_journal_record(cmd);
+  EXPECT_EQ(1U, rep.journal_drops());
+  EXPECT_EQ(0U, rep.journal().size());
+  rep.resume();
+  rep.on_journal_record(cmd);
+  EXPECT_EQ(1U, rep.journal().size());
+}
+
+TEST(ControllerReplica, SaveRestoreRoundTripsLeaseAndJournal) {
+  ControllerReplica a(controller_config(2, 0, 2), two_phase_program());
+  a.tick(0.0);
+  a.tick(1.0);
+  sim::SnapshotWriter w;
+  a.save(w);
+
+  const std::vector<std::uint8_t> bytes = w.take();
+  ControllerReplica b(controller_config(2, 0, 2), two_phase_program());
+  sim::SnapshotReader r(bytes);
+  b.restore(r);
+  EXPECT_TRUE(r.at_end());
+  EXPECT_EQ(a.commands_issued(), b.commands_issued());
+  EXPECT_EQ(a.journal().size(), b.journal().size());
+  EXPECT_EQ(a.lease().token(), b.lease().token());
+  // The restored replica continues identically: phase-2 steps at t = 5.
+  const std::vector<Outbound> oa = a.tick(5.0);
+  const std::vector<Outbound> ob = b.tick(5.0);
+  ASSERT_EQ(oa.size(), ob.size());
+  for (std::size_t i = 0; i < oa.size(); ++i) {
+    EXPECT_EQ(oa[i].kind, ob[i].kind);
+    EXPECT_EQ(oa[i].dst, ob[i].dst);
+    EXPECT_EQ(oa[i].cmd.uid, ob[i].cmd.uid);
+  }
+}
+
+}  // namespace
+}  // namespace epm::macro

@@ -14,6 +14,7 @@
 #include "bench/kernel_bench.h"
 #include "cluster/request_des.h"
 #include "faults/chaos_fleet.h"
+#include "faults/control_chaos.h"
 #include "faults/fleet_storm.h"
 #include "cluster/service_cluster.h"
 #include "core/cli_args.h"
@@ -77,6 +78,13 @@ int cmd_help() {
                                                         partition/heal zero-loss drill
                                                         (SPEC: "outage:region/americas@
                                                         32+16;brownout:feed/grid-eu@...")
+  epmctl controlplane [--dcs N] [--seed S]              survivable-control-plane drills:
+                      [--threads T] [--smoke]           kill-the-leader (defended vs
+                                                        naive, with WAN partition),
+                                                        split-brain fencing, shard/thread
+                                                        conformance sweep, mid-failover
+                                                        restore. --smoke = reduced sweep,
+                                                        no partition variant
 
   --threads T applies to the commands with parallel backends (availability,
   replications); it defaults to the EPM_THREADS environment variable, else
@@ -311,6 +319,11 @@ int cmd_replications(const CliArgs& args) {
   config.seed = static_cast<std::uint64_t>(args.get("seed", std::int64_t{2027}));
   config.threads = args.threads();
   if (const int rc = check_unused(args)) return rc;
+  if (config.base.arrival_rate_per_s <= 0.0) return fail("--rate must be > 0");
+  if (config.base.mean_service_s <= 0.0) return fail("--service-ms must be > 0");
+  if (config.base.servers == 0) return fail("--servers must be > 0");
+  if (config.base.measured_requests == 0) return fail("--requests must be > 0");
+  if (config.replications == 0) return fail("--reps must be > 0");
 
   const auto result = cluster::simulate_replications(config);
   // 95% CI from the independent replication means (t ~ 2 for small K).
@@ -328,6 +341,20 @@ int cmd_replications(const CliArgs& args) {
             << "  queue depth:     " << fmt(result.queue_depth.mean(), 2) << "\n"
             << "  utilization:     " << fmt_percent(result.utilization.mean(), 1)
             << "\n  completed:       " << result.completed << " requests\n";
+  // Exit-code contract: the pooled ledger must account for every measured
+  // request of every replication, with finite statistics — anything else is
+  // a conformance failure (3).
+  const std::size_t expected =
+      config.replications * config.base.measured_requests;
+  if (result.completed != expected ||
+      !std::isfinite(result.response_s.mean()) ||
+      result.response_s.mean() <= 0.0) {
+    return conformance_fail(
+        "replication ledger mismatch (completed " +
+            std::to_string(result.completed) + ", expected " +
+            std::to_string(expected) + ")",
+        config.seed, config.replications, config.threads);
+  }
   return 0;
 }
 
@@ -377,27 +404,43 @@ int cmd_faults(const CliArgs& args) {
   config.policy_enabled = false;
   const auto baseline = faults::run_fault_storm(config, plan);
   add_arm("uncoordinated", baseline);
-  if (!no_policy) {
-    config.policy_enabled = true;
-    const auto managed = faults::run_fault_storm(config, plan);
-    add_arm("degradation policy", managed);
+  if (no_policy) {
     std::cout << table.render();
-    const double gain = (managed.served_requests + managed.rerouted_requests) -
-                        (baseline.served_requests + baseline.rerouted_requests);
-    std::cout << "  policy saved " << fmt(gain, 0)
-              << " requests over the storm ("
-              << (managed.faults_conserved ? "all faults conserved"
-                                           : "CONSERVATION VIOLATED")
-              << ")\n";
-    if (!managed.decision_counts.empty()) {
-      std::cout << "  decisions:";
-      for (const auto& [kind, count] : managed.decision_counts) {
-        std::cout << " " << kind << "=" << count;
-      }
-      std::cout << "\n";
+    if (!baseline.faults_conserved) {
+      return conformance_fail("fault storm conservation ledger violated", seed,
+                              1, 1);
     }
-  } else {
-    std::cout << table.render();
+    return 0;
+  }
+  config.policy_enabled = true;
+  const auto managed = faults::run_fault_storm(config, plan);
+  add_arm("degradation policy", managed);
+  std::cout << table.render();
+  const double gain = (managed.served_requests + managed.rerouted_requests) -
+                      (baseline.served_requests + baseline.rerouted_requests);
+  const bool conserved = managed.faults_conserved && baseline.faults_conserved;
+  std::cout << "  policy saved " << fmt(gain, 0)
+            << " requests over the storm ("
+            << (conserved ? "all faults conserved" : "CONSERVATION VIOLATED")
+            << ")\n";
+  if (!managed.decision_counts.empty()) {
+    std::cout << "  decisions:";
+    for (const auto& [kind, count] : managed.decision_counts) {
+      std::cout << " " << kind << "=" << count;
+    }
+    std::cout << "\n";
+  }
+  // Exit-code contract: a broken conservation ledger is a conformance
+  // failure (3); the degradation policy losing to the uncoordinated arm is
+  // a scenario verdict failure (1).
+  if (!conserved) {
+    return conformance_fail("fault storm conservation ledger violated", seed,
+                            1, 1);
+  }
+  if (gain < 0.0) {
+    std::cout << "  VERDICT: degradation policy served fewer requests than "
+                 "the uncoordinated arm\n";
+    return 1;
   }
   return 0;
 }
@@ -462,6 +505,21 @@ int cmd_sensing(const CliArgs& args) {
             << ")\n";
   if (!naive.invariants_ok) std::cout << naive.invariant_report;
   if (!hardened.invariants_ok) std::cout << hardened.invariant_report;
+  // Exit-code contract: the hardened arm's invariants or either arm's
+  // conservation ledger breaking is a conformance failure (3); the hardened
+  // controller failing to dominate the naive one is a verdict failure (1).
+  if (!hardened.invariants_ok || !naive.faults_conserved ||
+      !hardened.faults_conserved) {
+    return conformance_fail("sensing invariants/conservation violated", seed,
+                            1, 1);
+  }
+  if (hardened.served_fraction() < naive.served_fraction()) {
+    std::cout << "  VERDICT: hardened controller served less than the naive "
+                 "one ("
+              << fmt_percent(hardened.served_fraction(), 2) << " vs "
+              << fmt_percent(naive.served_fraction(), 2) << ")\n";
+    return 1;
+  }
   return 0;
 }
 
@@ -550,9 +608,12 @@ int cmd_kernelbench(const CliArgs& args) {
   std::cout << "DES kernel throughput (seed " << config.seed << "):\n";
   const auto outcome = bench::run_kernel_bench(config);
   if (!outcome.gate_ok) {
-    return fail("kernel bench missed a perf gate (hold " +
-                fmt(outcome.hold_speedup, 2) + "x, storm " +
-                fmt(outcome.storm_speedup, 2) + "x; see PASS/FAIL lines)");
+    // A missed perf gate is a conformance failure (3), not a usage error.
+    return conformance_fail("kernel bench missed a perf gate (hold " +
+                                fmt(outcome.hold_speedup, 2) + "x, storm " +
+                                fmt(outcome.storm_speedup, 2) +
+                                "x; see PASS/FAIL lines)",
+                            config.seed, 1, config.threads);
   }
   return 0;
 }
@@ -695,6 +756,148 @@ int cmd_chaos(const CliArgs& args) {
   return 0;
 }
 
+int cmd_controlplane(const CliArgs& args) {
+  const bool smoke = args.get_switch("smoke");
+  const auto dcs = static_cast<std::size_t>(args.get("dcs", std::int64_t{4}));
+  const auto seed = static_cast<std::uint64_t>(args.get("seed", std::int64_t{7}));
+  const std::size_t threads = args.threads();
+  if (const int rc = check_unused(args)) return rc;
+  if (dcs < 3 || dcs > 6) {
+    return fail("--dcs must be 3..6 (leader failover needs >= 3 replicas)");
+  }
+
+  std::cout << "Survivable control plane: " << dcs << " datacenters, seed "
+            << seed << ", " << threads << " thread" << (threads == 1 ? "" : "s")
+            << (smoke ? " (smoke)" : "") << ":\n";
+
+  const auto add_arm = [](Table& table, const char* name,
+                          const faults::ControlChaosOutcome& out) {
+    std::uint64_t fenced = 0;
+    std::uint64_t doubles = 0;
+    std::uint64_t safe_trips = 0;
+    for (const faults::ControlDcOutcome& dc : out.dcs) {
+      fenced += dc.fencing_rejections;
+      doubles += dc.double_actuations;
+      safe_trips += dc.safe_state_trips;
+    }
+    table.add_row({name, fmt_percent(out.fleet_prefault_frac, 1),
+                   fmt_percent(out.fleet_end_frac, 1),
+                   std::to_string(out.total_sla_violations),
+                   std::to_string(out.total_alarms), std::to_string(fenced),
+                   std::to_string(doubles), std::to_string(safe_trips)});
+  };
+
+  // Drill 1: kill-the-leader mid-transition, defended vs naive, then the
+  // variant that additionally partitions DC 0 through the failover window.
+  Table drill({"drill", "prefault", "end", "SLA viol", "alarms", "fenced",
+               "doubles", "safe trips"});
+  const auto kill =
+      faults::run_leader_kill_drill(dcs, threads, seed, /*with_partition=*/false);
+  add_arm(drill, "leader-kill defended", kill.defended);
+  add_arm(drill, "leader-kill naive", kill.naive);
+  bool partition_gate_ok = true;
+  bool partition_deadman_ok = true;
+  if (!smoke) {
+    const auto part =
+        faults::run_leader_kill_drill(dcs, threads, seed, /*with_partition=*/true);
+    add_arm(drill, "kill+partition defended", part.defended);
+    add_arm(drill, "kill+partition naive", part.naive);
+    partition_gate_ok = part.gate_ok;
+    partition_deadman_ok = part.defended.dcs[0].safe_state_trips >= 1;
+  }
+  std::cout << drill.render();
+
+  // Drill 2: split-brain — the hung leader wakes with a stale lease.
+  const auto sb = faults::run_split_brain_drill(dcs, threads, seed);
+  std::cout << "  split-brain:      " << sb.stale_fenced
+            << " stale actuations fenced, " << sb.double_actuations
+            << " double actuations, imposter "
+            << (sb.stale_leader_deposed ? "deposed" : "STILL LEADING") << "\n";
+
+  // Drill 3: conformance sweep — the leader-kill world must be bit-identical
+  // at every shard/thread count.
+  std::vector<std::size_t> shard_counts{1};
+  if (!smoke && dcs % 2 == 0 && dcs > 2) shard_counts.push_back(2);
+  shard_counts.push_back(dcs);
+  const std::vector<std::size_t> thread_counts =
+      smoke ? std::vector<std::size_t>{1, 2}
+            : std::vector<std::size_t>{1, 2, 8};
+  faults::ControlChaosConfig base;
+  base.dcs = dcs;
+  base.seed = seed;
+  base.controller_faults = faults::make_leader_kill_plan();
+  faults::ControlChaosConfig serial = base;
+  serial.shards = 1;
+  const auto reference = faults::run_control_plane(serial);
+  bool sweep_ok = reference.lease_unique_ok && reference.fencing_clean &&
+                  reference.conservation_ok;
+  std::size_t sweep_runs = 1;
+  std::size_t bad_shards = 0;
+  std::size_t bad_threads = 0;
+  for (const std::size_t shards : shard_counts) {
+    for (const std::size_t sweep_threads : thread_counts) {
+      if (shards == 1 && sweep_threads == 1) continue;
+      faults::ControlChaosConfig c = base;
+      c.shards = shards;
+      c.threads = sweep_threads;
+      const auto out = faults::run_control_plane(c);
+      ++sweep_runs;
+      if (!faults::control_outcomes_equal(reference, out) ||
+          !out.lease_unique_ok || !out.fencing_clean || !out.conservation_ok) {
+        sweep_ok = false;
+        bad_shards = shards;
+        bad_threads = sweep_threads;
+      }
+    }
+  }
+  std::cout << "  conformance:      " << sweep_runs << " runs across shards {";
+  for (std::size_t i = 0; i < shard_counts.size(); ++i) {
+    std::cout << (i ? "," : "") << shard_counts[i];
+  }
+  std::cout << "} x threads {";
+  for (std::size_t i = 0; i < thread_counts.size(); ++i) {
+    std::cout << (i ? "," : "") << thread_counts[i];
+  }
+  std::cout << "}, "
+            << (sweep_ok ? "all bit-identical" : "DIVERGED") << "\n";
+
+  // Drill 4: snapshot mid-failover (after the kill, before the successor's
+  // claim), restore, finish — must equal the uninterrupted run exactly.
+  const auto restore =
+      faults::run_control_plane_with_restore(base, /*snapshot_at_s=*/14.0,
+                                             /*kill_at_s=*/16.5);
+  std::cout << "  restore:          snapshot " << restore.snapshot_bytes
+            << " bytes mid-failover, continuation "
+            << (restore.identical ? "bit-identical" : "DIVERGED") << "\n";
+
+  const bool verdict_ok = kill.gate_ok && partition_gate_ok && sb.passed;
+  std::cout << "  gates:            leader-kill "
+            << (kill.gate_ok ? "pass" : "FAILED") << ", partition "
+            << (smoke ? "skipped"
+                      : (partition_gate_ok && partition_deadman_ok ? "pass"
+                                                                   : "FAILED"))
+            << ", split-brain " << (sb.passed ? "pass" : "FAILED") << "\n";
+
+  if (!sweep_ok) {
+    return conformance_fail("control plane diverged across shard/thread counts",
+                            seed, bad_shards, bad_threads);
+  }
+  if (!restore.identical) {
+    return conformance_fail("control plane restore continuation diverged", seed,
+                            dcs, threads);
+  }
+  if (!partition_deadman_ok) {
+    return conformance_fail(
+        "partitioned DC 0 never tripped its dead-man safe state", seed, dcs,
+        threads);
+  }
+  if (!verdict_ok) {
+    std::cout << "  VERDICT: a control-plane drill gate failed (see above)\n";
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -714,6 +917,7 @@ int main(int argc, char** argv) {
     if (cmd == "kernelbench") return cmd_kernelbench(args);
     if (cmd == "federation") return cmd_federation(args);
     if (cmd == "chaos") return cmd_chaos(args);
+    if (cmd == "controlplane") return cmd_controlplane(args);
     return fail("unknown command '" + cmd + "' (see 'epmctl help')");
   } catch (const std::exception& e) {
     std::cerr << "epmctl: runtime error: " << e.what() << "\n";
