@@ -1,4 +1,4 @@
-// EXP-F (paper §5.3): data management at fleet scale.
+// EXP-AA (paper §5.3): the telemetry firehose on the columnar store.
 //
 //   "consider a 10,000 server cloud computing environment, if there are 100
 //    software performance counters of interests, and each of them are
@@ -8,259 +8,43 @@
 //    of these bands can be considered as noise and be eliminated, thus
 //    reducing storage requirements."
 //
-// google-benchmark timings for ingest and for the paper's four query bands
-// (trend / pattern / balancer correlation / anomaly), multi-scale store vs
-// raw scan, plus the memory-footprint comparison the paper's storage
-// argument rests on.
-#include <benchmark/benchmark.h>
+// Emits BENCH_telemetry.json (one record per section, see telemetry_bench.h)
+// and exits non-zero when any gate fails: >= 100M points/minute ring-pipeline
+// ingest, >= 8x sealed-block compression on the reference counter mix,
+// bit-identical answers vs the legacy store at 1/2/8 threads, and full
+// recall of injected spikes by the in-stream detector. The Release CI lane
+// runs `--smoke` (reduced mix, loose throughput floor) on every push.
+#include <cstdio>
 
-#include <chrono>
-#include <cmath>
-#include <cstdint>
-#include <iostream>
-#include <vector>
-
-#include "bench_report.h"
-#include "core/parallel.h"
-#include "core/rng.h"
-#include "core/table.h"
-#include "core/units.h"
-#include "telemetry/anomaly.h"
-#include "telemetry/multiscale.h"
-#include "telemetry/store.h"
-
-using namespace epm;
-using telemetry::make_key;
-
-namespace {
-
-constexpr double kStep = 15.0;
-
-/// A day of one CPU counter: diurnal + noise + occasional spikes.
-std::vector<double> synthesize_day(std::uint64_t seed) {
-  Rng rng(seed);
-  std::vector<double> out;
-  const auto n = static_cast<std::size_t>(kSecondsPerDay / kStep);
-  out.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    const double hour = static_cast<double>(i) * kStep / 3600.0;
-    const double diurnal = 50.0 + 30.0 * std::sin(2.0 * 3.14159265 * (hour - 8.0) / 24.0);
-    double v = diurnal + rng.normal(0.0, 3.0);
-    if (rng.bernoulli(0.0005)) v += 40.0;  // rare spikes
-    out.push_back(v);
-  }
-  return out;
-}
-
-const std::vector<double>& shared_day() {
-  static const std::vector<double> day = synthesize_day(1);
-  return day;
-}
-
-void BM_IngestMultiScale(benchmark::State& state) {
-  const auto& day = shared_day();
-  for (auto _ : state) {
-    telemetry::MultiScaleSeries series;
-    for (std::size_t i = 0; i < day.size(); ++i) {
-      series.append(static_cast<double>(i) * kStep, day[i]);
-    }
-    benchmark::DoNotOptimize(series.total_samples());
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(day.size()));
-}
-BENCHMARK(BM_IngestMultiScale);
-
-void BM_IngestRaw(benchmark::State& state) {
-  const auto& day = shared_day();
-  for (auto _ : state) {
-    telemetry::RawStore raw;
-    for (std::size_t i = 0; i < day.size(); ++i) {
-      raw.append(make_key(0, 0), static_cast<double>(i) * kStep, day[i]);
-    }
-    benchmark::DoNotOptimize(raw.total_samples());
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(day.size()));
-}
-BENCHMARK(BM_IngestRaw);
-
-/// Query benchmarks run against `days` of pre-ingested data.
-struct QueryFixture {
-  telemetry::MultiScaleSeries series;
-  telemetry::RawStore raw;
-  double horizon_s = 0.0;
-
-  explicit QueryFixture(int days) {
-    for (int d = 0; d < days; ++d) {
-      const auto day = synthesize_day(static_cast<std::uint64_t>(d + 1));
-      for (std::size_t i = 0; i < day.size(); ++i) {
-        const double t = d * kSecondsPerDay + static_cast<double>(i) * kStep;
-        series.append(t, day[i]);
-        raw.append(make_key(0, 0), t, day[i]);
-      }
-    }
-    horizon_s = days * kSecondsPerDay;
-  }
-};
-
-QueryFixture& fixture() {
-  static QueryFixture f(14);  // two weeks of one counter
-  return f;
-}
-
-void BM_TrendQueryMultiScale(benchmark::State& state) {
-  auto& f = fixture();
-  for (auto _ : state) {
-    const auto agg = f.series.range(0.0, f.horizon_s);
-    benchmark::DoNotOptimize(agg.mean());
-  }
-}
-BENCHMARK(BM_TrendQueryMultiScale);
-
-void BM_TrendQueryRawScan(benchmark::State& state) {
-  auto& f = fixture();
-  for (auto _ : state) {
-    const auto stats = f.raw.range(make_key(0, 0), 0.0, f.horizon_s);
-    benchmark::DoNotOptimize(stats.mean);
-  }
-}
-BENCHMARK(BM_TrendQueryRawScan);
-
-void BM_RecentWindowMultiScale(benchmark::State& state) {
-  auto& f = fixture();
-  for (auto _ : state) {
-    const auto agg = f.series.range(f.horizon_s - 3600.0, f.horizon_s);
-    benchmark::DoNotOptimize(agg.max);
-  }
-}
-BENCHMARK(BM_RecentWindowMultiScale);
-
-void BM_RecentWindowRawScan(benchmark::State& state) {
-  auto& f = fixture();
-  for (auto _ : state) {
-    const auto stats = f.raw.range(make_key(0, 0), f.horizon_s - 3600.0, f.horizon_s);
-    benchmark::DoNotOptimize(stats.max);
-  }
-}
-BENCHMARK(BM_RecentWindowRawScan);
-
-/// A slice of the §5.3 firehose: `servers` x `counters` sampled every 15 s
-/// for `steps` ticks, in arrival (time-major) order. Values are a diurnal
-/// base plus per-sample hash noise, so generation is cheap and the batch is
-/// identical however it is later ingested.
-std::vector<telemetry::Sample> synthesize_fleet(std::uint32_t servers,
-                                                std::uint32_t counters,
-                                                std::size_t steps) {
-  std::vector<telemetry::Sample> samples;
-  samples.reserve(static_cast<std::size_t>(servers) * counters * steps);
-  for (std::size_t i = 0; i < steps; ++i) {
-    const double t = static_cast<double>(i) * kStep;
-    const double hour = t / 3600.0;
-    const double diurnal = 50.0 + 30.0 * std::sin(2.0 * 3.14159265 * (hour - 8.0) / 24.0);
-    for (std::uint32_t s = 0; s < servers; ++s) {
-      for (std::uint32_t c = 0; c < counters; ++c) {
-        const auto key = make_key(s, c);
-        SplitMix64 hash(key ^ (static_cast<std::uint64_t>(i) << 24));
-        const double noise =
-            6.0 * (static_cast<double>(hash.next() >> 11) * 0x1.0p-53 - 0.5);
-        samples.push_back({key, t, diurnal + noise});
-      }
-    }
-  }
-  return samples;
-}
-
-/// Ingests the batch with `threads` workers and returns the wall time.
-double timed_bulk_ingest(telemetry::TelemetryStore& store,
-                         const std::vector<telemetry::Sample>& samples,
-                         std::size_t threads) {
-  const auto start = std::chrono::steady_clock::now();
-  store.bulk_append(samples, threads);
-  const std::chrono::duration<double> wall =
-      std::chrono::steady_clock::now() - start;
-  return wall.count();
-}
-
-}  // namespace
+#include "core/cli_args.h"
+#include "telemetry_bench.h"
 
 int main(int argc, char** argv) {
-  std::cout << "\n==== EXP-F (sec. 5.3): telemetry at fleet scale ====\n";
-
-  // The paper's arithmetic, reproduced exactly.
-  const double servers = 10000.0;
-  const double counters = 100.0;
-  const double per_minute = servers * counters * (60.0 / kStep);
-  std::cout << "  10,000 servers x 100 counters @ 15 s = " << fmt_si(per_minute, 1)
-            << " points/minute (paper: 2.4 million)\n\n";
-
-  // Storage comparison for a representative slice of the fleet (full fleet
-  // would be ~1M series; per-series costs scale linearly).
-  {
-    QueryFixture f(14);
-    const double raw_mb = static_cast<double>(f.raw.memory_bytes()) / 1e6;
-    const double ms_mb = static_cast<double>(f.series.memory_bytes()) / 1e6;
-    std::cout << "  Two weeks of one counter @ 15 s: raw " << fmt(raw_mb, 2)
-              << " MB vs multi-scale " << fmt(ms_mb, 3) << " MB ("
-              << fmt(raw_mb / ms_mb, 0) << "x smaller after band retention)\n";
-    std::cout << "  Fleet-scale projection (1M counters): raw "
-              << fmt(raw_mb * 1e6 / 1e6, 0) << " TB/2wk vs multi-scale "
-              << fmt(ms_mb * 1e6 / 1e6, 1) << " TB retained\n\n";
-
-    // Band queries still answer correctly from the pyramid.
-    const auto trend = f.series.range(0.0, f.horizon_s);
-    const auto raw_trend = f.raw.range(make_key(0, 0), 0.0, f.horizon_s);
-    std::cout << "  Trend query agreement: multi-scale mean " << fmt(trend.mean(), 3)
-              << " vs raw-scan mean " << fmt(raw_trend.mean, 3) << "\n\n";
+  epm::CliArgs args(argc, argv);
+  epm::bench::TelemetryBenchConfig config;
+  config.threads = args.threads();
+  config.seed = static_cast<std::uint64_t>(
+      args.get("seed", static_cast<std::int64_t>(42)));
+  // --smoke: the reduced CI configuration — ~5% of the full mix under a
+  // loose absolute throughput floor, so the Release lane catches
+  // order-of-magnitude regressions (and any correctness-gate break) without
+  // paying the 10M-point run on every push.
+  if (args.get_switch("smoke")) {
+    config.servers = 200;
+    config.counters_per_server = 25;
+    config.ticks = 100;
+    config.equiv_servers = 60;
+    config.equiv_counters = 10;
+    config.equiv_ticks = 100;
+    config.min_points_per_min = 10e6;
   }
 
-  // Sharded parallel ingest of a fleet slice (96 servers x 25 counters,
-  // two hours @ 15 s = 1.15M points — half a paper-minute of the full
-  // firehose). The parallel path must be bit-identical to one thread.
-  {
-    const std::uint32_t servers_in_slice = 96;
-    const std::uint32_t counters_per_server = 25;
-    const std::size_t steps = 480;  // two hours at 15 s
-    const auto samples =
-        synthesize_fleet(servers_in_slice, counters_per_server, steps);
-    const std::size_t threads = default_thread_count();
-
-    telemetry::TelemetryStore serial_store;
-    telemetry::TelemetryStore parallel_store;
-    const double serial_s = timed_bulk_ingest(serial_store, samples, 1);
-    const double parallel_s = timed_bulk_ingest(parallel_store, samples, threads);
-
-    bool identical = serial_store.total_samples() == parallel_store.total_samples() &&
-                     serial_store.series_count() == parallel_store.series_count();
-    for (std::uint32_t s = 0; s < servers_in_slice && identical; s += 7) {
-      const auto key = make_key(s, s % counters_per_server);
-      const auto a = serial_store.series(key).range(0.0, steps * kStep);
-      const auto b = parallel_store.series(key).range(0.0, steps * kStep);
-      identical = a.count == b.count && a.sum == b.sum && a.min == b.min &&
-                  a.max == b.max;
-    }
-
-    const double rate = parallel_s > 0.0
-                            ? static_cast<double>(samples.size()) / parallel_s
-                            : 0.0;
-    std::cout << "  Sharded bulk ingest, " << fmt_si(static_cast<double>(samples.size()), 2)
-              << " points (" << servers_in_slice << " servers x "
-              << counters_per_server << " counters, 2 h):\n"
-              << "    1 thread:  " << fmt(serial_s * 1e3, 0) << " ms\n    "
-              << threads << " thread" << (threads == 1 ? "" : "s") << ": "
-              << fmt(parallel_s * 1e3, 0) << " ms  ("
-              << fmt(serial_s / std::max(parallel_s, 1e-12), 2) << "x, "
-              << fmt_si(rate, 2) << " points/s)\n"
-              << "    results bit-identical across thread counts: "
-              << (identical ? "yes" : "NO — BUG") << "\n\n";
-
-    bench::append_bench_record({"telemetry_bulk_ingest", 1, serial_s,
-                                static_cast<double>(samples.size())});
-    bench::append_bench_record({"telemetry_bulk_ingest", threads, parallel_s,
-                                static_cast<double>(samples.size())});
-  }
-
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  std::printf("==== EXP-AA: sec. 5.3 telemetry firehose (seed %llu%s) ====\n",
+              static_cast<unsigned long long>(config.seed),
+              args.get_switch("smoke") ? ", smoke" : "");
+  std::printf("  paper arithmetic: 10,000 servers x 100 counters @ 15 s = "
+              "2.4M points/minute; single-node gate is %.0fM/minute\n",
+              config.min_points_per_min / 1e6);
+  const auto outcome = epm::bench::run_telemetry_bench(config);
+  return outcome.gate_ok ? 0 : 1;
 }

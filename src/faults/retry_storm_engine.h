@@ -48,6 +48,7 @@
 #include "sensing/estimator.h"
 #include "sensing/invariants.h"
 #include "sensing/sensor_plane.h"
+#include "sensing/telemetry_feed.h"
 #include "sim/event_fn.h"
 #include "telemetry/store.h"
 
@@ -257,23 +258,13 @@ class RetryStormEngine {
         breaker_.state() != cluster::BreakerState::kClosed;
     {
       const auto readings = sensors_->sample(shed_channel_, shed_rps, t1);
-      if (!readings.front().valid) {
-        telemetry_.record_dropout(1);
-      } else {
-        telemetry_.append(shed_key_, t1, readings.front().value,
-                          readings.front().degraded);
-      }
+      feed_.publish(shed_key_, readings, t1);
       signal.shed_rate_per_s =
           estimator_.update(shed_channel_, readings, t1).value;
     }
     {
       const auto readings = sensors_->sample(retry_channel_, retry_rps, t1);
-      if (!readings.front().valid) {
-        telemetry_.record_dropout(1);
-      } else {
-        telemetry_.append(retry_key_, t1, readings.front().value,
-                          readings.front().degraded);
-      }
+      feed_.publish(retry_key_, readings, t1);
       signal.retry_rate_per_s =
           estimator_.update(retry_channel_, readings, t1).value;
     }
@@ -386,6 +377,7 @@ class RetryStormEngine {
   sensing::ValidatedEstimator estimator_;
   sensing::InvariantMonitor monitor_;
   telemetry::TelemetryStore telemetry_;
+  sensing::TelemetryFeed feed_{telemetry_};
   const std::uint64_t shed_channel_ =
       sensing::make_channel(sensing::ChannelKind::kShedRate, 0);
   const std::uint64_t retry_channel_ =

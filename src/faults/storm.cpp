@@ -5,6 +5,7 @@
 
 #include "core/require.h"
 #include "faults/injector.h"
+#include "sensing/telemetry_feed.h"
 #include "sim/simulator.h"
 #include "telemetry/store.h"
 
@@ -155,6 +156,7 @@ StormOutcome run_fault_storm(const StormConfig& config, const FaultPlan& plan) {
 
   power::UpsBattery battery(config.battery);
   telemetry::TelemetryStore telemetry;
+  sensing::TelemetryFeed feed(telemetry);
   const auto& topo = facility.power_topology();
   const double ups_loss = topo.tree.spec(topo.ups_id).loss_fraction;
   const double ups_fixed_w = topo.tree.spec(topo.ups_id).fixed_loss_w;
@@ -332,12 +334,7 @@ StormOutcome run_fault_storm(const StormConfig& config, const FaultPlan& plan) {
           sensing::make_channel(sensing::ChannelKind::kServiceArrival,
                                 static_cast<std::uint32_t>(s)),
           served, t0);
-      if (!readings.front().valid) {
-        telemetry.record_dropout(1);
-      } else {
-        telemetry.append(key, t0, readings.front().value,
-                         readings.front().degraded);
-      }
+      feed.publish(key, readings, t0);
     }
   }
   // Deliver any clears scheduled past the horizon so conservation holds for

@@ -68,4 +68,26 @@ double residual_correlation(const TimeSeries& a, const TimeSeries& b, double per
   return pearson_correlation(ra.values(), rb.values());
 }
 
+double StreamingSpikeDetector::observe(double value) {
+  double zscore = 0.0;
+  if (n_ >= config_.warmup) {
+    const double sd = std::max(std::sqrt(std::max(var_, 0.0)), config_.min_stddev);
+    const double z = (value - mean_) / sd;
+    if (z > config_.sigmas) zscore = z;
+  }
+  // West's exponentially weighted update; the escape sample itself feeds
+  // the state so a level shift is absorbed instead of alarming forever.
+  if (n_ == 0) {
+    mean_ = value;
+    var_ = 0.0;
+  } else {
+    const double delta = value - mean_;
+    const double incr = config_.alpha * delta;
+    mean_ += incr;
+    var_ = (1.0 - config_.alpha) * (var_ + delta * incr);
+  }
+  ++n_;
+  return zscore;
+}
+
 }  // namespace epm::telemetry

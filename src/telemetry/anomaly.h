@@ -40,4 +40,61 @@ TimeSeries remove_seasonal(const TimeSeries& series, double period_s, double buc
 double residual_correlation(const TimeSeries& a, const TimeSeries& b, double period_s,
                             double bucket_s);
 
+// ---------------------------------------------------------------------------
+// In-stream detection (columnar firehose path).
+//
+// detect_spikes() above is a batch pass over a finished series; at firehose
+// rates the detector has to ride along with ingest instead. The streaming
+// recast keeps O(1) state per counter — an exponentially weighted mean and
+// variance — and flags samples that escape the EWMA band. It runs inside
+// the block-seal pipeline (block.h), so detection latency is one sealed
+// block, not one query.
+
+struct StreamingAnomalyConfig {
+  /// EWMA weight: state half-life ~ ln 2 / alpha samples (0.05 ~ 14
+  /// samples, comparable to detect_spikes' default trailing window).
+  double alpha = 0.05;
+  /// Band half-width in EWMA standard deviations.
+  double sigmas = 6.0;
+  /// Floor on the stddev estimate so flat series don't alarm on noise.
+  double min_stddev = 1e-9;
+  /// Samples observed before the band arms (the batch pass has the same
+  /// blind spot: its first `window` samples are never tested).
+  std::uint32_t warmup = 32;
+  bool enabled = true;
+};
+
+/// One band escape, stamped with the counter it fired on.
+struct AnomalyEvent {
+  std::uint64_t key = 0;  ///< CounterKey (store.h)
+  double time_s = 0.0;
+  double value = 0.0;
+  double zscore = 0.0;
+};
+
+/// O(1)-state spike detector: online EWMA mean/variance + band escape.
+/// Deterministic: state depends only on the per-series sample order, which
+/// the store fixes to batch order at every thread count.
+class StreamingSpikeDetector {
+ public:
+  explicit StreamingSpikeDetector(const StreamingAnomalyConfig& config = {})
+      : config_(config) {}
+
+  /// Observes one sample. Returns its z-score when it escapes the band
+  /// (armed after warmup), 0.0 otherwise. The state update includes band
+  /// escapes, mirroring detect_spikes: a sustained shift stops alarming
+  /// once the EWMA absorbs it.
+  double observe(double value);
+
+  std::uint64_t samples_seen() const { return n_; }
+  double mean() const { return mean_; }
+  double variance() const { return var_; }
+
+ private:
+  StreamingAnomalyConfig config_;
+  double mean_ = 0.0;
+  double var_ = 0.0;
+  std::uint64_t n_ = 0;
+};
+
 }  // namespace epm::telemetry

@@ -30,8 +30,65 @@ void Aggregate::merge(const Aggregate& other) {
   count += other.count;
 }
 
-MultiScaleSeries::MultiScaleSeries(MultiScaleConfig config) {
+std::int64_t LevelBins::bin_index(double time_s) const {
+  return static_cast<std::int64_t>(std::floor(time_s / spec.resolution_s));
+}
+
+namespace {
+
+/// Grows `lvl.bins` (padding with empties) so `bin` is addressable, and
+/// returns its dense index. Requires bin >= the last touched bin.
+std::size_t reserve_bin(LevelBins& lvl, std::int64_t bin) {
+  if (lvl.bins.empty()) {
+    lvl.first_bin = bin;
+    lvl.bins.emplace_back();
+  } else {
+    const std::int64_t last =
+        lvl.first_bin + static_cast<std::int64_t>(lvl.bins.size()) - 1;
+    ensure(bin >= last, "LevelBins: time went backwards within a level");
+    for (std::int64_t b = last; b < bin; ++b) lvl.bins.emplace_back();
+  }
+  return static_cast<std::size_t>(bin - lvl.first_bin);
+}
+
+}  // namespace
+
+void LevelBins::add(double time_s, double value) {
+  const std::size_t idx = reserve_bin(*this, bin_index(time_s));
+  bins[idx].add(value);
+  evict();
+}
+
+void LevelBins::add_column(const double* times_s, const double* values,
+                           std::size_t n) {
+  std::size_t i = 0;
+  while (i < n) {
+    const std::int64_t bin = bin_index(times_s[i]);
+    const std::size_t idx = reserve_bin(*this, bin);
+    // Fold the bin's run in a register-resident aggregate, seeded from any
+    // existing content so the per-sample order (and therefore every bit of
+    // the sum) matches the one-at-a-time path.
+    Aggregate agg = bins[idx];
+    do {
+      agg.add(values[i]);
+      ++i;
+    } while (i < n && bin_index(times_s[i]) == bin);
+    bins[idx] = agg;
+  }
+  evict();
+}
+
+void LevelBins::evict() {
+  if (spec.retention_bins == 0) return;
+  while (bins.size() > spec.retention_bins) {
+    bins.pop_front();
+    ++first_bin;
+  }
+}
+
+std::vector<LevelBins> make_level_bins(const MultiScaleConfig& config) {
   require(!config.levels.empty(), "MultiScaleSeries: need at least one level");
+  std::vector<LevelBins> levels;
   double prev = 0.0;
   for (const auto& spec : config.levels) {
     require(spec.resolution_s > 0.0, "MultiScaleSeries: resolution must be positive");
@@ -42,48 +99,22 @@ MultiScaleSeries::MultiScaleSeries(MultiScaleConfig config) {
               "the previous");
     }
     prev = spec.resolution_s;
-    levels_.push_back(Level{spec, 0, {}});
+    levels.push_back(LevelBins{spec, 0, {}});
   }
+  return levels;
 }
 
-std::int64_t MultiScaleSeries::bin_index(std::size_t level, double time_s) const {
-  return static_cast<std::int64_t>(std::floor(time_s / levels_[level].spec.resolution_s));
-}
-
-void MultiScaleSeries::add_to_level(std::size_t level, std::int64_t bin,
-                                    const Aggregate& agg) {
-  Level& lvl = levels_[level];
-  if (lvl.bins.empty()) {
-    lvl.first_bin = bin;
-    lvl.bins.push_back(agg);
-  } else {
-    const std::int64_t last = lvl.first_bin + static_cast<std::int64_t>(lvl.bins.size()) - 1;
-    ensure(bin >= last, "MultiScaleSeries: time went backwards within a level");
-    // Pad skipped bins with empties so indexing stays dense.
-    for (std::int64_t b = last; b < bin; ++b) lvl.bins.push_back(Aggregate{});
-    lvl.bins.back().merge(agg);
-  }
-  // Evict beyond retention; evicted data survives only in coarser levels.
-  if (lvl.spec.retention_bins > 0) {
-    while (lvl.bins.size() > lvl.spec.retention_bins) {
-      lvl.bins.pop_front();
-      ++lvl.first_bin;
-    }
-  }
-}
+MultiScaleSeries::MultiScaleSeries(MultiScaleConfig config)
+    : levels_(make_level_bins(config)) {}
 
 void MultiScaleSeries::append(double time_s, double value) {
   require(time_s >= 0.0, "MultiScaleSeries: negative time");
   require(time_s >= last_time_s_, "MultiScaleSeries: timestamps must be non-decreasing");
   last_time_s_ = time_s;
   ++total_samples_;
-  Aggregate one;
-  one.add(value);
   // Cascade: every level receives every sample; each keeps its own binning.
   // (O(levels) per append; levels is a small constant.)
-  for (std::size_t l = 0; l < levels_.size(); ++l) {
-    add_to_level(l, bin_index(l, time_s), one);
-  }
+  for (auto& lvl : levels_) lvl.add(time_s, value);
 }
 
 double MultiScaleSeries::level_resolution_s(std::size_t level) const {
@@ -100,11 +131,11 @@ Aggregate MultiScaleSeries::range_at_level(std::size_t level, double t0_s,
                                            double t1_s) const {
   require(level < levels_.size(), "MultiScaleSeries: level out of range");
   require(t1_s >= t0_s, "MultiScaleSeries: inverted range");
-  const Level& lvl = levels_[level];
+  const LevelBins& lvl = levels_[level];
   Aggregate out;
   if (lvl.bins.empty()) return out;
-  const std::int64_t lo = std::max(bin_index(level, t0_s), lvl.first_bin);
-  const std::int64_t hi_bin = bin_index(level, std::nextafter(t1_s, t0_s));
+  const std::int64_t lo = std::max(lvl.bin_index(t0_s), lvl.first_bin);
+  const std::int64_t hi_bin = lvl.bin_index(std::nextafter(t1_s, t0_s));
   const std::int64_t hi =
       std::min(hi_bin, lvl.first_bin + static_cast<std::int64_t>(lvl.bins.size()) - 1);
   for (std::int64_t b = lo; b <= hi; ++b) {
@@ -116,7 +147,7 @@ Aggregate MultiScaleSeries::range_at_level(std::size_t level, double t0_s,
 Aggregate MultiScaleSeries::range(double t0_s, double t1_s) const {
   // Finest level whose retained window still reaches back to t0_s wins.
   for (std::size_t l = 0; l < levels_.size(); ++l) {
-    const Level& lvl = levels_[l];
+    const LevelBins& lvl = levels_[l];
     if (lvl.bins.empty()) continue;
     const double retained_start =
         static_cast<double>(lvl.first_bin) * lvl.spec.resolution_s;
@@ -131,12 +162,12 @@ MultiScaleSeries::BinnedMeans MultiScaleSeries::means_at_level(std::size_t level
                                                                double t1_s) const {
   require(level < levels_.size(), "MultiScaleSeries: level out of range");
   require(t1_s >= t0_s, "MultiScaleSeries: inverted range");
-  const Level& lvl = levels_[level];
+  const LevelBins& lvl = levels_[level];
   BinnedMeans out;
   if (lvl.bins.empty()) return out;
-  const std::int64_t lo = std::max(bin_index(level, t0_s), lvl.first_bin);
+  const std::int64_t lo = std::max(lvl.bin_index(t0_s), lvl.first_bin);
   const std::int64_t hi =
-      std::min(bin_index(level, std::nextafter(t1_s, t0_s)),
+      std::min(lvl.bin_index(std::nextafter(t1_s, t0_s)),
                lvl.first_bin + static_cast<std::int64_t>(lvl.bins.size()) - 1);
   for (std::int64_t b = lo; b <= hi; ++b) {
     const Aggregate& agg = lvl.bins[static_cast<std::size_t>(b - lvl.first_bin)];

@@ -13,6 +13,11 @@
 // 15 min -> 1 h -> 1 d). Appends cascade upward in O(1) amortized; range
 // queries are answered from the coarsest level that still resolves the
 // request; old fine-grained bins are evicted per level-specific retention.
+//
+// The per-level fold lives in `LevelBins`, shared verbatim between the
+// legacy per-sample cascade here and the columnar store's block-seal
+// banding (block.h) — one code path, so the two stores answer band queries
+// bit-identically by construction.
 #pragma once
 
 #include <cstddef>
@@ -48,6 +53,28 @@ struct MultiScaleConfig {
       {15.0, 960},  {60.0, 1440}, {900.0, 672}, {3600.0, 1008}, {86400.0, 0}};
 };
 
+/// One resolution level's dense bin row: the fold every multiscale consumer
+/// shares. Bin i covers [i*res, (i+1)*res); skipped bins are padded with
+/// empties so indexing stays dense; bins beyond retention are evicted (the
+/// data survives only in coarser levels).
+struct LevelBins {
+  LevelSpec spec{1.0, 0};
+  /// Index of the first retained bin.
+  std::int64_t first_bin = 0;
+  std::deque<Aggregate> bins;
+
+  std::int64_t bin_index(double time_s) const;
+  /// Left-folds one sample into its bin (padding forward as needed), then
+  /// evicts beyond retention — the legacy per-append discipline.
+  void add(double time_s, double value);
+  /// Batch fold over a time-sorted column pair: identical final state to
+  /// calling add() per sample (the per-bin fold is kept in registers and
+  /// written back once per bin; eviction runs once at the end, which only
+  /// changes *when* bins are popped, never which ones survive).
+  void add_column(const double* times_s, const double* values, std::size_t n);
+  void evict();
+};
+
 /// One counter's multi-resolution history. Samples must arrive with
 /// non-decreasing timestamps.
 class MultiScaleSeries {
@@ -81,20 +108,14 @@ class MultiScaleSeries {
   std::size_t memory_bytes() const;
 
  private:
-  struct Level {
-    LevelSpec spec;
-    /// Index of the first retained bin (bin i covers
-    /// [i*res, (i+1)*res)).
-    std::int64_t first_bin = 0;
-    std::deque<Aggregate> bins;
-  };
-
-  std::int64_t bin_index(std::size_t level, double time_s) const;
-  void add_to_level(std::size_t level, std::int64_t bin, const Aggregate& agg);
-
-  std::vector<Level> levels_;
+  std::vector<LevelBins> levels_;
   double last_time_s_ = -1.0;
   std::uint64_t total_samples_ = 0;
 };
+
+/// Validates a MultiScaleConfig (positive resolutions, integer >1 level
+/// ratios) and returns the level rows ready for folding. Shared by
+/// MultiScaleSeries and the columnar store's ColumnSeries.
+std::vector<LevelBins> make_level_bins(const MultiScaleConfig& config);
 
 }  // namespace epm::telemetry

@@ -43,7 +43,7 @@ TEST(EndToEnd, MessengerDayThroughMacroManagedFacility) {
   // Physical sanity.
   EXPECT_EQ(overloads, 0u);
   EXPECT_EQ(facility.total_thermal_alarms(), 0u);
-  const auto pue_day = telemetry.series(pue_key).range(0.0, 86400.0);
+  const auto pue_day = telemetry.range(pue_key, 0.0, 86400.0);
   EXPECT_GT(pue_day.mean(), 1.0);
   EXPECT_LT(pue_day.mean(), 2.5);
 

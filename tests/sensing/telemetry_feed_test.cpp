@@ -1,0 +1,71 @@
+// TelemetryFeed (sensing/telemetry_feed.h): the publication bridge between
+// the sensor plane and the telemetry store. Owns the invalid-reading ->
+// dropout, degraded-reading -> flagged-append idiom the fault engines used
+// to hand-roll, plus band-query read-backs.
+#include <gtest/gtest.h>
+
+#include "sensing/telemetry_feed.h"
+#include "telemetry/store.h"
+
+namespace epm::sensing {
+namespace {
+
+using telemetry::make_key;
+
+std::vector<SensorReading> one_reading(double value, bool valid, bool degraded) {
+  SensorReading reading;
+  reading.value = value;
+  reading.valid = valid;
+  reading.degraded = degraded;
+  return {reading};
+}
+
+TEST(TelemetryFeed, StoresValidPrimaryReading) {
+  telemetry::TelemetryStore store;
+  TelemetryFeed feed(store);
+  EXPECT_TRUE(feed.publish(make_key(1, 2), one_reading(42.0, true, false), 0.0));
+  EXPECT_EQ(store.total_samples(), 1u);
+  EXPECT_EQ(store.degraded_samples(), 0u);
+  EXPECT_EQ(store.dropped_samples(), 0u);
+  EXPECT_TRUE(store.contains(make_key(1, 2)));
+}
+
+TEST(TelemetryFeed, InvalidPrimaryBecomesDropoutNotSample) {
+  telemetry::TelemetryStore store;
+  TelemetryFeed feed(store);
+  EXPECT_FALSE(feed.publish(make_key(1, 2), one_reading(42.0, false, false), 0.0));
+  EXPECT_FALSE(feed.publish(make_key(1, 2), {}, 15.0));  // no readings at all
+  EXPECT_EQ(store.total_samples(), 0u);
+  EXPECT_EQ(store.dropped_samples(), 2u);
+  EXPECT_FALSE(store.contains(make_key(1, 2)));
+}
+
+TEST(TelemetryFeed, DegradedPrimaryIsStoredAndFlagged) {
+  telemetry::TelemetryStore store;
+  TelemetryFeed feed(store);
+  EXPECT_TRUE(feed.publish(make_key(3, 0), one_reading(10.0, true, true), 0.0));
+  EXPECT_EQ(store.total_samples(), 1u);
+  EXPECT_EQ(store.degraded_samples(), 1u);
+}
+
+TEST(TelemetryFeed, RecentMeanReadsBackTheTrailingWindow) {
+  telemetry::TelemetryStore store;
+  TelemetryFeed feed(store);
+  const auto key = make_key(0, 7);
+  // 10 minutes of 15 s samples: 100, 101, ..., value = 100 + i.
+  for (int i = 0; i < 40; ++i) {
+    feed.publish(key, one_reading(100.0 + i, true, false), 15.0 * i);
+  }
+  const double now_s = 15.0 * 40;
+  // Trailing 5 minutes covers samples 20..39 (values 120..139, mean 129.5).
+  EXPECT_DOUBLE_EQ(feed.recent_mean(key, now_s, 300.0), 129.5);
+  // Full history.
+  EXPECT_DOUBLE_EQ(feed.recent_mean(key, now_s, now_s), 119.5);
+  // Unknown counters and empty windows answer 0.
+  EXPECT_EQ(feed.recent_mean(make_key(9, 9), now_s, 300.0), 0.0);
+  // A window clamped at t=0 still answers (no negative range).
+  EXPECT_DOUBLE_EQ(feed.recent_mean(key, 15.0, 3600.0), 100.0);
+}
+
+}  // namespace
+}  // namespace epm::sensing

@@ -1,0 +1,129 @@
+// IngestRing: the lock-free SPSC ring the columnar firehose feeds ingest
+// through. FIFO order is load-bearing — the store's determinism argument
+// (per-series sample order == batch order at any thread count) rests on
+// every ring delivering its items exactly in push order. The concurrent
+// suites here run under TSan in CI (the regex matches "IngestRing").
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "telemetry/ring.h"
+
+namespace epm::telemetry {
+namespace {
+
+TEST(IngestRing, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(IngestRing<int>(2).capacity(), 2u);
+  EXPECT_EQ(IngestRing<int>(3).capacity(), 4u);
+  EXPECT_EQ(IngestRing<int>(1000).capacity(), 1024u);
+  EXPECT_EQ(IngestRing<int>(1024).capacity(), 1024u);
+}
+
+TEST(IngestRing, RejectsDegenerateCapacity) {
+  EXPECT_THROW(IngestRing<int>(1), std::invalid_argument);
+}
+
+TEST(IngestRing, SingleThreadFifoAndFullEmpty) {
+  IngestRing<int> ring(4);
+  int out = 0;
+  EXPECT_FALSE(ring.try_pop(out));
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(ring.try_push(i));
+  EXPECT_FALSE(ring.try_push(99));  // full
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(ring.try_pop(out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(ring.try_pop(out));
+  // Freed slots are reusable (wraparound).
+  EXPECT_TRUE(ring.try_push(7));
+  ASSERT_TRUE(ring.try_pop(out));
+  EXPECT_EQ(out, 7);
+}
+
+TEST(IngestRing, PopChunkPreservesOrderAcrossWrap) {
+  IngestRing<int> ring(8);
+  int buf[8];
+  // Offset head/tail so the chunk pop straddles the wrap point.
+  for (int i = 0; i < 5; ++i) ring.push(i);
+  int out = 0;
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(ring.try_pop(out));
+  for (int i = 0; i < 8; ++i) ring.push(100 + i);
+  EXPECT_EQ(ring.pop_chunk(buf, 3), 3u);
+  EXPECT_EQ(buf[0], 100);
+  EXPECT_EQ(buf[2], 102);
+  EXPECT_EQ(ring.pop_chunk(buf, 8), 5u);
+  EXPECT_EQ(buf[0], 103);
+  EXPECT_EQ(buf[4], 107);
+  EXPECT_EQ(ring.pop_chunk(buf, 8), 0u);
+}
+
+TEST(IngestRing, DrainedRequiresCloseAndEmpty) {
+  IngestRing<int> ring(4);
+  ring.push(1);
+  EXPECT_FALSE(ring.drained());  // not closed
+  ring.close();
+  EXPECT_FALSE(ring.drained());  // closed but not empty
+  int out = 0;
+  ASSERT_TRUE(ring.try_pop(out));
+  EXPECT_TRUE(ring.drained());
+}
+
+TEST(IngestRing, ConcurrentProducerConsumerIsFifoAndLossless) {
+  // One producer thread races one consumer through a small ring, forcing
+  // many full/empty transitions; the consumer must see exactly 0..n-1.
+  constexpr std::uint32_t kItems = 200'000;
+  IngestRing<std::uint32_t> ring(64);
+  std::thread producer([&] {
+    for (std::uint32_t i = 0; i < kItems; ++i) ring.push(i);
+    ring.close();
+  });
+  std::uint32_t expected = 0;
+  std::uint32_t item = 0;
+  bool ordered = true;
+  while (true) {
+    if (ring.try_pop(item)) {
+      ordered = ordered && item == expected;
+      ++expected;
+    } else if (ring.drained()) {
+      break;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  producer.join();
+  EXPECT_TRUE(ordered);
+  EXPECT_EQ(expected, kItems);
+}
+
+TEST(IngestRing, ConcurrentChunkedConsumerSeesEveryItemInOrder) {
+  // Same race, consumed through pop_chunk (the drainer's fast path).
+  constexpr std::uint32_t kItems = 200'000;
+  IngestRing<std::uint32_t> ring(128);
+  std::thread producer([&] {
+    for (std::uint32_t i = 0; i < kItems; ++i) ring.push(i);
+    ring.close();
+  });
+  std::uint32_t expected = 0;
+  std::uint32_t buf[37];  // deliberately not a power of two
+  bool ordered = true;
+  while (true) {
+    const std::size_t n = ring.pop_chunk(buf, 37);
+    if (n == 0) {
+      if (ring.drained()) break;
+      std::this_thread::yield();
+      continue;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      ordered = ordered && buf[i] == expected;
+      ++expected;
+    }
+  }
+  producer.join();
+  EXPECT_TRUE(ordered);
+  EXPECT_EQ(expected, kItems);
+}
+
+}  // namespace
+}  // namespace epm::telemetry

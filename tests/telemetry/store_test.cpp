@@ -27,7 +27,7 @@ TEST(TelemetryStore, LazySeriesCreation) {
   EXPECT_EQ(store.total_samples(), 3u);
   EXPECT_TRUE(store.contains(make_key(0, 0)));
   EXPECT_FALSE(store.contains(make_key(9, 9)));
-  EXPECT_THROW(store.series(make_key(9, 9)), std::invalid_argument);
+  EXPECT_THROW(store.range(make_key(9, 9), 0.0, 1.0), std::invalid_argument);
 }
 
 TEST(TelemetryStore, HourlyPatternQuery) {
@@ -118,8 +118,8 @@ void expect_stores_identical(const TelemetryStore& a, const TelemetryStore& b,
   for (std::uint32_t s = 0; s < servers; ++s) {
     for (std::uint32_t c = 0; c < counters; ++c) {
       const auto key = make_key(s, c);
-      const auto lhs = a.series(key).range(0.0, horizon_s);
-      const auto rhs = b.series(key).range(0.0, horizon_s);
+      const auto lhs = a.range(key, 0.0, horizon_s);
+      const auto rhs = b.range(key, 0.0, horizon_s);
       EXPECT_EQ(lhs.count, rhs.count) << "server " << s << " counter " << c;
       EXPECT_DOUBLE_EQ(lhs.sum, rhs.sum) << "server " << s << " counter " << c;
       EXPECT_DOUBLE_EQ(lhs.min, rhs.min) << "server " << s << " counter " << c;
@@ -168,7 +168,7 @@ TEST(TelemetryStoreParallel, InterleavesWithSingleAppends) {
   store.append(make_key(1, 0), 30.0, 4.0);
   EXPECT_EQ(store.total_samples(), 4u);
   EXPECT_EQ(store.series_count(), 2u);
-  const auto agg = store.series(make_key(0, 0)).range(0.0, 100.0);
+  const auto agg = store.range(make_key(0, 0), 0.0, 100.0);
   EXPECT_EQ(agg.count, 2u);
   EXPECT_DOUBLE_EQ(agg.sum, 3.0);
 }
@@ -203,7 +203,7 @@ TEST(StoreAgreement, MultiScaleMatchesRawScan) {
   }
   const double t0 = 0.0;
   const double t1 = 1000 * 15.0;
-  const auto fast = store.series(key).range(t0, t1);
+  const auto fast = store.range(key, t0, t1);
   const auto slow = raw.range(key, t0, t1);
   EXPECT_EQ(fast.count, slow.count);
   EXPECT_NEAR(fast.mean(), slow.mean, 1e-9);

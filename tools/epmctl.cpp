@@ -12,6 +12,7 @@
 #include <string>
 
 #include "bench/kernel_bench.h"
+#include "bench/telemetry_bench.h"
 #include "cluster/request_des.h"
 #include "faults/chaos_fleet.h"
 #include "faults/control_chaos.h"
@@ -78,6 +79,15 @@ int cmd_help() {
                                                         partition/heal zero-loss drill
                                                         (SPEC: "outage:region/americas@
                                                         32+16;brownout:feed/grid-eu@...")
+  epmctl telemetry    [--threads T] [--seed S] [--smoke] columnar telemetry firehose
+                                                        bench: ring-pipeline ingest,
+                                                        sealed-block compression,
+                                                        legacy bit-identity at 1/2/8
+                                                        threads, in-stream anomaly
+                                                        recall; exits non-zero on any
+                                                        missed gate. --smoke = reduced
+                                                        CI mix with a loose absolute
+                                                        throughput floor
   epmctl controlplane [--dcs N] [--seed S]              survivable-control-plane drills:
                       [--threads T] [--smoke]           kill-the-leader (defended vs
                                                         naive, with WAN partition),
@@ -127,6 +137,8 @@ int cmd_messenger(const CliArgs& args) {
   const double horizon = days(static_cast<double>(args.get("days", std::int64_t{7})));
   const std::string csv = args.get("csv", std::string{});
   if (const int rc = check_unused(args)) return rc;
+  if (horizon <= 0.0) return fail("--days must be > 0");
+  if (config.step_s <= 0.0) return fail("--step-s must be > 0");
 
   const auto trace = workload::generate_messenger_trace(config, horizon);
   const auto shape =
@@ -144,6 +156,17 @@ int cmd_messenger(const CliArgs& args) {
                                    {"login_rate_per_s", trace.login_rate_per_s}});
     std::cout << "Wrote " << csv << "\n";
   }
+  // Exit-code contract: the generator must emit exactly one sample per step
+  // over the horizon — anything else is a conformance failure (3).
+  const auto expected = static_cast<std::size_t>(horizon / config.step_s);
+  if (trace.connections.size() != expected ||
+      trace.login_rate_per_s.size() != expected) {
+    return conformance_fail(
+        "messenger trace ledger mismatch (" +
+            std::to_string(trace.connections.size()) + " samples, expected " +
+            std::to_string(expected) + ")",
+        config.seed, 1, 1);
+  }
   return 0;
 }
 
@@ -154,6 +177,9 @@ int cmd_simulate(const CliArgs& args) {
   const std::string policy = args.get("policy", std::string{"joint"});
   const auto seed = static_cast<std::uint64_t>(args.get("seed", std::int64_t{18}));
   if (const int rc = check_unused(args)) return rc;
+  if (servers == 0) return fail("--servers must be > 0");
+  if (sim_days <= 0.0) return fail("--days must be > 0");
+  if (peak_rps <= 0.0) return fail("--peak-rps must be > 0");
 
   workload::MessengerConfig wl;
   wl.step_s = 60.0;
@@ -204,6 +230,16 @@ int cmd_simulate(const CliArgs& args) {
             << cluster.epochs_run() << " epochs\n"
             << "  dropped:         " << fmt(cluster.total_dropped_requests(), 0)
             << " requests\n";
+  // Exit-code contract: the cluster must have run exactly one epoch per
+  // trace step with finite energy — otherwise the run is nonconformant (3).
+  if (cluster.epochs_run() != rate.size() ||
+      !std::isfinite(cluster.total_energy_j()) ||
+      cluster.total_energy_j() <= 0.0) {
+    return conformance_fail("simulate epoch ledger mismatch (ran " +
+                                std::to_string(cluster.epochs_run()) +
+                                ", expected " + std::to_string(rate.size()) + ")",
+                            seed, 1, 1);
+  }
   return 0;
 }
 
@@ -212,6 +248,8 @@ int cmd_facility(const CliArgs& args) {
   const auto servers = static_cast<std::size_t>(args.get("servers", std::int64_t{60}));
   const auto seed = static_cast<std::uint64_t>(args.get("seed", std::int64_t{4}));
   if (const int rc = check_unused(args)) return rc;
+  if (sim_days <= 0.0) return fail("--days must be > 0");
+  if (servers == 0) return fail("--servers must be > 0");
 
   workload::MessengerConfig wl;
   wl.step_s = 60.0;
@@ -226,16 +264,26 @@ int cmd_facility(const CliArgs& args) {
     const double level = trace.connections[i] / peak;
     pue_sum += manager.step({level * 4000.0, level * 2500.0}, 18.0).pue;
   }
+  const double mean_pue =
+      facility.epochs_run() > 0
+          ? pue_sum / static_cast<double>(facility.epochs_run())
+          : 0.0;
   std::cout << "Macro-managed reference facility, " << fmt(sim_days, 0) << " days:\n"
             << "  IT energy:       " << fmt(to_kwh(facility.total_it_energy_j()), 0)
             << " kWh\n  cooling energy:  "
             << fmt(to_kwh(facility.total_mechanical_energy_j()), 0) << " kWh\n"
-            << "  mean PUE:        "
-            << fmt(pue_sum / static_cast<double>(facility.epochs_run()), 2) << "\n"
+            << "  mean PUE:        " << fmt(mean_pue, 2) << "\n"
             << "  SLA violations:  " << facility.total_sla_violation_epochs()
             << " service-epochs\n  thermal alarms:  "
             << facility.total_thermal_alarms() << "\n  decisions logged: "
             << manager.log().size() << "\n";
+  // Exit-code contract: a facility that ran zero epochs or produced a PUE
+  // below the physical floor of 1.0 is a conformance failure (3).
+  if (facility.epochs_run() == 0 || !std::isfinite(mean_pue) || mean_pue < 1.0) {
+    return conformance_fail("facility PUE ledger violated (mean PUE " +
+                                fmt(mean_pue, 3) + ")",
+                            seed, 1, 1);
+  }
   return 0;
 }
 
@@ -243,6 +291,8 @@ int cmd_tiers(const CliArgs& args) {
   const double rate = args.get("rate", 1000.0);
   const double sla_ms = args.get("sla-ms", 60.0);
   if (const int rc = check_unused(args)) return rc;
+  if (rate <= 0.0) return fail("--rate must be > 0");
+  if (sla_ms <= 0.0) return fail("--sla-ms must be > 0");
 
   macro::TieredServiceSpec spec;
   macro::TierSpec web;
@@ -261,7 +311,15 @@ int cmd_tiers(const CliArgs& args) {
   spec.end_to_end_sla_s = sla_ms / 1e3;
 
   const auto decision = macro::size_tiers(spec, rate);
-  if (!decision.feasible) return fail("SLA infeasible for this demand");
+  // Exit-code contract: an infeasible SLA is a scenario verdict (1), not a
+  // usage error — the arguments were well-formed, the sizing just cannot
+  // meet them.
+  if (!decision.feasible) {
+    std::cout << "Sizing for " << fmt(rate, 0) << " external rps under "
+              << fmt(sla_ms, 0) << " ms end-to-end:\n"
+              << "  VERDICT: SLA infeasible for this demand at any P-state\n";
+    return 1;
+  }
   Table table({"tier", "servers", "P-state", "budget (ms)", "response (ms)",
                "power (kW)"});
   for (std::size_t i = 0; i < decision.tiers.size(); ++i) {
@@ -286,6 +344,8 @@ int cmd_availability(const CliArgs& args) {
   const std::size_t threads = args.threads();
   if (const int rc = check_unused(args)) return rc;
   if (tier < 1 || tier > 4) return fail("--tier must be 1..4");
+  if (years <= 0.0) return fail("--years must be > 0");
+  if (replicas == 0) return fail("--replicas must be > 0");
 
   const auto topology = reliability::make_tier_topology(tier);
   const double analytic = topology.availability(true);
@@ -305,6 +365,15 @@ int cmd_availability(const CliArgs& args) {
             << fmt_percent(simulated.ci_hi, 4) << "]\n"
             << "  downtime:                   "
             << fmt(reliability::downtime_hours_per_year(analytic), 1) << " h/yr\n";
+  // Exit-code contract: the Monte Carlo estimate must be a probability with
+  // an ordered confidence interval around it — otherwise the fan-out is
+  // nonconformant (3). Results never depend on the thread count.
+  if (!std::isfinite(simulated.availability) || simulated.availability < 0.0 ||
+      simulated.availability > 1.0 || simulated.ci_lo > simulated.availability ||
+      simulated.availability > simulated.ci_hi) {
+    return conformance_fail("availability Monte Carlo estimate out of range",
+                            static_cast<std::uint64_t>(tier), replicas, threads);
+  }
   return 0;
 }
 
@@ -618,6 +687,42 @@ int cmd_kernelbench(const CliArgs& args) {
   return 0;
 }
 
+int cmd_telemetry(const CliArgs& args) {
+  bench::TelemetryBenchConfig config;
+  config.threads = args.threads();
+  config.seed = static_cast<std::uint64_t>(args.get("seed", std::int64_t{42}));
+  if (args.get_switch("smoke")) {
+    // Mirror bench/exp_telemetry_scale --smoke: ~5% of the full mix under a
+    // loose absolute throughput floor.
+    config.servers = 200;
+    config.counters_per_server = 25;
+    config.ticks = 100;
+    config.equiv_servers = 60;
+    config.equiv_counters = 10;
+    config.equiv_ticks = 100;
+    config.min_points_per_min = 10e6;
+  }
+  if (const int rc = check_unused(args)) return rc;
+
+  std::cout << "Columnar telemetry firehose (seed " << config.seed << "):\n";
+  const auto outcome = bench::run_telemetry_bench(config);
+  // Exit-code contract: a missed perf gate or a broken bit-identity /
+  // anomaly contract is a conformance failure (3), not a usage error.
+  if (!outcome.gate_ok) {
+    return conformance_fail(
+        "telemetry bench missed a gate (ingest " +
+            fmt(outcome.points_per_min / 1e6, 1) + "M/min, compression " +
+            fmt(outcome.compression_ratio, 1) + "x, equivalence " +
+            (outcome.legacy_identical ? "ok" : "FAIL") + ", anomalies " +
+            (outcome.anomalies_recalled && outcome.anomalies_deterministic
+                 ? "ok"
+                 : "FAIL") +
+            ")",
+        config.seed, 1, config.threads);
+  }
+  return 0;
+}
+
 int cmd_federation(const CliArgs& args) {
   const bool smoke = args.get_switch("smoke");
   const auto dcs = static_cast<std::size_t>(args.get("dcs", std::int64_t{4}));
@@ -915,6 +1020,7 @@ int main(int argc, char** argv) {
     if (cmd == "sensing") return cmd_sensing(args);
     if (cmd == "retrystorm") return cmd_retrystorm(args);
     if (cmd == "kernelbench") return cmd_kernelbench(args);
+    if (cmd == "telemetry") return cmd_telemetry(args);
     if (cmd == "federation") return cmd_federation(args);
     if (cmd == "chaos") return cmd_chaos(args);
     if (cmd == "controlplane") return cmd_controlplane(args);
